@@ -1,0 +1,61 @@
+"""Shared fixtures and helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints the series (visible with ``pytest -s``), writes it under
+``benchmarks/results/``, and asserts the paper's qualitative shape.
+Scales are reduced from the paper's 6 M/10 M rows — all assertions are
+about *shape* (who wins, where crossovers fall), which is scale-free.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.workloads import (
+    StarConfig,
+    TpchConfig,
+    build_star_database,
+    build_tpch_database,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str, echo: bool = True) -> None:
+    """Persist a rendered figure table under benchmarks/results/.
+
+    ``echo=False`` skips printing (used for machine-readable CSVs).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    if echo:
+        print(text)
+
+
+def render_series(title: str, header: list[str], rows: list[list[str]]) -> str:
+    """Align a figure's data series as a text table."""
+    table = [header] + rows
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = [title, "-" * len(title)]
+    for row in table:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def bench_tpch_db():
+    """TPC-H-shaped data at benchmark scale."""
+    return build_tpch_database(TpchConfig(num_lineitem=40_000, seed=7))
+
+
+@pytest.fixture(scope="session")
+def bench_star_config():
+    return StarConfig(num_fact=50_000, num_dim=1000, aligned_fraction=0.12, seed=7)
+
+
+@pytest.fixture(scope="session")
+def bench_star_db(bench_star_config):
+    """Star-schema data at benchmark scale."""
+    return build_star_database(bench_star_config)

@@ -1,0 +1,44 @@
+"""Figure 1: execution cost vs selectivity for two hypothetical plans.
+
+Regenerates the cost curves of the two plans implied by the paper's
+worked numbers and locates the crossover point the figure annotates at
+26 %.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import render_series, write_result
+from repro.analysis import figure2_plans
+
+
+def compute_curves():
+    model = figure2_plans()
+    grid = np.linspace(0.0, 1.0, 21)
+    costs = model.costs(grid)
+    return model, grid, costs
+
+
+def test_fig01_cost_curves(benchmark):
+    model, grid, costs = benchmark(compute_curves)
+
+    rows = [
+        [f"{s:6.0%}", f"{costs[0, i]:8.2f}", f"{costs[1, i]:8.2f}"]
+        for i, s in enumerate(grid)
+    ]
+    [crossover] = model.crossover_points()
+    table = render_series(
+        f"Figure 1: execution cost vs selectivity (crossover at {crossover:.1%})",
+        ["selectivity", "Plan 1", "Plan 2"],
+        rows,
+    )
+    write_result("fig01_cost_curves.txt", table)
+
+    # Shape: Plan 1 cheaper below the crossover, Plan 2 above; the
+    # crossover sits at the paper's annotated ≈26 %.
+    assert 0.25 < crossover < 0.28
+    assert model.best_plan(0.10) == 0
+    assert model.best_plan(0.50) == 1
+    # Plan 2's cost is nearly flat relative to Plan 1's.
+    spread1 = costs[0, -1] - costs[0, 0]
+    spread2 = costs[1, -1] - costs[1, 0]
+    assert spread1 > 5 * spread2

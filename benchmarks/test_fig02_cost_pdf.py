@@ -1,0 +1,47 @@
+"""Figure 2: probability density of execution cost for each plan.
+
+Uses the Figure 2 posterior (50 of 200 sample tuples satisfying) and
+the implied linear cost functions to regenerate the two densities.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import render_series, write_result
+from repro.analysis import cost_pdf, figure2_plans
+from repro.core import SelectivityPosterior
+
+
+def compute_densities():
+    model = figure2_plans()
+    posterior = SelectivityPosterior(50, 200)
+    grid = np.linspace(20.0, 45.0, 26)
+    densities = [cost_pdf(plan, posterior, grid) for plan in model.plans]
+    return posterior, grid, densities
+
+
+def test_fig02_cost_pdf(benchmark):
+    posterior, grid, densities = benchmark(compute_densities)
+
+    rows = [
+        [f"{c:6.1f}", f"{densities[0][i]:8.4f}", f"{densities[1][i]:8.4f}"]
+        for i, c in enumerate(grid)
+    ]
+    table = render_series(
+        "Figure 2: pdf of execution cost (n=200, k=50, Jeffreys prior)",
+        ["cost", "Plan 1", "Plan 2"],
+        rows,
+    )
+    write_result("fig02_cost_pdf.txt", table)
+
+    # Shape: Plan 2's density is tall and narrow around 30–33; Plan 1's
+    # is low and wide, spanning roughly 20–40.
+    assert densities[1].max() > 3 * densities[0].max()
+    peak2 = grid[np.argmax(densities[1])]
+    assert 30.0 <= peak2 <= 33.0
+    peak1 = grid[np.argmax(densities[0])]
+    assert 27.0 <= peak1 <= 34.0
+    # Plan 1 has visible mass near 25 and 36 where Plan 2 has none.
+    i25 = np.argmin(np.abs(grid - 25.0))
+    i36 = np.argmin(np.abs(grid - 36.0))
+    assert densities[0][i25] > 10 * densities[1][i25]
+    assert densities[0][i36] > 10 * densities[1][i36]

@@ -1,0 +1,58 @@
+"""Figure 3: cumulative probability of execution cost; plan preference
+flips near a 65 % confidence threshold.
+
+Also verifies the Section 3.1 worked numbers: percentile costs
+30.2/31.5 at T=50 % and 33.5/31.9 at T=80 %.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import render_series, write_result
+from repro.analysis import (
+    cost_cdf,
+    cost_percentile,
+    figure2_plans,
+    preference_flip_threshold,
+)
+from repro.core import SelectivityPosterior
+
+
+def compute():
+    model = figure2_plans()
+    posterior = SelectivityPosterior(50, 200)
+    grid = np.linspace(20.0, 42.0, 23)
+    cdfs = [cost_cdf(plan, posterior, grid) for plan in model.plans]
+    flip = preference_flip_threshold(model.plans[0], model.plans[1], posterior)
+    return model, posterior, grid, cdfs, flip
+
+
+def test_fig03_cost_cdf(benchmark):
+    model, posterior, grid, cdfs, flip = benchmark(compute)
+
+    rows = [
+        [f"{c:6.1f}", f"{cdfs[0][i]:7.2%}", f"{cdfs[1][i]:7.2%}"]
+        for i, c in enumerate(grid)
+    ]
+    table = render_series(
+        f"Figure 3: cdf of execution cost (preference flips at T={flip:.1%})",
+        ["cost", "Plan 1", "Plan 2"],
+        rows,
+    )
+    write_result("fig03_cost_cdf.txt", table)
+
+    # The Section 3.1 worked percentile costs.
+    assert cost_percentile(model.plans[0], posterior, 0.5) == round(30.2, 1) or abs(
+        cost_percentile(model.plans[0], posterior, 0.5) - 30.2
+    ) < 0.15
+    assert abs(cost_percentile(model.plans[1], posterior, 0.5) - 31.5) < 0.15
+    assert abs(cost_percentile(model.plans[0], posterior, 0.8) - 33.5) < 0.15
+    assert abs(cost_percentile(model.plans[1], posterior, 0.8) - 31.9) < 0.15
+    # The flip the figure annotates at ≈65 %.
+    assert 0.60 < flip < 0.70
+    # Below the flip, Plan 1's percentile cost is lower; above, higher.
+    assert cost_percentile(model.plans[0], posterior, 0.5) < cost_percentile(
+        model.plans[1], posterior, 0.5
+    )
+    assert cost_percentile(model.plans[0], posterior, 0.8) > cost_percentile(
+        model.plans[1], posterior, 0.8
+    )

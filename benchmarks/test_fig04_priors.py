@@ -1,0 +1,54 @@
+"""Figure 4: "Sample Size Matters, Prior Doesn't".
+
+Regenerates the four posterior densities — (n=100, k=10) and
+(n=500, k=50), each under the uniform and Jeffreys priors — plus the
+Section 3.4 worked threshold estimates.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import render_series, write_result
+from repro.core import JEFFREYS, UNIFORM, SelectivityPosterior
+
+
+def compute():
+    grid = np.linspace(0.0, 0.25, 26)
+    posteriors = {
+        "n=100 Jeffreys": SelectivityPosterior(10, 100, JEFFREYS),
+        "n=100 uniform": SelectivityPosterior(10, 100, UNIFORM),
+        "n=500 Jeffreys": SelectivityPosterior(50, 500, JEFFREYS),
+        "n=500 uniform": SelectivityPosterior(50, 500, UNIFORM),
+    }
+    densities = {name: p.pdf(grid) for name, p in posteriors.items()}
+    return grid, posteriors, densities
+
+
+def test_fig04_priors(benchmark):
+    grid, posteriors, densities = benchmark(compute)
+
+    names = list(densities)
+    rows = [
+        [f"{s:6.2%}"] + [f"{densities[name][i]:8.3f}" for name in names]
+        for i, s in enumerate(grid)
+    ]
+    table = render_series(
+        "Figure 4: posterior densities — sample size matters, prior doesn't",
+        ["selectivity"] + names,
+        rows,
+    )
+    write_result("fig04_priors.txt", table)
+
+    # Prior choice: nearly identical densities at both sample sizes.
+    gap_100 = np.max(np.abs(densities["n=100 Jeffreys"] - densities["n=100 uniform"]))
+    assert gap_100 < 0.12 * densities["n=100 Jeffreys"].max()
+    gap_500 = np.max(np.abs(densities["n=500 Jeffreys"] - densities["n=500 uniform"]))
+    assert gap_500 < 0.12 * densities["n=500 Jeffreys"].max()
+
+    # Sample size: n=500 density is much taller/narrower than n=100.
+    assert densities["n=500 Jeffreys"].max() > 1.8 * densities["n=100 Jeffreys"].max()
+
+    # Section 3.4 worked numbers: T=20/50/80 % → 7.8/10.1/12.8 %.
+    posterior = posteriors["n=100 Jeffreys"]
+    assert abs(posterior.ppf(0.2) - 0.078) < 0.002
+    assert abs(posterior.ppf(0.5) - 0.101) < 0.002
+    assert abs(posterior.ppf(0.8) - 0.128) < 0.002

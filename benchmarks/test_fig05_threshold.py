@@ -1,0 +1,43 @@
+"""Figure 5: effect of the confidence threshold on expected time.
+
+Analytical sweep over the paper's model (n=1000, thresholds
+5/20/50/80/95 %, selectivities 0–1 % at 0.05 % steps).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import render_series, write_result
+from repro.analysis import paper_default_model, threshold_sweep
+from repro.analysis.sweeps import DEFAULT_SELECTIVITIES, PAPER_THRESHOLDS
+
+
+def compute():
+    return threshold_sweep(paper_default_model(), sample_size=1000)
+
+
+def test_fig05_threshold_effect(benchmark):
+    curves = benchmark(compute)
+
+    grid = DEFAULT_SELECTIVITIES
+    rows = [
+        [f"{p:6.2%}"] + [f"{curves[t][i]:7.2f}" for t in PAPER_THRESHOLDS]
+        for i, p in enumerate(grid)
+    ]
+    table = render_series(
+        "Figure 5: expected execution time vs selectivity (n=1000)",
+        ["selectivity"] + [f"T={t:.0%}" for t in PAPER_THRESHOLDS],
+        rows,
+    )
+    write_result("fig05_threshold.txt", table)
+
+    # T=95%: never the risky plan — flat at the scan's cost.
+    assert np.ptp(curves[0.95]) < 0.5
+    assert abs(curves[0.95][0] - 35.0) < 0.5
+    # Aggressive thresholds are excellent at p=0 (cost ≈ f2 = 5)...
+    for t in (0.05, 0.20, 0.50, 0.80):
+        assert abs(curves[t][0] - 5.0) < 0.5
+    # ...but low thresholds underestimate and pay dearly mid-sweep.
+    mid = len(grid) // 2
+    assert curves[0.05][mid] > curves[0.80][mid] > curves[0.95][mid] - 1.0
+    # higher threshold → pointwise no worse at high selectivities
+    assert curves[0.05][-1] >= curves[0.20][-1] >= curves[0.50][-1] - 1e-9

@@ -1,0 +1,38 @@
+"""Figure 6: the performance vs predictability tradeoff.
+
+One point per confidence threshold: mean execution time against
+standard deviation, over uniformly-weighted selectivities 0–1 %.
+"""
+
+from benchmarks.conftest import render_series, write_result
+from repro.analysis import paper_default_model, tradeoff_curve
+
+
+def compute():
+    return tradeoff_curve(paper_default_model(), sample_size=1000)
+
+
+def test_fig06_tradeoff(benchmark):
+    points = benchmark(compute)
+
+    rows = [
+        [p.label, f"{p.mean_time:8.2f}", f"{p.std_time:8.2f}"] for p in points
+    ]
+    table = render_series(
+        "Figure 6: performance vs predictability (n=1000)",
+        ["threshold", "mean(s)", "std(s)"],
+        rows,
+    )
+    write_result("fig06_tradeoff.txt", table)
+
+    by_label = {p.label: p for p in points}
+    stds = [p.std_time for p in points]
+    # "the higher the confidence threshold, the less variability"
+    assert stds == sorted(stds, reverse=True)
+    # "the lowest average execution time occurs not at the unbiased 50%
+    # but at the higher 80% level"
+    best = min(points, key=lambda p: p.mean_time)
+    assert best.label == "T=80%"
+    assert by_label["T=50%"].mean_time < by_label["T=5%"].mean_time
+    # T=95% is nearly deterministic
+    assert by_label["T=95%"].std_time < 0.5

@@ -1,0 +1,44 @@
+"""Figure 7: effect of sample size (analytical, T=50 %).
+
+Sweeps n ∈ {50, 100, 250, 500, 1000}; the paper reads this figure as
+"500 achieves a good tradeoff" — much smaller samples hurt, much
+larger ones barely help.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import render_series, write_result
+from repro.analysis import paper_default_model, sample_size_sweep
+from repro.analysis.sweeps import DEFAULT_SELECTIVITIES
+
+SIZES = (50, 100, 250, 500, 1000)
+
+
+def compute():
+    return sample_size_sweep(paper_default_model(), SIZES, threshold=0.5)
+
+
+def test_fig07_sample_size(benchmark):
+    curves = benchmark(compute)
+
+    grid = DEFAULT_SELECTIVITIES
+    rows = [
+        [f"{p:6.2%}"] + [f"{curves[n][i]:7.2f}" for n in SIZES]
+        for i, p in enumerate(grid)
+    ]
+    table = render_series(
+        "Figure 7: expected execution time vs selectivity by sample size (T=50%)",
+        ["selectivity"] + [f"n={n}" for n in SIZES],
+        rows,
+    )
+    write_result("fig07_samplesize.txt", table)
+
+    means = {n: curves[n].mean() for n in SIZES}
+    # n=50 has too little resolution: always the stable plan, flat curve.
+    assert np.ptp(curves[50]) < 0.5
+    # n=1000 clearly beats n=250 on average...
+    assert means[1000] < means[250]
+    # ...and going from 500 to 1000 helps far less than from 250 to 500.
+    gain_250_500 = means[250] - means[500]
+    gain_500_1000 = means[500] - means[1000]
+    assert gain_250_500 > gain_500_1000

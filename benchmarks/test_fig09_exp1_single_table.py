@@ -1,0 +1,77 @@
+"""Figure 9: Experiment 1 — the two-predicate lineitem query.
+
+Runs the full experiment grid (five thresholds + histogram baseline ×
+selectivity sweep × sample seeds) on the TPC-H-shaped data, printing
+the Figure 9(a) time-vs-selectivity series and the Figure 9(b)
+performance-vs-predictability points.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments import (
+    ExperimentRunner,
+    format_selectivity_table,
+    format_tradeoff_table,
+    selectivity_csv,
+    tradeoff_csv,
+)
+from repro.workloads import ShippingDatesTemplate
+
+# The paper sweeps to ≈4× its crossover selectivity (0.6 % vs 0.14 %);
+# our cost model's crossover sits near 0.3 %, so we sweep to 1.2 %.
+TARGETS = [0.0, 0.001, 0.002, 0.003, 0.004, 0.006, 0.008, 0.010, 0.012]
+
+
+@pytest.fixture(scope="module")
+def exp1(bench_tpch_db):
+    template = ShippingDatesTemplate()
+    params = template.params_for_targets(bench_tpch_db, TARGETS, step=2)
+    runner = ExperimentRunner(
+        bench_tpch_db, template, sample_size=500, seeds=range(5)
+    )
+    return runner, params
+
+
+def test_fig09_exp1_single_table(benchmark, exp1):
+    runner, params = exp1
+    result = benchmark.pedantic(
+        lambda: runner.run(params), rounds=1, iterations=1
+    )
+
+    table = (
+        format_selectivity_table(result)
+        + "\n\n"
+        + format_tradeoff_table(result)
+    )
+    write_result("fig09_exp1_single_table.txt", table)
+    write_result("fig09_exp1_single_table_curves.csv", selectivity_csv(result), echo=False)
+    write_result("fig09_exp1_single_table_tradeoff.csv", tradeoff_csv(result), echo=False)
+
+    # Figure 9(a): histograms always index-intersect → time grows with
+    # selectivity, beating everyone at ~0 and losing badly at the top.
+    assert set(result.plan_counts("Histograms")) == {
+        "HashAggregate>IndexIntersect"
+    }
+    high = max(result.selectivities)
+    assert result.mean_time("Histograms", high) > 1.5 * result.mean_time(
+        "T=95%", high
+    )
+    # Figure 9(b): std decreases with T; best mean at 80 % (then 50 %).
+    stds = [
+        result.tradeoff_point(f"T={t}%").std_time for t in (5, 20, 50, 80, 95)
+    ]
+    assert all(a >= b - 1e-9 for a, b in zip(stds, stds[1:]))
+    means = {
+        t: result.tradeoff_point(f"T={t}%").mean_time for t in (5, 20, 50, 80, 95)
+    }
+    # A moderate threshold wins the mean; both extremes lose. (Which of
+    # 20/50/80 wins depends on where the crossover falls relative to
+    # the discrete sample-count grid — see EXPERIMENTS.md.)
+    assert min(means, key=means.get) in (20, 50, 80)
+    assert means[80] < means[5]
+    assert means[80] < means[95]
+    # Histogram baseline dominated on both axes.
+    histograms = result.tradeoff_point("Histograms")
+    assert histograms.mean_time > means[80]
+    assert histograms.std_time > result.tradeoff_point("T=80%").std_time

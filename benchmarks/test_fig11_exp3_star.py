@@ -1,0 +1,80 @@
+"""Figure 11: Experiment 3 — the four-table star join.
+
+The handcrafted fact distribution lets the query parameter sweep the
+joining fraction from ~1.2 % down to 0 while every marginal statistic
+stays fixed; the histogram optimizer is pinned at its 0.1 % AVI
+estimate and always chooses the semijoin strategy.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments import (
+    ExperimentRunner,
+    format_selectivity_table,
+    format_tradeoff_table,
+    selectivity_csv,
+    tradeoff_csv,
+)
+from repro.workloads import StarJoinTemplate
+
+SHIFTS = (100, 95, 90, 80, 70, 50, 25, 0)
+
+
+@pytest.fixture(scope="module")
+def exp3(bench_star_db, bench_star_config):
+    template = StarJoinTemplate(bench_star_config.num_dim)
+    params = [
+        (shift, template.true_selectivity(bench_star_db, shift))
+        for shift in SHIFTS
+    ]
+    runner = ExperimentRunner(
+        bench_star_db, template, sample_size=500, seeds=range(3)
+    )
+    return runner, params
+
+
+def test_fig11_exp3_star_join(benchmark, exp3):
+    runner, params = exp3
+    result = benchmark.pedantic(
+        lambda: runner.run(params), rounds=1, iterations=1
+    )
+
+    table = (
+        format_selectivity_table(result)
+        + "\n\n"
+        + format_tradeoff_table(result)
+    )
+    write_result("fig11_exp3_star.txt", table)
+    write_result("fig11_exp3_star_curves.csv", selectivity_csv(result), echo=False)
+    write_result("fig11_exp3_star_tradeoff.csv", tradeoff_csv(result), echo=False)
+
+    # Histograms: pinned at 0.1 % → always the semijoin strategy.
+    assert all(
+        "StarSemiJoin" in plan for plan in result.plan_counts("Histograms")
+    )
+    # The robust estimator adapts: at least two plan shapes across the
+    # sweep (semijoin / hybrid at low q, hash cascade at high q).
+    assert len(result.plan_counts("T=50%")) >= 2
+    # At the highest joining fraction the pinned semijoin plan loses to
+    # every moderate-or-conservative robust configuration.
+    high = max(result.selectivities)
+    for threshold in (50, 80, 95):
+        assert result.mean_time("Histograms", high) > result.mean_time(
+            f"T={threshold}%", high
+        )
+    # Best average at a moderate threshold; both extremes lose
+    # (paper: "best average performance arising from thresholds of
+    # 50%–80%"; which moderate setting wins at reduced scale depends on
+    # the crossover's position on the sample-count grid).
+    means = {
+        t: result.tradeoff_point(f"T={t}%").mean_time for t in (5, 20, 50, 80, 95)
+    }
+    assert min(means, key=means.get) in (20, 50, 80)
+    assert means[80] < means[5]
+    assert means[80] <= means[95]  # 80 and 95 may coincide at this scale
+    assert means[50] < means[5]
+    # Histogram dominated on both axes.
+    histograms = result.tradeoff_point("Histograms")
+    assert histograms.mean_time > means[80]
+    assert histograms.std_time >= result.tradeoff_point("T=95%").std_time

@@ -1,0 +1,69 @@
+"""Figure 12: Experiment 4 — effect of sample size (T=50 %).
+
+Runs Experiment 1's scenario at sample sizes 50–2500: larger samples
+improve both mean and variability, with the 50-tuple sample showing the
+"self-adjusting" exception — its posterior is so wide the optimizer
+always plays safe.
+"""
+
+import pytest
+
+from benchmarks.conftest import render_series, write_result
+from repro.analysis import tradeoff_from_times
+from repro.experiments import ExperimentRunner, default_configs
+from repro.workloads import ShippingDatesTemplate
+
+SIZES = (50, 100, 250, 500, 1000, 2500)
+TARGETS = [0.0, 0.001, 0.002, 0.004, 0.006, 0.008]
+
+
+@pytest.fixture(scope="module")
+def exp4_inputs(bench_tpch_db):
+    template = ShippingDatesTemplate()
+    params = template.params_for_targets(bench_tpch_db, TARGETS, step=2)
+    configs = default_configs(thresholds=(0.5,), include_histogram=False)
+    return template, params, configs
+
+
+def run_all(bench_tpch_db, template, params, configs):
+    points = {}
+    plans = {}
+    for size in SIZES:
+        runner = ExperimentRunner(
+            bench_tpch_db, template, sample_size=size, seeds=range(4)
+        )
+        result = runner.run(params, configs)
+        times = [record.time for record in result.records]
+        points[size] = tradeoff_from_times(f"n={size}", times)
+        plans[size] = result.plan_counts("T=50%")
+    return points, plans
+
+
+def test_fig12_exp4_sample_size(benchmark, bench_tpch_db, exp4_inputs):
+    template, params, configs = exp4_inputs
+    points, plans = benchmark.pedantic(
+        lambda: run_all(bench_tpch_db, template, params, configs),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [f"n={size}", f"{points[size].mean_time:9.4f}", f"{points[size].std_time:9.4f}"]
+        for size in SIZES
+    ]
+    table = render_series(
+        "Figure 12: effect of sample size (T=50%)",
+        ["sample", "mean(s)", "std(s)"],
+        rows,
+    )
+    write_result("fig12_exp4_samplesize.txt", table)
+
+    # The 50-tuple exception: always the sequential scan, hence very
+    # consistent times (Section 6.2.4's self-adjusting behaviour).
+    assert set(plans[50]) == {"HashAggregate>SeqScan"}
+    assert points[50].std_time < points[500].std_time
+    # Larger samples use the risky plan when warranted...
+    assert "HashAggregate>IndexIntersect" in plans[2500]
+    # ...and improve the mean relative to mid-size samples.
+    assert points[2500].mean_time <= points[250].mean_time + 1e-9
+    assert points[2500].std_time <= points[250].std_time + 1e-9

@@ -1,0 +1,54 @@
+"""Latency percentiles over a mixed workload (the Section 2.1 story).
+
+The paper motivates robustness with applications whose users "develop
+expectations about responsiveness": what matters is the latency tail,
+not the mean. This bench runs a mixed query workload (Experiments 1
+and 2 templates, random parameters) under each configuration and
+reports p50/p95/p99/worst simulated latency.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments import (
+    MixComponent,
+    default_configs,
+    format_latency_profiles,
+    run_workload_mix,
+)
+from repro.workloads import PartCorrelationTemplate, ShippingDatesTemplate
+
+
+@pytest.fixture(scope="module")
+def components():
+    return [
+        MixComponent(ShippingDatesTemplate(), weight=2.0),
+        MixComponent(PartCorrelationTemplate(), weight=1.0),
+    ]
+
+
+def test_latency_percentiles(benchmark, bench_tpch_db, components):
+    profiles = benchmark.pedantic(
+        lambda: run_workload_mix(
+            bench_tpch_db,
+            components,
+            num_queries=80,
+            configs=default_configs(),
+            sample_size=500,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_latency_profiles(profiles)
+    write_result("latency_percentiles.txt", table)
+
+    # The tail story: conservative thresholds control p99/worst.
+    assert profiles["T=95%"].p99 <= profiles["T=5%"].p99 * 1.05
+    assert profiles["T=95%"].worst <= profiles["Histograms"].worst
+    # The mean story: moderate thresholds keep the average competitive.
+    best_mean = min(profile.mean for profile in profiles.values())
+    for threshold in (50, 80):
+        assert profiles[f"T={threshold}%"].mean <= best_mean * 1.6
+    # Histograms lose the tail badly on correlated workloads.
+    assert profiles["Histograms"].p99 >= profiles["T=80%"].p99

@@ -1,0 +1,94 @@
+"""Section 6.1: estimation overhead of the robust procedure.
+
+The paper measured optimization ~30–40 % slower with 500-tuple samples
+than with histograms, and predicted "an optimized implementation would
+have significantly less overhead". Our implementation includes the two
+optimizations the paper's prototype lacked — conjunct-mask memoization
+on the synopsis and direct incomplete-beta ppf evaluation — after
+which sample-based estimation is actually *cheaper* per optimization
+than our histogram path (vectorized numpy over 500 rows beats
+per-bucket Python arithmetic over 250 buckets × columns). The bench
+records the measured ratio either way and asserts only that the
+sample-based approach stays within a small constant factor of the
+baseline, which is the paper's practicality claim.
+"""
+
+import pytest
+
+from benchmarks.conftest import render_series, write_result
+from repro.core import HistogramCardinalityEstimator, RobustCardinalityEstimator
+from repro.expressions import col
+from repro.optimizer import Optimizer, SPJQuery
+from repro.stats import StatisticsManager
+
+
+@pytest.fixture(scope="module")
+def stats(bench_tpch_db):
+    manager = StatisticsManager(bench_tpch_db)
+    manager.update_statistics(sample_size=500, seed=0)
+    return manager
+
+
+def three_way_query():
+    return SPJQuery(
+        ["lineitem", "orders", "part"],
+        (col("part.p_c1").between(4000, 4399))
+        & (col("part.p_c2").between(4100, 4499))
+        & (col("orders.o_totalprice") > 100_000),
+    )
+
+
+@pytest.mark.benchmark(group="estimation-overhead")
+def test_optimize_with_robust_estimator(benchmark, bench_tpch_db, stats):
+    optimizer = Optimizer(
+        bench_tpch_db, RobustCardinalityEstimator(stats, policy=0.8)
+    )
+    planned = benchmark(lambda: optimizer.optimize(three_way_query()))
+    assert planned.estimated_cost > 0
+
+
+@pytest.mark.benchmark(group="estimation-overhead")
+def test_optimize_with_histogram_estimator(benchmark, bench_tpch_db, stats):
+    optimizer = Optimizer(
+        bench_tpch_db, HistogramCardinalityEstimator(stats)
+    )
+    planned = benchmark(lambda: optimizer.optimize(three_way_query()))
+    assert planned.estimated_cost > 0
+
+
+def test_overhead_ratio_reported(benchmark, bench_tpch_db, stats):
+    """One-shot wall-clock comparison, written to results/."""
+    import time
+
+    query = three_way_query()
+    timings = {}
+
+    def measure():
+        for name, estimator in (
+            ("robust-500", RobustCardinalityEstimator(stats, policy=0.8)),
+            ("histograms", HistogramCardinalityEstimator(stats)),
+        ):
+            optimizer = Optimizer(bench_tpch_db, estimator)
+            optimizer.optimize(query)  # warm-up
+            start = time.perf_counter()
+            repeats = 20
+            for _ in range(repeats):
+                optimizer.optimize(query)
+            timings[name] = (time.perf_counter() - start) / repeats
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    ratio = timings["robust-500"] / timings["histograms"]
+    rows = [
+        [name, f"{seconds * 1e3:8.2f} ms"] for name, seconds in timings.items()
+    ] + [["ratio robust/histogram", f"{ratio:8.2f}x"]]
+    table = render_series(
+        "Section 6.1: optimization time by estimator "
+        "(paper's unoptimized prototype: 1.3-1.4x)",
+        ["estimator", "time"],
+        rows,
+    )
+    write_result("overhead_estimation.txt", table)
+    # the paper's practicality claim: sample-based estimation within a
+    # small constant factor of the histogram baseline (ours is faster)
+    assert ratio < 5.0

@@ -1,0 +1,69 @@
+"""Experiment-3 walkthrough: the star join and the semijoin gamble.
+
+The fact table's foreign keys are handcrafted so every one-dimensional
+statistic is identical for all queries, yet the true fraction of
+joining fact rows varies from ~1.2 % to 0 with the query's dim2 window
+shift. The AVI-based optimizer always estimates 0.1 % and always bets
+on the RID-intersecting semijoin strategy; the robust estimator reads
+the truth off the fact table's join synopsis.
+
+Run with:  python examples/star_join_robustness.py
+"""
+
+from repro.core import HistogramCardinalityEstimator, RobustCardinalityEstimator
+from repro.cost import CostModel
+from repro.engine import ExecutionContext
+from repro.optimizer import Optimizer
+from repro.stats import StatisticsManager
+from repro.workloads import StarConfig, StarJoinTemplate, build_star_database
+
+
+def shape_of(plan) -> str:
+    [child] = plan.children()
+    label = type(child).__name__
+    if label == "StarSemiJoin":
+        semi = len(child.semi_dims)
+        hybrid = len(child.hash_dims)
+        return f"SemiJoin({semi} semi, {hybrid} hash)"
+    return "HashCascade"
+
+
+def main():
+    config = StarConfig(num_fact=80_000, seed=5)
+    print(f"generating star schema ({config.num_fact} fact rows, 3 dims)...")
+    database = build_star_database(config)
+    statistics = StatisticsManager(database)
+    statistics.update_statistics(sample_size=500, seed=1)
+
+    template = StarJoinTemplate(config.num_dim)
+    cost_model = CostModel()
+    estimators = {
+        "robust T=80%": RobustCardinalityEstimator(statistics, policy=0.8),
+        "histogram/AVI": HistogramCardinalityEstimator(statistics),
+    }
+
+    print(f"\n{'shift':>6} {'join frac':>10} | " + " | ".join(
+        f"{name:^34}" for name in estimators
+    ))
+    for shift in (100, 90, 75, 50, 0):
+        query = template.instantiate(shift)
+        fraction = template.true_selectivity(database, shift)
+        cells = []
+        for estimator in estimators.values():
+            optimizer = Optimizer(database, estimator, cost_model)
+            planned = optimizer.optimize(query)
+            ctx = ExecutionContext(database)
+            planned.plan.execute(ctx)
+            simulated = cost_model.time_from_counters(ctx.counters)
+            cells.append(f"{shape_of(planned.plan):>24} {simulated:7.3f}s")
+        print(f"{shift:>6} {fraction:>10.4%} | " + " | ".join(cells))
+
+    print(
+        "\nAt low joining fractions the semijoin strategy is unbeatable; at"
+        "\nhigh fractions its per-row random I/O explodes. Only the robust"
+        "\nestimator notices which regime the query is actually in."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Experiment-1 walkthrough: correlated dates defeat histograms.
+
+Recreates the paper's single-table scenario on TPC-H-shaped data: the
+query's two date predicates are correlated (receipt follows shipment),
+the shift parameter varies their overlap, and the one-dimensional
+histograms can't tell the difference — so the AVI-based optimizer
+always picks the index-intersection plan while the robust estimator
+adapts.
+
+Run with:  python examples/tpch_correlated_dates.py
+"""
+
+from repro.core import HistogramCardinalityEstimator, RobustCardinalityEstimator
+from repro.cost import CostModel
+from repro.engine import ExecutionContext
+from repro.optimizer import Optimizer
+from repro.stats import StatisticsManager
+from repro.workloads import ShippingDatesTemplate, TpchConfig, build_tpch_database
+
+
+def main():
+    print("generating TPC-H-shaped data (40k lineitem rows)...")
+    database = build_tpch_database(TpchConfig(num_lineitem=40_000, seed=11))
+    statistics = StatisticsManager(database)
+    statistics.update_statistics(sample_size=500, seed=3)
+
+    template = ShippingDatesTemplate()
+    cost_model = CostModel()
+
+    estimators = {
+        "robust T=80%": RobustCardinalityEstimator(statistics, policy=0.8),
+        "histogram/AVI": HistogramCardinalityEstimator(statistics),
+    }
+
+    print(f"\n{'shift':>6} {'true sel':>9} | ", end="")
+    print(" | ".join(f"{name:^42}" for name in estimators))
+    for shift in (270, 240, 220, 205, 195, 185):
+        query = template.instantiate(shift)
+        true_selectivity = template.true_selectivity(database, shift)
+        cells = []
+        for name, estimator in estimators.items():
+            optimizer = Optimizer(database, estimator, cost_model)
+            planned = optimizer.optimize(query)
+            ctx = ExecutionContext(database)
+            planned.plan.execute(ctx)
+            simulated = cost_model.time_from_counters(ctx.counters)
+            scan = planned.plan.children()[0]  # below the aggregate
+            cells.append(
+                f"{type(scan).__name__:>17} {simulated:8.4f}s est={scan.est_rows:7.1f}"
+            )
+        print(f"{shift:>6} {true_selectivity:>9.4%} | " + " | ".join(cells))
+
+    print(
+        "\nThe histogram estimate never moves (marginals are fixed), so its"
+        "\nplan never adapts; the robust estimator reads the correlation off"
+        "\nthe join synopsis and switches to the sequential scan in time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim so editable installs work without the ``wheel`` package.
+
+The execution environment has no network and no ``wheel`` module, so
+``pip install -e . --no-build-isolation --no-use-pep517`` (which routes
+through ``setup.py develop``) is the supported install path. Metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""repro: a robust query optimizer via Bayesian cardinality estimation.
+
+Reproduction of Babcock & Chaudhuri, "Towards a Robust Query Optimizer:
+A Principled and Practical Approach" (SIGMOD 2005).
+
+Quick tour
+----------
+- :mod:`repro.catalog` — columnar tables, foreign keys, indexes
+- :mod:`repro.expressions` — predicate trees evaluated over frames
+- :mod:`repro.engine` — physical operators with work-counter accounting
+- :mod:`repro.cost` — counters → simulated seconds; plan cost formulas
+- :mod:`repro.stats` — samples, join synopses, histograms
+- :mod:`repro.core` — the robust Bayesian estimator (the contribution)
+- :mod:`repro.optimizer` — System-R DP optimizer, estimator-pluggable
+- :mod:`repro.analysis` — the paper's Section 5 analytical model
+- :mod:`repro.workloads` — TPC-H-shaped and star-schema generators
+- :mod:`repro.experiments` — the Section 6 experiment harness
+
+See ``examples/quickstart.py`` for an end-to-end walkthrough.
+"""
+
+from repro.catalog import (
+    Column,
+    ColumnType,
+    Database,
+    ForeignKey,
+    Schema,
+    Table,
+    date_ordinal,
+    ordinal_date,
+)
+from repro.core import (
+    AGGRESSIVE,
+    CONSERVATIVE,
+    CardinalityEstimate,
+    ConfidencePolicy,
+    ExactCardinalityEstimator,
+    HistogramCardinalityEstimator,
+    JEFFREYS,
+    MODERATE,
+    Prior,
+    RobustCardinalityEstimator,
+    SelectivityPosterior,
+    UNIFORM,
+)
+from repro.cost import CostModel
+from repro.expressions import col, lit
+from repro.optimizer import (
+    LeastExpectedCostOptimizer,
+    Optimizer,
+    PlannedQuery,
+    SPJQuery,
+)
+from repro.sql import parse_predicate, parse_query, query_to_sql
+from repro.stats import StatisticsManager, load_statistics, save_statistics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AGGRESSIVE",
+    "CONSERVATIVE",
+    "CardinalityEstimate",
+    "Column",
+    "ColumnType",
+    "ConfidencePolicy",
+    "CostModel",
+    "Database",
+    "ExactCardinalityEstimator",
+    "ForeignKey",
+    "HistogramCardinalityEstimator",
+    "JEFFREYS",
+    "MODERATE",
+    "Prior",
+    "RobustCardinalityEstimator",
+    "Schema",
+    "SelectivityPosterior",
+    "StatisticsManager",
+    "Table",
+    "UNIFORM",
+    "LeastExpectedCostOptimizer",
+    "Optimizer",
+    "PlannedQuery",
+    "SPJQuery",
+    "__version__",
+    "col",
+    "date_ordinal",
+    "lit",
+    "load_statistics",
+    "ordinal_date",
+    "parse_predicate",
+    "parse_query",
+    "query_to_sql",
+    "save_statistics",
+]

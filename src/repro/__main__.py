@@ -1,0 +1,15 @@
+"""``python -m repro`` entry point."""
+
+import os
+import sys
+
+from repro.cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Downstream closed the pipe (e.g. `repro analyze | head`); exit
+    # quietly the way well-behaved Unix tools do.
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, sys.stdout.fileno())
+    sys.exit(0)

@@ -1,0 +1,66 @@
+"""The paper's Section 5 analytical model.
+
+A two-plan world with linear cost functions, exact binomial sampling
+distributions, and Beta-posterior threshold inversion — everything
+needed to regenerate Figures 1 through 8 in closed form (no query
+execution involved).
+"""
+
+from repro.analysis.model import (
+    LinearCostPlan,
+    PlanCostModel,
+    figure2_plans,
+    high_crossover_model,
+    paper_default_model,
+)
+from repro.analysis.choice import (
+    EstimationModel,
+    expected_time_and_variance,
+    plan_choice_probabilities,
+    selectivity_estimates,
+)
+from repro.analysis.costdist import (
+    cost_cdf,
+    cost_pdf,
+    cost_percentile,
+    preference_flip_threshold,
+)
+from repro.analysis.lec_analysis import (
+    lec_equivalent_threshold,
+    lec_plan_choice,
+    mean_variance_plan_choice,
+    threshold_plan_choice,
+)
+from repro.analysis.sweeps import sample_size_sweep, threshold_sweep
+from repro.analysis.tradeoff import (
+    TradeoffPoint,
+    sample_size_tradeoff_curve,
+    tradeoff_curve,
+    tradeoff_from_times,
+)
+
+__all__ = [
+    "EstimationModel",
+    "LinearCostPlan",
+    "PlanCostModel",
+    "TradeoffPoint",
+    "cost_cdf",
+    "cost_pdf",
+    "cost_percentile",
+    "expected_time_and_variance",
+    "figure2_plans",
+    "high_crossover_model",
+    "lec_equivalent_threshold",
+    "lec_plan_choice",
+    "mean_variance_plan_choice",
+    "paper_default_model",
+    "threshold_plan_choice",
+    "plan_choice_probabilities",
+    "preference_flip_threshold",
+    "sample_size_sweep",
+    "sample_size_tradeoff_curve",
+    "selectivity_estimates",
+    "threshold_sweep",
+    "tradeoff_curve",
+    "tradeoff_from_times",
+]

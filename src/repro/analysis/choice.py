@@ -1,0 +1,103 @@
+"""Plan-choice distributions under sampling (paper Section 5.1).
+
+With true selectivity ``p`` and a sample of ``n`` tuples, the number of
+satisfying tuples ``k`` is Binomial(n, p). Each ``k`` maps through the
+Beta-posterior ppf to a selectivity estimate and hence to a plan
+choice, so the plan actually executed — and therefore the execution
+time — is a deterministic function of the random ``k``. Everything
+below computes exact expectations over that randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.analysis.model import PlanCostModel
+from repro.core.prior import JEFFREYS, Prior
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class EstimationModel:
+    """The estimation side: sample size, threshold, and prior."""
+
+    sample_size: int
+    threshold: float
+    prior: Prior = JEFFREYS
+
+    def __post_init__(self) -> None:
+        if self.sample_size <= 0:
+            raise ReproError("sample_size must be positive")
+        if not 0 < self.threshold < 1:
+            raise ReproError("threshold must lie strictly in (0, 1)")
+
+
+def selectivity_estimates(estimation: EstimationModel) -> np.ndarray:
+    """The selectivity estimate for every possible ``k`` in ``0..n``.
+
+    ``estimates[k] = BetaPPF(T; k + a, n − k + b)`` — the paper's
+    cdf-inversion applied to each achievable sample outcome.
+    """
+    n = estimation.sample_size
+    ks = np.arange(n + 1)
+    return scipy_stats.beta.ppf(
+        estimation.threshold,
+        ks + estimation.prior.alpha,
+        n - ks + estimation.prior.beta,
+    )
+
+
+def plan_for_each_k(
+    cost_model: PlanCostModel, estimation: EstimationModel
+) -> np.ndarray:
+    """Index of the plan chosen for every sample outcome ``k``."""
+    estimates = selectivity_estimates(estimation)
+    return cost_model.best_plan(estimates)
+
+
+def plan_choice_probabilities(
+    cost_model: PlanCostModel,
+    estimation: EstimationModel,
+    selectivity: float,
+) -> np.ndarray:
+    """Probability that each plan is chosen at true ``selectivity``."""
+    n = estimation.sample_size
+    ks = np.arange(n + 1)
+    pmf = scipy_stats.binom.pmf(ks, n, selectivity)
+    chosen = plan_for_each_k(cost_model, estimation)
+    probabilities = np.zeros(len(cost_model.plans))
+    for plan_index in range(len(cost_model.plans)):
+        probabilities[plan_index] = pmf[chosen == plan_index].sum()
+    return probabilities
+
+
+def expected_time_and_variance(
+    cost_model: PlanCostModel,
+    estimation: EstimationModel,
+    selectivities: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """E[time] and Var[time] at each true selectivity (vectorized).
+
+    The execution time given outcome ``k`` is the chosen plan's cost at
+    the *true* selectivity; expectation and variance are over the
+    binomial distribution of ``k``.
+    """
+    selectivities = np.atleast_1d(np.asarray(selectivities, dtype=float))
+    n = estimation.sample_size
+    ks = np.arange(n + 1)
+    chosen = plan_for_each_k(cost_model, estimation)
+
+    # costs[plan, p] — each plan's cost at each true selectivity.
+    costs = cost_model.costs(selectivities)
+    # time_by_k[k, p] — the executed time for each sample outcome.
+    time_by_k = costs[chosen, :]
+
+    # pmf[k, p] — binomial weights.
+    pmf = scipy_stats.binom.pmf(ks[:, None], n, selectivities[None, :])
+    expected = (pmf * time_by_k).sum(axis=0)
+    second_moment = (pmf * time_by_k**2).sum(axis=0)
+    variance = np.maximum(0.0, second_moment - expected**2)
+    return expected, variance

@@ -1,0 +1,91 @@
+"""Analytical comparison: least expected cost vs. confidence thresholds.
+
+A small but clarifying result for the Section 5 model. When every
+plan's cost is *linear* in the selectivity, ``E[cost_i(p)] = f_i +
+v_i·N·E[p]`` — so the least-expected-cost choice is exactly the
+least-cost plan at the posterior *mean*. Under the paper's framework
+that corresponds to using the (data-dependent) confidence threshold
+
+    T_eq(k, n) = posterior.cdf(posterior.mean),
+
+which for a Beta posterior is slightly above 50 % for small k (the
+posterior is right-skewed) and approaches 50 % as k grows. In other
+words: for linear cost models, LEC is a mild, fixed point in the
+paper's threshold spectrum — it cannot express the conservative
+(T = 95 %) behaviour at all, which is the paper's argument for making
+the trade explicit. With *non-linear* costs the equivalence breaks and
+LEC must be computed by quadrature, which :func:`lec_plan_choice`
+supports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.model import PlanCostModel
+from repro.core.posterior import SelectivityPosterior
+
+
+def lec_equivalent_threshold(posterior: SelectivityPosterior) -> float:
+    """The confidence threshold that mimics LEC under linear costs.
+
+    ``cdf(E[p])`` — the percentile at which the posterior mean sits.
+    """
+    return float(posterior.cdf(posterior.mean))
+
+
+def lec_plan_choice(
+    cost_model: PlanCostModel,
+    posterior: SelectivityPosterior,
+    cost_transform: Callable[[np.ndarray], np.ndarray] | None = None,
+    grid_size: int = 2001,
+) -> int:
+    """The plan index minimizing expected (transformed) cost.
+
+    ``cost_transform`` maps raw cost to disutility (identity = plain
+    LEC; a convex transform models risk aversion à la Chu et al.).
+    Expectation uses quantile integration — ``E[g(p)] = ∫₀¹ g(ppf(u)) du``
+    over midpoint quantiles — which is robust to the Beta posterior's
+    density spikes at the interval ends.
+    """
+    selectivities = _quantile_grid(posterior, grid_size)
+    costs = cost_model.costs(selectivities)  # (plans, grid)
+    if cost_transform is not None:
+        costs = cost_transform(costs)
+    expected = costs.mean(axis=1)
+    return int(np.argmin(expected))
+
+
+def _quantile_grid(posterior: SelectivityPosterior, grid_size: int) -> np.ndarray:
+    quantiles = (np.arange(grid_size) + 0.5) / grid_size
+    return np.asarray(posterior.ppf(quantiles))
+
+
+def threshold_plan_choice(
+    cost_model: PlanCostModel,
+    posterior: SelectivityPosterior,
+    threshold: float,
+) -> int:
+    """The plan the paper's procedure picks at ``threshold``."""
+    estimate = posterior.ppf(threshold)
+    return int(cost_model.best_plan(estimate))
+
+
+def mean_variance_plan_choice(
+    cost_model: PlanCostModel,
+    posterior: SelectivityPosterior,
+    risk_weight: float,
+    grid_size: int = 2001,
+) -> int:
+    """Chu et al.'s mean-variance utility: ``E[cost] + λ·Var[cost]``.
+
+    ``risk_weight = 0`` reduces to plain LEC; larger values penalize
+    cost variance, approaching the paper's conservative thresholds.
+    """
+    selectivities = _quantile_grid(posterior, grid_size)
+    costs = cost_model.costs(selectivities)
+    expected = costs.mean(axis=1)
+    variance = np.maximum(0.0, (costs**2).mean(axis=1) - expected**2)
+    return int(np.argmin(expected + risk_weight * variance))

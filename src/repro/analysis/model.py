@@ -1,0 +1,142 @@
+"""Linear plan-cost models (paper Section 5.1).
+
+Execution time of plan ``P_i`` is ``v_i · x + f_i`` where ``x = p·N``
+is the number of qualifying tuples, ``v_i`` the incremental per-tuple
+cost, and ``f_i`` the fixed overhead. The paper's constants make the
+plans "roughly resemble a sequential scan plan and an index
+intersection plan": ``N = 6,000,000``, ``f1 = 35``, ``v1 = 3.5e-6``,
+``f2 = 5``, ``v2 = 3.5e-3``, giving a crossover at ``p_c ≈ 0.14 %``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class LinearCostPlan:
+    """One query plan with cost linear in the number of selected rows."""
+
+    name: str
+    fixed: float
+    per_row: float
+
+    def cost(self, selectivity, n_rows: float):
+        """Execution time at ``selectivity`` (scalar or array)."""
+        return self.fixed + self.per_row * np.asarray(selectivity) * n_rows
+
+    def inverse(self, cost: float, n_rows: float) -> float:
+        """The selectivity at which this plan costs ``cost``."""
+        if self.per_row == 0:
+            raise ReproError(f"plan {self.name!r} has constant cost; not invertible")
+        return (cost - self.fixed) / (self.per_row * n_rows)
+
+
+@dataclass(frozen=True)
+class PlanCostModel:
+    """A table size plus the alternative plans the optimizer weighs."""
+
+    n_rows: float
+    plans: tuple[LinearCostPlan, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.plans) < 2:
+            raise ReproError("a plan-cost model needs at least two plans")
+
+    def cost(self, plan_index: int, selectivity):
+        """Cost of plan ``plan_index`` at ``selectivity``."""
+        return self.plans[plan_index].cost(selectivity, self.n_rows)
+
+    def costs(self, selectivity) -> np.ndarray:
+        """Cost of every plan at ``selectivity``; shape (plans, ...)."""
+        return np.stack(
+            [plan.cost(selectivity, self.n_rows) for plan in self.plans]
+        )
+
+    def best_plan(self, selectivity):
+        """Index of the cheapest plan at ``selectivity`` (vectorized)."""
+        return np.argmin(self.costs(selectivity), axis=0)
+
+    def optimal_cost(self, selectivity):
+        """Cost achieved with perfect knowledge of the selectivity."""
+        return np.min(self.costs(selectivity), axis=0)
+
+    def crossover_points(self) -> list[float]:
+        """Selectivities in (0, 1) where the optimal plan changes."""
+        points = []
+        for i in range(len(self.plans)):
+            for j in range(i + 1, len(self.plans)):
+                a, b = self.plans[i], self.plans[j]
+                denominator = (a.per_row - b.per_row) * self.n_rows
+                if denominator == 0:
+                    continue
+                p = (b.fixed - a.fixed) / denominator
+                if 0 < p < 1 and self._is_active_crossover(p):
+                    points.append(p)
+        return sorted(set(points))
+
+    def _is_active_crossover(self, p: float, epsilon: float = 1e-12) -> bool:
+        """True when the argmin actually changes across ``p``."""
+        below = self.best_plan(max(p * (1 - 1e-6), epsilon))
+        above = self.best_plan(min(p * (1 + 1e-6), 1 - epsilon))
+        return bool(below != above)
+
+
+def paper_default_model() -> PlanCostModel:
+    """The Section 5.1 model: crossover at ``p_c ≈ 0.14 %``."""
+    return PlanCostModel(
+        n_rows=6_000_000,
+        plans=(
+            LinearCostPlan("P1:seq-scan", fixed=35.0, per_row=3.5e-6),
+            LinearCostPlan("P2:index-intersect", fixed=5.0, per_row=3.5e-3),
+        ),
+    )
+
+
+def high_crossover_model(crossover: float = 0.052) -> PlanCostModel:
+    """The Section 5.2.3 perturbation: crossover at ``≈ 5.2 %``.
+
+    Keeps plan P1 and re-slopes P2 so the crossover lands at
+    ``crossover``: ``v2 = (f1 − f2) / (p_c · N) + v1``.
+    """
+    if not 0 < crossover < 1:
+        raise ReproError(f"crossover must be in (0, 1), got {crossover}")
+    n_rows = 6_000_000.0
+    f1, v1, f2 = 35.0, 3.5e-6, 5.0
+    v2 = (f1 - f2) / (crossover * n_rows) + v1
+    return PlanCostModel(
+        n_rows=n_rows,
+        plans=(
+            LinearCostPlan("P1:seq-scan", fixed=f1, per_row=v1),
+            LinearCostPlan("P2:index-intersect", fixed=f2, per_row=v2),
+        ),
+    )
+
+
+def figure2_plans() -> PlanCostModel:
+    """The implicit cost functions behind the paper's Figures 1–3.
+
+    The paper never states them, but its worked numbers pin them down:
+    with the Figure 2 posterior (50 of 200 sample tuples satisfying,
+    Jeffreys prior → Beta(50.5, 150.5)) the text reports percentile
+    costs 30.2 / 31.5 at T = 50 % and 33.5 / 31.9 at T = 80 %. Solving
+    the two linear systems gives
+
+        cost1(s) ≈ −2.46 + 130.4·s      (risky Plan 1)
+        cost2(s) ≈ 27.54 +  15.8·s      (stable Plan 2)
+
+    whose crossover is s ≈ 26.2 % — exactly the Figure 1 annotation —
+    and whose percentile preference flips near T ≈ 65 % as Figure 3
+    states.
+    """
+    return PlanCostModel(
+        n_rows=1.0,
+        plans=(
+            LinearCostPlan("Plan 1", fixed=-2.46, per_row=130.4),
+            LinearCostPlan("Plan 2", fixed=27.54, per_row=15.8),
+        ),
+    )

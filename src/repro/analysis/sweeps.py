@@ -1,0 +1,64 @@
+"""Parameter sweeps regenerating Figures 5, 7, and 8.
+
+Each sweep returns a mapping from the swept parameter to the expected
+execution-time curve over a selectivity grid, exactly as the paper
+plots them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.choice import EstimationModel, expected_time_and_variance
+from repro.analysis.model import PlanCostModel
+from repro.core.prior import JEFFREYS, Prior
+
+#: The paper's Figure 5/7 selectivity grid: 0 % to 1 % in 0.05 % steps.
+DEFAULT_SELECTIVITIES = np.arange(0.0, 0.0100001, 0.0005)
+
+#: The confidence thresholds used throughout the paper's experiments.
+PAPER_THRESHOLDS = (0.05, 0.20, 0.50, 0.80, 0.95)
+
+
+def threshold_sweep(
+    cost_model: PlanCostModel,
+    sample_size: int = 1000,
+    thresholds: Sequence[float] = PAPER_THRESHOLDS,
+    selectivities: np.ndarray | None = None,
+    prior: Prior = JEFFREYS,
+) -> dict[float, np.ndarray]:
+    """E[execution time] per threshold over a selectivity grid (Fig. 5).
+
+    Figure 8 is the same sweep with ``high_crossover_model()`` and a
+    wider selectivity grid.
+    """
+    grid = (
+        DEFAULT_SELECTIVITIES if selectivities is None else np.asarray(selectivities)
+    )
+    curves: dict[float, np.ndarray] = {}
+    for threshold in thresholds:
+        estimation = EstimationModel(sample_size, threshold, prior)
+        expected, _ = expected_time_and_variance(cost_model, estimation, grid)
+        curves[threshold] = expected
+    return curves
+
+
+def sample_size_sweep(
+    cost_model: PlanCostModel,
+    sample_sizes: Sequence[int] = (50, 100, 250, 500, 1000),
+    threshold: float = 0.50,
+    selectivities: np.ndarray | None = None,
+    prior: Prior = JEFFREYS,
+) -> dict[int, np.ndarray]:
+    """E[execution time] per sample size at a fixed threshold (Fig. 7)."""
+    grid = (
+        DEFAULT_SELECTIVITIES if selectivities is None else np.asarray(selectivities)
+    )
+    curves: dict[int, np.ndarray] = {}
+    for size in sample_sizes:
+        estimation = EstimationModel(size, threshold, prior)
+        expected, _ = expected_time_and_variance(cost_model, estimation, grid)
+        curves[size] = expected
+    return curves

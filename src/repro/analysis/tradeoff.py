@@ -1,0 +1,109 @@
+"""The performance/predictability tradeoff summary (Figures 6, 9b–12).
+
+The paper condenses each configuration (a confidence threshold, or a
+sample size) into a single point: the average execution time across a
+set of queries of varying selectivities, against the standard deviation
+of execution time across those queries — "under the assumption that
+any of the selectivities ... is equally likely to occur" (Section
+5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.choice import EstimationModel, expected_time_and_variance
+from repro.analysis.model import PlanCostModel
+from repro.core.prior import JEFFREYS, Prior
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One configuration's position in the tradeoff space."""
+
+    label: str
+    mean_time: float
+    std_time: float
+
+
+def tradeoff_curve(
+    cost_model: PlanCostModel,
+    sample_size: int = 1000,
+    thresholds: Sequence[float] = (0.05, 0.20, 0.50, 0.80, 0.95),
+    selectivities: np.ndarray | None = None,
+    prior: Prior = JEFFREYS,
+) -> list[TradeoffPoint]:
+    """Analytical tradeoff points, one per threshold (Figure 6).
+
+    Total variance decomposes over the uniformly-weighted selectivity
+    mixture: ``Var = E_p[Var(time|p)] + Var_p(E[time|p])``.
+    """
+    grid = (
+        np.arange(0.0, 0.0100001, 0.0005)
+        if selectivities is None
+        else np.asarray(selectivities)
+    )
+    points = []
+    for threshold in thresholds:
+        estimation = EstimationModel(sample_size, threshold, prior)
+        expected, variance = expected_time_and_variance(cost_model, estimation, grid)
+        mean_time = float(expected.mean())
+        total_variance = float(variance.mean() + expected.var())
+        points.append(
+            TradeoffPoint(
+                label=f"T={threshold:.0%}",
+                mean_time=mean_time,
+                std_time=float(np.sqrt(total_variance)),
+            )
+        )
+    return points
+
+
+def sample_size_tradeoff_curve(
+    cost_model: PlanCostModel,
+    sample_sizes: Sequence[int] = (50, 100, 250, 500, 1000, 2500),
+    threshold: float = 0.50,
+    selectivities: np.ndarray | None = None,
+    prior: Prior = JEFFREYS,
+) -> list[TradeoffPoint]:
+    """Analytical counterpart of Figure 12: one point per sample size.
+
+    Same mixture summary as :func:`tradeoff_curve`, but sweeping the
+    sample size at a fixed threshold.
+    """
+    grid = (
+        np.arange(0.0, 0.0100001, 0.0005)
+        if selectivities is None
+        else np.asarray(selectivities)
+    )
+    points = []
+    for size in sample_sizes:
+        estimation = EstimationModel(size, threshold, prior)
+        expected, variance = expected_time_and_variance(cost_model, estimation, grid)
+        total_variance = float(variance.mean() + expected.var())
+        points.append(
+            TradeoffPoint(
+                label=f"n={size}",
+                mean_time=float(expected.mean()),
+                std_time=float(np.sqrt(total_variance)),
+            )
+        )
+    return points
+
+
+def tradeoff_from_times(label: str, times: Sequence[float]) -> TradeoffPoint:
+    """Summarize measured execution times into a tradeoff point.
+
+    Used by the experiment harness for Figures 9(b), 10(b), 11(b), and
+    12: ``times`` holds one simulated execution time per (query
+    selectivity, sample seed) pair.
+    """
+    array = np.asarray(list(times), dtype=float)
+    return TradeoffPoint(
+        label=label,
+        mean_time=float(array.mean()),
+        std_time=float(array.std()),
+    )

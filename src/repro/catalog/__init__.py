@@ -1,0 +1,24 @@
+"""Catalog: schemas, columnar tables, and the database container.
+
+The catalog is the storage substrate of the reproduction. Tables are
+columnar (one numpy array per column), carry a declared schema with
+primary/foreign keys, and live inside a :class:`Database` that validates
+the foreign-key graph is acyclic — a precondition the paper assumes for
+join synopses (Section 3.2).
+"""
+
+from repro.catalog.types import ColumnType, date_ordinal, ordinal_date
+from repro.catalog.schema import Column, ForeignKey, Schema
+from repro.catalog.table import Table
+from repro.catalog.database import Database
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Database",
+    "ForeignKey",
+    "Schema",
+    "Table",
+    "date_ordinal",
+    "ordinal_date",
+]

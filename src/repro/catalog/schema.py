@@ -1,0 +1,122 @@
+"""Schema metadata: columns, primary keys, and foreign keys."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.catalog.types import ColumnType
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    column_type: ColumnType
+
+    def __post_init__(self) -> None:
+        if not self.name or "." in self.name:
+            raise CatalogError(f"invalid column name: {self.name!r}")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key constraint: ``column`` references ``parent_table``'s key.
+
+    The paper's join synopses (Section 3.2) follow these edges from a
+    root relation outward; the database validates that the resulting
+    graph is acyclic.
+    """
+
+    column: str
+    parent_table: str
+    parent_column: str
+
+    def __str__(self) -> str:
+        return f"{self.column} -> {self.parent_table}.{self.parent_column}"
+
+
+class Schema:
+    """Ordered collection of columns plus key constraints.
+
+    Parameters
+    ----------
+    columns:
+        Column definitions, in storage order.
+    primary_key:
+        Name of the primary-key column (optional; required for tables
+        that are targets of foreign keys).
+    foreign_keys:
+        Foreign-key constraints from this table to parent tables.
+    """
+
+    def __init__(
+        self,
+        columns: list[Column],
+        primary_key: str | None = None,
+        foreign_keys: list[ForeignKey] | None = None,
+    ) -> None:
+        if not columns:
+            raise CatalogError("a schema requires at least one column")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in schema: {names}")
+        self._columns: dict[str, Column] = {c.name: c for c in columns}
+        self._order: list[str] = names
+
+        if primary_key is not None and primary_key not in self._columns:
+            raise CatalogError(f"primary key {primary_key!r} is not a column")
+        self.primary_key = primary_key
+
+        self.foreign_keys: list[ForeignKey] = list(foreign_keys or [])
+        for fk in self.foreign_keys:
+            if fk.column not in self._columns:
+                raise CatalogError(f"foreign-key column {fk.column!r} is not a column")
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in storage order."""
+        return list(self._order)
+
+    @property
+    def columns(self) -> list[Column]:
+        """Column definitions in storage order."""
+        return [self._columns[name] for name in self._order]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def column(self, name: str) -> Column:
+        """Return the column definition for ``name``."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise CatalogError(f"no such column: {name!r}") from None
+
+    def column_type(self, name: str) -> ColumnType:
+        """Return the declared type of column ``name``."""
+        return self.column(name).column_type
+
+    def foreign_key_for(self, column: str) -> ForeignKey | None:
+        """Return the foreign key declared on ``column``, if any."""
+        for fk in self.foreign_keys:
+            if fk.column == column:
+                return fk
+        return None
+
+    @property
+    def row_byte_width(self) -> int:
+        """Approximate bytes per row, used to derive rows-per-page."""
+        return sum(column.column_type.byte_width for column in self.columns)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{c.name}:{c.column_type.value}" for c in self.columns)
+        return f"Schema({parts})"

@@ -1,0 +1,136 @@
+"""Column types and value coercion.
+
+Four logical types cover everything the paper's workloads need:
+
+- ``INT64`` — integers (keys, counts, flags)
+- ``FLOAT64`` — prices and measures
+- ``STRING`` — brands, containers, comments (numpy unicode arrays)
+- ``DATE`` — calendar dates, stored as proleptic-Gregorian ordinals
+  (``datetime.date.toordinal``) in an int64 array so range predicates
+  are plain integer comparisons
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from typing import Any
+
+import numpy as np
+
+from repro.errors import TypeMismatchError
+
+
+class ColumnType(enum.Enum):
+    """Logical type of a table column."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+    DATE = "date"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used to store columns of this type."""
+        if self in (ColumnType.INT64, ColumnType.DATE):
+            return np.dtype(np.int64)
+        if self is ColumnType.FLOAT64:
+            return np.dtype(np.float64)
+        return np.dtype(np.str_)
+
+    @property
+    def byte_width(self) -> int:
+        """Approximate storage width in bytes, used by the cost model."""
+        if self is ColumnType.STRING:
+            return 16
+        return 8
+
+
+def date_ordinal(value: str | datetime.date) -> int:
+    """Convert an ISO date string or :class:`datetime.date` to an ordinal.
+
+    >>> date_ordinal("1997-07-01") == datetime.date(1997, 7, 1).toordinal()
+    True
+    """
+    if isinstance(value, datetime.date):
+        return value.toordinal()
+    try:
+        return datetime.date.fromisoformat(value).toordinal()
+    except (TypeError, ValueError) as exc:
+        raise TypeMismatchError(f"not a valid ISO date: {value!r}") from exc
+
+
+def ordinal_date(ordinal: int) -> datetime.date:
+    """Inverse of :func:`date_ordinal`."""
+    return datetime.date.fromordinal(int(ordinal))
+
+
+def coerce_array(values: Any, column_type: ColumnType) -> np.ndarray:
+    """Coerce ``values`` to a numpy array of ``column_type``'s dtype.
+
+    Accepts lists, numpy arrays, and (for DATE columns) ISO date strings
+    or :class:`datetime.date` objects, which are converted to ordinals.
+
+    Raises :class:`TypeMismatchError` when values cannot be represented
+    losslessly (e.g. floats into an INT64 column).
+    """
+    if column_type is ColumnType.DATE:
+        array = np.asarray(values)
+        if array.dtype.kind in ("U", "O"):
+            converted = [date_ordinal(v) for v in array.tolist()]
+            return np.asarray(converted, dtype=np.int64)
+        if array.dtype.kind not in ("i", "u"):
+            raise TypeMismatchError(
+                f"DATE column expects ordinals or ISO strings, got dtype {array.dtype}"
+            )
+        return array.astype(np.int64, copy=False)
+
+    if column_type is ColumnType.STRING:
+        array = np.asarray(values)
+        if array.dtype.kind not in ("U", "O"):
+            raise TypeMismatchError(
+                f"STRING column expects strings, got dtype {array.dtype}"
+            )
+        return array.astype(np.str_, copy=False)
+
+    array = np.asarray(values)
+    if column_type is ColumnType.INT64:
+        if array.dtype.kind == "f":
+            if not np.all(array == np.floor(array)):
+                raise TypeMismatchError("cannot store non-integral floats in INT64")
+            return array.astype(np.int64)
+        if array.dtype.kind not in ("i", "u", "b"):
+            raise TypeMismatchError(
+                f"INT64 column expects integers, got dtype {array.dtype}"
+            )
+        return array.astype(np.int64, copy=False)
+
+    # FLOAT64
+    if array.dtype.kind not in ("f", "i", "u", "b"):
+        raise TypeMismatchError(
+            f"FLOAT64 column expects numbers, got dtype {array.dtype}"
+        )
+    return array.astype(np.float64, copy=False)
+
+
+def coerce_scalar(value: Any, column_type: ColumnType) -> Any:
+    """Coerce a single literal to the Python value used in comparisons."""
+    if column_type is ColumnType.DATE:
+        if isinstance(value, (int, np.integer)):
+            return int(value)
+        return date_ordinal(value)
+    if column_type is ColumnType.STRING:
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"expected string literal, got {value!r}")
+        return value
+    if column_type is ColumnType.INT64:
+        if isinstance(value, (bool, np.bool_)):
+            return int(value)
+        if isinstance(value, (int, np.integer)):
+            return int(value)
+        if isinstance(value, (float, np.floating)) and float(value).is_integer():
+            return int(value)
+        raise TypeMismatchError(f"expected integer literal, got {value!r}")
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return float(value)
+    raise TypeMismatchError(f"expected numeric literal, got {value!r}")

@@ -1,0 +1,283 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro analyze --figure 6
+        Print an analytical figure's data series (Figures 1-8).
+
+    python -m repro experiment exp1 --scale 30000 --seeds 4
+        Run a Section 6 experiment grid and print the paper's tables.
+
+    python -m repro sql "SELECT COUNT(*) FROM lineitem WHERE ..." \
+            --workload tpch --threshold 80
+        Parse, optimize, and execute a query against a generated
+        workload, printing the plan and the simulated execution time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import (
+    figure2_plans,
+    high_crossover_model,
+    paper_default_model,
+    sample_size_sweep,
+    threshold_sweep,
+    tradeoff_curve,
+)
+from repro.core import (
+    ExactCardinalityEstimator,
+    HistogramCardinalityEstimator,
+    RobustCardinalityEstimator,
+)
+from repro.cost import CostModel
+from repro.engine import ExecutionContext
+from repro.experiments import (
+    ExperimentRunner,
+    format_selectivity_table,
+    format_tradeoff_table,
+)
+from repro.optimizer import Optimizer
+from repro.sql import parse_query
+from repro.stats import StatisticsManager
+from repro.workloads import (
+    PartCorrelationTemplate,
+    ShippingDatesTemplate,
+    StarConfig,
+    StarJoinTemplate,
+    TpchConfig,
+    build_star_database,
+    build_tpch_database,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Robust query optimization (Babcock & Chaudhuri, SIGMOD 2005)",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    analyze = subparsers.add_parser(
+        "analyze", help="print an analytical figure (Section 5)"
+    )
+    analyze.add_argument(
+        "--figure", type=int, default=6, choices=range(1, 9), metavar="1-8"
+    )
+    analyze.add_argument(
+        "--chart", action="store_true", help="render an ASCII chart too"
+    )
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run a Section 6 experiment grid"
+    )
+    experiment.add_argument(
+        "name", choices=["exp1", "exp2", "exp3"], help="experiment scenario"
+    )
+    experiment.add_argument("--scale", type=int, default=30_000)
+    experiment.add_argument("--seeds", type=int, default=4)
+    experiment.add_argument("--sample-size", type=int, default=500)
+    experiment.add_argument("--points", type=int, default=7)
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    report = subparsers.add_parser(
+        "report", help="regenerate every paper figure into one markdown report"
+    )
+    report.add_argument("--output", default="REPORT.md")
+    report.add_argument("--scale", type=int, default=30_000)
+    report.add_argument("--fact-rows", type=int, default=40_000)
+    report.add_argument("--seeds", type=int, default=4)
+    report.set_defaults(handler=_cmd_report)
+
+    sql = subparsers.add_parser("sql", help="optimize and run a SQL query")
+    sql.add_argument("query", help="the SELECT statement")
+    sql.add_argument("--workload", choices=["tpch", "star"], default="tpch")
+    sql.add_argument("--scale", type=int, default=30_000)
+    sql.add_argument("--sample-size", type=int, default=500)
+    sql.add_argument("--seed", type=int, default=0)
+    sql.add_argument(
+        "--estimator",
+        choices=["robust", "histogram", "exact"],
+        default="robust",
+    )
+    sql.add_argument(
+        "--threshold",
+        default="80",
+        help="confidence threshold (percentage or named level)",
+    )
+    sql.add_argument(
+        "--explain-only", action="store_true", help="print the plan, don't run"
+    )
+    sql.set_defaults(handler=_cmd_sql)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_analyze(args) -> int:
+    figure = args.figure
+    if figure in (1, 2, 3):
+        model = figure2_plans()
+        grid = np.linspace(0, 1, 21)
+        costs = model.costs(grid)
+        print(f"Figure {figure} cost model (crossover at "
+              f"{model.crossover_points()[0]:.1%}):")
+        print(f"{'selectivity':>12} {'Plan 1':>9} {'Plan 2':>9}")
+        for i, s in enumerate(grid):
+            print(f"{s:>12.0%} {costs[0, i]:>9.2f} {costs[1, i]:>9.2f}")
+        return 0
+    if figure == 4:
+        from repro.core import SelectivityPosterior
+
+        posterior = SelectivityPosterior(10, 100)
+        print("Figure 4 worked estimates (10 of 100 tuples satisfy):")
+        for threshold in (0.2, 0.5, 0.8):
+            print(f"  T={threshold:.0%}: {posterior.ppf(threshold):.1%}")
+        return 0
+    if figure in (5, 8):
+        model = paper_default_model() if figure == 5 else high_crossover_model()
+        grid = (
+            np.arange(0.0, 0.0100001, 0.001)
+            if figure == 5
+            else np.arange(0.0, 0.2001, 0.02)
+        )
+        curves = threshold_sweep(model, 1000, selectivities=grid)
+        thresholds = list(curves)
+        print(f"Figure {figure}: expected time by threshold")
+        print(f"{'selectivity':>12} " + " ".join(f"T={t:>4.0%}" for t in thresholds))
+        for i, s in enumerate(grid):
+            print(
+                f"{s:>12.2%} "
+                + " ".join(f"{curves[t][i]:>6.1f}" for t in thresholds)
+            )
+        if getattr(args, "chart", False):
+            from repro.experiments import render_ascii_chart
+
+            print()
+            print(
+                render_ascii_chart(
+                    {f"T={t:.0%}": curves[t] for t in (0.05, 0.5, 0.95)},
+                    grid,
+                    title=f"Figure {figure}",
+                    y_format="{:.0f}",
+                )
+            )
+        return 0
+    if figure == 6:
+        print("Figure 6: performance vs predictability (n=1000)")
+        for point in tradeoff_curve(paper_default_model(), 1000):
+            print(f"  {point.label:>6}: mean={point.mean_time:6.2f}s "
+                  f"std={point.std_time:6.2f}s")
+        return 0
+    # figure 7
+    curves = sample_size_sweep(paper_default_model())
+    print("Figure 7: expected time by sample size (T=50%)")
+    for size, curve in curves.items():
+        print(f"  n={size:>5}: mean={curve.mean():6.2f}s worst={curve.max():6.2f}s")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.name == "exp1":
+        database = build_tpch_database(TpchConfig(num_lineitem=args.scale, seed=7))
+        template = ShippingDatesTemplate()
+        targets = list(np.linspace(0.0, 0.012, args.points))
+        params = template.params_for_targets(database, targets, step=4)
+    elif args.name == "exp2":
+        database = build_tpch_database(TpchConfig(num_lineitem=args.scale, seed=7))
+        template = PartCorrelationTemplate()
+        targets = list(np.linspace(0.0, 0.010, args.points))
+        params = template.params_for_targets(database, targets, step=20)
+    else:
+        config = StarConfig(num_fact=max(args.scale, 1000), seed=7)
+        database = build_star_database(config)
+        template = StarJoinTemplate(config.num_dim)
+        shifts = np.linspace(100, 0, args.points).astype(int)
+        params = [
+            (int(s), template.true_selectivity(database, int(s))) for s in shifts
+        ]
+
+    runner = ExperimentRunner(
+        database,
+        template,
+        sample_size=args.sample_size,
+        seeds=range(args.seeds),
+    )
+    result = runner.run(params)
+    print(format_selectivity_table(result))
+    print()
+    print(format_tradeoff_table(result))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments import ReportConfig, generate_report
+
+    config = ReportConfig(
+        lineitem_rows=args.scale,
+        fact_rows=args.fact_rows,
+        seeds=args.seeds,
+    )
+    path = generate_report(args.output, config)
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_sql(args) -> int:
+    if args.workload == "tpch":
+        database = build_tpch_database(TpchConfig(num_lineitem=args.scale, seed=7))
+    else:
+        database = build_star_database(
+            StarConfig(num_fact=max(args.scale, 1000), seed=7)
+        )
+
+    query = parse_query(args.query, database)
+
+    if args.estimator == "exact":
+        estimator = ExactCardinalityEstimator(database)
+    else:
+        statistics = StatisticsManager(database)
+        statistics.update_statistics(
+            sample_size=args.sample_size, seed=args.seed
+        )
+        if args.estimator == "robust":
+            estimator = RobustCardinalityEstimator(
+                statistics, policy=args.threshold
+            )
+        else:
+            estimator = HistogramCardinalityEstimator(statistics)
+
+    cost_model = CostModel()
+    planned = Optimizer(database, estimator, cost_model).optimize(query)
+    print(planned.explain())
+    if args.explain_only:
+        return 0
+
+    ctx = ExecutionContext(database)
+    frame = planned.plan.execute(ctx)
+    simulated = cost_model.time_from_counters(ctx.counters)
+    print(f"\nrows: {frame.num_rows}")
+    for name in frame.column_names[: 8]:
+        values = frame.column(name)[:5]
+        print(f"  {name}: {list(values)}{' ...' if frame.num_rows > 5 else ''}")
+    print(f"simulated execution time: {simulated:.4f}s")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The result type returned by cardinality estimators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.posterior import SelectivityPosterior
+
+
+@dataclass(frozen=True)
+class CardinalityEstimate:
+    """A single cardinality estimate for one relational expression.
+
+    Attributes
+    ----------
+    tables:
+        The relations of the SPJ expression, as a frozenset of names.
+    selectivity:
+        Estimated fraction of the root relation's rows that survive
+        all predicates (and, implicitly, the foreign-key joins).
+    cardinality:
+        Estimated output rows: ``selectivity × |root relation|``.
+    root_table:
+        The root of the FK join (whose cardinality anchors the result).
+    source:
+        Which statistic produced the estimate: ``"synopsis"``,
+        ``"sample-avi"``, ``"histogram"``, ``"magic"``, ``"exact"``, or
+        ``"mixed"`` (partial fallback).
+    posterior:
+        The full selectivity distribution, when the estimate came from
+        a sample (``None`` for point-only estimators). Exposing the
+        distribution is what lets callers reason about uncertainty.
+    threshold:
+        The confidence threshold used to collapse the posterior, when
+        applicable.
+    """
+
+    tables: frozenset[str]
+    selectivity: float
+    cardinality: float
+    root_table: str
+    source: str
+    posterior: SelectivityPosterior | None = None
+    threshold: float | None = None
+
+    def __str__(self) -> str:
+        t = f" @T={self.threshold:.0%}" if self.threshold is not None else ""
+        return (
+            f"{'⋈'.join(sorted(self.tables))}: "
+            f"{self.cardinality:.1f} rows "
+            f"(sel={self.selectivity:.4%}, {self.source}{t})"
+        )

@@ -1,0 +1,89 @@
+"""The estimator interface and the exact (ground-truth) estimator.
+
+An estimator answers one question, asked repeatedly by the optimizer
+during plan search: *how many rows does this SPJ subexpression
+produce?* For the foreign-key SPJ expressions the paper considers, a
+subexpression is fully described by its set of tables (joins are
+implied by the FK edges) plus the conjunction of predicates on them,
+and its cardinality is ``selectivity × |root relation|`` because each
+FK join preserves the child's cardinality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.catalog import Database
+from repro.core.estimate import CardinalityEstimate
+from repro.errors import EstimationError
+from repro.expressions import Expr
+from repro.stats.join_synopsis import fk_join_frame
+
+
+class CardinalityEstimator:
+    """Abstract base for cardinality estimators."""
+
+    def estimate(
+        self,
+        tables: Iterable[str],
+        predicate: Expr | None,
+        hint: float | str | None = None,
+    ) -> CardinalityEstimate:
+        """Estimate the output cardinality of an SPJ expression.
+
+        ``tables`` are the relations of the expression (FK joins
+        implied); ``predicate`` is the conjunction of all selections,
+        referencing qualified columns; ``hint`` is an optional
+        per-query confidence-threshold override (ignored by
+        point-estimate baselines).
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short label used in experiment reports."""
+        return type(self).__name__
+
+
+class ExactCardinalityEstimator(CardinalityEstimator):
+    """Ground truth: evaluates the expression on the full data.
+
+    Far too slow for a real optimizer — it materializes the complete
+    foreign-key join — but invaluable for tests, calibration, and for
+    measuring estimation error against a known answer.
+    """
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    def estimate(
+        self,
+        tables: Iterable[str],
+        predicate: Expr | None,
+        hint: float | str | None = None,
+    ) -> CardinalityEstimate:
+        names = set(tables)
+        if not names:
+            raise EstimationError("estimate requires at least one table")
+        root = self.database.root_relation(names)
+        frame, covered = fk_join_frame(self.database, root, restrict_to=names)
+        if not names <= covered:
+            raise EstimationError(
+                f"tables {sorted(names)} not FK-joinable from root {root!r}"
+            )
+        if predicate is None:
+            satisfied = frame.num_rows
+        else:
+            satisfied = int(
+                np.asarray(predicate.evaluate(frame), dtype=bool).sum()
+            )
+        total = self.database.table(root).num_rows
+        selectivity = satisfied / total if total else 0.0
+        return CardinalityEstimate(
+            tables=frozenset(names),
+            selectivity=selectivity,
+            cardinality=float(satisfied),
+            root_table=root,
+            source="exact",
+        )

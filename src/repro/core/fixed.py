@@ -1,0 +1,75 @@
+"""What-if estimation: force chosen selectivities.
+
+:class:`FixedSelectivityEstimator` answers every estimation request
+with a caller-supplied selectivity — globally or per table-set. Used
+for what-if analysis ("which plan would win if the selectivity were
+2 %?"), for constructing worst cases in tests, and for reproducing
+plan diagrams over a selectivity grid without any statistics at all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.catalog import Database
+from repro.core.estimate import CardinalityEstimate
+from repro.core.estimator import CardinalityEstimator
+from repro.errors import EstimationError
+from repro.expressions import Expr
+
+
+class FixedSelectivityEstimator(CardinalityEstimator):
+    """Returns fixed selectivities instead of estimating.
+
+    Parameters
+    ----------
+    database:
+        Catalog, used to resolve root relations and base cardinalities.
+    default:
+        Selectivity returned for any expression carrying a predicate.
+    overrides:
+        Optional per-table-set overrides: ``{frozenset({"a","b"}): 0.02}``.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        default: float = 0.1,
+        overrides: dict[frozenset, float] | None = None,
+    ) -> None:
+        if not 0.0 <= default <= 1.0:
+            raise EstimationError(f"selectivity must be in [0, 1], got {default}")
+        self.database = database
+        self.default = default
+        self.overrides = dict(overrides or {})
+        for key, value in self.overrides.items():
+            if not 0.0 <= value <= 1.0:
+                raise EstimationError(
+                    f"override for {sorted(key)} out of range: {value}"
+                )
+
+    def estimate(
+        self,
+        tables: Iterable[str],
+        predicate: Expr | None,
+        hint: float | str | None = None,
+    ) -> CardinalityEstimate:
+        names = set(tables)
+        if not names:
+            raise EstimationError("estimate requires at least one table")
+        root = self.database.root_relation(names)
+        total = self.database.table(root).num_rows
+        if predicate is None:
+            selectivity = 1.0
+        else:
+            selectivity = self.overrides.get(frozenset(names), self.default)
+        return CardinalityEstimate(
+            tables=frozenset(names),
+            selectivity=selectivity,
+            cardinality=selectivity * total,
+            root_table=root,
+            source="fixed",
+        )
+
+    def describe(self) -> str:
+        return f"fixed(sel={self.default:g})"

@@ -1,0 +1,72 @@
+"""Prior distributions over query selectivity.
+
+Priors are Beta distributions, which are conjugate to the Bernoulli
+sampling process: observing ``k`` of ``n`` sample tuples satisfying the
+predicate turns ``Beta(a, b)`` into ``Beta(k + a, n − k + b)``.
+
+The paper (Section 3.3) discusses two non-informative choices — the
+uniform prior ``Beta(1, 1)`` and the Jeffreys prior ``Beta(1/2, 1/2)``
+— and adopts Jeffreys by default, noting the choice has little impact
+(their Figure 4, our ``benchmarks/test_fig04_priors.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class Prior:
+    """A Beta(``alpha``, ``beta``) prior over selectivity."""
+
+    alpha: float
+    beta: float
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise EstimationError(
+                f"Beta prior requires positive shapes, got ({self.alpha}, {self.beta})"
+            )
+
+    @property
+    def mean(self) -> float:
+        """The prior mean selectivity."""
+        return self.alpha / (self.alpha + self.beta)
+
+    @classmethod
+    def from_name(cls, name: str) -> "Prior":
+        """Look up a named prior: ``"jeffreys"`` or ``"uniform"``."""
+        try:
+            return _NAMED[name.lower()]
+        except KeyError:
+            raise EstimationError(
+                f"unknown prior {name!r}; choose from {sorted(_NAMED)}"
+            ) from None
+
+    @classmethod
+    def informative(cls, mean: float, concentration: float) -> "Prior":
+        """A prior centred on ``mean`` with pseudo-count ``concentration``.
+
+        Used for "magic distributions" (paper Section 3.5): workload
+        knowledge expressed as a soft default selectivity.
+        """
+        if not 0 < mean < 1:
+            raise EstimationError(f"prior mean must be in (0, 1), got {mean}")
+        if concentration <= 0:
+            raise EstimationError("concentration must be positive")
+        return cls(mean * concentration, (1 - mean) * concentration, "informative")
+
+    def __str__(self) -> str:
+        return f"{self.name}:Beta({self.alpha:g},{self.beta:g})"
+
+
+#: The Jeffreys non-informative prior, Beta(1/2, 1/2) — paper default.
+JEFFREYS = Prior(0.5, 0.5, "jeffreys")
+
+#: The uniform prior, Beta(1, 1).
+UNIFORM = Prior(1.0, 1.0, "uniform")
+
+_NAMED = {"jeffreys": JEFFREYS, "uniform": UNIFORM}

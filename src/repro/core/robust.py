@@ -1,0 +1,213 @@
+"""The robust cardinality estimator — the paper's Section 3.4 procedure.
+
+Given an SPJ expression:
+
+1. find the precomputed join synopsis whose root matches the
+   expression's root relation;
+2. count the synopsis tuples satisfying the predicate (``k`` of ``n``)
+   and form the Beta posterior ``Beta(k + a, n − k + b)``;
+3. invert the posterior cdf at the confidence threshold ``T`` and
+   return ``cdf⁻¹(T) × |root|`` as the cardinality.
+
+When the needed synopsis is missing, the estimator degrades gracefully
+(Section 3.5): single-table samples combined under the AVI and
+containment assumptions, then magic distributions as the last resort.
+Estimation error from fallback assumptions is confined to the
+subexpressions that actually lack statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.confidence import ConfidencePolicy, MODERATE
+from repro.core.estimate import CardinalityEstimate
+from repro.core.estimator import CardinalityEstimator
+from repro.core.magic import MagicDistribution, MagicNumbers
+from repro.core.posterior import SelectivityPosterior
+from repro.core.prior import JEFFREYS, Prior
+from repro.errors import EstimationError
+from repro.expressions import Expr, predicates_by_table, split_conjuncts
+from repro.stats import StatisticsManager
+
+
+class RobustCardinalityEstimator(CardinalityEstimator):
+    """Sample-based Bayesian estimation with a confidence threshold.
+
+    Parameters
+    ----------
+    statistics:
+        The statistics manager holding samples and join synopses.
+    prior:
+        Beta prior over selectivity; the Jeffreys prior by default.
+    policy:
+        System-wide confidence threshold, overridable per call via the
+        ``hint`` argument of :meth:`estimate`.
+    magic:
+        Fallback magic-number table for statistics-free predicates.
+    magic_concentration:
+        Pseudo-count of the magic *distributions* built from the magic
+        numbers (higher = the fallback reacts less to the threshold).
+    """
+
+    def __init__(
+        self,
+        statistics: StatisticsManager,
+        prior: Prior = JEFFREYS,
+        policy: ConfidencePolicy | float | str = MODERATE,
+        magic: MagicNumbers | None = None,
+        magic_concentration: float = 4.0,
+        cache_conjunct_masks: bool = True,
+    ) -> None:
+        self.statistics = statistics
+        self.prior = prior
+        self.policy = (
+            policy if isinstance(policy, ConfidencePolicy) else ConfidencePolicy(policy)
+        )
+        self.magic = magic or MagicNumbers()
+        self.magic_concentration = magic_concentration
+        # §6.1 notes the prototype "lacks even basic optimizations such
+        # as memoizing". This is that optimization: during one
+        # optimizer run the same conjuncts recur across many subsets,
+        # so per-synopsis boolean masks are cached per conjunct and
+        # ANDed, instead of re-evaluating whole predicates. Keyed
+        # weakly on the synopsis object so rebuilding statistics can
+        # never serve stale masks.
+        import weakref
+
+        self.cache_conjunct_masks = cache_conjunct_masks
+        self._mask_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        tables: Iterable[str],
+        predicate: Expr | None,
+        hint: float | str | None = None,
+    ) -> CardinalityEstimate:
+        names = set(tables)
+        if not names:
+            raise EstimationError("estimate requires at least one table")
+        threshold = self.policy.threshold(hint)
+        root = self.statistics.database.root_relation(names)
+        total = self.statistics.table_rows(root)
+
+        synopsis = self.statistics.synopsis_covering(names)
+        if synopsis is not None:
+            k = self._count_satisfying(synopsis, predicate)
+            posterior = SelectivityPosterior(k, synopsis.size, self.prior)
+            selectivity = posterior.ppf(threshold)
+            return CardinalityEstimate(
+                tables=frozenset(names),
+                selectivity=selectivity,
+                cardinality=selectivity * total,
+                root_table=root,
+                source="synopsis",
+                posterior=posterior,
+                threshold=threshold,
+            )
+
+        return self._estimate_fallback(names, predicate, threshold, root, total)
+
+    # ------------------------------------------------------------------
+    def _count_satisfying(self, synopsis, predicate: Expr | None) -> int:
+        """Count synopsis tuples satisfying ``predicate``.
+
+        With conjunct-mask caching, each top-level conjunct is
+        evaluated once per synopsis and its boolean mask reused across
+        the many overlapping subexpressions an optimizer run probes;
+        the conjunction of cached masks equals evaluating the whole
+        predicate directly.
+        """
+        if predicate is None:
+            return synopsis.size
+        if not self.cache_conjunct_masks:
+            return synopsis.count_satisfying(predicate)
+        import numpy as np
+
+        per_synopsis = self._mask_cache.get(synopsis)
+        if per_synopsis is None:
+            per_synopsis = {}
+            self._mask_cache[synopsis] = per_synopsis
+        mask = np.ones(synopsis.size, dtype=bool)
+        for conjunct in split_conjuncts(predicate):
+            key = repr(conjunct)
+            cached = per_synopsis.get(key)
+            if cached is None:
+                cached = np.asarray(
+                    conjunct.evaluate(synopsis.frame), dtype=bool
+                )
+                per_synopsis[key] = cached
+            mask &= cached
+        return int(mask.sum())
+
+    # ------------------------------------------------------------------
+    # Section 3.5 fallbacks
+    # ------------------------------------------------------------------
+    def _estimate_fallback(
+        self,
+        names: set[str],
+        predicate: Expr | None,
+        threshold: float,
+        root: str,
+        total: int,
+    ) -> CardinalityEstimate:
+        """AVI-combine per-table estimates; magic where samples lack.
+
+        For foreign-key joins under referential integrity, the
+        containment assumption makes each join factor ``1 / |parent|``,
+        so the combined cardinality is ``|root| × ∏ per-table
+        selectivities`` — the error is confined to tables without
+        samples and to the AVI combination itself.
+        """
+        per_table = predicates_by_table(predicate)
+        unrouted = per_table.pop("", None)
+
+        selectivity = 1.0
+        used_sample = False
+        used_magic = False
+        for name in sorted(names):
+            table_predicate = per_table.get(name)
+            if table_predicate is None:
+                continue
+            sample = self.statistics.sample_for(name)
+            if sample is not None:
+                k = sample.count_satisfying(table_predicate)
+                posterior = SelectivityPosterior(k, sample.size, self.prior)
+                selectivity *= posterior.ppf(threshold)
+                used_sample = True
+            else:
+                selectivity *= self._magic_selectivity(table_predicate, threshold)
+                used_magic = True
+        if unrouted is not None:
+            # Cross-table or table-free conjuncts cannot be routed to a
+            # single-table sample; charge them at magic selectivity.
+            selectivity *= self._magic_selectivity(unrouted, threshold)
+            used_magic = True
+
+        if used_magic and used_sample:
+            source = "mixed"
+        elif used_magic:
+            source = "magic"
+        else:
+            source = "sample-avi"
+        return CardinalityEstimate(
+            tables=frozenset(names),
+            selectivity=selectivity,
+            cardinality=selectivity * total,
+            root_table=root,
+            source=source,
+            threshold=threshold,
+        )
+
+    def _magic_selectivity(self, predicate: Expr, threshold: float) -> float:
+        """Magic-distribution selectivity for an un-sampled predicate."""
+        selectivity = 1.0
+        for conjunct in split_conjuncts(predicate):
+            mean = self.magic.for_predicate(conjunct)
+            distribution = MagicDistribution(mean, self.magic_concentration)
+            selectivity *= distribution.selectivity(threshold)
+        return selectivity
+
+    def describe(self) -> str:
+        return f"robust(T={self.policy.default:.0%}, prior={self.prior.name})"

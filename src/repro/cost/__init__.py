@@ -1,0 +1,12 @@
+"""Cost model: work counters → simulated seconds, and plan cost formulas.
+
+One set of coefficients serves both purposes, so a plan's estimated
+cost equals its simulated execution time whenever the cardinality
+estimates are exact. All formulas are monotonically increasing in their
+input cardinalities — the assumption Section 3.1.1 of the paper needs
+for the cdf-inversion shortcut to be valid.
+"""
+
+from repro.cost.model import CostModel
+
+__all__ = ["CostModel"]

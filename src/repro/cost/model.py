@@ -1,0 +1,228 @@
+"""The cost model.
+
+Coefficients are calibrated against the paper's analytical model
+(Section 5.1): the incremental CPU cost per tuple matches the paper's
+``v1 = 3.5e-6`` and the random-I/O charge is chosen so the sequential
+scan vs. index intersection crossover falls near the paper's
+``p_c ≈ 0.14 %`` of rows, independent of table size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.engine.counters import WorkCounters
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Linear cost coefficients (all in simulated seconds per unit)."""
+
+    #: Per page read sequentially. Together with ``random_io_cost``
+    #: this places the scan-vs-RID-fetch crossover near 0.3 % of rows
+    #: (for 128-row pages) — the same regime as the paper's 0.14 %,
+    #: and positioned so a 500-tuple sample distinguishes the paper's
+    #: five confidence thresholds.
+    seq_page_cost: float = 9.0e-4
+    #: Per random row fetch (nonclustered RID lookup) — the paper's
+    #: ``v2``, the per-tuple cost of its index-intersection plan.
+    random_io_cost: float = 3.5e-3
+    #: Per index leaf entry scanned.
+    index_entry_cost: float = 1.0e-7
+    #: Per index probe (a full B-tree descent, a few page touches).
+    index_lookup_cost: float = 1.0e-4
+    #: Per row of CPU work (predicate evaluation, projection).
+    cpu_tuple_cost: float = 3.5e-6
+    #: Per row inserted in a hash table.
+    hash_build_cost: float = 8.0e-6
+    #: Per row probed against a hash table.
+    hash_probe_cost: float = 4.0e-6
+    #: Per row advanced through a merge join.
+    merge_row_cost: float = 2.0e-6
+    #: Per sort comparison (a sort charges ``n·log₂(n)`` of them).
+    sort_comparison_cost: float = 2.0e-6
+    #: Per row emitted by an operator.
+    output_row_cost: float = 1.0e-6
+
+    # ------------------------------------------------------------------
+    # Counters → simulated time
+    # ------------------------------------------------------------------
+    def time_from_counters(self, counters: WorkCounters) -> float:
+        """Simulated execution time, in seconds, for recorded work."""
+        return (
+            counters.seq_pages * self.seq_page_cost
+            + counters.random_ios * self.random_io_cost
+            + counters.index_entries * self.index_entry_cost
+            + counters.index_lookups * self.index_lookup_cost
+            + counters.cpu_rows * self.cpu_tuple_cost
+            + counters.hash_build_rows * self.hash_build_cost
+            + counters.hash_probe_rows * self.hash_probe_cost
+            + counters.merge_rows * self.merge_row_cost
+            + counters.sort_comparisons * self.sort_comparison_cost
+            + counters.rows_output * self.output_row_cost
+        )
+
+    # ------------------------------------------------------------------
+    # Per-operator cost formulas (estimation side)
+    #
+    # Each mirrors exactly what the corresponding engine operator
+    # charges into the counters, expressed over estimated cardinalities.
+    # ------------------------------------------------------------------
+    def seq_scan(self, table_rows: float, table_pages: float, out_rows: float) -> float:
+        """Cost of scanning a table and emitting ``out_rows`` rows."""
+        return (
+            table_pages * self.seq_page_cost
+            + table_rows * self.cpu_tuple_cost
+            + out_rows * self.output_row_cost
+        )
+
+    def index_seek(
+        self,
+        matching_entries: float,
+        out_rows: float,
+        clustered: bool,
+        rows_per_page: int,
+        has_residual: bool,
+    ) -> float:
+        """Cost of one index range seek fetching ``matching_entries`` rows."""
+        cost = self.index_lookup_cost + matching_entries * self.index_entry_cost
+        if clustered:
+            # whole pages, matching the engine's ceil-division charge
+            cost += math.ceil(matching_entries / rows_per_page) * self.seq_page_cost
+        else:
+            cost += matching_entries * self.random_io_cost
+        if has_residual:
+            cost += matching_entries * self.cpu_tuple_cost
+        return cost + out_rows * self.output_row_cost
+
+    def index_union(
+        self,
+        num_values: int,
+        matching_entries: float,
+        out_rows: float,
+        clustered: bool,
+        rows_per_page: int,
+        has_residual: bool,
+    ) -> float:
+        """Cost of an IN-list resolved as per-value seeks + RID union."""
+        cost = num_values * self.index_lookup_cost
+        cost += matching_entries * self.index_entry_cost
+        if clustered:
+            cost += math.ceil(matching_entries / rows_per_page) * self.seq_page_cost
+        else:
+            cost += matching_entries * self.random_io_cost
+        if has_residual:
+            cost += matching_entries * self.cpu_tuple_cost
+        return cost + out_rows * self.output_row_cost
+
+    def index_intersect(
+        self,
+        per_condition_entries: list[float],
+        fetched_rows: float,
+        out_rows: float,
+        has_residual: bool,
+    ) -> float:
+        """Cost of intersecting RID sets and fetching the survivors."""
+        cost = len(per_condition_entries) * self.index_lookup_cost
+        cost += sum(per_condition_entries) * self.index_entry_cost
+        cost += fetched_rows * self.random_io_cost
+        if has_residual:
+            cost += fetched_rows * self.cpu_tuple_cost
+        return cost + out_rows * self.output_row_cost
+
+    def filter(self, in_rows: float, out_rows: float) -> float:
+        """Cost of filtering ``in_rows`` down to ``out_rows``."""
+        return in_rows * self.cpu_tuple_cost + out_rows * self.output_row_cost
+
+    def hash_join(self, build_rows: float, probe_rows: float, out_rows: float) -> float:
+        """Cost of a hash join (build + probe + emit)."""
+        return (
+            build_rows * self.hash_build_cost
+            + probe_rows * self.hash_probe_cost
+            + out_rows * self.output_row_cost
+        )
+
+    def merge_join(self, left_rows: float, right_rows: float, out_rows: float) -> float:
+        """Cost of merging two pre-sorted inputs."""
+        return (
+            (left_rows + right_rows) * self.merge_row_cost
+            + out_rows * self.output_row_cost
+        )
+
+    def sort(self, n_rows: float) -> float:
+        """Cost of sorting ``n_rows`` rows (``n·log₂(n)`` comparisons)."""
+        from repro.engine.sort import sort_work
+
+        return sort_work(n_rows) * self.sort_comparison_cost
+
+    def indexed_nl_join(
+        self,
+        outer_rows: float,
+        matched_rows: float,
+        out_rows: float,
+        clustered: bool,
+        rows_per_page: int,
+        has_residual: bool,
+    ) -> float:
+        """Cost of probing an inner index once per outer row."""
+        cost = outer_rows * self.index_lookup_cost
+        cost += matched_rows * self.index_entry_cost
+        if clustered:
+            # whole pages, matching the engine's ceil-division charge
+            cost += math.ceil(matched_rows / rows_per_page) * self.seq_page_cost
+        else:
+            cost += matched_rows * self.random_io_cost
+        if has_residual:
+            cost += matched_rows * self.cpu_tuple_cost
+        return cost + out_rows * self.output_row_cost
+
+    def star_semijoin(
+        self,
+        dim_scan_costs: float,
+        semi_probe_keys: float,
+        semi_matched_entries: float,
+        fetched_rows: float,
+        attach_build_rows: float,
+        attach_probe_rows: float,
+        out_rows: float,
+    ) -> float:
+        """Cost of the star semijoin strategy (see engine.star).
+
+        ``dim_scan_costs`` is the summed cost of scanning+filtering the
+        dimensions (already in seconds); the remaining arguments are
+        cardinalities of the index probing, fact fetch, and the
+        dimension-attach hash joins.
+        """
+        return (
+            dim_scan_costs
+            + semi_probe_keys * self.index_lookup_cost
+            + semi_matched_entries * self.index_entry_cost
+            + fetched_rows * self.random_io_cost
+            + attach_build_rows * self.hash_build_cost
+            + attach_probe_rows * self.hash_probe_cost
+            + out_rows * self.output_row_cost
+        )
+
+    def aggregate(self, in_rows: float, groups: float, grouped: bool) -> float:
+        """Cost of aggregating ``in_rows`` into ``groups`` output rows."""
+        cost = in_rows * self.cpu_tuple_cost
+        if grouped:
+            cost += in_rows * self.hash_build_cost
+        return cost + groups * self.output_row_cost
+
+    # ------------------------------------------------------------------
+    # Calibration helpers
+    # ------------------------------------------------------------------
+    def scan_vs_rid_crossover(self, rows_per_page: int) -> float:
+        """Selectivity where per-row RID fetches overtake a full scan.
+
+        The scale-free analogue of the paper's ``p_c ≈ 0.14 %``: a
+        sequential scan costs ``seq_page_cost / rows_per_page +
+        cpu_tuple_cost`` per row while a RID fetch costs
+        ``random_io_cost`` per *qualifying* row, so the crossover
+        selectivity is their ratio, independent of table size — about
+        0.2 % for the default coefficients and a 128-row page.
+        """
+        per_row_scan = self.seq_page_cost / rows_per_page + self.cpu_tuple_cost
+        return per_row_scan / self.random_io_cost

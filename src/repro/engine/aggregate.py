@@ -1,0 +1,126 @@
+"""Aggregation operators (SUM/COUNT/MIN/MAX/AVG, with optional GROUP BY)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.engine.base import PhysicalOperator
+from repro.engine.context import ExecutionContext
+from repro.errors import ExecutionError
+from repro.expressions import Frame
+
+_AGG_FUNCS: dict[str, Callable[[np.ndarray], float]] = {
+    "sum": lambda a: float(a.sum()) if len(a) else 0.0,
+    "count": lambda a: float(len(a)),
+    "min": lambda a: float(a.min()),
+    "max": lambda a: float(a.max()),
+    "avg": lambda a: float(a.mean()),
+}
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate: ``func(column) AS alias``.
+
+    ``column`` is a qualified column name; for ``count`` it may be
+    ``"*"``. ``alias`` names the output column.
+    """
+
+    func: str
+    column: str
+    alias: str
+
+    def __post_init__(self) -> None:
+        if self.func not in _AGG_FUNCS:
+            raise ExecutionError(
+                f"unknown aggregate {self.func!r}; choose from {sorted(_AGG_FUNCS)}"
+            )
+
+
+class HashAggregate(PhysicalOperator):
+    """Group rows by the ``group_by`` columns and compute aggregates.
+
+    With an empty ``group_by`` this is a scalar aggregate producing a
+    single row (the shape of Experiment 1's ``SELECT SUM(...)``).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        aggregates: Sequence[AggregateSpec],
+        group_by: Sequence[str] = (),
+    ) -> None:
+        if not aggregates and not group_by:
+            raise ExecutionError("aggregate requires aggregates or group-by keys")
+        self.child = child
+        self.aggregates = list(aggregates)
+        self.group_by = list(group_by)
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.child]
+
+    def execute(self, ctx: ExecutionContext) -> Frame:
+        frame = self.child.execute(ctx)
+        ctx.counters.cpu_rows += frame.num_rows
+        if not self.group_by:
+            result = self._scalar(frame)
+        else:
+            ctx.counters.hash_build_rows += frame.num_rows
+            result = self._grouped(frame)
+        ctx.counters.rows_output += result.num_rows
+        return result
+
+    def _scalar(self, frame: Frame) -> Frame:
+        columns: dict[str, np.ndarray] = {}
+        for spec in self.aggregates:
+            values = self._agg_input(frame, spec)
+            if spec.func in ("min", "max", "avg") and not len(values):
+                columns[spec.alias] = np.array([np.nan])
+            else:
+                columns[spec.alias] = np.array([_AGG_FUNCS[spec.func](values)])
+        return Frame(columns)
+
+    def _grouped(self, frame: Frame) -> Frame:
+        key_arrays = [frame.column(name) for name in self.group_by]
+        # Group via lexicographic sort over the key columns.
+        order = np.lexsort(key_arrays[::-1])
+        sorted_keys = [array[order] for array in key_arrays]
+        if frame.num_rows == 0:
+            boundaries = np.empty(0, dtype=np.int64)
+        else:
+            changed = np.zeros(frame.num_rows - 1, dtype=bool)
+            for array in sorted_keys:
+                changed |= array[1:] != array[:-1]
+            boundaries = np.flatnonzero(changed) + 1
+        starts = (
+            np.concatenate(([0], boundaries)) if frame.num_rows else np.empty(0, int)
+        )
+        ends = (
+            np.concatenate((boundaries, [frame.num_rows]))
+            if frame.num_rows
+            else np.empty(0, int)
+        )
+
+        columns: dict[str, np.ndarray] = {
+            name: array[starts] for name, array in zip(self.group_by, sorted_keys)
+        }
+        for spec in self.aggregates:
+            values = self._agg_input(frame, spec)[order]
+            func = _AGG_FUNCS[spec.func]
+            columns[spec.alias] = np.array(
+                [func(values[s:e]) for s, e in zip(starts, ends)]
+            )
+        return Frame(columns)
+
+    def _agg_input(self, frame: Frame, spec: AggregateSpec) -> np.ndarray:
+        if spec.column == "*":
+            return np.ones(frame.num_rows)
+        return frame.column(spec.column)
+
+    def label(self) -> str:
+        aggs = ", ".join(f"{s.func}({s.column})" for s in self.aggregates)
+        by = f" BY {', '.join(self.group_by)}" if self.group_by else ""
+        return f"HashAggregate({aggs}{by})"

@@ -1,0 +1,63 @@
+"""Base class for physical operators."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.expressions import Frame
+from repro.engine.context import ExecutionContext
+
+
+class PhysicalOperator:
+    """A node in a physical plan tree.
+
+    Subclasses implement :meth:`execute`, consuming child frames and
+    charging work into ``ctx.counters``. Operators are stateless across
+    executions, so a subtree may be shared between alternative plans
+    during optimization.
+
+    The optimizer annotates operators with ``est_rows`` (estimated
+    output cardinality) and ``est_cost`` (estimated cumulative cost in
+    simulated seconds); both are ``None`` on hand-built plans.
+    """
+
+    #: Estimated output rows, set by the optimizer.
+    est_rows: float | None = None
+    #: Estimated cumulative cost (seconds), set by the optimizer.
+    est_cost: float | None = None
+
+    def execute(self, ctx: ExecutionContext) -> Frame:
+        """Run the operator, returning its output frame."""
+        raise NotImplementedError
+
+    def children(self) -> list["PhysicalOperator"]:
+        """Child operators, left to right."""
+        return []
+
+    def label(self) -> str:
+        """One-line description used by ``explain``."""
+        return type(self).__name__
+
+    def walk(self) -> Iterator["PhysicalOperator"]:
+        """Yield this operator and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def explain(self, indent: int = 0) -> str:
+        """Render the plan subtree as an indented text tree."""
+        pieces = [f"{'  ' * indent}{self.label()}{self._annotation()}"]
+        for child in self.children():
+            pieces.append(child.explain(indent + 1))
+        return "\n".join(pieces)
+
+    def _annotation(self) -> str:
+        parts = []
+        if self.est_rows is not None:
+            parts.append(f"rows={self.est_rows:.1f}")
+        if self.est_cost is not None:
+            parts.append(f"cost={self.est_cost:.4f}s")
+        return f"  [{', '.join(parts)}]" if parts else ""
+
+    def __repr__(self) -> str:
+        return self.label()

@@ -1,0 +1,18 @@
+"""Execution context threaded through a physical plan."""
+
+from __future__ import annotations
+
+from repro.catalog import Database
+from repro.engine.counters import WorkCounters
+
+
+class ExecutionContext:
+    """State shared by all operators of one plan execution.
+
+    Holds the database being queried and the work counters the
+    operators charge into.
+    """
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.counters = WorkCounters()

@@ -1,0 +1,50 @@
+"""Work counters recorded during plan execution.
+
+Counters are the engine's unit of account: every operator charges the
+physical work it performs, and the cost model maps the totals to a
+simulated execution time. Keeping counters separate from timing makes
+execution deterministic and lets tests assert on the work itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class WorkCounters:
+    """Accumulated physical work for one plan execution."""
+
+    #: Pages read sequentially (table scans, clustered range scans).
+    seq_pages: int = 0
+    #: Random row fetches (RID lookups through nonclustered indexes).
+    random_ios: int = 0
+    #: Index leaf entries scanned (B-tree range/equality lookups).
+    index_entries: int = 0
+    #: Index probe operations (one per lookup call, e.g. per outer row).
+    index_lookups: int = 0
+    #: Rows passed through CPU-bound predicate/projection work.
+    cpu_rows: int = 0
+    #: Rows inserted into hash tables (join build sides, aggregation).
+    hash_build_rows: int = 0
+    #: Rows probed against hash tables.
+    hash_probe_rows: int = 0
+    #: Rows advanced through merge-join cursors.
+    merge_rows: int = 0
+    #: Sort comparisons (``n·log₂(n)`` per sort; may be fractional).
+    sort_comparisons: float = 0.0
+    #: Rows emitted by the plan root and intermediate operators.
+    rows_output: int = 0
+
+    def add(self, other: "WorkCounters") -> None:
+        """Accumulate ``other`` into this counter set, in place."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (for reports and tests)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def copy(self) -> "WorkCounters":
+        """An independent copy of the current totals."""
+        return WorkCounters(**self.as_dict())

@@ -1,0 +1,155 @@
+"""Join operators: hash join, merge join, indexed nested-loop join.
+
+These are the three join strategies whose crossovers drive Experiments
+2 and 3: indexed nested loops win at very low selectivity (few random
+probes), hash joins in the middle, and merge joins of clustered inputs
+when almost everything joins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.base import PhysicalOperator
+from repro.engine.context import ExecutionContext
+from repro.engine.joinutil import match_keys
+from repro.errors import ExecutionError
+from repro.expressions import Expr, Frame
+
+
+class HashJoin(PhysicalOperator):
+    """Equi-join: build a hash table on the left child, probe with the right.
+
+    By convention the *build* side should be the smaller input; the
+    optimizer enforces this when costing.
+    """
+
+    def __init__(
+        self,
+        build: PhysicalOperator,
+        probe: PhysicalOperator,
+        build_key: str,
+        probe_key: str,
+    ) -> None:
+        self.build = build
+        self.probe = probe
+        self.build_key = build_key
+        self.probe_key = probe_key
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.build, self.probe]
+
+    def execute(self, ctx: ExecutionContext) -> Frame:
+        build_frame = self.build.execute(ctx)
+        probe_frame = self.probe.execute(ctx)
+        ctx.counters.hash_build_rows += build_frame.num_rows
+        ctx.counters.hash_probe_rows += probe_frame.num_rows
+        build_idx, probe_idx = match_keys(
+            build_frame.column(self.build_key), probe_frame.column(self.probe_key)
+        )
+        result = build_frame.take(build_idx).merged_with(probe_frame.take(probe_idx))
+        ctx.counters.rows_output += result.num_rows
+        return result
+
+    def label(self) -> str:
+        return f"HashJoin({self.build_key} = {self.probe_key})"
+
+
+class MergeJoin(PhysicalOperator):
+    """Equi-join of two inputs already ordered on the join keys.
+
+    The engine does not re-sort: the optimizer only emits merge joins
+    when both inputs are clustered on their keys, which is how the
+    paper's Experiment 2 high-selectivity plan (lineitem ⨝ orders by
+    merge) arises. Cost is linear in the two input sizes.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_key: str,
+        right_key: str,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.left, self.right]
+
+    def execute(self, ctx: ExecutionContext) -> Frame:
+        left_frame = self.left.execute(ctx)
+        right_frame = self.right.execute(ctx)
+        ctx.counters.merge_rows += left_frame.num_rows + right_frame.num_rows
+        left_idx, right_idx = match_keys(
+            left_frame.column(self.left_key), right_frame.column(self.right_key)
+        )
+        result = left_frame.take(left_idx).merged_with(right_frame.take(right_idx))
+        ctx.counters.rows_output += result.num_rows
+        return result
+
+    def label(self) -> str:
+        return f"MergeJoin({self.left_key} = {self.right_key})"
+
+
+class IndexedNLJoin(PhysicalOperator):
+    """For each outer row, probe a sorted index on the inner table.
+
+    The risky join: one index lookup per outer row and one random I/O
+    per matching inner row (the inner index is nonclustered). An
+    optional residual predicate filters the joined rows.
+    """
+
+    def __init__(
+        self,
+        outer: PhysicalOperator,
+        inner_table: str,
+        outer_key: str,
+        inner_column: str,
+        residual: Expr | None = None,
+    ) -> None:
+        self.outer = outer
+        self.inner_table = inner_table
+        self.outer_key = outer_key
+        self.inner_column = inner_column
+        self.residual = residual
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.outer]
+
+    def execute(self, ctx: ExecutionContext) -> Frame:
+        outer_frame = self.outer.execute(ctx)
+        inner = ctx.database.table(self.inner_table)
+        index = ctx.database.sorted_index(self.inner_table, self.inner_column)
+        if index is None:
+            raise ExecutionError(
+                f"no index on {self.inner_table}.{self.inner_column}"
+            )
+        outer_keys = outer_frame.column(self.outer_key)
+        ctx.counters.index_lookups += len(outer_keys)
+
+        inner_column_values = inner.column(self.inner_column)
+        outer_idx, inner_idx = match_keys(outer_keys, inner_column_values)
+        ctx.counters.index_entries += len(inner_idx)
+
+        clustered = ctx.database.clustering_column(self.inner_table) == self.inner_column
+        if clustered:
+            ctx.counters.seq_pages += -(-len(inner_idx) // inner.rows_per_page)
+        else:
+            ctx.counters.random_ios += len(inner_idx)
+
+        inner_frame = Frame.from_table_rows(inner, np.asarray(inner_idx))
+        result = outer_frame.take(outer_idx).merged_with(inner_frame)
+        if self.residual is not None:
+            ctx.counters.cpu_rows += result.num_rows
+            result = result.mask(self.residual.evaluate(result))
+        ctx.counters.rows_output += result.num_rows
+        return result
+
+    def label(self) -> str:
+        return (
+            f"IndexedNLJoin({self.outer_key} -> "
+            f"{self.inner_table}.{self.inner_column})"
+        )

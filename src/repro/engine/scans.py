@@ -1,0 +1,223 @@
+"""Access-path operators: sequential scan, index seek, index intersection.
+
+These are the paper's canonical stable-vs-risky pair (Section 2.1):
+a sequential scan costs the same at any selectivity, while an index
+intersection costs one random I/O per qualifying row — blazingly fast
+at low selectivity, agonizingly slow at high selectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.base import PhysicalOperator
+from repro.engine.context import ExecutionContext
+from repro.errors import ExecutionError
+from repro.expressions import Expr, Frame
+from repro.indexes import intersect_rid_sets, union_rid_lists
+
+
+@dataclass(frozen=True)
+class IndexCondition:
+    """A sargable range condition resolvable by one sorted index.
+
+    ``low``/``high`` of ``None`` leave that side unbounded; bounds are
+    inclusive (SQL BETWEEN semantics). Values must already be in
+    storage representation (dates as ordinals).
+    """
+
+    column: str
+    low: object = None
+    high: object = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+
+
+class SeqScan(PhysicalOperator):
+    """Scan a whole table, optionally filtering rows.
+
+    Charges every page sequentially plus CPU per row; its cost does not
+    depend on the predicate's selectivity.
+    """
+
+    def __init__(self, table_name: str, predicate: Expr | None = None) -> None:
+        self.table_name = table_name
+        self.predicate = predicate
+
+    def execute(self, ctx: ExecutionContext) -> Frame:
+        table = ctx.database.table(self.table_name)
+        ctx.counters.seq_pages += table.num_pages
+        ctx.counters.cpu_rows += table.num_rows
+        frame = Frame.from_table(table)
+        if self.predicate is not None:
+            frame = frame.mask(self.predicate.evaluate(frame))
+        ctx.counters.rows_output += frame.num_rows
+        return frame
+
+    def label(self) -> str:
+        pred = f" filter={self.predicate!r}" if self.predicate is not None else ""
+        return f"SeqScan({self.table_name}{pred})"
+
+
+class IndexSeek(PhysicalOperator):
+    """Resolve one range condition through a sorted index, fetch rows.
+
+    With a clustered index the qualifying rows are contiguous and read
+    sequentially; with a nonclustered index every row is a random fetch.
+    A residual predicate (the non-sargable remainder) is applied to the
+    fetched rows.
+    """
+
+    def __init__(
+        self,
+        table_name: str,
+        condition: IndexCondition,
+        residual: Expr | None = None,
+    ) -> None:
+        self.table_name = table_name
+        self.condition = condition
+        self.residual = residual
+
+    def execute(self, ctx: ExecutionContext) -> Frame:
+        table = ctx.database.table(self.table_name)
+        index = ctx.database.sorted_index(self.table_name, self.condition.column)
+        if index is None:
+            raise ExecutionError(
+                f"no index on {self.table_name}.{self.condition.column}"
+            )
+        rids = index.lookup_range(
+            self.condition.low,
+            self.condition.high,
+            self.condition.low_inclusive,
+            self.condition.high_inclusive,
+        )
+        ctx.counters.index_lookups += 1
+        ctx.counters.index_entries += len(rids)
+        clustered = (
+            ctx.database.clustering_column(self.table_name) == self.condition.column
+        )
+        if clustered:
+            ctx.counters.seq_pages += -(-len(rids) // table.rows_per_page)
+        else:
+            ctx.counters.random_ios += len(rids)
+        frame = Frame.from_table_rows(table, rids)
+        if self.residual is not None:
+            ctx.counters.cpu_rows += frame.num_rows
+            frame = frame.mask(self.residual.evaluate(frame))
+        ctx.counters.rows_output += frame.num_rows
+        return frame
+
+    def label(self) -> str:
+        c = self.condition
+        res = f" residual={self.residual!r}" if self.residual is not None else ""
+        return (
+            f"IndexSeek({self.table_name}.{c.column} in [{c.low}, {c.high}]{res})"
+        )
+
+
+class IndexUnionSeek(PhysicalOperator):
+    """Resolve an IN-list through one index: seek per value, union RIDs.
+
+    The index-OR strategy: one B-tree probe per list value, the
+    resulting RID lists unioned (distinct values make them disjoint),
+    and the survivors fetched — one random I/O each on a nonclustered
+    index.
+    """
+
+    def __init__(
+        self,
+        table_name: str,
+        column: str,
+        values: Sequence,
+        residual: Expr | None = None,
+    ) -> None:
+        if not len(values):
+            raise ExecutionError("IndexUnionSeek needs at least one value")
+        self.table_name = table_name
+        self.column = column
+        self.values = list(dict.fromkeys(values))  # dedupe, keep order
+        self.residual = residual
+
+    def execute(self, ctx: ExecutionContext) -> Frame:
+        table = ctx.database.table(self.table_name)
+        index = ctx.database.sorted_index(self.table_name, self.column)
+        if index is None:
+            raise ExecutionError(f"no index on {self.table_name}.{self.column}")
+        rid_lists = []
+        for value in self.values:
+            rids = index.lookup_eq(value)
+            ctx.counters.index_lookups += 1
+            ctx.counters.index_entries += len(rids)
+            rid_lists.append(rids)
+        final = union_rid_lists(rid_lists)
+        clustered = ctx.database.clustering_column(self.table_name) == self.column
+        if clustered:
+            ctx.counters.seq_pages += -(-len(final) // table.rows_per_page)
+        else:
+            ctx.counters.random_ios += len(final)
+        frame = Frame.from_table_rows(table, final)
+        if self.residual is not None:
+            ctx.counters.cpu_rows += frame.num_rows
+            frame = frame.mask(self.residual.evaluate(frame))
+        ctx.counters.rows_output += frame.num_rows
+        return frame
+
+    def label(self) -> str:
+        preview = ", ".join(repr(v) for v in self.values[:4])
+        if len(self.values) > 4:
+            preview += ", ..."
+        return f"IndexUnionSeek({self.table_name}.{self.column} IN [{preview}])"
+
+
+class IndexIntersect(PhysicalOperator):
+    """Intersect RID sets from several nonclustered indexes, then fetch.
+
+    The risky plan of Experiment 1: index leaf scans are cheap, but the
+    final fetch is one random I/O per surviving RID.
+    """
+
+    def __init__(
+        self,
+        table_name: str,
+        conditions: Sequence[IndexCondition],
+        residual: Expr | None = None,
+    ) -> None:
+        if len(conditions) < 2:
+            raise ExecutionError("IndexIntersect needs at least two conditions")
+        self.table_name = table_name
+        self.conditions = list(conditions)
+        self.residual = residual
+
+    def execute(self, ctx: ExecutionContext) -> Frame:
+        table = ctx.database.table(self.table_name)
+        rid_sets: list[np.ndarray] = []
+        for condition in self.conditions:
+            index = ctx.database.sorted_index(self.table_name, condition.column)
+            if index is None:
+                raise ExecutionError(
+                    f"no index on {self.table_name}.{condition.column}"
+                )
+            rids = index.lookup_range(
+                condition.low,
+                condition.high,
+                condition.low_inclusive,
+                condition.high_inclusive,
+            )
+            ctx.counters.index_lookups += 1
+            ctx.counters.index_entries += len(rids)
+            rid_sets.append(rids)
+        final = intersect_rid_sets(rid_sets)
+        ctx.counters.random_ios += len(final)
+        frame = Frame.from_table_rows(table, final)
+        if self.residual is not None:
+            ctx.counters.cpu_rows += frame.num_rows
+            frame = frame.mask(self.residual.evaluate(frame))
+        ctx.counters.rows_output += frame.num_rows
+        return frame
+
+    def label(self) -> str:
+        cols = ", ".join(c.column for c in self.conditions)
+        return f"IndexIntersect({self.table_name}: {cols})"

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while tests can
+assert on the specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CatalogError(ReproError):
+    """Schema, table, or database metadata is invalid or inconsistent."""
+
+
+class TypeMismatchError(CatalogError):
+    """A value or expression does not match the declared column type."""
+
+
+class ExpressionError(ReproError):
+    """An expression tree is malformed or cannot be evaluated."""
+
+
+class IndexError_(ReproError):
+    """An index is missing, stale, or was queried incorrectly."""
+
+
+class ExecutionError(ReproError):
+    """A physical plan could not be executed."""
+
+
+class StatisticsError(ReproError):
+    """Statistics (histograms, samples, synopses) are missing or invalid."""
+
+
+class EstimationError(ReproError):
+    """Cardinality estimation failed for a query expression."""
+
+
+class OptimizationError(ReproError):
+    """The optimizer could not produce a plan for a query."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with invalid parameters."""

@@ -1,0 +1,87 @@
+"""ASCII chart rendering for figure curves.
+
+The repository ships no plotting dependency, so figures render as
+Unicode terminal charts: multiple named series over a shared x-axis,
+one glyph per series. Used by the CLI and handy in notebooks and test
+output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+_GLYPHS = "ox+*#@%&"
+
+
+def render_ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[float],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    x_format: str = "{:.2%}",
+    y_format: str = "{:.1f}",
+) -> str:
+    """Render named y-series over shared ``x_values`` as text.
+
+    Each series is drawn with its own glyph; a legend follows the
+    chart. Points are nearest-cell rasterized; later series overdraw
+    earlier ones where they collide.
+    """
+    names = list(series)
+    if not names:
+        raise ReproError("render_ascii_chart needs at least one series")
+    if len(names) > len(_GLYPHS):
+        raise ReproError(f"at most {len(_GLYPHS)} series supported")
+    x = np.asarray(list(x_values), dtype=float)
+    if x.size < 2:
+        raise ReproError("need at least two x values")
+    columns = {}
+    for name in names:
+        y = np.asarray(list(series[name]), dtype=float)
+        if y.shape != x.shape:
+            raise ReproError(
+                f"series {name!r} has {y.size} points for {x.size} x values"
+            )
+        columns[name] = y
+
+    all_y = np.concatenate(list(columns.values()))
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(x.min()), float(x.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, name in zip(_GLYPHS, names):
+        y = columns[name]
+        cols = np.round((x - x_lo) / (x_hi - x_lo) * (width - 1)).astype(int)
+        rows = np.round((y - y_lo) / (y_hi - y_lo) * (height - 1)).astype(int)
+        for column, row in zip(cols, rows):
+            grid[height - 1 - row][column] = glyph
+
+    label_width = max(len(y_format.format(v)) for v in (y_lo, y_hi))
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_format.format(y_hi)
+        elif i == height - 1:
+            label = y_format.format(y_lo)
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    left = x_format.format(x_lo)
+    right = x_format.format(x_hi)
+    padding = max(0, width - len(left) - len(right))
+    lines.append(" " * (label_width + 2) + left + " " * padding + right)
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(_GLYPHS, names)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""One-command reproduction: regenerate every paper figure into a report.
+
+:func:`generate_report` runs the Section 5 analytical sweeps and the
+Section 6 experiment grids at a configurable scale and writes a single
+markdown report with every data series — the "reproduce the paper"
+artifact for people who don't want to read pytest output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis import (
+    figure2_plans,
+    high_crossover_model,
+    paper_default_model,
+    sample_size_tradeoff_curve,
+    threshold_sweep,
+    tradeoff_curve,
+)
+from repro.analysis.sweeps import DEFAULT_SELECTIVITIES, PAPER_THRESHOLDS
+from repro.core import SelectivityPosterior
+from repro.experiments.report import (
+    format_selectivity_table,
+    format_tradeoff_table,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads import (
+    PartCorrelationTemplate,
+    ShippingDatesTemplate,
+    StarConfig,
+    StarJoinTemplate,
+    TpchConfig,
+    build_star_database,
+    build_tpch_database,
+)
+
+
+@dataclass(frozen=True)
+class ReportConfig:
+    """Scale knobs for the report run."""
+
+    lineitem_rows: int = 30_000
+    fact_rows: int = 40_000
+    seeds: int = 4
+    sample_size: int = 500
+    points: int = 8
+
+
+def generate_report(
+    output_path: str | pathlib.Path,
+    config: ReportConfig | None = None,
+) -> pathlib.Path:
+    """Write the full figure-by-figure report to ``output_path``.
+
+    Returns the path written. Runtime is dominated by the Section 6
+    grids — about a minute at the default scale.
+    """
+    config = config or ReportConfig()
+    sections = ["# Reproduction report\n"]
+    sections.append(
+        "Regenerated with "
+        f"`lineitem_rows={config.lineitem_rows}`, "
+        f"`fact_rows={config.fact_rows}`, `seeds={config.seeds}`, "
+        f"`sample_size={config.sample_size}`.\n"
+    )
+
+    sections.append(_analytical_section())
+    sections.append(_experiment_sections(config))
+
+    path = pathlib.Path(output_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(sections))
+    return path
+
+
+# ----------------------------------------------------------------------
+def _analytical_section() -> str:
+    lines = ["## Section 5 (analytical, exact)\n"]
+
+    model = figure2_plans()
+    [crossover] = model.crossover_points()
+    posterior = SelectivityPosterior(50, 200)
+    lines.append(
+        f"**Figures 1–3.** Implied plan costs cross at {crossover:.1%}; "
+        f"percentile costs at T=50 %: "
+        f"{model.cost(0, posterior.ppf(0.5)):.1f} / "
+        f"{model.cost(1, posterior.ppf(0.5)):.1f}; at T=80 %: "
+        f"{model.cost(0, posterior.ppf(0.8)):.1f} / "
+        f"{model.cost(1, posterior.ppf(0.8)):.1f} "
+        "(paper: 30.2/31.5 and 33.5/31.9).\n"
+    )
+
+    worked = SelectivityPosterior(10, 100)
+    lines.append(
+        "**Figure 4.** Worked estimates at T=20/50/80 %: "
+        + " / ".join(f"{worked.ppf(t):.1%}" for t in (0.2, 0.5, 0.8))
+        + " (paper: 7.8 % / 10.1 % / 12.8 %).\n"
+    )
+
+    lines.append("**Figure 5.** Expected time (s) by threshold, n=1000:\n")
+    curves = threshold_sweep(paper_default_model(), 1000)
+    header = "| selectivity | " + " | ".join(
+        f"T={t:.0%}" for t in PAPER_THRESHOLDS
+    ) + " |"
+    lines.append(header)
+    lines.append("|" + "---|" * (len(PAPER_THRESHOLDS) + 1))
+    for i in range(0, len(DEFAULT_SELECTIVITIES), 2):
+        row = [f"{DEFAULT_SELECTIVITIES[i]:.2%}"] + [
+            f"{curves[t][i]:.1f}" for t in PAPER_THRESHOLDS
+        ]
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+
+    lines.append("**Figure 6.** Tradeoff points (n=1000):\n")
+    lines.append("| threshold | mean(s) | std(s) |")
+    lines.append("|---|---|---|")
+    for point in tradeoff_curve(paper_default_model(), 1000):
+        lines.append(
+            f"| {point.label} | {point.mean_time:.2f} | {point.std_time:.2f} |"
+        )
+    lines.append("")
+
+    lines.append("**Figures 7/12 (analytical).** Sample-size tradeoff, T=50 %:\n")
+    lines.append("| sample | mean(s) | std(s) |")
+    lines.append("|---|---|---|")
+    for point in sample_size_tradeoff_curve(paper_default_model()):
+        lines.append(
+            f"| {point.label} | {point.mean_time:.2f} | {point.std_time:.2f} |"
+        )
+    lines.append("")
+
+    grid = np.arange(0.0, 0.20001, 0.02)
+    high = threshold_sweep(
+        high_crossover_model(), 1000, thresholds=(0.05, 0.5, 0.95),
+        selectivities=grid,
+    )
+    spread = np.stack(list(high.values()))
+    worst = float(
+        ((spread.max(axis=0) - spread.min(axis=0)) / spread.mean(axis=0))[2:].max()
+    )
+    lines.append(
+        "**Figure 8.** At a ≈5.2 % crossover the T=5/50/95 % curves differ "
+        f"by at most {worst:.0%} beyond 2 % selectivity — thresholds barely "
+        "matter, as the paper argues.\n"
+    )
+    return "\n".join(lines)
+
+
+def _experiment_sections(config: ReportConfig) -> str:
+    lines = ["## Section 6 (simulated system experiments)\n"]
+
+    tpch = build_tpch_database(TpchConfig(num_lineitem=config.lineitem_rows, seed=7))
+
+    exp1 = ShippingDatesTemplate()
+    targets = list(np.linspace(0.0, 0.012, config.points))
+    params = exp1.params_for_targets(tpch, targets, step=4)
+    result = ExperimentRunner(
+        tpch, exp1, sample_size=config.sample_size, seeds=range(config.seeds)
+    ).run(params)
+    lines.append("### Experiment 1 / Figure 9\n")
+    lines.append("```")
+    lines.append(format_selectivity_table(result))
+    lines.append("")
+    lines.append(format_tradeoff_table(result))
+    lines.append("```\n")
+
+    exp2 = PartCorrelationTemplate()
+    targets = list(np.linspace(0.0, 0.010, config.points))
+    params = exp2.params_for_targets(tpch, targets, step=20)
+    result = ExperimentRunner(
+        tpch, exp2, sample_size=config.sample_size, seeds=range(config.seeds)
+    ).run(params)
+    lines.append("### Experiment 2 / Figure 10\n")
+    lines.append("```")
+    lines.append(format_selectivity_table(result))
+    lines.append("")
+    lines.append(format_tradeoff_table(result))
+    lines.append("```\n")
+
+    star_config = StarConfig(num_fact=config.fact_rows, seed=7)
+    star = build_star_database(star_config)
+    exp3 = StarJoinTemplate(star_config.num_dim)
+    shifts = np.linspace(100, 0, config.points).astype(int)
+    params = [
+        (int(s), exp3.true_selectivity(star, int(s))) for s in shifts
+    ]
+    result = ExperimentRunner(
+        star, exp3, sample_size=config.sample_size, seeds=range(config.seeds)
+    ).run(params)
+    lines.append("### Experiment 3 / Figure 11\n")
+    lines.append("```")
+    lines.append(format_selectivity_table(result))
+    lines.append("")
+    lines.append(format_tradeoff_table(result))
+    lines.append("```\n")
+
+    return "\n".join(lines)

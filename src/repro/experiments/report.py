@@ -1,0 +1,66 @@
+"""Text reports matching the paper's figure series.
+
+Each figure in Section 6 is either a time-vs-selectivity family of
+curves (subfigure a) or a mean-vs-std tradeoff scatter (subfigure b);
+these formatters print the same rows/series as aligned text tables.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+
+
+def format_selectivity_table(result: ExperimentResult) -> str:
+    """Time-vs-selectivity table: one row per selectivity, one column
+    per estimator configuration (Figures 9a, 10a, 11a)."""
+    configs = result.config_names
+    header = ["selectivity"] + configs
+    rows = [header]
+    for selectivity in result.selectivities:
+        row = [f"{selectivity:8.4%}"]
+        for config in configs:
+            row.append(f"{result.mean_time(config, selectivity):10.4f}")
+        rows.append(row)
+    return _align(rows, title=f"{result.template}: mean simulated time (s)")
+
+
+def format_tradeoff_table(result: ExperimentResult) -> str:
+    """Tradeoff table: mean vs std per configuration (Figures 9b–12)."""
+    rows = [["config", "mean_time", "std_time"]]
+    for point in result.tradeoff_points():
+        rows.append(
+            [point.label, f"{point.mean_time:10.4f}", f"{point.std_time:10.4f}"]
+        )
+    return _align(
+        rows, title=f"{result.template}: performance vs predictability"
+    )
+
+
+def selectivity_csv(result: ExperimentResult) -> str:
+    """The Figure-(a) series as CSV text (one row per selectivity)."""
+    configs = result.config_names
+    lines = [",".join(["selectivity"] + configs)]
+    for selectivity in result.selectivities:
+        cells = [f"{selectivity:.6f}"] + [
+            f"{result.mean_time(config, selectivity):.6f}" for config in configs
+        ]
+        lines.append(",".join(cells))
+    return "\n".join(lines)
+
+
+def tradeoff_csv(result: ExperimentResult) -> str:
+    """The Figure-(b) tradeoff points as CSV text."""
+    lines = ["config,mean_time,std_time"]
+    for point in result.tradeoff_points():
+        lines.append(f"{point.label},{point.mean_time:.6f},{point.std_time:.6f}")
+    return "\n".join(lines)
+
+
+def _align(rows: list[list[str]], title: str) -> str:
+    widths = [
+        max(len(row[i]) for row in rows) for i in range(len(rows[0]))
+    ]
+    lines = [title, "-" * len(title)]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Experiment execution: optimize and run query grids.
+
+The measurement protocol mirrors Section 6.2: for each random sample
+seed, rebuild the precomputed statistics; for each estimator
+configuration, optimize every query of the selectivity grid with that
+configuration and execute the chosen plan; record the simulated
+execution time. Results are averaged over seeds, because "cardinality
+estimation performance can vary depending on the particular random
+choice of tuples for the samples".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.tradeoff import TradeoffPoint, tradeoff_from_times
+from repro.catalog import Database
+from repro.core import (
+    CardinalityEstimator,
+    HistogramCardinalityEstimator,
+    RobustCardinalityEstimator,
+)
+from repro.cost import CostModel
+from repro.engine import ExecutionContext
+from repro.errors import ReproError
+from repro.optimizer import Optimizer
+from repro.stats import StatisticsManager
+from repro.workloads.templates import QueryTemplate
+
+#: The thresholds used throughout the paper's experiments.
+PAPER_THRESHOLDS = (0.05, 0.20, 0.50, 0.80, 0.95)
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """A named way to build an estimator from fresh statistics."""
+
+    name: str
+    build: Callable[[StatisticsManager], CardinalityEstimator]
+
+
+def default_configs(
+    thresholds: Sequence[float] = PAPER_THRESHOLDS,
+    include_histogram: bool = True,
+) -> list[EstimatorConfig]:
+    """Robust estimators at the paper's thresholds + histogram baseline."""
+    configs = [
+        EstimatorConfig(
+            name=f"T={threshold:.0%}",
+            build=lambda stats, t=threshold: RobustCardinalityEstimator(
+                stats, policy=t
+            ),
+        )
+        for threshold in thresholds
+    ]
+    if include_histogram:
+        configs.append(
+            EstimatorConfig(
+                name="Histograms",
+                build=lambda stats: HistogramCardinalityEstimator(stats),
+            )
+        )
+    return configs
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One optimized-and-executed query."""
+
+    config: str
+    param: int
+    selectivity: float
+    seed: int
+    time: float
+    plan: str
+    actual_rows: int
+
+
+@dataclass
+class ExperimentResult:
+    """All records of one experiment, with the paper's summaries."""
+
+    template: str
+    records: list[RunRecord] = field(default_factory=list)
+
+    @property
+    def config_names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.config, None)
+        return list(seen)
+
+    @property
+    def selectivities(self) -> list[float]:
+        return sorted({record.selectivity for record in self.records})
+
+    def mean_time(self, config: str, selectivity: float) -> float:
+        """Mean simulated time over seeds for one curve point."""
+        times = [
+            r.time
+            for r in self.records
+            if r.config == config and r.selectivity == selectivity
+        ]
+        if not times:
+            raise ReproError(f"no records for {config!r} at {selectivity}")
+        return float(np.mean(times))
+
+    def curve(self, config: str) -> list[tuple[float, float]]:
+        """The (selectivity, mean time) series for one configuration."""
+        return [
+            (selectivity, self.mean_time(config, selectivity))
+            for selectivity in self.selectivities
+        ]
+
+    def tradeoff_point(self, config: str) -> TradeoffPoint:
+        """Mean/std of time across all runs of one configuration."""
+        times = [r.time for r in self.records if r.config == config]
+        if not times:
+            raise ReproError(f"no records for {config!r}")
+        return tradeoff_from_times(config, times)
+
+    def tradeoff_points(self) -> list[TradeoffPoint]:
+        """One tradeoff point per configuration, in config order."""
+        return [self.tradeoff_point(name) for name in self.config_names]
+
+    def plan_counts(self, config: str) -> dict[str, int]:
+        """How often each plan shape was chosen by a configuration."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            if record.config == config:
+                counts[record.plan] = counts.get(record.plan, 0) + 1
+        return counts
+
+
+class ExperimentRunner:
+    """Drives one experiment scenario end to end."""
+
+    def __init__(
+        self,
+        database: Database,
+        template: QueryTemplate,
+        cost_model: CostModel | None = None,
+        sample_size: int = 500,
+        histogram_buckets: int = 250,
+        seeds: Sequence[int] = tuple(range(12)),
+    ) -> None:
+        self.database = database
+        self.template = template
+        self.cost_model = cost_model or CostModel()
+        self.sample_size = sample_size
+        self.histogram_buckets = histogram_buckets
+        self.seeds = list(seeds)
+
+    def run(
+        self,
+        params: Sequence[tuple[int, float]],
+        configs: Sequence[EstimatorConfig] | None = None,
+    ) -> ExperimentResult:
+        """Execute the full grid.
+
+        ``params`` holds ``(parameter, true selectivity)`` pairs, e.g.
+        from :meth:`QueryTemplate.params_for_targets`.
+        """
+        configs = list(configs) if configs is not None else default_configs()
+        result = ExperimentResult(template=self.template.name)
+        for seed in self.seeds:
+            statistics = StatisticsManager(self.database)
+            statistics.update_statistics(
+                sample_size=self.sample_size,
+                histogram_buckets=self.histogram_buckets,
+                seed=seed,
+            )
+            for config in configs:
+                estimator = config.build(statistics)
+                optimizer = Optimizer(self.database, estimator, self.cost_model)
+                for param, selectivity in params:
+                    record = self._run_one(
+                        optimizer, config.name, param, selectivity, seed
+                    )
+                    result.records.append(record)
+        return result
+
+    def _run_one(
+        self,
+        optimizer: Optimizer,
+        config_name: str,
+        param: int,
+        selectivity: float,
+        seed: int,
+    ) -> RunRecord:
+        query = self.template.instantiate(param)
+        planned = optimizer.optimize(query)
+        ctx = ExecutionContext(self.database)
+        output = planned.plan.execute(ctx)
+        simulated = self.cost_model.time_from_counters(ctx.counters)
+        return RunRecord(
+            config=config_name,
+            param=param,
+            selectivity=selectivity,
+            seed=seed,
+            time=simulated,
+            plan=_plan_shape(planned.plan),
+            actual_rows=output.num_rows,
+        )
+
+
+def _plan_shape(plan) -> str:
+    """A compact signature of the plan's operator tree."""
+    names = [type(op).__name__ for op in plan.walk()]
+    return ">".join(names)

@@ -1,0 +1,64 @@
+"""Expression trees with vectorized evaluation.
+
+Expressions evaluate against a :class:`Frame` (a bag of named numpy
+columns), so the *same* predicate object can run against a base table,
+an intermediate join result, or a precomputed join synopsis. That last
+case is the heart of the paper's estimator: selectivity is measured by
+evaluating the query predicate directly on a random sample, which works
+for "almost any type of query predicate, including arithmetic
+expressions, substring matches, etc." (Section 3.2).
+"""
+
+from repro.expressions.frame import Frame
+from repro.expressions.analysis import (
+    RangeCondition,
+    as_range_condition,
+    merge_range_conditions,
+    predicates_by_table,
+    split_conjuncts,
+    split_sargable,
+)
+from repro.expressions.render import to_sql
+from repro.expressions.expr import (
+    And,
+    Between,
+    BinaryArithmetic,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    Not,
+    Or,
+    StringContains,
+    StringStartsWith,
+    col,
+    conjunction,
+    lit,
+)
+
+__all__ = [
+    "And",
+    "Between",
+    "BinaryArithmetic",
+    "ColumnRef",
+    "Comparison",
+    "Expr",
+    "Frame",
+    "InList",
+    "Literal",
+    "Not",
+    "Or",
+    "RangeCondition",
+    "as_range_condition",
+    "merge_range_conditions",
+    "predicates_by_table",
+    "split_conjuncts",
+    "split_sargable",
+    "to_sql",
+    "StringContains",
+    "StringStartsWith",
+    "col",
+    "conjunction",
+    "lit",
+]

@@ -1,0 +1,171 @@
+"""Static analysis of predicate trees.
+
+The optimizer needs to know which conjuncts are *sargable* (resolvable
+by an index as a single-column range) and which predicates touch which
+tables; the histogram estimator needs per-column atoms to apply the
+attribute-value-independence combination. Both analyses live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.expressions.expr import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    conjunction,
+)
+
+
+def split_conjuncts(predicate: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, And):
+        return list(predicate.operands)
+    return [predicate]
+
+
+def predicates_by_table(predicate: Expr | None) -> dict[str, Expr]:
+    """Group conjuncts by the single table each references.
+
+    Conjuncts referencing zero or multiple tables are collected under
+    the key ``""`` (the caller decides how to treat them; for the SPJ
+    queries of the paper every selection references one table).
+    """
+    grouped: dict[str, list[Expr]] = {}
+    for conjunct in split_conjuncts(predicate):
+        tables = conjunct.tables()
+        key = tables.pop() if len(tables) == 1 else ""
+        grouped.setdefault(key, []).append(conjunct)
+    return {
+        table: combined
+        for table, conjuncts in grouped.items()
+        if (combined := conjunction(conjuncts)) is not None
+    }
+
+
+@dataclass(frozen=True)
+class RangeCondition:
+    """A sargable single-column range: ``low <= column <= high``.
+
+    ``low``/``high`` of ``None`` leave that side unbounded. Values are
+    raw literals (date strings not yet converted); consumers coerce
+    against the column's storage dtype.
+    """
+
+    table: str | None
+    column: str
+    low: object = None
+    high: object = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+
+    @property
+    def is_equality(self) -> bool:
+        """True when the range pins the column to a single value."""
+        return (
+            self.low is not None
+            and self.high is not None
+            and self.low == self.high
+            and self.low_inclusive
+            and self.high_inclusive
+        )
+
+
+def as_range_condition(conjunct: Expr) -> RangeCondition | None:
+    """Recognize ``column <op> literal`` / BETWEEN as a range condition.
+
+    Returns ``None`` for anything an index cannot resolve directly
+    (arithmetic, disjunctions, string matching, multi-column atoms).
+    """
+    if isinstance(conjunct, Between) and isinstance(conjunct.target, ColumnRef):
+        ref = conjunct.target
+        return RangeCondition(ref.table, ref.name, conjunct.low, conjunct.high)
+
+    if isinstance(conjunct, Comparison):
+        left, right, op = conjunct.left, conjunct.right, conjunct.op
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            left, right = right, left
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
+            return None
+        value = right.value
+        table, column = left.table, left.name
+        if op == "=":
+            return RangeCondition(table, column, value, value)
+        if op == "<":
+            return RangeCondition(table, column, None, value, high_inclusive=False)
+        if op == "<=":
+            return RangeCondition(table, column, None, value)
+        if op == ">":
+            return RangeCondition(table, column, value, None, low_inclusive=False)
+        if op == ">=":
+            return RangeCondition(table, column, value, None)
+        return None  # != is not sargable as a single range
+
+    return None
+
+
+def merge_range_conditions(
+    conditions: list[RangeCondition],
+) -> dict[tuple[str | None, str], RangeCondition]:
+    """Combine same-column ranges by intersection.
+
+    ``a >= 5 AND a < 9`` becomes one range ``[5, 9)``. Contradictory
+    ranges are kept as-is (an empty range is a valid, cheap plan).
+    """
+    merged: dict[tuple[str | None, str], RangeCondition] = {}
+    for condition in conditions:
+        key = (condition.table, condition.column)
+        if key not in merged:
+            merged[key] = condition
+            continue
+        current = merged[key]
+        low, low_inc = current.low, current.low_inclusive
+        if condition.low is not None and (low is None or condition.low > low):
+            low, low_inc = condition.low, condition.low_inclusive
+        elif condition.low is not None and condition.low == low:
+            low_inc = low_inc and condition.low_inclusive
+        high, high_inc = current.high, current.high_inclusive
+        if condition.high is not None and (high is None or condition.high < high):
+            high, high_inc = condition.high, condition.high_inclusive
+        elif condition.high is not None and condition.high == high:
+            high_inc = high_inc and condition.high_inclusive
+        merged[key] = RangeCondition(
+            condition.table, condition.column, low, high, low_inc, high_inc
+        )
+    return merged
+
+
+def split_sargable(
+    predicate: Expr | None,
+) -> tuple[list[RangeCondition], Expr | None]:
+    """Split a predicate into sargable ranges and the residual remainder.
+
+    Returns ``(ranges, residual)`` where AND-ing the ranges with the
+    residual is equivalent to the original predicate. IN-lists over a
+    column are treated as residual (they would need index OR-union,
+    which we do not generate).
+    """
+    ranges: list[RangeCondition] = []
+    residual: list[Expr] = []
+    for conjunct in split_conjuncts(predicate):
+        condition = as_range_condition(conjunct)
+        if condition is not None:
+            ranges.append(condition)
+        else:
+            residual.append(conjunct)
+    return ranges, conjunction(residual)
+
+
+def in_list_atoms(conjunct: Expr) -> tuple[ColumnRef, list] | None:
+    """Recognize ``column IN (v1, ..., vk)``, for histogram estimation."""
+    if isinstance(conjunct, InList) and isinstance(conjunct.target, ColumnRef):
+        return conjunct.target, list(conjunct.values)
+    return None

@@ -1,0 +1,444 @@
+"""Expression tree nodes and the fluent construction API.
+
+Construction reads naturally::
+
+    from repro.expressions import col
+
+    predicate = (
+        col("lineitem.l_shipdate").between("1997-07-01", "1997-09-30")
+        & (col("lineitem.l_quantity") > 25)
+    )
+
+Every node implements ``evaluate(frame) -> numpy array`` (boolean for
+predicates) and reports the columns and tables it references, which the
+optimizer uses to route predicates and the estimator uses to pick the
+right join synopsis.
+
+Because ``==`` on expressions builds a :class:`Comparison` (the SQL
+reading), expression nodes are not hashable and must not be placed in
+sets or used as dict keys; ``columns()`` therefore reports plain
+``(table, column)`` tuples.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.catalog.types import date_ordinal
+from repro.errors import ExpressionError
+from repro.expressions.frame import Frame
+
+#: A column reference as reported by ``Expr.columns()``:
+#: ``(table_name_or_None, column_name)``.
+ColumnKey = tuple[str | None, str]
+
+
+def _coerce_against(value: Any, array: np.ndarray) -> Any:
+    """Adapt a Python literal to the dtype of the column it meets.
+
+    The visible case is ISO date strings compared against DATE columns
+    (stored as int64 ordinals).
+    """
+    if isinstance(value, str) and array.dtype.kind in ("i", "u", "f"):
+        return date_ordinal(value)
+    return value
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        """Evaluate this expression over every row of ``frame``."""
+        raise NotImplementedError
+
+    def columns(self) -> set[ColumnKey]:
+        """All ``(table, column)`` pairs referenced by the expression."""
+        raise NotImplementedError
+
+    def tables(self) -> set[str]:
+        """Names of all tables referenced (qualified columns only)."""
+        return {table for table, _ in self.columns() if table is not None}
+
+    # Comparisons build predicates, so truth-testing an expression is
+    # almost always a bug ("if a == b" when "if a.same_as(b)" was meant).
+    def __bool__(self) -> bool:
+        raise ExpressionError(
+            "expressions have no truth value; evaluate(frame) them instead"
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- comparison operators ------------------------------------------
+    def __eq__(self, other) -> "Comparison":  # type: ignore[override]
+        return Comparison(self, _as_expr(other), "=")
+
+    def __ne__(self, other) -> "Comparison":  # type: ignore[override]
+        return Comparison(self, _as_expr(other), "!=")
+
+    def __lt__(self, other) -> "Comparison":
+        return Comparison(self, _as_expr(other), "<")
+
+    def __le__(self, other) -> "Comparison":
+        return Comparison(self, _as_expr(other), "<=")
+
+    def __gt__(self, other) -> "Comparison":
+        return Comparison(self, _as_expr(other), ">")
+
+    def __ge__(self, other) -> "Comparison":
+        return Comparison(self, _as_expr(other), ">=")
+
+    # -- arithmetic operators ------------------------------------------
+    def __add__(self, other) -> "BinaryArithmetic":
+        return BinaryArithmetic(self, _as_expr(other), "+")
+
+    def __radd__(self, other) -> "BinaryArithmetic":
+        return BinaryArithmetic(_as_expr(other), self, "+")
+
+    def __sub__(self, other) -> "BinaryArithmetic":
+        return BinaryArithmetic(self, _as_expr(other), "-")
+
+    def __rsub__(self, other) -> "BinaryArithmetic":
+        return BinaryArithmetic(_as_expr(other), self, "-")
+
+    def __mul__(self, other) -> "BinaryArithmetic":
+        return BinaryArithmetic(self, _as_expr(other), "*")
+
+    def __rmul__(self, other) -> "BinaryArithmetic":
+        return BinaryArithmetic(_as_expr(other), self, "*")
+
+    def __truediv__(self, other) -> "BinaryArithmetic":
+        return BinaryArithmetic(self, _as_expr(other), "/")
+
+    # -- boolean connectives -------------------------------------------
+    def __and__(self, other) -> "And":
+        return And([self, _as_expr(other)])
+
+    def __or__(self, other) -> "Or":
+        return Or([self, _as_expr(other)])
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    # -- fluent predicate helpers --------------------------------------
+    def between(self, low, high) -> "Between":
+        """Inclusive range predicate, like SQL BETWEEN."""
+        return Between(self, low, high)
+
+    def isin(self, values: Iterable) -> "InList":
+        """Membership predicate, like SQL IN."""
+        return InList(self, list(values))
+
+    def contains(self, substring: str) -> "StringContains":
+        """Substring-match predicate, like SQL LIKE '%s%'."""
+        return StringContains(self, substring)
+
+    def startswith(self, prefix: str) -> "StringStartsWith":
+        """Prefix-match predicate, like SQL LIKE 's%'."""
+        return StringStartsWith(self, prefix)
+
+
+def _as_expr(value) -> Expr:
+    return value if isinstance(value, Expr) else Literal(value)
+
+
+class ColumnRef(Expr):
+    """A reference to ``table.column`` (or an unqualified ``column``)."""
+
+    def __init__(self, table: str | None, name: str) -> None:
+        if not name:
+            raise ExpressionError("column name must be non-empty")
+        self.table = table
+        self.name = name
+
+    @property
+    def qualified(self) -> str:
+        """``table.column`` when qualified, else the bare name."""
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+    @property
+    def key(self) -> ColumnKey:
+        """The ``(table, column)`` tuple identifying this reference."""
+        return (self.table, self.name)
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        return frame.column(self.qualified)
+
+    def columns(self) -> set[ColumnKey]:
+        return {self.key}
+
+    def same_as(self, other: "ColumnRef") -> bool:
+        """Structural identity (``==`` builds a predicate instead)."""
+        return (
+            isinstance(other, ColumnRef)
+            and self.table == other.table
+            and self.name == other.name
+        )
+
+    def __repr__(self) -> str:
+        return self.qualified
+
+
+class Literal(Expr):
+    """A constant broadcast to every row."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        return np.full(frame.num_rows, self.value)
+
+    def columns(self) -> set[ColumnKey]:
+        return set()
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], np.ndarray]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], np.ndarray]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+class Comparison(Expr):
+    """A binary comparison yielding a boolean column."""
+
+    def __init__(self, left: Expr, right: Expr, op: str) -> None:
+        if op not in _COMPARATORS:
+            raise ExpressionError(f"unknown comparison operator {op!r}")
+        self.left = left
+        self.right = right
+        self.op = op
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        left = self.left.evaluate(frame)
+        right = self.right.evaluate(frame)
+        if isinstance(self.right, Literal):
+            right = np.full(frame.num_rows, _coerce_against(self.right.value, left))
+        if isinstance(self.left, Literal):
+            left = np.full(frame.num_rows, _coerce_against(self.left.value, right))
+        result = _COMPARATORS[self.op](left, right)
+        return np.asarray(result, dtype=bool)
+
+    def columns(self) -> set[ColumnKey]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class BinaryArithmetic(Expr):
+    """Element-wise arithmetic between two expressions."""
+
+    def __init__(self, left: Expr, right: Expr, op: str) -> None:
+        if op not in _ARITHMETIC:
+            raise ExpressionError(f"unknown arithmetic operator {op!r}")
+        self.left = left
+        self.right = right
+        self.op = op
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        left = self.left.evaluate(frame)
+        right = self.right.evaluate(frame)
+        return _ARITHMETIC[self.op](left, right)
+
+    def columns(self) -> set[ColumnKey]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Between(Expr):
+    """Inclusive range predicate over an expression."""
+
+    def __init__(self, target: Expr, low, high) -> None:
+        self.target = target
+        self.low = low
+        self.high = high
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        values = self.target.evaluate(frame)
+        low = _coerce_against(self.low, values)
+        high = _coerce_against(self.high, values)
+        return (values >= low) & (values <= high)
+
+    def columns(self) -> set[ColumnKey]:
+        return self.target.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.target!r} BETWEEN {self.low!r} AND {self.high!r})"
+
+
+class InList(Expr):
+    """Membership predicate over an explicit value list."""
+
+    def __init__(self, target: Expr, values: Sequence) -> None:
+        if not len(values):
+            raise ExpressionError("IN list must be non-empty")
+        self.target = target
+        self.values = list(values)
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        column = self.target.evaluate(frame)
+        coerced = [_coerce_against(v, column) for v in self.values]
+        return np.isin(column, coerced)
+
+    def columns(self) -> set[ColumnKey]:
+        return self.target.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.target!r} IN {self.values!r})"
+
+
+class StringContains(Expr):
+    """Substring-match predicate (SQL ``LIKE '%needle%'``)."""
+
+    def __init__(self, target: Expr, substring: str) -> None:
+        self.target = target
+        self.substring = substring
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        values = self.target.evaluate(frame)
+        return np.char.find(values.astype(np.str_), self.substring) >= 0
+
+    def columns(self) -> set[ColumnKey]:
+        return self.target.columns()
+
+    def __repr__(self) -> str:
+        return f"contains({self.target!r}, {self.substring!r})"
+
+
+class StringStartsWith(Expr):
+    """Prefix-match predicate (SQL ``LIKE 'prefix%'``)."""
+
+    def __init__(self, target: Expr, prefix: str) -> None:
+        self.target = target
+        self.prefix = prefix
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        values = self.target.evaluate(frame)
+        return np.char.startswith(values.astype(np.str_), self.prefix)
+
+    def columns(self) -> set[ColumnKey]:
+        return self.target.columns()
+
+    def __repr__(self) -> str:
+        return f"startswith({self.target!r}, {self.prefix!r})"
+
+
+class And(Expr):
+    """Conjunction of predicates (nested ANDs are flattened)."""
+
+    def __init__(self, operands: Sequence[Expr]) -> None:
+        flattened: list[Expr] = []
+        for operand in operands:
+            if isinstance(operand, And):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        if not flattened:
+            raise ExpressionError("AND requires at least one operand")
+        self.operands = flattened
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        result = np.ones(frame.num_rows, dtype=bool)
+        for operand in self.operands:
+            result &= np.asarray(operand.evaluate(frame), dtype=bool)
+            if not result.any():
+                break
+        return result
+
+    def columns(self) -> set[ColumnKey]:
+        refs: set[ColumnKey] = set()
+        for operand in self.operands:
+            refs |= operand.columns()
+        return refs
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(o) for o in self.operands) + ")"
+
+
+class Or(Expr):
+    """Disjunction of predicates (nested ORs are flattened)."""
+
+    def __init__(self, operands: Sequence[Expr]) -> None:
+        flattened: list[Expr] = []
+        for operand in operands:
+            if isinstance(operand, Or):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        if not flattened:
+            raise ExpressionError("OR requires at least one operand")
+        self.operands = flattened
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        result = np.zeros(frame.num_rows, dtype=bool)
+        for operand in self.operands:
+            result |= np.asarray(operand.evaluate(frame), dtype=bool)
+        return result
+
+    def columns(self) -> set[ColumnKey]:
+        refs: set[ColumnKey] = set()
+        for operand in self.operands:
+            refs |= operand.columns()
+        return refs
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(o) for o in self.operands) + ")"
+
+
+class Not(Expr):
+    """Negation of a predicate."""
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        return ~np.asarray(self.operand.evaluate(frame), dtype=bool)
+
+    def columns(self) -> set[ColumnKey]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"NOT {self.operand!r}"
+
+
+def col(qualified_name: str) -> ColumnRef:
+    """Build a column reference from ``"table.column"`` or ``"column"``."""
+    if "." in qualified_name:
+        table, _, name = qualified_name.partition(".")
+        if not table or not name:
+            raise ExpressionError(f"malformed column reference: {qualified_name!r}")
+        return ColumnRef(table, name)
+    return ColumnRef(None, qualified_name)
+
+
+def lit(value) -> Literal:
+    """Build a literal expression."""
+    return Literal(value)
+
+
+def conjunction(predicates: Sequence[Expr | None]) -> Expr | None:
+    """AND together the non-``None`` predicates; ``None`` when empty."""
+    present = [p for p in predicates if p is not None]
+    if not present:
+        return None
+    if len(present) == 1:
+        return present[0]
+    return And(present)

@@ -1,0 +1,109 @@
+"""Frames: named numpy columns flowing between operators.
+
+A frame maps *qualified* column names (``table.column``) to arrays of
+equal length. Frames are produced by scans, joins, samples, and join
+synopses; expressions evaluate against them.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ExpressionError
+
+
+class Frame:
+    """An ordered mapping of qualified column names to numpy arrays."""
+
+    def __init__(self, columns: Mapping[str, np.ndarray]) -> None:
+        self._columns: dict[str, np.ndarray] = dict(columns)
+        lengths = {len(array) for array in self._columns.values()}
+        if len(lengths) > 1:
+            raise ExpressionError(f"ragged frame (lengths {sorted(lengths)})")
+        self._num_rows = lengths.pop() if lengths else 0
+
+    @classmethod
+    def from_table(cls, table) -> "Frame":
+        """Build a frame over a whole table with qualified names."""
+        return cls(
+            {table.qualified(name): table.column(name) for name in table.schema.column_names}
+        )
+
+    @classmethod
+    def from_table_rows(cls, table, row_ids: np.ndarray) -> "Frame":
+        """Build a frame over selected rows of a table."""
+        return cls(
+            {
+                table.qualified(name): array
+                for name, array in table.take(row_ids).items()
+            }
+        )
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return self._num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        """Qualified column names in insertion order."""
+        return list(self._columns)
+
+    def column(self, qualified_name: str) -> np.ndarray:
+        """Return the array stored under ``qualified_name``.
+
+        As a convenience, an unqualified name resolves when exactly one
+        frame column has that suffix.
+        """
+        if qualified_name in self._columns:
+            return self._columns[qualified_name]
+        suffix = f".{qualified_name}"
+        matches = [name for name in self._columns if name.endswith(suffix)]
+        if len(matches) == 1:
+            return self._columns[matches[0]]
+        if len(matches) > 1:
+            raise ExpressionError(
+                f"ambiguous column {qualified_name!r}: matches {matches}"
+            )
+        raise ExpressionError(
+            f"no column {qualified_name!r} in frame with {self.column_names}"
+        )
+
+    def __contains__(self, qualified_name: str) -> bool:
+        try:
+            self.column(qualified_name)
+        except ExpressionError:
+            return False
+        return True
+
+    def mask(self, keep: np.ndarray) -> "Frame":
+        """Return a new frame with only the rows where ``keep`` is True."""
+        if keep.dtype != np.bool_ or len(keep) != self._num_rows:
+            raise ExpressionError("mask must be a boolean array of frame length")
+        return Frame({name: array[keep] for name, array in self._columns.items()})
+
+    def take(self, row_ids: np.ndarray) -> "Frame":
+        """Return a new frame with rows gathered by position."""
+        return Frame({name: array[row_ids] for name, array in self._columns.items()})
+
+    def select(self, names: list[str]) -> "Frame":
+        """Return a new frame with only the listed (qualified) columns."""
+        return Frame({name: self.column(name) for name in names})
+
+    def merged_with(self, other: "Frame") -> "Frame":
+        """Column-wise concatenation of two row-aligned frames."""
+        if other.num_rows != self._num_rows:
+            raise ExpressionError(
+                f"cannot merge frames of {self._num_rows} and {other.num_rows} rows"
+            )
+        overlap = set(self._columns) & set(other._columns)
+        if overlap:
+            raise ExpressionError(f"duplicate columns when merging: {sorted(overlap)}")
+        combined = dict(self._columns)
+        combined.update(other._columns)
+        return Frame(combined)
+
+    def __repr__(self) -> str:
+        return f"Frame(rows={self._num_rows}, columns={self.column_names})"

@@ -1,0 +1,69 @@
+"""Rendering expression trees back to SQL text.
+
+``to_sql(expr)`` produces text that :func:`repro.sql.parse_predicate`
+parses back into an equivalent tree — used for debugging, logging, and
+the round-trip property tests that fuzz the parser.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExpressionError
+from repro.expressions.expr import (
+    And,
+    Between,
+    BinaryArithmetic,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    Not,
+    Or,
+    StringContains,
+    StringStartsWith,
+)
+
+
+def _literal(value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        if "'" in value:
+            raise ExpressionError(
+                f"cannot render string with quotes to SQL: {value!r}"
+            )
+        return f"'{escaped}'"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return repr(value)
+
+
+def to_sql(expression: Expr) -> str:
+    """Render ``expression`` as SQL text (parenthesized, unambiguous)."""
+    if isinstance(expression, ColumnRef):
+        return expression.qualified
+    if isinstance(expression, Literal):
+        return _literal(expression.value)
+    if isinstance(expression, Comparison):
+        operator = "<>" if expression.op == "!=" else expression.op
+        return f"({to_sql(expression.left)} {operator} {to_sql(expression.right)})"
+    if isinstance(expression, BinaryArithmetic):
+        return f"({to_sql(expression.left)} {expression.op} {to_sql(expression.right)})"
+    if isinstance(expression, Between):
+        return (
+            f"({to_sql(expression.target)} BETWEEN "
+            f"{_literal(expression.low)} AND {_literal(expression.high)})"
+        )
+    if isinstance(expression, InList):
+        values = ", ".join(_literal(v) for v in expression.values)
+        return f"({to_sql(expression.target)} IN ({values}))"
+    if isinstance(expression, StringContains):
+        return f"({to_sql(expression.target)} LIKE '%{expression.substring}%')"
+    if isinstance(expression, StringStartsWith):
+        return f"({to_sql(expression.target)} LIKE '{expression.prefix}%')"
+    if isinstance(expression, And):
+        return "(" + " AND ".join(to_sql(o) for o in expression.operands) + ")"
+    if isinstance(expression, Or):
+        return "(" + " OR ".join(to_sql(o) for o in expression.operands) + ")"
+    if isinstance(expression, Not):
+        return f"(NOT {to_sql(expression.operand)})"
+    raise ExpressionError(f"cannot render {type(expression).__name__} to SQL")

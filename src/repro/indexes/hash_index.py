@@ -1,0 +1,63 @@
+"""Hash index: equality lookups from key to row ids.
+
+Used for primary-key lookups when building join synopses and for the
+inner side of indexed nested-loop joins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+
+class HashIndex:
+    """Maps each distinct key to the numpy array of RIDs holding it."""
+
+    def __init__(self, values: np.ndarray) -> None:
+        if values.ndim != 1:
+            raise IndexError_("HashIndex requires a 1-D column")
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        boundaries = np.flatnonzero(sorted_values[1:] != sorted_values[:-1]) + 1
+        groups = np.split(order.astype(np.int64), boundaries)
+        starts = np.concatenate(([0], boundaries)) if len(values) else []
+        self._buckets: dict = {}
+        for start, rids in zip(starts, groups):
+            self._buckets[sorted_values[start].item()] = rids
+        self._num_entries = len(values)
+
+    @property
+    def num_entries(self) -> int:
+        """Number of indexed rows."""
+        return self._num_entries
+
+    @property
+    def num_keys(self) -> int:
+        """Number of distinct keys."""
+        return len(self._buckets)
+
+    def lookup(self, value) -> np.ndarray:
+        """RIDs whose key equals ``value`` (empty array when absent)."""
+        if hasattr(value, "item"):
+            value = value.item()
+        return self._buckets.get(value, _EMPTY)
+
+    def lookup_many(self, values: np.ndarray) -> np.ndarray:
+        """Concatenated RIDs for every value in ``values``.
+
+        Duplicate input values contribute their RIDs once per occurrence,
+        matching nested-loop join semantics.
+        """
+        hits = [self.lookup(value) for value in values]
+        if not hits:
+            return _EMPTY
+        return np.concatenate(hits)
+
+    def __contains__(self, value) -> bool:
+        if hasattr(value, "item"):
+            value = value.item()
+        return value in self._buckets
+
+
+_EMPTY = np.empty(0, dtype=np.int64)

@@ -1,0 +1,40 @@
+"""RID-set algebra for index-intersection and semijoin plans.
+
+An index-intersection plan (paper Section 2.1) resolves each predicate
+to a RID set via a secondary index, intersects the sets, and fetches
+only the surviving rows. The star-semijoin plan of Experiment 3 does
+the same across foreign-key indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def intersect_rid_sets(rid_sets: Sequence[np.ndarray]) -> np.ndarray:
+    """Intersect RID arrays, returning sorted unique RIDs.
+
+    Intersection proceeds smallest-set-first so the work is bounded by
+    the most selective predicate, as a real executor would do.
+    """
+    if not rid_sets:
+        return _EMPTY
+    ordered = sorted(rid_sets, key=len)
+    result = np.unique(ordered[0])
+    for rids in ordered[1:]:
+        if not len(result):
+            return _EMPTY
+        result = np.intersect1d(result, rids, assume_unique=False)
+    return result
+
+
+def union_rid_lists(rid_lists: Iterable[np.ndarray]) -> np.ndarray:
+    """Union RID arrays, returning sorted unique RIDs."""
+    chunks = [rids for rids in rid_lists if len(rids)]
+    if not chunks:
+        return _EMPTY
+    return np.unique(np.concatenate(chunks))

@@ -1,0 +1,26 @@
+"""The query optimizer: System-R dynamic programming over SPJ queries.
+
+The optimizer is deliberately conventional — bottom-up join
+enumeration, access-path selection, cost-based pruning with interesting
+orders — because the paper's thesis is that robustness can be added
+*without* restructuring the optimizer: only the cardinality estimation
+module changes. The estimator is a constructor argument; swap
+:class:`~repro.core.HistogramCardinalityEstimator` for
+:class:`~repro.core.RobustCardinalityEstimator` and every other
+component stays identical.
+"""
+
+from repro.optimizer.query import SPJQuery
+from repro.optimizer.candidates import PlanCandidate
+from repro.optimizer.optimizer import Optimizer, PlannedQuery
+from repro.optimizer.costing import PlanCoster
+from repro.optimizer.lec import LeastExpectedCostOptimizer
+
+__all__ = [
+    "LeastExpectedCostOptimizer",
+    "Optimizer",
+    "PlanCandidate",
+    "PlanCoster",
+    "PlannedQuery",
+    "SPJQuery",
+]

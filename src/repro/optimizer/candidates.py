@@ -1,0 +1,57 @@
+"""Plan candidates tracked during dynamic-programming enumeration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine import PhysicalOperator
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """A costed physical plan for some subset of the query's tables.
+
+    Attributes
+    ----------
+    operator:
+        The executable plan subtree.
+    tables:
+        Relations covered by the subtree.
+    rows:
+        Estimated output cardinality.
+    cost:
+        Estimated cumulative cost, in simulated seconds.
+    order:
+        Qualified column the output is sorted on (``None`` when the
+        order is unknown/uninteresting) — the System-R "interesting
+        order" used to admit merge joins without a sort operator.
+    """
+
+    operator: PhysicalOperator
+    tables: frozenset[str]
+    rows: float
+    cost: float
+    order: str | None = None
+
+    def annotated(self) -> "PlanCandidate":
+        """Copy estimates onto the operator tree for ``explain`` output."""
+        self.operator.est_rows = self.rows
+        self.operator.est_cost = self.cost
+        return self
+
+
+def keep_best(candidates: list[PlanCandidate]) -> dict[str | None, PlanCandidate]:
+    """Prune to the cheapest candidate per interesting order.
+
+    A candidate with order ``o`` survives only if it is the cheapest
+    among candidates with that order, and additionally the orderless
+    slot holds the globally cheapest plan.
+    """
+    best: dict[str | None, PlanCandidate] = {}
+    for candidate in candidates:
+        slot = candidate.order
+        if slot not in best or candidate.cost < best[slot].cost:
+            best[slot] = candidate
+        if None not in best or candidate.cost < best[None].cost:
+            best[None] = candidate
+    return best

@@ -1,0 +1,132 @@
+"""Join-candidate generation between two planned subsets."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine import HashJoin, IndexedNLJoin, MergeJoin, Sort
+from repro.optimizer.candidates import PlanCandidate
+from repro.optimizer.query import JoinEdge
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimizer.optimizer import PlanningContext
+
+
+def join_candidates(
+    ctx: "PlanningContext",
+    left: PlanCandidate,
+    right: PlanCandidate,
+    edge: JoinEdge,
+    out_rows: float,
+) -> list[PlanCandidate]:
+    """All join methods combining ``left`` and ``right`` along ``edge``."""
+    tables = left.tables | right.tables
+    left_key, right_key = _keys_for(edge, left, right)
+    candidates: list[PlanCandidate] = []
+    model = ctx.model
+
+    # Hash join: build on the smaller estimated input.
+    if left.rows <= right.rows:
+        build, probe, build_key, probe_key = left, right, left_key, right_key
+    else:
+        build, probe, build_key, probe_key = right, left, right_key, left_key
+    cost = (
+        build.cost
+        + probe.cost
+        + model.hash_join(build.rows, probe.rows, out_rows)
+    )
+    operator = HashJoin(build.operator, probe.operator, build_key, probe_key)
+    candidates.append(
+        PlanCandidate(operator, tables, out_rows, cost, None).annotated()
+    )
+
+    # Merge join: both inputs already ordered on their join keys.
+    if left.order == left_key and right.order == right_key:
+        cost = left.cost + right.cost + model.merge_join(left.rows, right.rows, out_rows)
+        operator = MergeJoin(left.operator, right.operator, left_key, right_key)
+        candidates.append(
+            PlanCandidate(operator, tables, out_rows, cost, left_key).annotated()
+        )
+    else:
+        # Sort-merge: explicitly sort whichever side is out of order.
+        left_op, left_sort_cost = _sorted_input(model, left, left_key)
+        right_op, right_sort_cost = _sorted_input(model, right, right_key)
+        cost = (
+            left.cost
+            + right.cost
+            + left_sort_cost
+            + right_sort_cost
+            + model.merge_join(left.rows, right.rows, out_rows)
+        )
+        operator = MergeJoin(left_op, right_op, left_key, right_key)
+        candidates.append(
+            PlanCandidate(operator, tables, out_rows, cost, left_key).annotated()
+        )
+
+    # Indexed nested-loop joins: either side can be the inner base
+    # table if it has an index on its join column.
+    candidates.extend(_indexed_nl(ctx, left, right, left_key, right_key, out_rows))
+    candidates.extend(_indexed_nl(ctx, right, left, right_key, left_key, out_rows))
+    return candidates
+
+
+def _sorted_input(ctx_model, side: PlanCandidate, key: str):
+    """Wrap ``side`` in a Sort when it is not already ordered on ``key``."""
+    if side.order == key:
+        return side.operator, 0.0
+    return Sort(side.operator, key), ctx_model.sort(side.rows)
+
+
+def _keys_for(
+    edge: JoinEdge, left: PlanCandidate, right: PlanCandidate
+) -> tuple[str, str]:
+    """Qualified join columns of the edge, matched to each side."""
+    if edge.child in left.tables:
+        return edge.child_column, edge.parent_column
+    return edge.parent_column, edge.child_column
+
+
+def _indexed_nl(
+    ctx: "PlanningContext",
+    outer: PlanCandidate,
+    inner: PlanCandidate,
+    outer_key: str,
+    inner_key: str,
+    out_rows: float,
+) -> list[PlanCandidate]:
+    """An indexed NL join with ``inner`` as the probed base table."""
+    if len(inner.tables) != 1:
+        return []
+    inner_table = next(iter(inner.tables))
+    inner_column = inner_key.split(".", 1)[1]
+    if not ctx.database.has_index(inner_table, inner_column):
+        return []
+
+    # Rows fetched through the index: the join of the outer result with
+    # the raw inner table — the inner predicate has not yet applied.
+    matched = ctx.card(
+        outer.tables | inner.tables, ctx.pred_for(outer.tables)
+    ).cardinality
+    residual = ctx.pred_for(frozenset([inner_table]))
+    table = ctx.database.table(inner_table)
+    clustered = ctx.database.clustering_column(inner_table) == inner_column
+    cost = outer.cost + ctx.model.indexed_nl_join(
+        outer.rows,
+        matched,
+        out_rows,
+        clustered,
+        table.rows_per_page,
+        residual is not None,
+    )
+    operator = IndexedNLJoin(
+        outer.operator, inner_table, outer_key, inner_column, residual
+    )
+    return [
+        PlanCandidate(
+            operator,
+            outer.tables | inner.tables,
+            out_rows,
+            cost,
+            outer.order,
+        ).annotated()
+    ]

@@ -1,0 +1,323 @@
+"""The optimizer driver: bottom-up dynamic programming over table subsets.
+
+This is a miniature System-R optimizer. The one departure from the
+classical design is intentional and is the paper's point: cardinality
+estimation is behind an interface, so the robust Bayesian estimator
+drops in without touching enumeration, costing, or search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.catalog import Database
+from repro.core import (
+    CardinalityEstimate,
+    CardinalityEstimator,
+    GroupCountEstimator,
+    RobustCardinalityEstimator,
+)
+from repro.cost import CostModel
+from repro.engine import HashAggregate, Limit, PhysicalOperator, Project, Sort
+from repro.engine.relops import Filter
+from repro.errors import OptimizationError
+from repro.expressions import Expr, conjunction
+from repro.optimizer.access import access_paths
+from repro.optimizer.candidates import PlanCandidate, keep_best
+from repro.optimizer.joins import join_candidates
+from repro.optimizer.query import SPJQuery
+from repro.optimizer.star import detect_star, star_candidates
+
+
+class PlanningContext:
+    """Per-query state shared by the candidate generators.
+
+    Wraps the estimator behind a memoizing ``card`` oracle (the paper's
+    "subroutine calls to the cardinality estimation module", Section
+    3.4) and routes per-table predicates.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        model: CostModel,
+        estimator: CardinalityEstimator,
+        query: SPJQuery,
+    ) -> None:
+        self.database = database
+        self.model = model
+        self.estimator = estimator
+        self.query = query
+        per_table = query.predicates_per_table()
+        self.cross_predicate = per_table.pop("", None)
+        self.per_table = per_table
+        self._cache: dict[tuple[frozenset, str], CardinalityEstimate] = {}
+        self.estimation_calls = 0
+
+    def pred_for(self, tables: frozenset) -> Expr | None:
+        """Conjunction of the per-table predicates of ``tables``."""
+        return conjunction([self.per_table.get(name) for name in sorted(tables)])
+
+    def card(self, tables: frozenset, predicate: Expr | None) -> CardinalityEstimate:
+        """Memoized cardinality estimate for an SPJ subexpression."""
+        key = (frozenset(tables), repr(predicate))
+        if key not in self._cache:
+            self.estimation_calls += 1
+            self._cache[key] = self.estimator.estimate(
+                tables, predicate, hint=self.query.hint
+            )
+        return self._cache[key]
+
+
+@dataclass(eq=False)
+class PlannedQuery:
+    """The optimizer's output: an executable plan plus its estimates."""
+
+    query: SPJQuery
+    plan: PhysicalOperator
+    estimated_cost: float
+    estimated_rows: float
+    #: Every full-coverage candidate considered, cheapest first.
+    alternatives: list[PlanCandidate]
+    #: Number of estimator invocations during planning.
+    estimation_calls: int
+    #: Every cardinality estimate produced during planning, keyed by
+    #: (table set, predicate repr) — exposes posteriors for diagnostics.
+    estimates: dict = None
+
+    def explain(self) -> str:
+        """Human-readable plan tree with estimates."""
+        return self.plan.explain()
+
+
+class Optimizer:
+    """Cost-based SPJ optimizer with a pluggable cardinality estimator.
+
+    Parameters
+    ----------
+    database:
+        The catalog to plan against.
+    estimator:
+        Any :class:`~repro.core.CardinalityEstimator`.
+    cost_model:
+        Cost coefficients; defaults mirror the paper's analytical model.
+    enable_star_plans:
+        Generate the Experiment-3 semijoin/hybrid star strategies.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        estimator: CardinalityEstimator,
+        cost_model: CostModel | None = None,
+        enable_star_plans: bool = True,
+    ) -> None:
+        self.database = database
+        self.estimator = estimator
+        self.cost_model = cost_model or CostModel()
+        self.enable_star_plans = enable_star_plans
+
+    # ------------------------------------------------------------------
+    def optimize(self, query: SPJQuery) -> PlannedQuery:
+        """Choose the cheapest physical plan for ``query``."""
+        query.validate(self.database)
+        ctx = PlanningContext(self.database, self.cost_model, self.estimator, query)
+
+        full_set = frozenset(query.tables)
+        best_per_subset = self._enumerate_joins(ctx, query)
+        finalists = list(best_per_subset[full_set].values())
+
+        if self.enable_star_plans:
+            specs = detect_star(ctx, query)
+            if specs is not None:
+                out_rows = ctx.card(full_set, ctx.pred_for(full_set)).cardinality
+                finalists.extend(star_candidates(ctx, query, specs, out_rows))
+
+        finalists = self._dedupe(finalists)
+        finalists.sort(key=lambda candidate: candidate.cost)
+        if not finalists:
+            raise OptimizationError(f"no plan found for {query}")
+        best = finalists[0]
+
+        plan, cost, rows = self.finalize_candidate(ctx, query, best)
+        return PlannedQuery(
+            query=query,
+            plan=plan,
+            estimated_cost=cost,
+            estimated_rows=rows,
+            alternatives=finalists,
+            estimation_calls=ctx.estimation_calls,
+            estimates=dict(ctx._cache),
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic programming
+    # ------------------------------------------------------------------
+    def _enumerate_joins(
+        self, ctx: PlanningContext, query: SPJQuery
+    ) -> dict[frozenset, dict[str | None, PlanCandidate]]:
+        tables = list(query.tables)
+        edges = query.join_edges(self.database)
+        adjacency: dict[str, set[str]] = {name: set() for name in tables}
+        for edge in edges:
+            adjacency[edge.child].add(edge.parent)
+            adjacency[edge.parent].add(edge.child)
+
+        plans: dict[frozenset, dict[str | None, PlanCandidate]] = {}
+        for name in tables:
+            singleton = frozenset([name])
+            candidates = access_paths(
+                self.database,
+                self.cost_model,
+                ctx.card,
+                name,
+                ctx.pred_for(singleton),
+            )
+            plans[singleton] = keep_best(candidates)
+
+        for size in range(2, len(tables) + 1):
+            for subset_tuple in combinations(tables, size):
+                subset = frozenset(subset_tuple)
+                if not self._connected(subset, adjacency):
+                    continue
+                out_rows = ctx.card(subset, ctx.pred_for(subset)).cardinality
+                candidates: list[PlanCandidate] = []
+                for left_set, right_set in self._partitions(subset):
+                    if left_set not in plans or right_set not in plans:
+                        continue
+                    crossing = [
+                        e
+                        for e in edges
+                        if (e.child in left_set and e.parent in right_set)
+                        or (e.child in right_set and e.parent in left_set)
+                    ]
+                    if len(crossing) != 1:
+                        continue  # tree partitions cross exactly one edge
+                    edge = crossing[0]
+                    for left in plans[left_set].values():
+                        for right in plans[right_set].values():
+                            candidates.extend(
+                                join_candidates(ctx, left, right, edge, out_rows)
+                            )
+                if candidates:
+                    plans[subset] = keep_best(candidates)
+
+        full_set = frozenset(tables)
+        if full_set not in plans:
+            raise OptimizationError(
+                f"could not connect tables {sorted(full_set)} by FK joins"
+            )
+        return plans
+
+    def _partitions(self, subset: frozenset):
+        """Unordered two-way partitions, with connected halves only."""
+        items = sorted(subset)
+        anchor = items[0]
+        rest = items[1:]
+        for size in range(0, len(rest)):
+            for extra in combinations(rest, size):
+                left = frozenset((anchor,) + extra)
+                right = subset - left
+                if right:
+                    yield left, right
+
+    def _connected(self, subset: frozenset, adjacency: dict[str, set[str]]) -> bool:
+        seen: set[str] = set()
+        frontier = [next(iter(subset))]
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            frontier.extend((adjacency[name] & subset) - seen)
+        return seen == subset
+
+    def _dedupe(self, candidates: list[PlanCandidate]) -> list[PlanCandidate]:
+        seen: set[int] = set()
+        unique = []
+        for candidate in candidates:
+            if id(candidate.operator) in seen:
+                continue
+            seen.add(id(candidate.operator))
+            unique.append(candidate)
+        return unique
+
+    # ------------------------------------------------------------------
+    # Finalization: cross-table filters, aggregation, projection
+    # ------------------------------------------------------------------
+    def finalize_candidate(
+        self, ctx: PlanningContext, query: SPJQuery, best: PlanCandidate
+    ) -> tuple[PhysicalOperator, float, float]:
+        """Wrap a full-coverage candidate with the query's cross-table
+        filter, aggregation, and projection, returning the finished
+        plan with its cumulative cost and output rows."""
+        plan = best.operator
+        cost = best.cost
+        rows = best.rows
+        full_set = frozenset(query.tables)
+
+        if ctx.cross_predicate is not None:
+            filtered = ctx.card(full_set, query.predicate).cardinality
+            cost += self.cost_model.filter(rows, filtered)
+            plan = Filter(plan, ctx.cross_predicate)
+            rows = filtered
+            plan.est_rows, plan.est_cost = rows, cost
+
+        if query.aggregates or query.group_by:
+            groups = self._estimate_groups(ctx, query, rows)
+            cost += self.cost_model.aggregate(rows, groups, bool(query.group_by))
+            plan = HashAggregate(plan, list(query.aggregates), list(query.group_by))
+            rows = groups
+            plan.est_rows, plan.est_cost = rows, cost
+        elif query.projection is not None:
+            plan = Project(plan, list(query.projection))
+            plan.est_rows, plan.est_cost = rows, cost
+
+        if query.order_by:
+            # Skip the sort when the join result already carries the
+            # requested leading order (an interesting-orders payoff) —
+            # only valid when no aggregation reshuffled the rows.
+            already_ordered = (
+                not query.aggregates
+                and not query.group_by
+                and len(query.order_by) == 1
+                and best.order == query.order_by[0]
+            )
+            if not already_ordered:
+                cost += self.cost_model.sort(rows)
+                plan = Sort(plan, list(query.order_by))
+                plan.est_rows, plan.est_cost = rows, cost
+
+        if query.limit is not None:
+            rows = min(rows, float(query.limit))
+            plan = Limit(plan, query.limit)
+            plan.est_rows, plan.est_cost = rows, cost
+
+        return plan, cost, rows
+
+    def _estimate_groups(
+        self, ctx: PlanningContext, query: SPJQuery, rows: float
+    ) -> float:
+        """Estimated GROUP BY output size (1 for scalar aggregates)."""
+        if not query.group_by:
+            return 1.0
+        if isinstance(self.estimator, RobustCardinalityEstimator):
+            try:
+                return GroupCountEstimator(self.estimator).estimate_groups(
+                    set(query.tables),
+                    list(query.group_by),
+                    query.predicate,
+                    hint=query.hint,
+                )
+            except Exception:
+                pass  # fall through to the histogram heuristic
+        distinct = 1.0
+        statistics = getattr(self.estimator, "statistics", None)
+        for column in query.group_by:
+            table, _, name = column.partition(".")
+            histogram = (
+                statistics.histogram(table, name) if statistics is not None else None
+            )
+            distinct *= histogram.distinct_values if histogram is not None else 10.0
+        return min(rows, distinct)

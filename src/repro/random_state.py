@@ -1,0 +1,41 @@
+"""Helpers for deterministic random number generation.
+
+All randomness in the library flows through :class:`numpy.random.Generator`
+objects. Public functions accept either a seed (int), an existing
+generator, or ``None`` (fresh entropy) and normalize via :func:`ensure_rng`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(seed: RngLike) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be an ``int`` (deterministic generator), an existing
+    generator (returned unchanged), or ``None`` (OS entropy).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from a single seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so the derived
+    streams are statistically independent and reproducible.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own bit stream.
+        children = seed.bit_generator.seed_seq.spawn(count)  # type: ignore[attr-defined]
+        return [np.random.default_rng(child) for child in children]
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

@@ -1,0 +1,28 @@
+"""A small SQL front-end for the SPJ query model.
+
+Parses the select-project-join dialect the paper's experiments use —
+``SELECT`` lists with aggregates, implicit (comma) or explicit
+(``JOIN … ON``) foreign-key joins, ``WHERE`` trees with ``AND``/``OR``/
+``NOT``, ``BETWEEN``, ``IN``, ``LIKE``, and ``GROUP BY`` — into
+:class:`~repro.optimizer.SPJQuery` objects.
+
+The paper's per-query robustness *hint* (Section 6.2.5: "a special
+comment embedded in the SQL statement") is spelled
+
+    SELECT ... FROM ... WHERE ... OPTION (CONFIDENCE 95)
+
+or with a named level: ``OPTION (CONFIDENCE CONSERVATIVE)``.
+"""
+
+from repro.sql.lexer import Token, TokenKind, tokenize
+from repro.sql.parser import parse_query, parse_predicate
+from repro.sql.render import query_to_sql
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "parse_predicate",
+    "parse_query",
+    "query_to_sql",
+    "tokenize",
+]

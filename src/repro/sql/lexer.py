@@ -1,0 +1,128 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class SqlSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    END = "end"
+
+
+KEYWORDS = {
+    "SELECT",
+    "DISTINCT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "ORDER",
+    "LIMIT",
+    "AND",
+    "OR",
+    "NOT",
+    "BETWEEN",
+    "IN",
+    "LIKE",
+    "AS",
+    "JOIN",
+    "INNER",
+    "ON",
+    "SUM",
+    "COUNT",
+    "MIN",
+    "MAX",
+    "AVG",
+    "OPTION",
+    "CONFIDENCE",
+}
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCTUATION = "(),."
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split ``sql`` into tokens; raises :class:`SqlSyntaxError`."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            end = sql.find("'", i + 1)
+            if end < 0:
+                raise SqlSyntaxError(f"unterminated string literal at {i}")
+            tokens.append(Token(TokenKind.STRING, sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < length and sql[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < length and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # a dot followed by a non-digit is punctuation
+                    if j + 1 >= length or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenKind.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenKind.IDENTIFIER, word, i))
+            i = j
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if sql.startswith(operator, i):
+                tokens.append(Token(TokenKind.OPERATOR, operator, i))
+                i += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenKind.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenKind.END, "", length))
+    return tokens

@@ -1,0 +1,54 @@
+"""Rendering SPJQuery objects back to SQL text.
+
+``query_to_sql(parse_query(sql))`` produces a statement that parses
+back into an equivalent query — exercised by round-trip fuzz tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.expressions.render import to_sql
+from repro.optimizer import SPJQuery
+
+
+def query_to_sql(query: SPJQuery) -> str:
+    """Render ``query`` as a SELECT statement."""
+    parts = ["SELECT", _select_list(query)]
+    parts.append("FROM " + ", ".join(query.tables))
+    if query.predicate is not None:
+        parts.append("WHERE " + to_sql(query.predicate))
+    if query.group_by and query.aggregates:
+        parts.append("GROUP BY " + ", ".join(query.group_by))
+    if query.order_by:
+        parts.append("ORDER BY " + ", ".join(query.order_by))
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    if query.hint is not None:
+        parts.append(f"OPTION (CONFIDENCE {_hint(query.hint)})")
+    return " ".join(parts)
+
+
+def _select_list(query: SPJQuery) -> str:
+    if query.group_by and not query.aggregates:
+        # group-by-only queries round-trip as SELECT DISTINCT
+        return "DISTINCT " + ", ".join(query.group_by)
+    items = []
+    if query.aggregates:
+        items.extend(query.group_by)
+        for spec in query.aggregates:
+            items.append(f"{spec.func.upper()}({spec.column}) AS {spec.alias}")
+        return ", ".join(items)
+    if query.projection is not None:
+        return ", ".join(query.projection)
+    return "*"
+
+
+def _hint(hint) -> str:
+    if isinstance(hint, str):
+        return hint
+    value = float(hint) * 100.0
+    if value.is_integer():
+        return str(int(value))
+    raise ReproError(
+        f"cannot render fractional confidence hint {hint!r} as SQL"
+    )

@@ -1,0 +1,177 @@
+"""Join synopses (Acharya, Gibbons, Poosala, Ramaswamy, SIGMOD 1999).
+
+A join synopsis for relation ``R`` is a uniform sample of ``R`` joined
+with *all* of its foreign-key ancestors, recursively. Because every
+foreign key matches exactly one parent row, the synopsis has exactly as
+many rows as the sample of ``R``, and projecting it onto any subset of
+tables yields a uniform sample of the corresponding foreign-key join
+(paper Section 3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog import Database
+from repro.errors import StatisticsError
+from repro.expressions import Frame
+from repro.random_state import RngLike, ensure_rng
+
+
+class JoinSynopsis:
+    """A precomputed sample of the maximal FK join rooted at one table.
+
+    Attributes
+    ----------
+    root_table:
+        The relation whose sample seeded the synopsis.
+    size:
+        Number of synopsis rows (the sample size ``n``).
+    covered_tables:
+        Every table whose columns appear in the synopsis.
+    frame:
+        The wide sample frame with qualified column names.
+    """
+
+    def __init__(
+        self,
+        root_table: str,
+        size: int,
+        covered_tables: set[str],
+        frame: Frame,
+        root_row_ids: np.ndarray | None = None,
+    ) -> None:
+        self.root_table = root_table
+        self.size = size
+        self.covered_tables = covered_tables
+        self.frame = frame
+        #: Sampled root-row positions; with the database they fully
+        #: determine the synopsis (used by statistics persistence).
+        self.root_row_ids = root_row_ids
+
+    def covers(self, tables: set[str]) -> bool:
+        """Whether all ``tables`` appear in this synopsis."""
+        return tables <= self.covered_tables
+
+    def count_satisfying(self, predicate) -> int:
+        """Number of synopsis tuples satisfying ``predicate`` (``k``)."""
+        if predicate is None:
+            return self.size
+        mask = np.asarray(predicate.evaluate(self.frame), dtype=bool)
+        return int(mask.sum())
+
+
+def build_join_synopsis(
+    database: Database,
+    root_table: str,
+    size: int,
+    rng: RngLike = None,
+) -> JoinSynopsis:
+    """Construct the join synopsis for ``root_table``.
+
+    Implements the paper's three-step recipe: sample the root uniformly
+    with replacement, join the sample with each foreign-key parent, and
+    recurse along the parents' own foreign keys.
+    """
+    if size <= 0:
+        raise StatisticsError(f"synopsis size must be positive, got {size}")
+    root = database.table(root_table)
+    if root.num_rows == 0:
+        raise StatisticsError(f"cannot sample empty table {root_table!r}")
+    generator = ensure_rng(rng)
+
+    row_ids = generator.integers(0, root.num_rows, size=size)
+    frame, covered = fk_join_frame(database, root_table, row_ids=row_ids)
+    return JoinSynopsis(root_table, size, covered, frame, row_ids)
+
+
+def rebuild_join_synopsis(
+    database: Database, root_table: str, row_ids: np.ndarray
+) -> JoinSynopsis:
+    """Reconstruct a synopsis from persisted root-row positions.
+
+    The FK join is deterministic given the database, so storing the
+    sampled positions is enough to restore the full synopsis.
+    """
+    if len(row_ids) == 0:
+        raise StatisticsError("row_ids must be non-empty")
+    row_ids = np.asarray(row_ids, dtype=np.int64)
+    frame, covered = fk_join_frame(database, root_table, row_ids=row_ids)
+    return JoinSynopsis(root_table, len(row_ids), covered, frame, row_ids)
+
+
+def fk_join_frame(
+    database: Database,
+    root_table: str,
+    row_ids: np.ndarray | None = None,
+    restrict_to: set[str] | None = None,
+) -> tuple[Frame, set[str]]:
+    """The FK join rooted at ``root_table``, as a wide frame.
+
+    ``row_ids`` selects root rows (``None`` takes the whole table —
+    that is how the *exact* estimator materializes ground truth).
+    ``restrict_to`` limits the recursion to the named tables; ``None``
+    follows every foreign key, which is the synopsis construction.
+    Returns the frame and the set of tables it covers.
+
+    Requires referential integrity (validated by
+    :meth:`Database.validate`); a dangling foreign key raises
+    :class:`StatisticsError`.
+    """
+    root = database.table(root_table)
+    if row_ids is None:
+        frame = Frame.from_table(root)
+    else:
+        frame = Frame.from_table_rows(root, row_ids)
+    covered = {root_table}
+    frame = _join_ancestors(database, root_table, frame, covered, restrict_to)
+    return frame, covered
+
+
+def _join_ancestors(
+    database: Database,
+    table_name: str,
+    frame: Frame,
+    covered: set[str],
+    restrict_to: set[str] | None,
+) -> Frame:
+    """Recursively widen ``frame`` with the FK ancestors of ``table_name``."""
+    for fk in database.foreign_keys_of(table_name):
+        if restrict_to is not None and fk.parent_table not in restrict_to:
+            continue
+        parent = database.table(fk.parent_table)
+        if fk.parent_table in covered:
+            raise StatisticsError(
+                f"table {fk.parent_table!r} reachable twice from synopsis root; "
+                "join synopses require a tree-shaped FK graph"
+            )
+        child_keys = frame.column(f"{table_name}.{fk.column}")
+        parent_rows = _match_parent_rows(
+            child_keys, parent.column(fk.parent_column), parent.name, fk.column
+        )
+        parent_frame = Frame.from_table_rows(parent, parent_rows)
+        frame = frame.merged_with(parent_frame)
+        covered.add(fk.parent_table)
+        frame = _join_ancestors(database, fk.parent_table, frame, covered, restrict_to)
+    return frame
+
+
+def _match_parent_rows(
+    child_keys: np.ndarray,
+    parent_keys: np.ndarray,
+    parent_name: str,
+    fk_column: str,
+) -> np.ndarray:
+    """Row position in the parent for each child key (exactly one each)."""
+    order = np.argsort(parent_keys, kind="stable")
+    sorted_keys = parent_keys[order]
+    positions = np.searchsorted(sorted_keys, child_keys, side="left")
+    in_bounds = positions < len(sorted_keys)
+    if not np.all(in_bounds) or not np.array_equal(
+        sorted_keys[np.where(in_bounds, positions, 0)], child_keys
+    ):
+        raise StatisticsError(
+            f"dangling foreign key {fk_column!r}: value missing from "
+            f"{parent_name} primary key"
+        )
+    return order[positions]

@@ -1,0 +1,122 @@
+"""Statistics manager: the ``UPDATE STATISTICS`` analogue.
+
+Owns every precomputed statistic for a database — histograms for the
+AVI baseline, and single-table samples plus join synopses for the
+robust estimator — and answers lookup queries from the estimators.
+Individual statistics can be dropped to exercise the paper's
+"no statistics available" fallback paths (Section 3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.catalog import ColumnType, Database
+from repro.errors import StatisticsError
+from repro.random_state import RngLike, spawn_rngs
+from repro.stats.histogram import EquiDepthHistogram
+from repro.stats.join_synopsis import JoinSynopsis, build_join_synopsis
+from repro.stats.sample import TableSample
+
+
+class StatisticsManager:
+    """Builds and serves statistics for one database."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._samples: dict[str, TableSample] = {}
+        self._synopses: dict[str, JoinSynopsis] = {}
+        self._histograms: dict[tuple[str, str], EquiDepthHistogram] = {}
+        self.sample_size: int | None = None
+
+    # ------------------------------------------------------------------
+    # Offline precomputation phase
+    # ------------------------------------------------------------------
+    def update_statistics(
+        self,
+        sample_size: int = 500,
+        histogram_buckets: int = 250,
+        seed: RngLike = None,
+        tables: Iterable[str] | None = None,
+    ) -> None:
+        """(Re)build samples, join synopses, and histograms.
+
+        ``seed`` controls the random choice of sample tuples; the
+        paper's experiments average over 12–20 different seeds because
+        estimation quality "can vary depending on the particular random
+        choice of tuples" (Section 6.2).
+        """
+        names = list(tables) if tables is not None else self.database.table_names
+        self.sample_size = sample_size
+        rngs = spawn_rngs(seed, 2 * len(names))
+        for i, name in enumerate(names):
+            table = self.database.table(name)
+            self._samples[name] = TableSample(table, sample_size, rngs[2 * i])
+            self._synopses[name] = build_join_synopsis(
+                self.database, name, sample_size, rngs[2 * i + 1]
+            )
+            for column in table.schema.columns:
+                if column.column_type in (ColumnType.STRING,):
+                    continue
+                self._histograms[(name, column.name)] = EquiDepthHistogram(
+                    table.column(column.name), histogram_buckets
+                )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def sample_for(self, table_name: str) -> TableSample | None:
+        """The single-table sample for ``table_name``, if built."""
+        return self._samples.get(table_name)
+
+    def synopsis_for(self, root_table: str) -> JoinSynopsis | None:
+        """The join synopsis rooted at ``root_table``, if built."""
+        return self._synopses.get(root_table)
+
+    def synopsis_covering(self, tables: set[str]) -> JoinSynopsis | None:
+        """The synopsis that estimates an FK join over ``tables``.
+
+        Determines the root relation of the join (the table whose
+        primary key is not referenced within the set) and returns its
+        synopsis when it covers every table. Returns ``None`` when the
+        tables do not form a rooted FK tree or the synopsis is missing.
+        """
+        try:
+            root = self.database.root_relation(tables)
+        except Exception:
+            return None
+        synopsis = self._synopses.get(root)
+        if synopsis is not None and synopsis.covers(set(tables)):
+            return synopsis
+        return None
+
+    def histogram(self, table_name: str, column: str) -> EquiDepthHistogram | None:
+        """The histogram on ``table.column``, if built."""
+        return self._histograms.get((table_name, column))
+
+    def table_rows(self, table_name: str) -> int:
+        """Exact base-table cardinality (always known, per Section 2)."""
+        return self.database.table(table_name).num_rows
+
+    # ------------------------------------------------------------------
+    # Statistic removal (for fallback-path experiments)
+    # ------------------------------------------------------------------
+    def drop_synopsis(self, root_table: str) -> None:
+        """Remove the join synopsis rooted at ``root_table``."""
+        self._synopses.pop(root_table, None)
+
+    def drop_sample(self, table_name: str) -> None:
+        """Remove the single-table sample for ``table_name``."""
+        self._samples.pop(table_name, None)
+
+    def drop_histograms(self, table_name: str) -> None:
+        """Remove every histogram on ``table_name``."""
+        for key in [k for k in self._histograms if k[0] == table_name]:
+            del self._histograms[key]
+
+    def require_synopsis(self, root_table: str) -> JoinSynopsis:
+        """Like :meth:`synopsis_for` but raising when missing."""
+        synopsis = self._synopses.get(root_table)
+        if synopsis is None:
+            raise StatisticsError(f"no join synopsis for {root_table!r}")
+        return synopsis

@@ -1,0 +1,142 @@
+"""Persisting precomputed statistics to disk.
+
+The offline phase can be expensive at scale, so its products — sample
+positions, synopsis root positions, and histogram state — can be saved
+and restored. Only *positions* are stored for samples and synopses:
+tuples are re-read from the (immutable) tables on load, so the archive
+stays small and the foreign-key joins are reconstructed exactly.
+
+Layout: one directory containing ``manifest.json`` plus one ``.npz``
+file per table.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.catalog import Database
+from repro.errors import StatisticsError
+from repro.stats.histogram import EquiDepthHistogram
+from repro.stats.join_synopsis import rebuild_join_synopsis
+from repro.stats.manager import StatisticsManager
+from repro.stats.sample import TableSample
+
+_MANIFEST = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+def save_statistics(manager: StatisticsManager, directory) -> None:
+    """Write all of ``manager``'s statistics under ``directory``."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    manifest: dict = {
+        "format_version": _FORMAT_VERSION,
+        "sample_size": manager.sample_size,
+        "tables": {},
+    }
+    for name in manager.database.table_names:
+        arrays: dict[str, np.ndarray] = {}
+        entry: dict = {}
+        sample = manager.sample_for(name)
+        if sample is not None:
+            arrays["sample_row_ids"] = sample.row_ids
+            entry["sample"] = True
+        synopsis = manager.synopsis_for(name)
+        if synopsis is not None:
+            if synopsis.root_row_ids is None:
+                raise StatisticsError(
+                    f"synopsis for {name!r} lacks root row ids; rebuild it "
+                    "before saving"
+                )
+            arrays["synopsis_row_ids"] = synopsis.root_row_ids
+            entry["synopsis"] = True
+        histogram_columns = []
+        for column in manager.database.table(name).schema.column_names:
+            histogram = manager.histogram(name, column)
+            if histogram is None:
+                continue
+            histogram_columns.append(column)
+            arrays[f"hist_{column}_uppers"] = histogram.uppers
+            arrays[f"hist_{column}_counts"] = histogram.counts
+            arrays[f"hist_{column}_distincts"] = histogram.distincts
+            arrays[f"hist_{column}_boundary"] = histogram.boundary_counts
+            arrays[f"hist_{column}_meta"] = np.array(
+                [histogram.minimum, float(histogram.total_rows)]
+            )
+        entry["histograms"] = histogram_columns
+        if arrays:
+            np.savez_compressed(path / f"{name}.npz", **arrays)
+            manifest["tables"][name] = entry
+
+    with open(path / _MANIFEST, "w") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def load_statistics(database: Database, directory) -> StatisticsManager:
+    """Restore a :class:`StatisticsManager` saved by :func:`save_statistics`.
+
+    The database must contain the same tables (same sizes) the
+    statistics were computed over; out-of-range sample positions raise
+    :class:`StatisticsError`.
+    """
+    path = pathlib.Path(directory)
+    manifest_path = path / _MANIFEST
+    if not manifest_path.exists():
+        raise StatisticsError(f"no statistics manifest under {path}")
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise StatisticsError(
+            f"unsupported statistics format {manifest.get('format_version')!r}"
+        )
+
+    manager = StatisticsManager(database)
+    manager.sample_size = manifest.get("sample_size")
+    for name, entry in manifest["tables"].items():
+        if name not in database:
+            raise StatisticsError(
+                f"statistics reference unknown table {name!r}"
+            )
+        table = database.table(name)
+        with np.load(path / f"{name}.npz") as arrays:
+            if entry.get("sample"):
+                manager._samples[name] = TableSample.from_row_ids(
+                    table, arrays["sample_row_ids"]
+                )
+            if entry.get("synopsis"):
+                manager._synopses[name] = rebuild_join_synopsis(
+                    database, name, arrays["synopsis_row_ids"]
+                )
+            for column in entry.get("histograms", []):
+                minimum, total_rows = arrays[f"hist_{column}_meta"]
+                manager._histograms[(name, column)] = _histogram_from_state(
+                    arrays[f"hist_{column}_uppers"],
+                    arrays[f"hist_{column}_counts"],
+                    arrays[f"hist_{column}_distincts"],
+                    arrays[f"hist_{column}_boundary"],
+                    float(minimum),
+                    int(total_rows),
+                )
+    return manager
+
+
+def _histogram_from_state(
+    uppers: np.ndarray,
+    counts: np.ndarray,
+    distincts: np.ndarray,
+    boundary_counts: np.ndarray,
+    minimum: float,
+    total_rows: int,
+) -> EquiDepthHistogram:
+    histogram = EquiDepthHistogram.__new__(EquiDepthHistogram)
+    histogram.uppers = uppers
+    histogram.counts = counts
+    histogram.distincts = distincts
+    histogram.boundary_counts = boundary_counts
+    histogram.minimum = minimum
+    histogram.total_rows = total_rows
+    return histogram

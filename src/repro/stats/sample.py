@@ -1,0 +1,69 @@
+"""Uniform random samples of single tables.
+
+Samples are drawn *with replacement* (paper Section 3.3), which makes
+the per-tuple indicator variables i.i.d. Bernoulli and the Bayesian
+analysis exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog import Table
+from repro.errors import StatisticsError
+from repro.expressions import Frame
+from repro.random_state import RngLike, ensure_rng
+
+
+class TableSample:
+    """A precomputed uniform with-replacement sample of one table.
+
+    Attributes
+    ----------
+    table_name:
+        The sampled table.
+    size:
+        Number of sampled tuples (``n`` in the paper).
+    frame:
+        The sampled rows, with qualified column names, ready for
+        predicate evaluation.
+    row_ids:
+        The sampled row positions (useful for extending the sample
+        into a join synopsis).
+    """
+
+    def __init__(self, table: Table, size: int, rng: RngLike = None) -> None:
+        if size <= 0:
+            raise StatisticsError(f"sample size must be positive, got {size}")
+        if table.num_rows == 0:
+            raise StatisticsError(f"cannot sample empty table {table.name!r}")
+        generator = ensure_rng(rng)
+        self.table_name = table.name
+        self.size = size
+        self.row_ids = generator.integers(0, table.num_rows, size=size)
+        self.frame = Frame.from_table_rows(table, self.row_ids)
+
+    @classmethod
+    def from_row_ids(cls, table: Table, row_ids: np.ndarray) -> "TableSample":
+        """Rebuild a sample from previously drawn row positions.
+
+        Used when loading persisted statistics: the sampled positions
+        are stored, the tuples themselves are re-read from the table.
+        """
+        if len(row_ids) == 0:
+            raise StatisticsError("row_ids must be non-empty")
+        if row_ids.min() < 0 or row_ids.max() >= table.num_rows:
+            raise StatisticsError(
+                f"row_ids out of range for table {table.name!r}"
+            )
+        sample = cls.__new__(cls)
+        sample.table_name = table.name
+        sample.size = len(row_ids)
+        sample.row_ids = np.asarray(row_ids, dtype=np.int64)
+        sample.frame = Frame.from_table_rows(table, sample.row_ids)
+        return sample
+
+    def count_satisfying(self, predicate) -> int:
+        """Number of sample tuples satisfying ``predicate`` (``k``)."""
+        mask = np.asarray(predicate.evaluate(self.frame), dtype=bool)
+        return int(mask.sum())

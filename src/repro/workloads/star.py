@@ -1,0 +1,161 @@
+"""The Experiment 3 star schema with a handcrafted joint distribution.
+
+The paper (Section 6.2.3): a 10-million-row fact table with foreign
+keys to three 1000-row dimension tables; each query filters 10 % of
+every dimension; and "the distribution for the fact table rows was
+handcrafted so that by varying which rows were selected from each
+dimension table, any desired percentage of the fact rows between 0 %
+and 10 % could be made to join successfully", while the histogram
+optimizer — relying on independence — "always estimated that 0.1 % of
+the rows joined successfully".
+
+Construction
+------------
+Dimension keys are ``0..num_dim−1`` and ``d_attr`` equals the key, so a
+window predicate ``d_attr BETWEEN w AND w+num_dim/10−1`` selects
+exactly 10 % of any dimension. Fact rows come in two populations:
+
+- *aligned* rows (fraction ``aligned_fraction``): one uniform draw
+  ``u`` supplies all three foreign keys (``k1 = k2 = k3 = u``);
+- *phase-shifted* rows (the rest): ``k1`` uniform, ``k2 = k1 + Δ2``,
+  ``k3 = k1 + Δ3`` (mod ``num_dim``) with large fixed phase shifts.
+
+Every per-dimension marginal (and hence every histogram) is exactly
+uniform regardless of the population, so one-dimensional statistics
+are identical for all queries. But with windows ``W1 = [0, m)``,
+``W2 = [d, d+m)``, ``W3 = [0, m)`` (``m`` = 10 % of the dimension), an
+aligned row satisfies all three filters iff ``u ∈ [d, m)``, while a
+phase-shifted row never can (the shifts exceed the window width). The
+true joining fraction is therefore exactly
+
+    q(d) = aligned_fraction · (m − d) / num_dim        for 0 ≤ d ≤ m,
+
+sweeping from ``aligned_fraction · 10 %`` down to 0 as the query
+parameter ``d`` grows — the paper's "varying which rows were selected".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog import Column, ColumnType, Database, ForeignKey, Schema, Table
+from repro.errors import WorkloadError
+from repro.random_state import RngLike, spawn_rngs
+
+#: Phase shifts of the non-aligned population, in multiples of the 10 %
+#: window width, for dimensions 2, 3, 4, … (dimension 1 is unshifted).
+#: Every shift is ≥ 2 windows and the shifts are pairwise distinct, so
+#: a phase-shifted row can never satisfy all filters of the canonical
+#: query windows (whose offsets stay within one window width).
+PHASE_SHIFTS = (2, 5, 3, 7, 4, 6, 8)
+
+
+@dataclass(frozen=True)
+class StarConfig:
+    """Scale and shape of the star schema."""
+
+    num_fact: int = 200_000
+    num_dim: int = 1000
+    #: Fraction of fact rows in the aligned population; the maximum
+    #: achievable joining fraction is ``aligned_fraction / 10``.
+    aligned_fraction: float = 0.12
+    seed: RngLike = 0
+    #: Number of dimension tables (the paper uses 3).
+    num_dims: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_fact < 100:
+            raise WorkloadError("num_fact must be at least 100")
+        if self.num_dim < 10 or self.num_dim % 10 != 0:
+            raise WorkloadError("num_dim must be a multiple of 10, at least 10")
+        if not 0.0 <= self.aligned_fraction <= 1.0:
+            raise WorkloadError("aligned_fraction must lie in [0, 1]")
+        if not 2 <= self.num_dims <= len(PHASE_SHIFTS) + 1:
+            raise WorkloadError(
+                f"num_dims must be between 2 and {len(PHASE_SHIFTS) + 1}"
+            )
+
+    @property
+    def window(self) -> int:
+        """Rows selected per dimension by a 10 % filter."""
+        return self.num_dim // 10
+
+    def true_join_fraction(self, shift: int) -> float:
+        """Exact fraction of fact rows joining at query parameter ``shift``."""
+        overlap = max(0, self.window - shift)
+        return self.aligned_fraction * overlap / self.num_dim
+
+
+def build_star_database(config: StarConfig | None = None) -> Database:
+    """Generate fact + dimensions, validate, and index."""
+    config = config or StarConfig()
+    rng_dims, rng_fact, rng_measures = spawn_rngs(config.seed, 3)
+
+    dim_ids = range(1, config.num_dims + 1)
+    dims = [_build_dimension(config, i, rng_dims) for i in dim_ids]
+    fact = _build_fact(config, rng_fact, rng_measures)
+
+    database = Database(dims + [fact])
+    database.validate()
+    for i in dim_ids:
+        database.create_index(f"dim{i}", "d_key", clustered=True)
+        database.create_index("fact", f"f_dim{i}key")
+    database.create_index("fact", "f_id", clustered=True)
+    return database
+
+
+def _build_dimension(config: StarConfig, index: int, rng: np.random.Generator) -> Table:
+    n = config.num_dim
+    schema = Schema(
+        [
+            Column("d_key", ColumnType.INT64),
+            Column("d_attr", ColumnType.INT64),
+            Column("d_label", ColumnType.STRING),
+        ],
+        primary_key="d_key",
+    )
+    return Table(
+        f"dim{index}",
+        schema,
+        {
+            "d_key": np.arange(n),
+            "d_attr": np.arange(n),
+            "d_label": np.array([f"d{index}-{k:04d}" for k in range(n)]),
+        },
+    )
+
+
+def _build_fact(
+    config: StarConfig,
+    rng: np.random.Generator,
+    rng_measures: np.random.Generator,
+) -> Table:
+    n = config.num_fact
+    num_dim = config.num_dim
+    window = config.window
+
+    aligned = rng.random(n) < config.aligned_fraction
+    base = rng.integers(0, num_dim, n)
+
+    keys = {1: base}
+    for i in range(2, config.num_dims + 1):
+        shift = PHASE_SHIFTS[i - 2] * window
+        keys[i] = np.where(aligned, base, (base + shift) % num_dim)
+
+    columns = [Column("f_id", ColumnType.INT64)]
+    foreign_keys = []
+    data = {"f_id": np.arange(n)}
+    for i in range(1, config.num_dims + 1):
+        name = f"f_dim{i}key"
+        columns.append(Column(name, ColumnType.INT64))
+        foreign_keys.append(ForeignKey(name, f"dim{i}", "d_key"))
+        data[name] = keys[i]
+    columns.append(Column("f_measure1", ColumnType.FLOAT64))
+    columns.append(Column("f_measure2", ColumnType.FLOAT64))
+    data["f_measure1"] = np.round(rng_measures.uniform(0.0, 1000.0, n), 2)
+    data["f_measure2"] = np.round(rng_measures.uniform(0.0, 10.0, n), 2)
+
+    schema = Schema(columns, primary_key="f_id", foreign_keys=foreign_keys)
+    return Table("fact", schema, data)

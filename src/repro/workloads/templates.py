@@ -1,0 +1,235 @@
+"""Query templates with one free parameter (paper Section 6.2).
+
+Each experiment "used a fixed query template with one free parameter
+that could be varied to control the query selectivity by changing the
+degree of correlation between individual query predicates. The
+marginal selectivity of each individual predicate (i.e. the
+information tracked by histograms) remained constant regardless of the
+setting of the free parameter."
+
+All three templates follow that recipe: the parameter shifts one
+predicate's window, the marginals never move, and the joint
+selectivity sweeps through the band the paper plots.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.catalog import Database, date_ordinal
+from repro.core import ExactCardinalityEstimator
+from repro.engine import AggregateSpec
+from repro.errors import WorkloadError
+from repro.expressions import col
+from repro.optimizer import SPJQuery
+
+
+class QueryTemplate:
+    """A parameterized query; subclasses define :meth:`instantiate`."""
+
+    #: Short identifier used in experiment reports.
+    name: str = "template"
+
+    def instantiate(self, param: int) -> SPJQuery:
+        """The concrete query at parameter value ``param``."""
+        raise NotImplementedError
+
+    def param_range(self) -> tuple[int, int]:
+        """Inclusive bounds of meaningful parameter values."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def true_selectivity(self, database: Database, param: int) -> float:
+        """Exact fraction of root-relation rows in the query result."""
+        query = self.instantiate(param)
+        estimate = ExactCardinalityEstimator(database).estimate(
+            query.tables, query.predicate
+        )
+        return estimate.selectivity
+
+    def calibrate(
+        self, database: Database, step: int = 1
+    ) -> list[tuple[int, float]]:
+        """``(param, true selectivity)`` over the whole parameter range."""
+        low, high = self.param_range()
+        return [
+            (param, self.true_selectivity(database, param))
+            for param in range(low, high + 1, step)
+        ]
+
+    def params_for_targets(
+        self,
+        database: Database,
+        targets: list[float],
+        step: int = 1,
+    ) -> list[tuple[int, float]]:
+        """Parameter values whose true selectivity best matches each target.
+
+        Returns ``(param, achieved selectivity)`` per target, computed
+        from a calibration scan — no monotonicity assumption needed.
+        """
+        scan = self.calibrate(database, step)
+        results = []
+        for target in targets:
+            best = min(scan, key=lambda item: abs(item[1] - target))
+            results.append(best)
+        return results
+
+
+def _shifted_date(iso: str, days: int) -> str:
+    date = datetime.date.fromordinal(date_ordinal(iso) + days)
+    return date.isoformat()
+
+
+class ShippingDatesTemplate(QueryTemplate):
+    """Experiment 1: the single-table ``lineitem`` aggregation query.
+
+    ::
+
+        SELECT SUM(l_extendedprice) FROM lineitem
+        WHERE l_shipdate BETWEEN '1997-07-01' AND '1997-09-30'
+          AND l_receiptdate BETWEEN ('1997-07-01' + ?) AND ('1997-09-30' + ?)
+
+    The shift ``?`` controls how much the receipt window overlaps the
+    shipment lags, sweeping the joint selectivity between 0 % and
+    roughly 1 % while both marginals stay one fixed-width window.
+    """
+
+    name = "exp1-single-table"
+
+    def __init__(
+        self,
+        ship_low: str = "1997-07-01",
+        ship_high: str = "1997-09-30",
+        hint: float | str | None = None,
+    ) -> None:
+        self.ship_low = ship_low
+        self.ship_high = ship_high
+        self.hint = hint
+
+    def instantiate(self, param: int) -> SPJQuery:
+        predicate = col("lineitem.l_shipdate").between(
+            self.ship_low, self.ship_high
+        ) & col("lineitem.l_receiptdate").between(
+            _shifted_date(self.ship_low, param), _shifted_date(self.ship_high, param)
+        )
+        return SPJQuery(
+            ["lineitem"],
+            predicate,
+            aggregates=[AggregateSpec("sum", "lineitem.l_extendedprice", "revenue")],
+            hint=self.hint,
+        )
+
+    def param_range(self) -> tuple[int, int]:
+        # Lags span 1..180 days; past ~272 the windows cannot overlap.
+        return (60, 280)
+
+
+class PartCorrelationTemplate(QueryTemplate):
+    """Experiment 2: the three-way join with a correlated part filter.
+
+    ::
+
+        SELECT SUM(l_extendedprice)
+        FROM lineitem JOIN orders JOIN part
+        WHERE p_c1 BETWEEN 4000 AND 4399
+          AND p_c2 BETWEEN (4000 + ?) AND (4399 + ?)
+
+    ``p_c2`` tracks ``p_c1`` within a bounded spread (the injected
+    correlation), so the shift ``?`` sweeps the joint part selectivity
+    — and with it the join result size — while both marginals stay 4 %.
+    """
+
+    name = "exp2-three-table"
+
+    def __init__(
+        self,
+        window_low: int = 4000,
+        window_width: int = 400,
+        hint: float | str | None = None,
+    ) -> None:
+        if window_width <= 0:
+            raise WorkloadError("window_width must be positive")
+        self.window_low = window_low
+        self.window_width = window_width
+        self.hint = hint
+
+    def instantiate(self, param: int) -> SPJQuery:
+        low, width = self.window_low, self.window_width
+        predicate = col("part.p_c1").between(low, low + width - 1) & col(
+            "part.p_c2"
+        ).between(low + param, low + param + width - 1)
+        return SPJQuery(
+            ["lineitem", "orders", "part"],
+            predicate,
+            aggregates=[AggregateSpec("sum", "lineitem.l_extendedprice", "revenue")],
+            hint=self.hint,
+        )
+
+    def param_range(self) -> tuple[int, int]:
+        # Spread is 0..799, so overlap vanishes past width + spread.
+        return (0, self.window_width + 850)
+
+
+class StarJoinTemplate(QueryTemplate):
+    """Experiment 3: the four-table star join.
+
+    ::
+
+        SELECT SUM(f_measure1), SUM(f_measure2)
+        FROM fact JOIN dim1 JOIN dim2 JOIN dim3
+        WHERE dim1.d_attr BETWEEN 0 AND m−1
+          AND dim2.d_attr BETWEEN ? AND ? + m−1
+          AND dim3.d_attr BETWEEN 0 AND m−1
+
+    Every filter selects exactly 10 % of its dimension; the shift ``?``
+    on dim2's window moves it off the aligned population, sweeping the
+    fraction of joining fact rows from ``aligned_fraction × 10 %`` down
+    to zero while all one-dimensional statistics stay fixed.
+    """
+
+    name = "exp3-star-join"
+
+    def __init__(
+        self,
+        num_dim: int = 1000,
+        hint: float | str | None = None,
+        num_dims: int = 3,
+    ) -> None:
+        if num_dim % 10 != 0:
+            raise WorkloadError("num_dim must be a multiple of 10")
+        if num_dims < 2:
+            raise WorkloadError("num_dims must be at least 2")
+        self.num_dim = num_dim
+        self.hint = hint
+        self.num_dims = num_dims
+
+    @property
+    def window(self) -> int:
+        """Rows selected per dimension (10 %)."""
+        return self.num_dim // 10
+
+    def instantiate(self, param: int) -> SPJQuery:
+        m = self.window
+        # dim2's window carries the shift; all others use the canonical
+        # [0, m) window, as in the paper's "vary which rows" recipe.
+        conjuncts = []
+        for i in range(1, self.num_dims + 1):
+            low = param if i == 2 else 0
+            conjuncts.append(col(f"dim{i}.d_attr").between(low, low + m - 1))
+        predicate = conjuncts[0]
+        for conjunct in conjuncts[1:]:
+            predicate = predicate & conjunct
+        tables = ["fact"] + [f"dim{i}" for i in range(1, self.num_dims + 1)]
+        return SPJQuery(
+            tables,
+            predicate,
+            aggregates=[
+                AggregateSpec("sum", "fact.f_measure1", "total1"),
+                AggregateSpec("sum", "fact.f_measure2", "total2"),
+            ],
+            hint=self.hint,
+        )
+
+    def param_range(self) -> tuple[int, int]:
+        return (0, self.window)

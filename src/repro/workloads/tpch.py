@@ -1,0 +1,260 @@
+"""A TPC-H-shaped synthetic database (scaled, with correlation knobs).
+
+The paper ran Experiments 1 and 2 on TPC-H at scale factor 1 (6 M
+``lineitem`` rows). All of its results are phrased in *selectivities*
+and crossover locations, which are scale-free, so we generate the same
+shape at a configurable (much smaller) scale:
+
+- ``l_shipdate`` and ``l_receiptdate`` are strongly correlated
+  (receipt = ship + a bounded random lag), the correlation TPC-H
+  itself has and Experiment 1 exploits;
+- ``part`` carries an injected correlated pair ``p_c1``/``p_c2``
+  (the paper "modified the part table ... to introduce a correlated
+  data distribution") used by Experiment 2's selection;
+- foreign keys: ``lineitem → orders → customer`` and
+  ``lineitem → part``, so join synopses exercise recursive FK chasing.
+
+Physical design mirrors Section 6.2: every table clustered on its
+primary key (``lineitem`` on ``l_orderkey``, its PK prefix), plus
+nonclustered indexes on ``l_shipdate``, ``l_receiptdate``, and the
+foreign-key column ``l_partkey``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog import (
+    Column,
+    ColumnType,
+    Database,
+    ForeignKey,
+    Schema,
+    Table,
+    date_ordinal,
+)
+from repro.errors import WorkloadError
+from repro.random_state import RngLike, spawn_rngs
+
+#: TPC-H date range: orders span 1992-01-01 .. 1998-08-02.
+DATE_LO = date_ordinal("1992-01-01")
+DATE_HI = date_ordinal("1998-08-02")
+
+#: Maximum ship→receipt lag, in days. TPC-H uses 30; we widen it so
+#: Experiment 1's shift parameter sweeps the joint selectivity smoothly
+#: through the 0–0.6 % band the paper plots.
+MAX_RECEIPT_LAG = 180
+
+#: Domain of the injected correlated part columns.
+PART_CORR_DOMAIN = 10_000
+#: Maximum p_c2 − p_c1 offset.
+PART_CORR_SPREAD = 800
+
+_BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+_CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG DRUM"]
+
+
+@dataclass(frozen=True)
+class TpchConfig:
+    """Scale and shape of the generated TPC-H-like database.
+
+    Default ratios follow TPC-H (4 lineitems/order); ``num_part`` is
+    kept proportionally larger than TPC-H's 1/30 so Experiment 2's
+    part-selectivity grid has fine granularity at small scale.
+
+    ``part_skew`` draws each lineitem's part from a Zipf-like
+    distribution over the part keys (0 = uniform, the TPC-H default;
+    ~1 = pronounced skew, as in the TPC-H skew variants). Skew makes
+    per-part join fan-outs uneven, stressing both histogram distinct
+    counts and the containment assumption.
+    """
+
+    num_lineitem: int = 60_000
+    seed: RngLike = 0
+    part_skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_lineitem < 100:
+            raise WorkloadError("num_lineitem must be at least 100")
+        if self.part_skew < 0:
+            raise WorkloadError("part_skew must be non-negative")
+
+    @property
+    def num_orders(self) -> int:
+        return max(1, self.num_lineitem // 4)
+
+    @property
+    def num_part(self) -> int:
+        return max(1, self.num_lineitem // 15)
+
+    @property
+    def num_customer(self) -> int:
+        return max(1, self.num_lineitem // 40)
+
+
+def build_tpch_database(config: TpchConfig | None = None) -> Database:
+    """Generate the database, validate it, and build its indexes."""
+    config = config or TpchConfig()
+    rng_customer, rng_orders, rng_part, rng_lineitem = spawn_rngs(config.seed, 4)
+
+    customer = _build_customer(config, rng_customer)
+    orders = _build_orders(config, rng_orders)
+    part = _build_part(config, rng_part)
+    lineitem = _build_lineitem(config, orders, rng_lineitem)
+
+    database = Database([customer, orders, part, lineitem])
+    database.validate()
+
+    database.create_index("customer", "c_custkey", clustered=True)
+    database.create_index("orders", "o_orderkey", clustered=True)
+    database.create_index("part", "p_partkey", clustered=True)
+    database.create_index("lineitem", "l_orderkey", clustered=True)
+    database.create_index("lineitem", "l_shipdate")
+    database.create_index("lineitem", "l_receiptdate")
+    database.create_index("lineitem", "l_partkey")
+    return database
+
+
+def _build_customer(config: TpchConfig, rng: np.random.Generator) -> Table:
+    n = config.num_customer
+    schema = Schema(
+        [
+            Column("c_custkey", ColumnType.INT64),
+            Column("c_nationkey", ColumnType.INT64),
+            Column("c_acctbal", ColumnType.FLOAT64),
+        ],
+        primary_key="c_custkey",
+    )
+    return Table(
+        "customer",
+        schema,
+        {
+            "c_custkey": np.arange(n),
+            "c_nationkey": rng.integers(0, 25, n),
+            "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, n), 2),
+        },
+    )
+
+
+def _build_orders(config: TpchConfig, rng: np.random.Generator) -> Table:
+    n = config.num_orders
+    schema = Schema(
+        [
+            Column("o_orderkey", ColumnType.INT64),
+            Column("o_custkey", ColumnType.INT64),
+            Column("o_orderdate", ColumnType.DATE),
+            Column("o_totalprice", ColumnType.FLOAT64),
+        ],
+        primary_key="o_orderkey",
+        foreign_keys=[ForeignKey("o_custkey", "customer", "c_custkey")],
+    )
+    # Leave lag headroom so ship/receipt dates stay within the epoch.
+    order_dates = rng.integers(DATE_LO, DATE_HI - 121 - MAX_RECEIPT_LAG, n)
+    return Table(
+        "orders",
+        schema,
+        {
+            "o_orderkey": np.arange(n),
+            "o_custkey": rng.integers(0, config.num_customer, n),
+            "o_orderdate": order_dates,
+            "o_totalprice": np.round(rng.uniform(900.0, 500_000.0, n), 2),
+        },
+    )
+
+
+def _build_part(config: TpchConfig, rng: np.random.Generator) -> Table:
+    n = config.num_part
+    schema = Schema(
+        [
+            Column("p_partkey", ColumnType.INT64),
+            Column("p_size", ColumnType.INT64),
+            Column("p_retailprice", ColumnType.FLOAT64),
+            Column("p_brand", ColumnType.STRING),
+            Column("p_container", ColumnType.STRING),
+            Column("p_c1", ColumnType.INT64),
+            Column("p_c2", ColumnType.INT64),
+        ],
+        primary_key="p_partkey",
+    )
+    # The injected correlation: p_c2 tracks p_c1 within a bounded
+    # spread, so conjunctions of windows on (p_c1, p_c2) have a joint
+    # selectivity governed by the window offset while each marginal
+    # stays a fixed fraction of the domain.
+    c1 = rng.integers(0, PART_CORR_DOMAIN, n)
+    c2 = c1 + rng.integers(0, PART_CORR_SPREAD, n)
+    return Table(
+        "part",
+        schema,
+        {
+            "p_partkey": np.arange(n),
+            "p_size": rng.integers(1, 51, n),
+            "p_retailprice": np.round(rng.uniform(900.0, 2000.0, n), 2),
+            "p_brand": rng.choice(_BRANDS, n),
+            "p_container": rng.choice(_CONTAINERS, n),
+            "p_c1": c1,
+            "p_c2": c2,
+        },
+    )
+
+
+def _draw_part_keys(
+    config: TpchConfig, rng: np.random.Generator, n: int
+) -> np.ndarray:
+    """Draw lineitem part keys, optionally Zipf-skewed.
+
+    With skew ``s``, part key ``j`` gets weight ``(j+1)^-s`` before a
+    random permutation (so popular parts are scattered across the key
+    space, as the TPC-H skew generators do).
+    """
+    num_part = config.num_part
+    if config.part_skew == 0.0:
+        return rng.integers(0, num_part, n)
+    weights = (np.arange(1, num_part + 1, dtype=np.float64)) ** (-config.part_skew)
+    weights /= weights.sum()
+    permutation = rng.permutation(num_part)
+    return permutation[rng.choice(num_part, size=n, p=weights)]
+
+
+def _build_lineitem(
+    config: TpchConfig, orders: Table, rng: np.random.Generator
+) -> Table:
+    n = config.num_lineitem
+    schema = Schema(
+        [
+            Column("l_linenumber", ColumnType.INT64),
+            Column("l_orderkey", ColumnType.INT64),
+            Column("l_partkey", ColumnType.INT64),
+            Column("l_quantity", ColumnType.FLOAT64),
+            Column("l_extendedprice", ColumnType.FLOAT64),
+            Column("l_discount", ColumnType.FLOAT64),
+            Column("l_shipdate", ColumnType.DATE),
+            Column("l_receiptdate", ColumnType.DATE),
+        ],
+        primary_key="l_linenumber",
+        foreign_keys=[
+            ForeignKey("l_orderkey", "orders", "o_orderkey"),
+            ForeignKey("l_partkey", "part", "p_partkey"),
+        ],
+    )
+    # Stored sorted by l_orderkey: the table is clustered on its
+    # primary-key prefix, as in the paper's physical design.
+    order_keys = np.sort(rng.integers(0, config.num_orders, n))
+    order_dates = orders.column("o_orderdate")[order_keys]
+    ship_dates = order_dates + rng.integers(1, 122, n)
+    receipt_dates = ship_dates + rng.integers(1, MAX_RECEIPT_LAG + 1, n)
+    return Table(
+        "lineitem",
+        schema,
+        {
+            "l_linenumber": np.arange(n),
+            "l_orderkey": order_keys,
+            "l_partkey": _draw_part_keys(config, rng, n),
+            "l_quantity": np.round(rng.uniform(1.0, 50.0, n), 0),
+            "l_extendedprice": np.round(rng.uniform(900.0, 100_000.0, n), 2),
+            "l_discount": np.round(rng.uniform(0.0, 0.10, n), 2),
+            "l_shipdate": ship_dates,
+            "l_receiptdate": receipt_dates,
+        },
+    )

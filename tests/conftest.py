@@ -1,0 +1,115 @@
+"""Shared fixtures: small hand-built databases and generated workloads.
+
+Session-scoped fixtures are treated as immutable by every test; tests
+that need to mutate a database (e.g. add indexes) build their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog import Column, ColumnType, Database, ForeignKey, Schema, Table
+from repro.stats import StatisticsManager
+from repro.workloads import (
+    StarConfig,
+    TpchConfig,
+    build_star_database,
+    build_tpch_database,
+)
+
+
+def make_two_table_db(
+    n_part: int = 100, n_lineitem: int = 2000, seed: int = 7
+) -> Database:
+    """A fresh part/lineitem pair with indexes, safe to mutate."""
+    rng = np.random.default_rng(seed)
+    part = Table(
+        "part",
+        Schema(
+            [
+                Column("p_partkey", ColumnType.INT64),
+                Column("p_size", ColumnType.INT64),
+                Column("p_brand", ColumnType.STRING),
+            ],
+            primary_key="p_partkey",
+        ),
+        {
+            "p_partkey": np.arange(n_part),
+            "p_size": rng.integers(1, 51, n_part),
+            "p_brand": rng.choice([f"Brand#{i}" for i in range(5)], n_part),
+        },
+    )
+    lineitem = Table(
+        "lineitem",
+        Schema(
+            [
+                Column("l_id", ColumnType.INT64),
+                Column("l_partkey", ColumnType.INT64),
+                Column("l_quantity", ColumnType.FLOAT64),
+                Column("l_shipdate", ColumnType.DATE),
+                Column("l_receiptdate", ColumnType.DATE),
+            ],
+            primary_key="l_id",
+            foreign_keys=[ForeignKey("l_partkey", "part", "p_partkey")],
+        ),
+        {
+            "l_id": np.arange(n_lineitem),
+            "l_partkey": rng.integers(0, n_part, n_lineitem),
+            "l_quantity": rng.uniform(1, 50, n_lineitem).round(),
+            "l_shipdate": rng.integers(729000, 729365, n_lineitem),
+            "l_receiptdate": rng.integers(729000, 729365, n_lineitem),
+        },
+    )
+    database = Database([part, lineitem])
+    database.validate()
+    database.create_index("part", "p_partkey", clustered=True)
+    database.create_index("lineitem", "l_id", clustered=True)
+    database.create_index("lineitem", "l_shipdate")
+    database.create_index("lineitem", "l_receiptdate")
+    database.create_index("lineitem", "l_partkey")
+    return database
+
+
+@pytest.fixture(scope="session")
+def two_table_db() -> Database:
+    """A small part/lineitem database (treat as immutable)."""
+    return make_two_table_db()
+
+
+@pytest.fixture(scope="session")
+def tpch_db() -> Database:
+    """A small TPC-H-shaped database (treat as immutable)."""
+    return build_tpch_database(TpchConfig(num_lineitem=12_000, seed=1))
+
+
+@pytest.fixture(scope="session")
+def star_config() -> StarConfig:
+    return StarConfig(num_fact=30_000, num_dim=1000, aligned_fraction=0.12, seed=3)
+
+
+@pytest.fixture(scope="session")
+def star_db(star_config) -> Database:
+    """A small star-schema database (treat as immutable)."""
+    return build_star_database(star_config)
+
+
+@pytest.fixture(scope="session")
+def two_table_stats(two_table_db) -> StatisticsManager:
+    manager = StatisticsManager(two_table_db)
+    manager.update_statistics(sample_size=400, seed=11)
+    return manager
+
+
+@pytest.fixture(scope="session")
+def tpch_stats(tpch_db) -> StatisticsManager:
+    manager = StatisticsManager(tpch_db)
+    manager.update_statistics(sample_size=500, seed=5)
+    return manager
+
+
+@pytest.fixture(scope="session")
+def star_stats(star_db) -> StatisticsManager:
+    manager = StatisticsManager(star_db)
+    manager.update_statistics(sample_size=500, seed=5)
+    return manager

@@ -1,0 +1,127 @@
+"""Unit tests for plan-choice distributions (Section 5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    EstimationModel,
+    expected_time_and_variance,
+    paper_default_model,
+    plan_choice_probabilities,
+    selectivity_estimates,
+)
+from repro.analysis.choice import plan_for_each_k
+from repro.errors import ReproError
+
+
+MODEL = paper_default_model()
+
+
+class TestSelectivityEstimates:
+    def test_shape(self):
+        estimates = selectivity_estimates(EstimationModel(100, 0.5))
+        assert estimates.shape == (101,)
+
+    def test_monotone_in_k(self):
+        estimates = selectivity_estimates(EstimationModel(200, 0.5))
+        assert (np.diff(estimates) > 0).all()
+
+    def test_monotone_in_threshold(self):
+        low = selectivity_estimates(EstimationModel(100, 0.2))
+        high = selectivity_estimates(EstimationModel(100, 0.8))
+        assert (high > low).all()
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            EstimationModel(0, 0.5)
+        with pytest.raises(ReproError):
+            EstimationModel(100, 1.0)
+
+
+class TestPlanForEachK:
+    def test_small_k_picks_risky_plan(self):
+        chosen = plan_for_each_k(MODEL, EstimationModel(1000, 0.5))
+        assert chosen[0] == 1  # k=0 → index intersection
+        assert chosen[-1] == 0  # k=n → sequential scan
+
+    def test_threshold_95_never_risky(self):
+        """Section 5.2.1: at T=95 % with n=1000 the optimizer can never
+        be 95 % sure the risky plan is safe."""
+        chosen = plan_for_each_k(MODEL, EstimationModel(1000, 0.95))
+        assert (chosen == 0).all()
+
+    def test_monotone_cutoff(self):
+        """Estimates grow with k, so the choice switches exactly once."""
+        chosen = plan_for_each_k(MODEL, EstimationModel(1000, 0.5))
+        switches = np.abs(np.diff(chosen.astype(int))).sum()
+        assert switches == 1
+
+
+class TestChoiceProbabilities:
+    def test_sums_to_one(self):
+        probabilities = plan_choice_probabilities(
+            MODEL, EstimationModel(500, 0.5), 0.002
+        )
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_low_selectivity_prefers_risky(self):
+        probabilities = plan_choice_probabilities(
+            MODEL, EstimationModel(1000, 0.5), 0.0001
+        )
+        assert probabilities[1] > 0.9
+
+    def test_high_selectivity_prefers_stable(self):
+        probabilities = plan_choice_probabilities(
+            MODEL, EstimationModel(1000, 0.5), 0.01
+        )
+        assert probabilities[0] > 0.99
+
+
+class TestExpectedTime:
+    def test_zero_selectivity_at_moderate_threshold(self):
+        """At p=0 every sample gives k=0 → risky plan → its fixed cost."""
+        expected, variance = expected_time_and_variance(
+            MODEL, EstimationModel(1000, 0.5), np.array([0.0])
+        )
+        assert expected[0] == pytest.approx(5.0)
+        assert variance[0] == pytest.approx(0.0)
+
+    def test_t95_flat_at_scan_cost(self):
+        grid = np.linspace(0, 0.01, 11)
+        expected, _ = expected_time_and_variance(
+            MODEL, EstimationModel(1000, 0.95), grid
+        )
+        assert np.allclose(expected, MODEL.cost(0, grid))
+
+    def test_worse_than_oracle_everywhere(self):
+        grid = np.linspace(0.0005, 0.01, 15)
+        expected, _ = expected_time_and_variance(
+            MODEL, EstimationModel(500, 0.5), grid
+        )
+        assert (expected >= MODEL.optimal_cost(grid) - 1e-9).all()
+
+    def test_variance_nonnegative(self):
+        grid = np.linspace(0, 0.01, 21)
+        _, variance = expected_time_and_variance(
+            MODEL, EstimationModel(500, 0.5), grid
+        )
+        assert (variance >= 0).all()
+
+    def test_variance_vanishes_at_crossover(self):
+        """At the crossover both plans cost the same, so whichever is
+        chosen the execution time is identical — zero variance. Away
+        from it, mixed choices with different costs create variance."""
+        [crossover] = MODEL.crossover_points()
+        grid = np.array([crossover / 10, crossover, crossover * 5])
+        _, variance = expected_time_and_variance(
+            MODEL, EstimationModel(500, 0.5), grid
+        )
+        assert variance[1] == pytest.approx(0.0, abs=1e-6)
+        assert variance[0] > 1.0
+        assert variance[2] > 1.0
+
+    def test_scalar_input_accepted(self):
+        expected, variance = expected_time_and_variance(
+            MODEL, EstimationModel(100, 0.5), 0.001
+        )
+        assert expected.shape == (1,)

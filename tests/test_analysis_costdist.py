@@ -1,0 +1,127 @@
+"""Unit tests for execution-cost distributions (Figures 2 and 3)."""
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.analysis import (
+    cost_cdf,
+    cost_pdf,
+    cost_percentile,
+    figure2_plans,
+    preference_flip_threshold,
+)
+from repro.core import SelectivityPosterior
+from repro.errors import ReproError
+from repro.analysis.model import LinearCostPlan
+
+
+@pytest.fixture
+def posterior():
+    """The Figure 2 posterior: 50 of 200 sample tuples satisfy."""
+    return SelectivityPosterior(50, 200)
+
+
+@pytest.fixture
+def plans():
+    return figure2_plans().plans
+
+
+class TestCostPdf:
+    def test_integrates_to_one(self, posterior, plans):
+        for plan in plans:
+            low = plan.cost(0.0, 1.0)
+            high = plan.cost(1.0, 1.0)
+            total, _ = integrate.quad(
+                lambda c, p=plan: cost_pdf(p, posterior, np.array([c]))[0],
+                low,
+                high,
+                limit=200,
+            )
+            assert total == pytest.approx(1.0, abs=1e-4)
+
+    def test_risky_plan_spread_wider(self, posterior, plans):
+        """Figure 2: Plan 1's cost density is much wider than Plan 2's."""
+        grid1 = np.linspace(plans[0].cost(0, 1), plans[0].cost(1, 1), 4000)
+        grid2 = np.linspace(plans[1].cost(0, 1), plans[1].cost(1, 1), 4000)
+        pdf1 = cost_pdf(plans[0], posterior, grid1)
+        pdf2 = cost_pdf(plans[1], posterior, grid2)
+        assert pdf2.max() > 3 * pdf1.max()  # stable plan: tall, narrow
+
+    def test_zero_outside_support(self, posterior, plans):
+        assert cost_pdf(plans[0], posterior, np.array([-1000.0]))[0] == 0.0
+
+    def test_non_increasing_plan_raises(self, posterior):
+        flat = LinearCostPlan("flat", 5.0, 0.0)
+        with pytest.raises(ReproError):
+            cost_pdf(flat, posterior, np.array([5.0]))
+
+
+class TestCostCdf:
+    def test_monotone(self, posterior, plans):
+        grid = np.linspace(0, 140, 200)
+        cdf = cost_cdf(plans[0], posterior, grid)
+        assert (np.diff(cdf) >= -1e-12).all()
+
+    def test_paper_figure_2_ranges(self, posterior, plans):
+        """Figure 2 narrative: Plan 2's cost is almost certainly between
+        30 and 33, while Plan 1 ranges from ~20 to ~40."""
+        plan2_low = cost_cdf(plans[1], posterior, np.array([30.0]))[0]
+        plan2_high = cost_cdf(plans[1], posterior, np.array([33.0]))[0]
+        assert plan2_high - plan2_low > 0.95
+        plan1_low = cost_cdf(plans[0], posterior, np.array([20.0]))[0]
+        plan1_high = cost_cdf(plans[0], posterior, np.array([40.0]))[0]
+        assert plan1_high - plan1_low > 0.95
+        assert plan1_low > 0.001 or plan1_high < 0.9999  # genuinely spread
+
+
+class TestCostPercentile:
+    def test_paper_worked_numbers(self, posterior, plans):
+        """Section 3.1: T=50 % → 30.2 / 31.5 and T=80 % → 33.5 / 31.9."""
+        assert cost_percentile(plans[0], posterior, 0.5) == pytest.approx(
+            30.2, abs=0.15
+        )
+        assert cost_percentile(plans[1], posterior, 0.5) == pytest.approx(
+            31.5, abs=0.15
+        )
+        assert cost_percentile(plans[0], posterior, 0.8) == pytest.approx(
+            33.5, abs=0.15
+        )
+        assert cost_percentile(plans[1], posterior, 0.8) == pytest.approx(
+            31.9, abs=0.15
+        )
+
+    def test_shortcut_equals_cdf_inversion(self, posterior, plans):
+        """Section 3.1.1: inverting the selectivity cdf and applying the
+        cost function equals inverting the cost cdf."""
+        for plan in plans:
+            for threshold in (0.2, 0.5, 0.8):
+                shortcut = cost_percentile(plan, posterior, threshold)
+                assert cost_cdf(plan, posterior, np.array([shortcut]))[
+                    0
+                ] == pytest.approx(threshold, abs=1e-9)
+
+    def test_monotone_in_threshold(self, posterior, plans):
+        values = [cost_percentile(plans[0], posterior, t) for t in (0.1, 0.5, 0.9)]
+        assert values[0] < values[1] < values[2]
+
+
+class TestPreferenceFlip:
+    def test_flip_near_65_percent(self, posterior, plans):
+        """Figure 3: Plan 1 preferred below ≈65 %, Plan 2 above."""
+        flip = preference_flip_threshold(plans[0], plans[1], posterior)
+        assert flip == pytest.approx(0.65, abs=0.02)
+
+    def test_sides_of_flip(self, posterior, plans):
+        flip = preference_flip_threshold(plans[0], plans[1], posterior)
+        below = cost_percentile(plans[0], posterior, flip - 0.05)
+        below_stable = cost_percentile(plans[1], posterior, flip - 0.05)
+        assert below < below_stable
+        above = cost_percentile(plans[0], posterior, flip + 0.05)
+        above_stable = cost_percentile(plans[1], posterior, flip + 0.05)
+        assert above > above_stable
+
+    def test_no_flip_raises(self, posterior, plans):
+        # comparing a plan with itself never flips
+        with pytest.raises(ReproError):
+            preference_flip_threshold(plans[0], plans[0], posterior)

@@ -1,0 +1,83 @@
+"""Tests for the analytical LEC-vs-threshold comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    lec_equivalent_threshold,
+    lec_plan_choice,
+    mean_variance_plan_choice,
+    paper_default_model,
+    threshold_plan_choice,
+)
+from repro.core import SelectivityPosterior
+
+MODEL = paper_default_model()
+
+
+class TestLecEquivalence:
+    def test_lec_equals_choice_at_posterior_mean(self):
+        """Linear costs: LEC == least cost at E[p]."""
+        for k, n in [(0, 500), (1, 500), (3, 500), (50, 500)]:
+            posterior = SelectivityPosterior(k, n)
+            lec = lec_plan_choice(MODEL, posterior)
+            at_mean = int(MODEL.best_plan(posterior.mean))
+            assert lec == at_mean
+
+    def test_equivalent_threshold_reproduces_lec(self):
+        for k, n in [(0, 500), (1, 500), (2, 500), (10, 500)]:
+            posterior = SelectivityPosterior(k, n)
+            t_eq = lec_equivalent_threshold(posterior)
+            assert lec_plan_choice(MODEL, posterior) == threshold_plan_choice(
+                MODEL, posterior, t_eq
+            )
+
+    def test_equivalent_threshold_near_but_above_half_for_small_k(self):
+        """Right-skewed posteriors put the mean above the median."""
+        posterior = SelectivityPosterior(1, 500)
+        t_eq = lec_equivalent_threshold(posterior)
+        assert 0.5 < t_eq < 0.75
+
+    def test_equivalent_threshold_approaches_half_for_large_k(self):
+        posterior = SelectivityPosterior(250, 500)
+        assert lec_equivalent_threshold(posterior) == pytest.approx(0.5, abs=0.02)
+
+    def test_lec_cannot_mimic_conservative_threshold(self):
+        """The paper's argument: at k=0 a 95 % threshold plays safe but
+        LEC still gambles, because the posterior mean is far below the
+        crossover."""
+        posterior = SelectivityPosterior(0, 500)
+        assert lec_plan_choice(MODEL, posterior) == 1  # risky plan
+        assert threshold_plan_choice(MODEL, posterior, 0.95) == 0  # stable
+
+
+class TestMeanVarianceUtility:
+    def test_zero_risk_weight_is_lec(self):
+        posterior = SelectivityPosterior(1, 500)
+        assert mean_variance_plan_choice(
+            MODEL, posterior, risk_weight=0.0
+        ) == lec_plan_choice(MODEL, posterior)
+
+    def test_high_risk_weight_plays_safe(self):
+        """Enough variance penalty recovers conservative behaviour —
+        Chu et al.'s utility interpolates toward the paper's T=95 %."""
+        posterior = SelectivityPosterior(0, 500)
+        risky = mean_variance_plan_choice(MODEL, posterior, risk_weight=0.0)
+        safe = mean_variance_plan_choice(MODEL, posterior, risk_weight=10.0)
+        assert risky == 1
+        assert safe == 0
+
+    def test_monotone_in_risk_weight(self):
+        """Once the variance penalty flips the choice to the stable
+        plan, more penalty never flips it back."""
+        posterior = SelectivityPosterior(0, 500)
+        choices = [
+            mean_variance_plan_choice(MODEL, posterior, risk_weight=w)
+            for w in (0.0, 0.1, 1.0, 10.0, 100.0)
+        ]
+        flipped = False
+        for choice in choices:
+            if choice == 0:
+                flipped = True
+            if flipped:
+                assert choice == 0

@@ -1,0 +1,108 @@
+"""Unit tests for the Section 5 analytical cost model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    LinearCostPlan,
+    PlanCostModel,
+    figure2_plans,
+    high_crossover_model,
+    paper_default_model,
+)
+from repro.errors import ReproError
+
+
+class TestLinearCostPlan:
+    def test_cost(self):
+        plan = LinearCostPlan("p", fixed=5.0, per_row=2.0)
+        assert plan.cost(0.1, 100) == pytest.approx(25.0)
+
+    def test_cost_vectorized(self):
+        plan = LinearCostPlan("p", fixed=5.0, per_row=2.0)
+        out = plan.cost(np.array([0.0, 0.5]), 10)
+        assert list(out) == [5.0, 15.0]
+
+    def test_inverse(self):
+        plan = LinearCostPlan("p", fixed=5.0, per_row=2.0)
+        assert plan.inverse(25.0, 100) == pytest.approx(0.1)
+
+    def test_inverse_constant_plan_raises(self):
+        plan = LinearCostPlan("flat", fixed=5.0, per_row=0.0)
+        with pytest.raises(ReproError):
+            plan.inverse(5.0, 100)
+
+
+class TestPaperDefaultModel:
+    def test_constants(self):
+        model = paper_default_model()
+        assert model.n_rows == 6_000_000
+        assert model.plans[0].fixed == 35.0
+        assert model.plans[1].per_row == 3.5e-3
+
+    def test_crossover_at_0_14_percent(self):
+        """Paper Section 5.1: p_c ≈ 0.14 %."""
+        [crossover] = paper_default_model().crossover_points()
+        assert crossover == pytest.approx(0.00143, abs=0.00002)
+
+    def test_best_plan_flips_at_crossover(self):
+        model = paper_default_model()
+        [crossover] = model.crossover_points()
+        assert model.best_plan(crossover * 0.5) == 1  # index intersection
+        assert model.best_plan(crossover * 2.0) == 0  # sequential scan
+
+    def test_optimal_cost_is_min(self):
+        model = paper_default_model()
+        grid = np.linspace(0, 0.01, 21)
+        assert np.allclose(model.optimal_cost(grid), model.costs(grid).min(axis=0))
+
+
+class TestHighCrossoverModel:
+    def test_crossover_at_5_2_percent(self):
+        """Paper Section 5.2.3: p'_c ≈ 5.2 %."""
+        [crossover] = high_crossover_model().crossover_points()
+        assert crossover == pytest.approx(0.052, abs=1e-6)
+
+    def test_custom_crossover(self):
+        [crossover] = high_crossover_model(0.10).crossover_points()
+        assert crossover == pytest.approx(0.10, abs=1e-9)
+
+    def test_invalid_crossover_raises(self):
+        with pytest.raises(ReproError):
+            high_crossover_model(0.0)
+
+    def test_less_slope_difference_than_default(self):
+        """Figure 8 explanation: at a higher crossover the plans' slopes
+        differ less, so wrong choices cost less."""
+        default = paper_default_model()
+        high = high_crossover_model()
+        gap_default = default.plans[1].per_row - default.plans[0].per_row
+        gap_high = high.plans[1].per_row - high.plans[0].per_row
+        assert gap_high < gap_default / 10
+
+
+class TestFigure2Plans:
+    def test_crossover_matches_figure_1(self):
+        """Figure 1 annotates the crossover at 26 %."""
+        [crossover] = figure2_plans().crossover_points()
+        assert crossover == pytest.approx(0.262, abs=0.005)
+
+    def test_plan1_riskier(self):
+        model = figure2_plans()
+        assert model.plans[0].per_row > model.plans[1].per_row
+
+
+class TestValidation:
+    def test_needs_two_plans(self):
+        with pytest.raises(ReproError):
+            PlanCostModel(100, (LinearCostPlan("only", 1.0, 1.0),))
+
+    def test_identical_slopes_no_crossover(self):
+        model = PlanCostModel(
+            100,
+            (
+                LinearCostPlan("a", 1.0, 2.0),
+                LinearCostPlan("b", 5.0, 2.0),
+            ),
+        )
+        assert model.crossover_points() == []

@@ -1,0 +1,111 @@
+"""Tests for the Figure 5–8 sweeps and the Figure 6 tradeoff curve."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    EstimationModel,
+    high_crossover_model,
+    paper_default_model,
+    sample_size_sweep,
+    threshold_sweep,
+    tradeoff_curve,
+    tradeoff_from_times,
+)
+from repro.analysis.sweeps import DEFAULT_SELECTIVITIES, PAPER_THRESHOLDS
+
+MODEL = paper_default_model()
+
+
+class TestThresholdSweep:
+    def test_figure5_shape(self):
+        curves = threshold_sweep(MODEL, sample_size=1000)
+        assert set(curves) == set(PAPER_THRESHOLDS)
+        # T=95%: flat at the stable plan's cost (Section 5.2.1)
+        t95 = curves[0.95]
+        assert t95.std() < 0.2
+        assert t95[0] == pytest.approx(35.0, abs=0.5)
+        # T=5%: excellent at p=0, terrible in the middle
+        t05 = curves[0.05]
+        assert t05[0] == pytest.approx(5.0, abs=0.5)
+        assert t05.max() > 45.0
+
+    def test_low_threshold_underestimates(self):
+        """Higher T → more overestimation → stable plans at low p."""
+        curves = threshold_sweep(MODEL, sample_size=1000)
+        # at a selectivity just above the crossover the low-threshold
+        # settings keep (wrongly) choosing the risky plan
+        index = 5  # 0.25%
+        assert curves[0.05][index] > curves[0.80][index]
+
+    def test_figure8_high_crossover_insensitive(self):
+        """Figure 8: at a ≈5.2 % crossover the threshold barely matters."""
+        grid = np.arange(0.0, 0.20001, 0.01)
+        curves = threshold_sweep(
+            high_crossover_model(), sample_size=1000, selectivities=grid
+        )
+        stacked = np.stack(list(curves.values()))
+        relative_spread = (stacked.max(axis=0) - stacked.min(axis=0)) / stacked.mean(
+            axis=0
+        )
+        # excluding the tiny-selectivity corner, curves nearly coincide
+        assert relative_spread[2:].max() < 0.25
+
+
+class TestSampleSizeSweep:
+    def test_figure7_larger_samples_better(self):
+        curves = sample_size_sweep(MODEL, (100, 250, 500, 1000), threshold=0.5)
+        # n=1000 dominates n=250 in mean time over the grid
+        assert curves[1000].mean() < curves[250].mean()
+
+    def test_figure12_self_adjusting_anomaly(self):
+        """A 50-tuple sample at T=50 % can never justify the risky plan:
+        the optimizer always chooses the stable plan (Section 6.2.4)."""
+        curves = sample_size_sweep(MODEL, (50,), threshold=0.5)
+        scan_cost = MODEL.cost(0, DEFAULT_SELECTIVITIES)
+        assert np.allclose(curves[50], scan_cost)
+
+
+class TestTradeoffCurve:
+    def test_figure6_shape(self):
+        points = tradeoff_curve(MODEL, sample_size=1000)
+        stds = [p.std_time for p in points]
+        means = {p.label: p.mean_time for p in points}
+        # predictability improves monotonically with the threshold
+        assert stds == sorted(stds, reverse=True)
+        # the best mean is at T=80%, not at the unbiased 50% (paper 5.2.1)
+        assert means["T=80%"] < means["T=50%"]
+        assert means["T=80%"] < means["T=95%"]
+        assert means["T=80%"] < means["T=5%"]
+
+    def test_labels(self):
+        points = tradeoff_curve(MODEL, sample_size=200, thresholds=(0.5,))
+        assert points[0].label == "T=50%"
+
+
+class TestTradeoffFromTimes:
+    def test_mean_std(self):
+        point = tradeoff_from_times("x", [1.0, 2.0, 3.0])
+        assert point.mean_time == pytest.approx(2.0)
+        assert point.std_time == pytest.approx(np.std([1.0, 2.0, 3.0]))
+
+    def test_constant_times_zero_std(self):
+        assert tradeoff_from_times("x", [4.0, 4.0]).std_time == 0.0
+
+
+class TestSampleSizeTradeoff:
+    def test_figure12_analytical_shape(self):
+        from repro.analysis import sample_size_tradeoff_curve
+
+        points = {p.label: p for p in sample_size_tradeoff_curve(MODEL)}
+        # n=50: the self-adjusting anomaly — near-zero variance
+        assert points["n=50"].std_time < 1.0
+        # larger samples dominate mid-size samples on both axes
+        assert points["n=2500"].mean_time < points["n=250"].mean_time
+        assert points["n=2500"].std_time < points["n=250"].std_time
+
+    def test_labels(self):
+        from repro.analysis import sample_size_tradeoff_curve
+
+        points = sample_size_tradeoff_curve(MODEL, (100,))
+        assert points[0].label == "n=100"

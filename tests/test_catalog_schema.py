@@ -1,0 +1,90 @@
+"""Unit tests for repro.catalog.schema."""
+
+import pytest
+
+from repro.catalog import Column, ColumnType, ForeignKey, Schema
+from repro.errors import CatalogError
+
+
+def make_schema(**kwargs) -> Schema:
+    return Schema(
+        [
+            Column("id", ColumnType.INT64),
+            Column("size", ColumnType.INT64),
+            Column("label", ColumnType.STRING),
+        ],
+        **kwargs,
+    )
+
+
+class TestColumn:
+    def test_valid(self):
+        column = Column("x", ColumnType.INT64)
+        assert column.name == "x"
+
+    def test_empty_name_raises(self):
+        with pytest.raises(CatalogError):
+            Column("", ColumnType.INT64)
+
+    def test_dotted_name_raises(self):
+        with pytest.raises(CatalogError):
+            Column("a.b", ColumnType.INT64)
+
+
+class TestSchema:
+    def test_column_order_preserved(self):
+        schema = make_schema()
+        assert schema.column_names == ["id", "size", "label"]
+
+    def test_len_and_iter(self):
+        schema = make_schema()
+        assert len(schema) == 3
+        assert [c.name for c in schema] == ["id", "size", "label"]
+
+    def test_contains(self):
+        schema = make_schema()
+        assert "id" in schema
+        assert "nope" not in schema
+
+    def test_column_lookup(self):
+        schema = make_schema()
+        assert schema.column("size").column_type is ColumnType.INT64
+        assert schema.column_type("label") is ColumnType.STRING
+
+    def test_missing_column_raises(self):
+        with pytest.raises(CatalogError):
+            make_schema().column("nope")
+
+    def test_duplicate_columns_raise(self):
+        with pytest.raises(CatalogError):
+            Schema([Column("a", ColumnType.INT64), Column("a", ColumnType.INT64)])
+
+    def test_empty_schema_raises(self):
+        with pytest.raises(CatalogError):
+            Schema([])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(CatalogError):
+            make_schema(primary_key="nope")
+
+    def test_primary_key_recorded(self):
+        assert make_schema(primary_key="id").primary_key == "id"
+
+    def test_row_byte_width(self):
+        # two 8-byte numerics + one 16-byte string
+        assert make_schema().row_byte_width == 32
+
+
+class TestForeignKey:
+    def test_fk_column_must_exist(self):
+        with pytest.raises(CatalogError):
+            make_schema(foreign_keys=[ForeignKey("nope", "parent", "id")])
+
+    def test_foreign_key_for(self):
+        fk = ForeignKey("size", "parent", "id")
+        schema = make_schema(foreign_keys=[fk])
+        assert schema.foreign_key_for("size") is fk
+        assert schema.foreign_key_for("id") is None
+
+    def test_str(self):
+        assert "parent.id" in str(ForeignKey("size", "parent", "id"))

@@ -1,0 +1,102 @@
+"""Unit tests for repro.catalog.table."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import Column, ColumnType, Schema, Table
+from repro.errors import CatalogError
+
+
+def simple_schema(primary_key=None) -> Schema:
+    return Schema(
+        [Column("k", ColumnType.INT64), Column("v", ColumnType.FLOAT64)],
+        primary_key=primary_key,
+    )
+
+
+def make_table(n=10, primary_key="k") -> Table:
+    return Table(
+        "t",
+        simple_schema(primary_key),
+        {"k": np.arange(n), "v": np.linspace(0, 1, n)},
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        table = make_table()
+        assert table.num_rows == 10
+        assert table.name == "t"
+
+    def test_missing_column_raises(self):
+        with pytest.raises(CatalogError, match="missing columns"):
+            Table("t", simple_schema(), {"k": [1]})
+
+    def test_extra_column_raises(self):
+        with pytest.raises(CatalogError, match="undeclared"):
+            Table("t", simple_schema(), {"k": [1], "v": [1.0], "w": [2]})
+
+    def test_ragged_columns_raise(self):
+        with pytest.raises(CatalogError, match="ragged"):
+            Table("t", simple_schema(), {"k": [1, 2], "v": [1.0]})
+
+    def test_duplicate_primary_key_raises(self):
+        with pytest.raises(CatalogError, match="duplicates"):
+            Table("t", simple_schema("k"), {"k": [1, 1], "v": [1.0, 2.0]})
+
+    def test_dotted_table_name_raises(self):
+        with pytest.raises(CatalogError):
+            Table("a.b", simple_schema(), {"k": [1], "v": [1.0]})
+
+    def test_columns_read_only(self):
+        table = make_table()
+        with pytest.raises(ValueError):
+            table.column("k")[0] = 99
+
+
+class TestAccess:
+    def test_column(self):
+        assert make_table().column("k")[3] == 3
+
+    def test_missing_column_raises(self):
+        with pytest.raises(CatalogError):
+            make_table().column("zzz")
+
+    def test_contains(self):
+        table = make_table()
+        assert "k" in table
+        assert "zzz" not in table
+
+    def test_take(self):
+        rows = make_table().take(np.array([1, 3]))
+        assert list(rows["k"]) == [1, 3]
+
+    def test_iter_rows(self):
+        rows = list(make_table(3).iter_rows())
+        assert len(rows) == 3
+        assert rows[2]["k"] == 2
+
+    def test_qualified(self):
+        assert make_table().qualified("k") == "t.k"
+
+
+class TestPaging:
+    def test_rows_per_page_positive(self):
+        assert make_table().rows_per_page >= 1
+
+    def test_num_pages_covers_rows(self):
+        table = make_table(100_0)
+        assert table.num_pages * table.rows_per_page >= table.num_rows
+
+    def test_num_pages_at_least_one(self):
+        assert make_table(1).num_pages == 1
+
+    def test_wider_rows_need_more_pages(self):
+        wide_schema = Schema(
+            [Column(f"c{i}", ColumnType.STRING) for i in range(30)]
+        )
+        wide = Table(
+            "w", wide_schema, {f"c{i}": np.array(["x"] * 500) for i in range(30)}
+        )
+        narrow = make_table(500)
+        assert wide.num_pages > narrow.num_pages

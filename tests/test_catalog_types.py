@@ -1,0 +1,128 @@
+"""Unit tests for repro.catalog.types."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.catalog.types import (
+    ColumnType,
+    coerce_array,
+    coerce_scalar,
+    date_ordinal,
+    ordinal_date,
+)
+from repro.errors import TypeMismatchError
+
+
+class TestColumnType:
+    def test_numpy_dtypes(self):
+        assert ColumnType.INT64.numpy_dtype == np.dtype(np.int64)
+        assert ColumnType.DATE.numpy_dtype == np.dtype(np.int64)
+        assert ColumnType.FLOAT64.numpy_dtype == np.dtype(np.float64)
+        assert ColumnType.STRING.numpy_dtype == np.dtype(np.str_)
+
+    def test_byte_widths(self):
+        assert ColumnType.INT64.byte_width == 8
+        assert ColumnType.STRING.byte_width == 16
+
+
+class TestDateConversion:
+    def test_iso_roundtrip(self):
+        ordinal = date_ordinal("1997-07-01")
+        assert ordinal_date(ordinal) == datetime.date(1997, 7, 1)
+
+    def test_date_object(self):
+        d = datetime.date(2005, 6, 14)
+        assert date_ordinal(d) == d.toordinal()
+
+    def test_ordering_matches_calendar(self):
+        assert date_ordinal("1997-07-01") < date_ordinal("1997-09-30")
+
+    def test_invalid_string_raises(self):
+        with pytest.raises(TypeMismatchError):
+            date_ordinal("not-a-date")
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            date_ordinal(3.14)
+
+
+class TestCoerceArray:
+    def test_int_array_passthrough(self):
+        out = coerce_array([1, 2, 3], ColumnType.INT64)
+        assert out.dtype == np.int64
+        assert list(out) == [1, 2, 3]
+
+    def test_integral_floats_to_int(self):
+        out = coerce_array(np.array([1.0, 2.0]), ColumnType.INT64)
+        assert out.dtype == np.int64
+
+    def test_fractional_floats_to_int_raise(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_array(np.array([1.5]), ColumnType.INT64)
+
+    def test_strings_to_int_raise(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_array(np.array(["a"]), ColumnType.INT64)
+
+    def test_float_column_accepts_ints(self):
+        out = coerce_array([1, 2], ColumnType.FLOAT64)
+        assert out.dtype == np.float64
+
+    def test_float_column_rejects_strings(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_array(np.array(["x"]), ColumnType.FLOAT64)
+
+    def test_date_from_iso_strings(self):
+        out = coerce_array(["1997-07-01", "1997-07-02"], ColumnType.DATE)
+        assert out.dtype == np.int64
+        assert out[1] - out[0] == 1
+
+    def test_date_from_ordinals(self):
+        out = coerce_array([729000, 729001], ColumnType.DATE)
+        assert out.dtype == np.int64
+
+    def test_date_from_floats_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_array(np.array([1.5]), ColumnType.DATE)
+
+    def test_string_column(self):
+        out = coerce_array(["a", "bb"], ColumnType.STRING)
+        assert out.dtype.kind == "U"
+
+    def test_string_column_rejects_numbers(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_array(np.array([1, 2]), ColumnType.STRING)
+
+
+class TestCoerceScalar:
+    def test_date_string(self):
+        assert coerce_scalar("1997-07-01", ColumnType.DATE) == date_ordinal(
+            "1997-07-01"
+        )
+
+    def test_date_ordinal_passthrough(self):
+        assert coerce_scalar(729000, ColumnType.DATE) == 729000
+
+    def test_int(self):
+        assert coerce_scalar(5, ColumnType.INT64) == 5
+        assert coerce_scalar(5.0, ColumnType.INT64) == 5
+
+    def test_int_rejects_fraction(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_scalar(5.5, ColumnType.INT64)
+
+    def test_float(self):
+        assert coerce_scalar(5, ColumnType.FLOAT64) == 5.0
+
+    def test_float_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_scalar("abc", ColumnType.FLOAT64)
+
+    def test_string(self):
+        assert coerce_scalar("abc", ColumnType.STRING) == "abc"
+
+    def test_string_rejects_number(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_scalar(3, ColumnType.STRING)

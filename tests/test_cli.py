@@ -1,0 +1,200 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyze:
+    @pytest.mark.parametrize("figure", [1, 4, 5, 6, 7, 8])
+    def test_figures_print(self, capsys, figure):
+        assert main(["analyze", "--figure", str(figure)]) == 0
+        out = capsys.readouterr().out
+        assert f"Figure {figure}" in out
+
+    def test_figure6_contents(self, capsys):
+        main(["analyze", "--figure", "6"])
+        out = capsys.readouterr().out
+        assert "T=80%" in out and "mean=" in out
+
+    def test_figure4_worked_numbers(self, capsys):
+        main(["analyze", "--figure", "4"])
+        out = capsys.readouterr().out
+        assert "10.1%" in out
+
+    def test_invalid_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--figure", "12"])
+
+
+class TestExperiment:
+    def test_exp1_small(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "exp1",
+                "--scale",
+                "8000",
+                "--seeds",
+                "1",
+                "--points",
+                "3",
+                "--sample-size",
+                "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Histograms" in out
+        assert "performance vs predictability" in out
+
+    def test_exp3_small(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "exp3",
+                "--scale",
+                "5000",
+                "--seeds",
+                "1",
+                "--points",
+                "3",
+                "--sample-size",
+                "200",
+            ]
+        )
+        assert code == 0
+        assert "exp3-star-join" in capsys.readouterr().out
+
+
+class TestSql:
+    def test_explain_only(self, capsys):
+        code = main(
+            [
+                "sql",
+                "SELECT COUNT(*) FROM lineitem WHERE lineitem.l_quantity > 45",
+                "--scale",
+                "5000",
+                "--explain-only",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HashAggregate" in out
+
+    def test_execute(self, capsys):
+        code = main(
+            [
+                "sql",
+                "SELECT SUM(lineitem.l_extendedprice) AS rev FROM lineitem "
+                "WHERE lineitem.l_quantity > 45",
+                "--scale",
+                "5000",
+                "--estimator",
+                "exact",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rows: 1" in out
+        assert "simulated execution time" in out
+
+    def test_histogram_estimator(self, capsys):
+        code = main(
+            [
+                "sql",
+                "SELECT COUNT(*) FROM lineitem, part WHERE part.p_size < 5",
+                "--scale",
+                "5000",
+                "--estimator",
+                "histogram",
+                "--sample-size",
+                "100",
+                "--explain-only",
+            ]
+        )
+        assert code == 0
+
+    def test_threshold_accepted(self, capsys):
+        code = main(
+            [
+                "sql",
+                "SELECT COUNT(*) FROM lineitem "
+                "WHERE lineitem.l_quantity > 45 OPTION (CONFIDENCE 95)",
+                "--scale",
+                "5000",
+                "--sample-size",
+                "100",
+                "--threshold",
+                "conservative",
+                "--explain-only",
+            ]
+        )
+        assert code == 0
+
+    def test_star_workload(self, capsys):
+        code = main(
+            [
+                "sql",
+                "SELECT COUNT(*) FROM fact, dim1 WHERE dim1.d_attr < 100",
+                "--workload",
+                "star",
+                "--scale",
+                "5000",
+                "--estimator",
+                "exact",
+            ]
+        )
+        assert code == 0
+
+
+class TestTopLevel:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+
+class TestExperimentExp2:
+    def test_exp2_small(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "exp2",
+                "--scale",
+                "8000",
+                "--seeds",
+                "1",
+                "--points",
+                "3",
+                "--sample-size",
+                "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exp2-three-table" in out
+        assert "Histograms" in out
+
+
+class TestReport:
+    def test_report_generated(self, tmp_path, capsys):
+        output = tmp_path / "REPORT.md"
+        code = main(
+            [
+                "report",
+                "--output",
+                str(output),
+                "--scale",
+                "6000",
+                "--fact-rows",
+                "5000",
+                "--seeds",
+                "1",
+            ]
+        )
+        assert code == 0
+        text = output.read_text()
+        assert "Figure 4" in text
+        assert "Experiment 1 / Figure 9" in text
+        assert "Experiment 3 / Figure 11" in text
+        assert "Histograms" in text

@@ -1,0 +1,48 @@
+"""Unit tests for the confidence-threshold policy."""
+
+import pytest
+
+from repro.core import AGGRESSIVE, CONSERVATIVE, MODERATE, ConfidencePolicy
+from repro.core.confidence import resolve_threshold
+from repro.errors import EstimationError
+
+
+class TestResolveThreshold:
+    def test_named_levels(self):
+        assert resolve_threshold("conservative") == CONSERVATIVE == 0.95
+        assert resolve_threshold("Moderate") == MODERATE == 0.80
+        assert resolve_threshold("AGGRESSIVE") == AGGRESSIVE == 0.50
+
+    def test_fraction(self):
+        assert resolve_threshold(0.65) == 0.65
+
+    def test_percentage(self):
+        assert resolve_threshold(80) == 0.80
+        assert resolve_threshold(5) == 0.05
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(EstimationError):
+            resolve_threshold("yolo")
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(EstimationError):
+            resolve_threshold(0.0)
+        with pytest.raises(EstimationError):
+            resolve_threshold(101)
+
+
+class TestConfidencePolicy:
+    def test_default(self):
+        assert ConfidencePolicy().threshold() == MODERATE
+
+    def test_named_default(self):
+        assert ConfidencePolicy("conservative").threshold() == 0.95
+
+    def test_hint_overrides(self):
+        policy = ConfidencePolicy("moderate")
+        assert policy.threshold(hint=0.5) == 0.5
+        assert policy.threshold(hint="conservative") == 0.95
+        assert policy.threshold() == 0.80  # default untouched
+
+    def test_repr(self):
+        assert "0.80" in repr(ConfidencePolicy(0.8))

@@ -1,0 +1,75 @@
+"""Unit tests for magic numbers and magic distributions."""
+
+import pytest
+
+from repro.core import MagicDistribution, MagicNumbers
+from repro.expressions import col
+
+
+class TestMagicNumbers:
+    def setup_method(self):
+        self.magic = MagicNumbers()
+
+    def test_equality(self):
+        assert self.magic.for_predicate(col("t.a") == 5) == 0.1
+
+    def test_inequality_comparisons(self):
+        assert self.magic.for_predicate(col("t.a") < 5) == pytest.approx(1 / 3)
+        assert self.magic.for_predicate(col("t.a") >= 5) == pytest.approx(1 / 3)
+
+    def test_not_equal(self):
+        assert self.magic.for_predicate(col("t.a") != 5) == pytest.approx(0.9)
+
+    def test_between(self):
+        assert self.magic.for_predicate(col("t.a").between(1, 2)) == 0.25
+
+    def test_in_list(self):
+        assert self.magic.for_predicate(col("t.a").isin([1, 2])) == 0.15
+
+    def test_string_match(self):
+        assert self.magic.for_predicate(col("t.s").contains("x")) == 0.1
+        assert self.magic.for_predicate(col("t.s").startswith("x")) == 0.1
+
+    def test_negation(self):
+        inner = col("t.a") == 5
+        assert self.magic.for_predicate(~inner) == pytest.approx(0.9)
+
+    def test_disjunction(self):
+        predicate = (col("t.a") == 5) | (col("t.b") == 6)
+        # 1 - 0.9 * 0.9
+        assert self.magic.for_predicate(predicate) == pytest.approx(0.19)
+
+    def test_fallback_default(self):
+        predicate = col("t.a") == col("t.b")  # column-vs-column comparison
+        assert self.magic.for_predicate(predicate) == 0.1  # it is still "="
+
+    def test_arithmetic_default(self):
+        # arbitrary expression falls back to the default constant
+        assert self.magic.for_predicate(col("t.a") + 1) == pytest.approx(1 / 9)
+
+
+class TestMagicDistribution:
+    def test_median_near_mean(self):
+        distribution = MagicDistribution(0.1, concentration=50.0)
+        assert distribution.selectivity(0.5) == pytest.approx(0.1, abs=0.02)
+
+    def test_threshold_monotone(self):
+        distribution = MagicDistribution(0.1)
+        low = distribution.selectivity(0.05)
+        mid = distribution.selectivity(0.50)
+        high = distribution.selectivity(0.95)
+        assert low < mid < high
+
+    def test_accepts_named_threshold(self):
+        distribution = MagicDistribution(0.25)
+        assert 0 < distribution.selectivity("conservative") < 1
+
+    def test_higher_concentration_tightens(self):
+        loose = MagicDistribution(0.2, concentration=2.0)
+        tight = MagicDistribution(0.2, concentration=200.0)
+        spread_loose = loose.selectivity(0.95) - loose.selectivity(0.05)
+        spread_tight = tight.selectivity(0.95) - tight.selectivity(0.05)
+        assert spread_tight < spread_loose / 3
+
+    def test_repr(self):
+        assert "0.2" in repr(MagicDistribution(0.2))

@@ -1,0 +1,142 @@
+"""Unit tests for the Beta posterior, including the paper's worked numbers."""
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.core import JEFFREYS, UNIFORM, Prior, SelectivityPosterior
+from repro.errors import EstimationError
+
+
+class TestShapes:
+    def test_jeffreys_shapes_match_equation_2(self):
+        """Paper Eq. (2): posterior is Beta(k + 1/2, n − k + 1/2)."""
+        posterior = SelectivityPosterior(10, 100)
+        assert posterior.alpha == 10.5
+        assert posterior.beta == 90.5
+
+    def test_uniform_prior_shapes(self):
+        posterior = SelectivityPosterior(10, 100, UNIFORM)
+        assert posterior.alpha == 11.0
+        assert posterior.beta == 91.0
+
+    def test_section_3_4_worked_example(self):
+        """Paper Section 3.4: 10 of 100 sampled tuples satisfy; the
+        density is ∝ z^9.5 (1−z)^89.5 and thresholds 20/50/80 % give
+        estimates 7.8 %, 10.1 %, 12.8 %."""
+        posterior = SelectivityPosterior(10, 100)
+        assert posterior.ppf(0.20) == pytest.approx(0.078, abs=0.002)
+        assert posterior.ppf(0.50) == pytest.approx(0.101, abs=0.002)
+        assert posterior.ppf(0.80) == pytest.approx(0.128, abs=0.002)
+
+
+class TestDistributionBasics:
+    def test_pdf_integrates_to_one(self):
+        posterior = SelectivityPosterior(5, 50)
+        total, _ = integrate.quad(posterior.pdf, 0, 1)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_cdf_monotone(self):
+        posterior = SelectivityPosterior(5, 50)
+        grid = np.linspace(0, 1, 101)
+        cdf = posterior.cdf(grid)
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[0] == pytest.approx(0.0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_ppf_inverts_cdf(self):
+        posterior = SelectivityPosterior(25, 200)
+        for t in (0.05, 0.5, 0.95):
+            assert posterior.cdf(posterior.ppf(t)) == pytest.approx(t, abs=1e-9)
+
+    def test_ppf_vectorized(self):
+        posterior = SelectivityPosterior(25, 200)
+        out = posterior.ppf(np.array([0.2, 0.8]))
+        assert out.shape == (2,)
+        assert out[0] < out[1]
+
+    def test_ppf_monotone_in_threshold(self):
+        posterior = SelectivityPosterior(3, 100)
+        thresholds = np.linspace(0.01, 0.99, 25)
+        estimates = posterior.ppf(thresholds)
+        assert (np.diff(estimates) > 0).all()
+
+    def test_ppf_bounds_raise(self):
+        posterior = SelectivityPosterior(3, 100)
+        with pytest.raises(EstimationError):
+            posterior.ppf(0.0)
+        with pytest.raises(EstimationError):
+            posterior.ppf(1.0)
+
+
+class TestSummaries:
+    def test_mean_formula(self):
+        posterior = SelectivityPosterior(10, 100)
+        assert posterior.mean == pytest.approx(10.5 / 101.0)
+
+    def test_mle(self):
+        assert SelectivityPosterior(10, 100).mle == 0.1
+
+    def test_variance_positive_and_shrinks_with_n(self):
+        small = SelectivityPosterior(10, 100)
+        large = SelectivityPosterior(100, 1000)
+        assert small.variance > large.variance > 0
+        assert small.std == pytest.approx(np.sqrt(small.variance))
+
+    def test_credible_interval(self):
+        posterior = SelectivityPosterior(50, 500)
+        low, high = posterior.credible_interval(0.95)
+        assert low < posterior.mean < high
+        assert posterior.cdf(high) - posterior.cdf(low) == pytest.approx(0.95)
+
+    def test_credible_interval_bad_level_raises(self):
+        with pytest.raises(EstimationError):
+            SelectivityPosterior(1, 10).credible_interval(1.5)
+
+
+class TestPaperFigure4Claims:
+    def test_prior_choice_barely_matters(self):
+        """Figure 4: Jeffreys vs uniform posteriors nearly identical."""
+        jeffreys = SelectivityPosterior(10, 100, JEFFREYS)
+        uniform = SelectivityPosterior(10, 100, UNIFORM)
+        grid = np.linspace(0.01, 0.3, 50)
+        assert np.max(np.abs(jeffreys.cdf(grid) - uniform.cdf(grid))) < 0.06
+        # in estimate terms the two differ by well under a selectivity point
+        for t in (0.2, 0.5, 0.8):
+            assert abs(jeffreys.ppf(t) - uniform.ppf(t)) < 0.005
+
+    def test_sample_size_matters(self):
+        """Figure 4: n=500 posterior is much tighter than n=100."""
+        small = SelectivityPosterior(10, 100)
+        large = SelectivityPosterior(50, 500)
+        assert large.std < small.std / 1.8
+
+    def test_zero_satisfying_tuples_leaves_uncertainty(self):
+        """Even k=0 leaves a nonzero upper tail — the source of the
+        self-adjusting behaviour of Section 6.2.4."""
+        posterior = SelectivityPosterior(0, 1000)
+        assert posterior.ppf(0.95) > 0.0015
+
+    def test_extreme_counts(self):
+        lo = SelectivityPosterior(0, 100)
+        hi = SelectivityPosterior(100, 100)
+        assert lo.ppf(0.5) < 0.01
+        assert hi.ppf(0.5) > 0.99
+
+
+class TestValidation:
+    def test_bad_counts_raise(self):
+        with pytest.raises(EstimationError):
+            SelectivityPosterior(-1, 10)
+        with pytest.raises(EstimationError):
+            SelectivityPosterior(11, 10)
+        with pytest.raises(EstimationError):
+            SelectivityPosterior(0, 0)
+
+    def test_custom_prior(self):
+        prior = Prior.informative(0.2, 8.0)
+        posterior = SelectivityPosterior(0, 10, prior)
+        assert posterior.alpha == pytest.approx(1.6)
+
+    def test_repr(self):
+        assert "Beta(10.5, 90.5)" in repr(SelectivityPosterior(10, 100))

@@ -1,0 +1,56 @@
+"""Unit tests for priors."""
+
+import pytest
+
+from repro.core import JEFFREYS, UNIFORM, Prior
+from repro.errors import EstimationError
+
+
+class TestNamedPriors:
+    def test_jeffreys_shapes(self):
+        assert JEFFREYS.alpha == 0.5
+        assert JEFFREYS.beta == 0.5
+
+    def test_uniform_shapes(self):
+        assert UNIFORM.alpha == 1.0
+        assert UNIFORM.beta == 1.0
+
+    def test_from_name(self):
+        assert Prior.from_name("jeffreys") is JEFFREYS
+        assert Prior.from_name("Uniform") is UNIFORM
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(EstimationError):
+            Prior.from_name("laplace")
+
+    def test_means(self):
+        assert JEFFREYS.mean == 0.5
+        assert UNIFORM.mean == 0.5
+
+
+class TestValidation:
+    def test_nonpositive_shapes_raise(self):
+        with pytest.raises(EstimationError):
+            Prior(0.0, 1.0)
+        with pytest.raises(EstimationError):
+            Prior(1.0, -1.0)
+
+
+class TestInformative:
+    def test_mean_preserved(self):
+        prior = Prior.informative(0.1, 10.0)
+        assert prior.mean == pytest.approx(0.1)
+        assert prior.alpha + prior.beta == pytest.approx(10.0)
+
+    def test_invalid_mean_raises(self):
+        with pytest.raises(EstimationError):
+            Prior.informative(0.0, 4.0)
+        with pytest.raises(EstimationError):
+            Prior.informative(1.0, 4.0)
+
+    def test_invalid_concentration_raises(self):
+        with pytest.raises(EstimationError):
+            Prior.informative(0.5, 0.0)
+
+    def test_str(self):
+        assert "jeffreys" in str(JEFFREYS)

@@ -1,0 +1,140 @@
+"""Engine robustness on empty inputs and degenerate cases."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    AggregateSpec,
+    ExecutionContext,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    IndexSeek,
+    IndexedNLJoin,
+    MergeJoin,
+    Project,
+    SeqScan,
+    Sort,
+    StarSemiJoin,
+)
+from repro.engine.scans import IndexCondition
+from repro.engine.star import DimensionSpec
+from repro.expressions import col
+
+from tests.conftest import make_two_table_db
+
+NOTHING = col("lineitem.l_quantity") > 1e9  # matches no row
+NO_PARTS = col("part.p_size") > 1e9
+
+
+@pytest.fixture
+def db():
+    return make_two_table_db(n_part=20, n_lineitem=200)
+
+
+class TestEmptyInputs:
+    def test_empty_scan(self, db):
+        frame = SeqScan("lineitem", NOTHING).execute(ExecutionContext(db))
+        assert frame.num_rows == 0
+        assert "lineitem.l_id" in frame.column_names
+
+    def test_empty_index_seek(self, db):
+        condition = IndexCondition("l_shipdate", 1, 2)
+        frame = IndexSeek("lineitem", condition).execute(ExecutionContext(db))
+        assert frame.num_rows == 0
+
+    def test_hash_join_empty_build(self, db):
+        join = HashJoin(
+            SeqScan("part", NO_PARTS),
+            SeqScan("lineitem"),
+            "part.p_partkey",
+            "lineitem.l_partkey",
+        )
+        assert join.execute(ExecutionContext(db)).num_rows == 0
+
+    def test_hash_join_empty_probe(self, db):
+        join = HashJoin(
+            SeqScan("part"),
+            SeqScan("lineitem", NOTHING),
+            "part.p_partkey",
+            "lineitem.l_partkey",
+        )
+        assert join.execute(ExecutionContext(db)).num_rows == 0
+
+    def test_merge_join_empty_side(self, db):
+        join = MergeJoin(
+            SeqScan("part", NO_PARTS),
+            SeqScan("lineitem"),
+            "part.p_partkey",
+            "lineitem.l_partkey",
+        )
+        assert join.execute(ExecutionContext(db)).num_rows == 0
+
+    def test_inl_join_empty_outer(self, db):
+        join = IndexedNLJoin(
+            SeqScan("part", NO_PARTS), "lineitem", "part.p_partkey", "l_partkey"
+        )
+        ctx = ExecutionContext(db)
+        assert join.execute(ctx).num_rows == 0
+        assert ctx.counters.random_ios == 0
+
+    def test_filter_of_empty(self, db):
+        plan = Filter(SeqScan("lineitem", NOTHING), col("lineitem.l_quantity") > 0)
+        assert plan.execute(ExecutionContext(db)).num_rows == 0
+
+    def test_sort_of_empty(self, db):
+        plan = Sort(SeqScan("lineitem", NOTHING), "lineitem.l_shipdate")
+        ctx = ExecutionContext(db)
+        assert plan.execute(ctx).num_rows == 0
+        assert ctx.counters.sort_comparisons == 0
+
+    def test_project_of_empty(self, db):
+        plan = Project(SeqScan("lineitem", NOTHING), ["lineitem.l_id"])
+        assert plan.execute(ExecutionContext(db)).num_rows == 0
+
+    def test_star_with_empty_dimension_filter(self, star_db):
+        specs = [
+            DimensionSpec("dim1", "f_dim1key", col("dim1.d_attr") > 1e9),
+            DimensionSpec("dim2", "f_dim2key", col("dim2.d_attr").between(0, 99)),
+        ]
+        ctx = ExecutionContext(star_db)
+        frame = StarSemiJoin("fact", specs).execute(ctx)
+        assert frame.num_rows == 0
+        assert ctx.counters.random_ios == 0  # nothing survives intersection
+
+    def test_chained_empty_pipeline(self, db):
+        plan = HashAggregate(
+            HashJoin(
+                SeqScan("part", NO_PARTS),
+                SeqScan("lineitem"),
+                "part.p_partkey",
+                "lineitem.l_partkey",
+            ),
+            [AggregateSpec("count", "*", "n"), AggregateSpec("sum", "lineitem.l_quantity", "q")],
+        )
+        frame = plan.execute(ExecutionContext(db))
+        assert frame.num_rows == 1
+        assert frame.column("n")[0] == 0
+        assert frame.column("q")[0] == 0.0
+
+
+class TestDegenerateValues:
+    def test_single_row_table_join(self):
+        db = make_two_table_db(n_part=1, n_lineitem=5)
+        join = HashJoin(
+            SeqScan("part"),
+            SeqScan("lineitem"),
+            "part.p_partkey",
+            "lineitem.l_partkey",
+        )
+        assert join.execute(ExecutionContext(db)).num_rows == 5
+
+    def test_seek_entire_domain(self, db):
+        condition = IndexCondition("l_shipdate", None, None)
+        frame = IndexSeek("lineitem", condition).execute(ExecutionContext(db))
+        assert frame.num_rows == db.table("lineitem").num_rows
+
+    def test_duplicate_sort_keys_stable_row_count(self, db):
+        plan = Sort(SeqScan("lineitem"), "lineitem.l_partkey")
+        frame = plan.execute(ExecutionContext(db))
+        assert frame.num_rows == db.table("lineitem").num_rows

@@ -1,0 +1,137 @@
+"""Unit tests for scan operators (SeqScan, IndexSeek, IndexIntersect)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ExecutionContext, IndexIntersect, IndexSeek, SeqScan
+from repro.engine.scans import IndexCondition
+from repro.errors import ExecutionError
+from repro.expressions import col
+
+from tests.conftest import make_two_table_db
+
+
+@pytest.fixture
+def db():
+    return make_two_table_db()
+
+
+def run(op, db):
+    ctx = ExecutionContext(db)
+    frame = op.execute(ctx)
+    return frame, ctx.counters
+
+
+class TestSeqScan:
+    def test_full_scan(self, db):
+        frame, counters = run(SeqScan("lineitem"), db)
+        table = db.table("lineitem")
+        assert frame.num_rows == table.num_rows
+        assert counters.seq_pages == table.num_pages
+        assert counters.cpu_rows == table.num_rows
+        assert counters.random_ios == 0
+
+    def test_filtered_scan(self, db):
+        predicate = col("lineitem.l_quantity") > 25
+        frame, counters = run(SeqScan("lineitem", predicate), db)
+        expected = (db.table("lineitem").column("l_quantity") > 25).sum()
+        assert frame.num_rows == expected
+        assert counters.rows_output == expected
+        # filtering does not change I/O
+        assert counters.seq_pages == db.table("lineitem").num_pages
+
+    def test_qualified_output_columns(self, db):
+        frame, _ = run(SeqScan("part"), db)
+        assert "part.p_size" in frame.column_names
+
+
+class TestIndexSeek:
+    def test_basic_range(self, db):
+        condition = IndexCondition("l_shipdate", 729100, 729200)
+        frame, counters = run(IndexSeek("lineitem", condition), db)
+        ship = db.table("lineitem").column("l_shipdate")
+        expected = ((ship >= 729100) & (ship <= 729200)).sum()
+        assert frame.num_rows == expected
+        assert counters.index_entries == expected
+        assert counters.random_ios == expected  # nonclustered
+        assert counters.seq_pages == 0
+
+    def test_clustered_seek_reads_pages(self, db):
+        condition = IndexCondition("l_id", 0, 499)
+        frame, counters = run(IndexSeek("lineitem", condition), db)
+        assert frame.num_rows == 500
+        assert counters.random_ios == 0
+        assert counters.seq_pages >= 1
+
+    def test_residual(self, db):
+        condition = IndexCondition("l_shipdate", 729100, 729200)
+        residual = col("lineitem.l_quantity") > 25
+        frame, counters = run(IndexSeek("lineitem", condition, residual), db)
+        table = db.table("lineitem")
+        ship = table.column("l_shipdate")
+        qty = table.column("l_quantity")
+        expected = ((ship >= 729100) & (ship <= 729200) & (qty > 25)).sum()
+        assert frame.num_rows == expected
+        assert counters.cpu_rows > 0
+
+    def test_missing_index_raises(self, db):
+        with pytest.raises(ExecutionError, match="no index"):
+            run(IndexSeek("lineitem", IndexCondition("l_quantity", 0, 10)), db)
+
+    def test_exclusive_bounds(self, db):
+        inclusive = IndexCondition("l_shipdate", 729100, 729200)
+        exclusive = IndexCondition(
+            "l_shipdate", 729100, 729200, low_inclusive=False, high_inclusive=False
+        )
+        frame_in, _ = run(IndexSeek("lineitem", inclusive), db)
+        frame_ex, _ = run(IndexSeek("lineitem", exclusive), db)
+        assert frame_ex.num_rows <= frame_in.num_rows
+
+
+class TestIndexIntersect:
+    def test_two_conditions(self, db):
+        conditions = [
+            IndexCondition("l_shipdate", 729100, 729200),
+            IndexCondition("l_receiptdate", 729100, 729200),
+        ]
+        frame, counters = run(IndexIntersect("lineitem", conditions), db)
+        table = db.table("lineitem")
+        ship = table.column("l_shipdate")
+        receipt = table.column("l_receiptdate")
+        expected = (
+            (ship >= 729100) & (ship <= 729200)
+            & (receipt >= 729100) & (receipt <= 729200)
+        ).sum()
+        assert frame.num_rows == expected
+        # one random fetch per survivor, not per index entry
+        assert counters.random_ios == expected
+        assert counters.index_entries > expected
+        assert counters.index_lookups == 2
+
+    def test_matches_seqscan_result(self, db):
+        conditions = [
+            IndexCondition("l_shipdate", 729100, 729200),
+            IndexCondition("l_receiptdate", 729150, 729250),
+        ]
+        predicate = col("lineitem.l_shipdate").between(729100, 729200) & col(
+            "lineitem.l_receiptdate"
+        ).between(729150, 729250)
+        frame_idx, _ = run(IndexIntersect("lineitem", conditions), db)
+        frame_scan, _ = run(SeqScan("lineitem", predicate), db)
+        assert frame_idx.num_rows == frame_scan.num_rows
+        assert sorted(frame_idx.column("lineitem.l_id")) == sorted(
+            frame_scan.column("lineitem.l_id")
+        )
+
+    def test_requires_two_conditions(self, db):
+        with pytest.raises(ExecutionError):
+            IndexIntersect("lineitem", [IndexCondition("l_shipdate", 0, 1)])
+
+    def test_residual(self, db):
+        conditions = [
+            IndexCondition("l_shipdate", 729100, 729250),
+            IndexCondition("l_receiptdate", 729100, 729250),
+        ]
+        residual = col("lineitem.l_quantity") > 40
+        frame, _ = run(IndexIntersect("lineitem", conditions, residual), db)
+        assert (frame.column("lineitem.l_quantity") > 40).all()

@@ -1,0 +1,94 @@
+"""Tests for the Sort operator and sort-merge join plans."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactCardinalityEstimator
+from repro.cost import CostModel
+from repro.engine import ExecutionContext, MergeJoin, SeqScan, Sort
+from repro.engine.sort import sort_work
+from repro.expressions import col
+from repro.optimizer import Optimizer, SPJQuery
+
+from tests.conftest import make_two_table_db
+
+
+@pytest.fixture
+def db():
+    return make_two_table_db(n_part=50, n_lineitem=800)
+
+
+class TestSortOperator:
+    def test_sorts_ascending(self, db):
+        plan = Sort(SeqScan("lineitem"), "lineitem.l_shipdate")
+        frame = plan.execute(ExecutionContext(db))
+        values = frame.column("lineitem.l_shipdate")
+        assert (np.diff(values) >= 0).all()
+
+    def test_preserves_rows(self, db):
+        plan = Sort(SeqScan("lineitem"), "lineitem.l_shipdate")
+        frame = plan.execute(ExecutionContext(db))
+        assert frame.num_rows == db.table("lineitem").num_rows
+        assert sorted(frame.column("lineitem.l_id")) == list(
+            range(db.table("lineitem").num_rows)
+        )
+
+    def test_rows_stay_aligned(self, db):
+        plan = Sort(SeqScan("lineitem"), "lineitem.l_shipdate")
+        frame = plan.execute(ExecutionContext(db))
+        table = db.table("lineitem")
+        ids = frame.column("lineitem.l_id")
+        assert np.array_equal(
+            frame.column("lineitem.l_shipdate"), table.column("l_shipdate")[ids]
+        )
+
+    def test_charges_nlogn(self, db):
+        ctx = ExecutionContext(db)
+        Sort(SeqScan("lineitem"), "lineitem.l_shipdate").execute(ctx)
+        n = db.table("lineitem").num_rows
+        assert ctx.counters.sort_comparisons == pytest.approx(sort_work(n))
+
+    def test_sort_work_edge_cases(self):
+        assert sort_work(0) == 0.0
+        assert sort_work(1) == 0.0
+        assert sort_work(8) == pytest.approx(24.0)
+
+    def test_label(self, db):
+        assert "Sort" in Sort(SeqScan("lineitem"), "x").label()
+
+
+class TestSortMergeJoin:
+    def test_sort_merge_matches_hash_result(self, db):
+        left = Sort(SeqScan("part"), "part.p_partkey")
+        right = Sort(SeqScan("lineitem"), "lineitem.l_partkey")
+        merged = MergeJoin(left, right, "part.p_partkey", "lineitem.l_partkey")
+        frame = merged.execute(ExecutionContext(db))
+        assert frame.num_rows == db.table("lineitem").num_rows
+
+    def test_optimizer_generates_sort_merge_alternative(self, db):
+        query = SPJQuery(["lineitem", "part"], col("part.p_size") <= 25)
+        planned = Optimizer(db, ExactCardinalityEstimator(db)).optimize(query)
+        shapes = [c.operator.explain() for c in planned.alternatives]
+        assert any("Sort" in shape and "MergeJoin" in shape for shape in shapes)
+
+    def test_sort_merge_cost_matches_execution(self, db):
+        query = SPJQuery(["lineitem", "part"], col("part.p_size") <= 25)
+        planned = Optimizer(db, ExactCardinalityEstimator(db)).optimize(query)
+        model = CostModel()
+        candidate = next(
+            c
+            for c in planned.alternatives
+            if "Sort" in c.operator.explain() and "MergeJoin" in c.operator.explain()
+        )
+        ctx = ExecutionContext(db)
+        candidate.operator.execute(ctx)
+        assert candidate.cost == pytest.approx(
+            model.time_from_counters(ctx.counters), rel=1e-9
+        )
+
+    def test_hash_usually_beats_sort_merge(self, db):
+        """With the default coefficients hash join should beat a full
+        sort-merge on unsorted inputs."""
+        query = SPJQuery(["lineitem", "part"], col("part.p_size") <= 25)
+        planned = Optimizer(db, ExactCardinalityEstimator(db)).optimize(query)
+        assert "Sort" not in planned.plan.explain()

@@ -1,0 +1,92 @@
+"""Unit tests for the StarSemiJoin operator against hash-cascade truth."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ExecutionContext, HashJoin, SeqScan, StarSemiJoin
+from repro.engine.star import DimensionSpec
+from repro.errors import ExecutionError
+from repro.expressions import col
+
+
+def dim_predicate(i, low, high):
+    return col(f"dim{i}.d_attr").between(low, high)
+
+
+def specs(windows):
+    return [
+        DimensionSpec(f"dim{i}", f"f_dim{i}key", dim_predicate(i, lo, hi))
+        for i, (lo, hi) in windows.items()
+    ]
+
+
+def hash_cascade(db, windows):
+    """Reference plan: fact scanned, every dimension hash-joined."""
+    plan = SeqScan("fact")
+    for i, (lo, hi) in windows.items():
+        plan = HashJoin(
+            SeqScan(f"dim{i}", dim_predicate(i, lo, hi)),
+            plan,
+            f"dim{i}.d_key",
+            f"fact.f_dim{i}key",
+        )
+    return plan.execute(ExecutionContext(db))
+
+
+WINDOWS = {1: (0, 99), 2: (20, 119), 3: (0, 99)}
+
+
+class TestStarSemiJoin:
+    def test_full_semijoin_matches_cascade(self, star_db):
+        expected = hash_cascade(star_db, WINDOWS)
+        ctx = ExecutionContext(star_db)
+        frame = StarSemiJoin("fact", specs(WINDOWS)).execute(ctx)
+        assert frame.num_rows == expected.num_rows
+        assert sorted(frame.column("fact.f_id")) == sorted(
+            expected.column("fact.f_id")
+        )
+
+    def test_hybrid_matches_cascade(self, star_db):
+        expected = hash_cascade(star_db, WINDOWS)
+        all_specs = specs(WINDOWS)
+        ctx = ExecutionContext(star_db)
+        frame = StarSemiJoin(
+            "fact", semi_dims=all_specs[:2], hash_dims=all_specs[2:]
+        ).execute(ctx)
+        assert frame.num_rows == expected.num_rows
+
+    def test_output_contains_dimension_columns(self, star_db):
+        frame = StarSemiJoin("fact", specs(WINDOWS)).execute(
+            ExecutionContext(star_db)
+        )
+        for i in (1, 2, 3):
+            assert f"dim{i}.d_attr" in frame.column_names
+
+    def test_random_ios_equal_intersection_size(self, star_db):
+        ctx = ExecutionContext(star_db)
+        frame = StarSemiJoin("fact", specs(WINDOWS)).execute(ctx)
+        assert ctx.counters.random_ios == frame.num_rows
+
+    def test_single_semi_dim(self, star_db):
+        one = specs({1: (0, 99)})
+        ctx = ExecutionContext(star_db)
+        frame = StarSemiJoin("fact", one).execute(ctx)
+        fk = star_db.table("fact").column("f_dim1key")
+        assert frame.num_rows == int(((fk >= 0) & (fk <= 99)).sum())
+
+    def test_fact_predicate(self, star_db):
+        predicate = col("fact.f_measure1") > 500.0
+        ctx = ExecutionContext(star_db)
+        frame = StarSemiJoin(
+            "fact", specs(WINDOWS), fact_predicate=predicate
+        ).execute(ctx)
+        assert (frame.column("fact.f_measure1") > 500.0).all()
+
+    def test_requires_semi_dim(self, star_db):
+        with pytest.raises(ExecutionError):
+            StarSemiJoin("fact", [])
+
+    def test_unfiltered_dimension(self, star_db):
+        unfiltered = [DimensionSpec("dim1", "f_dim1key", None)]
+        frame = StarSemiJoin("fact", unfiltered).execute(ExecutionContext(star_db))
+        assert frame.num_rows == star_db.table("fact").num_rows

@@ -1,0 +1,78 @@
+"""Interface-contract tests every estimator must satisfy."""
+
+import pytest
+
+from repro.core import (
+    ExactCardinalityEstimator,
+    FixedSelectivityEstimator,
+    HistogramCardinalityEstimator,
+    RobustCardinalityEstimator,
+)
+from repro.expressions import col
+
+
+def estimator_instances(tpch_db, tpch_stats):
+    return {
+        "exact": ExactCardinalityEstimator(tpch_db),
+        "robust": RobustCardinalityEstimator(tpch_stats, policy=0.8),
+        "histogram": HistogramCardinalityEstimator(tpch_stats),
+        "fixed": FixedSelectivityEstimator(tpch_db, default=0.05),
+    }
+
+
+CASES = [
+    ({"lineitem"}, None),
+    ({"lineitem"}, col("lineitem.l_quantity") > 25),
+    (
+        {"lineitem"},
+        col("lineitem.l_shipdate").between("1997-07-01", "1997-09-30")
+        & col("lineitem.l_receiptdate").between("1997-07-01", "1997-09-30"),
+    ),
+    ({"lineitem", "part"}, col("part.p_size") <= 10),
+    ({"lineitem", "orders"}, col("orders.o_totalprice") > 100_000),
+    (
+        {"lineitem", "orders", "customer", "part"},
+        (col("part.p_size") <= 25) & (col("customer.c_acctbal") > 0),
+    ),
+]
+
+
+@pytest.mark.parametrize("case_index", range(len(CASES)))
+@pytest.mark.parametrize("name", ["exact", "robust", "histogram", "fixed"])
+class TestEstimatorContract:
+    def test_selectivity_in_unit_interval(
+        self, tpch_db, tpch_stats, name, case_index
+    ):
+        estimator = estimator_instances(tpch_db, tpch_stats)[name]
+        tables, predicate = CASES[case_index]
+        estimate = estimator.estimate(tables, predicate)
+        assert 0.0 <= estimate.selectivity <= 1.0
+
+    def test_cardinality_anchored_to_root(
+        self, tpch_db, tpch_stats, name, case_index
+    ):
+        estimator = estimator_instances(tpch_db, tpch_stats)[name]
+        tables, predicate = CASES[case_index]
+        estimate = estimator.estimate(tables, predicate)
+        root_rows = tpch_db.table(estimate.root_table).num_rows
+        assert estimate.cardinality == pytest.approx(
+            estimate.selectivity * root_rows
+        )
+        assert estimate.root_table == tpch_db.root_relation(tables)
+
+    def test_deterministic(self, tpch_db, tpch_stats, name, case_index):
+        estimator = estimator_instances(tpch_db, tpch_stats)[name]
+        tables, predicate = CASES[case_index]
+        a = estimator.estimate(tables, predicate)
+        b = estimator.estimate(tables, predicate)
+        assert a.selectivity == b.selectivity
+
+    def test_tables_echoed(self, tpch_db, tpch_stats, name, case_index):
+        estimator = estimator_instances(tpch_db, tpch_stats)[name]
+        tables, predicate = CASES[case_index]
+        estimate = estimator.estimate(tables, predicate)
+        assert estimate.tables == frozenset(tables)
+
+    def test_describe_nonempty(self, tpch_db, tpch_stats, name, case_index):
+        estimator = estimator_instances(tpch_db, tpch_stats)[name]
+        assert estimator.describe()

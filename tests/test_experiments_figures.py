@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import render_ascii_chart
+
+
+@pytest.fixture
+def simple_chart():
+    x = np.linspace(0, 1, 11)
+    return render_ascii_chart(
+        {"up": x, "down": 1 - x}, x, title="demo", width=40, height=8
+    )
+
+
+class TestRenderAsciiChart:
+    def test_contains_title_and_legend(self, simple_chart):
+        assert "demo" in simple_chart
+        assert "o=up" in simple_chart and "x=down" in simple_chart
+
+    def test_dimensions(self, simple_chart):
+        lines = simple_chart.splitlines()
+        # title + height rows + axis + labels + legend
+        assert len(lines) == 1 + 8 + 3
+
+    def test_extreme_labels(self, simple_chart):
+        assert "1.0" in simple_chart and "0.0" in simple_chart
+        assert "0.00%" in simple_chart and "100.00%" in simple_chart
+
+    def test_monotone_series_orientation(self):
+        x = np.linspace(0, 1, 9)
+        chart = render_ascii_chart({"up": x}, x, width=30, height=6)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        first_glyph_col = rows[0].index("o")
+        last_glyph_col = rows[-1].index("o")
+        # rising series: the top row holds the rightmost point
+        assert first_glyph_col > last_glyph_col
+
+    def test_constant_series(self):
+        x = np.linspace(0, 1, 5)
+        chart = render_ascii_chart({"flat": np.ones(5)}, x)
+        assert "o" in chart
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", "--figure", "5", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "o=T=5%" in out
+
+    def test_validation(self):
+        x = np.linspace(0, 1, 5)
+        with pytest.raises(ReproError):
+            render_ascii_chart({}, x)
+        with pytest.raises(ReproError):
+            render_ascii_chart({"a": np.ones(3)}, x)
+        with pytest.raises(ReproError):
+            render_ascii_chart({"a": [1.0]}, [0.5])
+        too_many = {f"s{i}": np.ones(5) for i in range(9)}
+        with pytest.raises(ReproError):
+            render_ascii_chart(too_many, x)

@@ -1,0 +1,149 @@
+"""Unit tests for repro.expressions.analysis (sargability, routing)."""
+
+import pytest
+
+from repro.expressions import col, lit
+from repro.expressions.analysis import (
+    as_range_condition,
+    in_list_atoms,
+    merge_range_conditions,
+    predicates_by_table,
+    split_conjuncts,
+    split_sargable,
+)
+
+
+class TestSplitConjuncts:
+    def test_none(self):
+        assert split_conjuncts(None) == []
+
+    def test_single(self):
+        predicate = col("t.a") > 1
+        assert split_conjuncts(predicate) == [predicate]
+
+    def test_and(self):
+        a, b, c = col("t.a") > 1, col("t.b") > 2, col("t.c") > 3
+        assert len(split_conjuncts(a & b & c)) == 3
+
+    def test_or_not_split(self):
+        predicate = (col("t.a") > 1) | (col("t.b") > 2)
+        assert split_conjuncts(predicate) == [predicate]
+
+
+class TestPredicatesByTable:
+    def test_routing(self):
+        predicate = (col("t.a") > 1) & (col("u.b") > 2) & (col("t.c") < 3)
+        routed = predicates_by_table(predicate)
+        assert set(routed) == {"t", "u"}
+        assert routed["t"].columns() == {("t", "a"), ("t", "c")}
+
+    def test_cross_table_conjunct_goes_to_empty_key(self):
+        predicate = (col("t.a") == col("u.b")) & (col("t.c") > 1)
+        routed = predicates_by_table(predicate)
+        assert "" in routed
+        assert routed[""].columns() == {("t", "a"), ("u", "b")}
+
+    def test_none(self):
+        assert predicates_by_table(None) == {}
+
+
+class TestAsRangeCondition:
+    def test_between(self):
+        condition = as_range_condition(col("t.a").between(1, 5))
+        assert condition.low == 1 and condition.high == 5
+        assert condition.low_inclusive and condition.high_inclusive
+
+    def test_comparison_forms(self):
+        lt = as_range_condition(col("t.a") < 5)
+        assert lt.high == 5 and not lt.high_inclusive and lt.low is None
+        le = as_range_condition(col("t.a") <= 5)
+        assert le.high == 5 and le.high_inclusive
+        gt = as_range_condition(col("t.a") > 5)
+        assert gt.low == 5 and not gt.low_inclusive and gt.high is None
+        ge = as_range_condition(col("t.a") >= 5)
+        assert ge.low == 5 and ge.low_inclusive
+
+    def test_equality(self):
+        condition = as_range_condition(col("t.a") == 5)
+        assert condition.is_equality
+        assert condition.low == condition.high == 5
+
+    def test_reversed_sides(self):
+        condition = as_range_condition(lit(5) < col("t.a"))
+        assert condition.low == 5 and not condition.low_inclusive
+
+    def test_not_equal_is_not_sargable(self):
+        assert as_range_condition(col("t.a") != 5) is None
+
+    def test_column_vs_column_not_sargable(self):
+        assert as_range_condition(col("t.a") < col("t.b")) is None
+
+    def test_arithmetic_not_sargable(self):
+        assert as_range_condition((col("t.a") + 1) < 5) is None
+
+    def test_string_predicates_not_sargable(self):
+        assert as_range_condition(col("t.s").contains("x")) is None
+
+
+class TestMergeRangeConditions:
+    def test_intersection(self):
+        conditions = [
+            as_range_condition(col("t.a") >= 5),
+            as_range_condition(col("t.a") < 9),
+        ]
+        merged = merge_range_conditions(conditions)
+        [(key, condition)] = merged.items()
+        assert key == ("t", "a")
+        assert condition.low == 5 and condition.low_inclusive
+        assert condition.high == 9 and not condition.high_inclusive
+
+    def test_tighter_bound_wins(self):
+        conditions = [
+            as_range_condition(col("t.a") >= 2),
+            as_range_condition(col("t.a") >= 7),
+        ]
+        merged = merge_range_conditions(conditions)
+        assert merged[("t", "a")].low == 7
+
+    def test_equal_bounds_exclusivity_wins(self):
+        conditions = [
+            as_range_condition(col("t.a") > 5),
+            as_range_condition(col("t.a") >= 5),
+        ]
+        merged = merge_range_conditions(conditions)
+        assert not merged[("t", "a")].low_inclusive
+
+    def test_different_columns_kept_separate(self):
+        conditions = [
+            as_range_condition(col("t.a") >= 5),
+            as_range_condition(col("t.b") < 3),
+        ]
+        assert len(merge_range_conditions(conditions)) == 2
+
+
+class TestSplitSargable:
+    def test_all_sargable(self):
+        predicate = (col("t.a") >= 1) & (col("t.b") <= 2)
+        ranges, residual = split_sargable(predicate)
+        assert len(ranges) == 2
+        assert residual is None
+
+    def test_mixed(self):
+        predicate = (col("t.a") >= 1) & col("t.s").contains("x")
+        ranges, residual = split_sargable(predicate)
+        assert len(ranges) == 1
+        assert residual is not None
+
+    def test_none(self):
+        assert split_sargable(None) == ([], None)
+
+
+class TestInListAtoms:
+    def test_match(self):
+        atom = in_list_atoms(col("t.a").isin([1, 2]))
+        assert atom is not None
+        ref, values = atom
+        assert ref.name == "a" and values == [1, 2]
+
+    def test_non_match(self):
+        assert in_list_atoms(col("t.a") > 1) is None

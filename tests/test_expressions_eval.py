@@ -1,0 +1,182 @@
+"""Unit tests for expression evaluation (repro.expressions.expr)."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import date_ordinal
+from repro.errors import ExpressionError
+from repro.expressions import Frame, col, lit, conjunction
+from repro.expressions.expr import And, InList, Not, Or
+
+
+@pytest.fixture
+def frame():
+    return Frame(
+        {
+            "t.n": np.array([1, 2, 3, 4, 5]),
+            "t.x": np.array([1.0, 4.0, 9.0, 16.0, 25.0]),
+            "t.s": np.array(["alpha", "beta", "gamma", "delta", "beta"]),
+            "t.d": np.array(
+                [date_ordinal(f"1997-07-{day:02d}") for day in (1, 5, 10, 15, 20)]
+            ),
+        }
+    )
+
+
+class TestComparisons:
+    def test_eq(self, frame):
+        assert list((col("t.n") == 3).evaluate(frame)) == [0, 0, 1, 0, 0]
+
+    def test_ne(self, frame):
+        assert (col("t.n") != 3).evaluate(frame).sum() == 4
+
+    def test_lt_le_gt_ge(self, frame):
+        assert (col("t.n") < 3).evaluate(frame).sum() == 2
+        assert (col("t.n") <= 3).evaluate(frame).sum() == 3
+        assert (col("t.n") > 3).evaluate(frame).sum() == 2
+        assert (col("t.n") >= 3).evaluate(frame).sum() == 3
+
+    def test_reversed_literal(self, frame):
+        predicate = lit(3) <= col("t.n")
+        assert predicate.evaluate(frame).sum() == 3
+
+    def test_column_vs_column(self, frame):
+        predicate = col("t.x") > col("t.n")
+        assert predicate.evaluate(frame).sum() == 4  # all but n=1
+
+    def test_string_eq(self, frame):
+        assert (col("t.s") == "beta").evaluate(frame).sum() == 2
+
+    def test_date_string_coercion(self, frame):
+        predicate = col("t.d") >= "1997-07-10"
+        assert predicate.evaluate(frame).sum() == 3
+
+
+class TestArithmetic:
+    def test_add_sub_mul_div(self, frame):
+        assert list((col("t.n") + 1).evaluate(frame)) == [2, 3, 4, 5, 6]
+        assert list((col("t.n") - 1).evaluate(frame)) == [0, 1, 2, 3, 4]
+        assert list((col("t.n") * 2).evaluate(frame)) == [2, 4, 6, 8, 10]
+        assert list((col("t.x") / col("t.n")).evaluate(frame)) == [1, 2, 3, 4, 5]
+
+    def test_radd_rsub_rmul(self, frame):
+        assert list((1 + col("t.n")).evaluate(frame)) == [2, 3, 4, 5, 6]
+        assert list((10 - col("t.n")).evaluate(frame)) == [9, 8, 7, 6, 5]
+        assert list((2 * col("t.n")).evaluate(frame)) == [2, 4, 6, 8, 10]
+
+    def test_arithmetic_in_predicate(self, frame):
+        # x - n^2 == 0 everywhere
+        predicate = (col("t.x") - col("t.n") * col("t.n")) == 0
+        assert predicate.evaluate(frame).all()
+
+
+class TestRangeAndMembership:
+    def test_between(self, frame):
+        assert col("t.n").between(2, 4).evaluate(frame).sum() == 3
+
+    def test_between_dates(self, frame):
+        predicate = col("t.d").between("1997-07-05", "1997-07-15")
+        assert predicate.evaluate(frame).sum() == 3
+
+    def test_isin(self, frame):
+        assert col("t.n").isin([1, 5, 99]).evaluate(frame).sum() == 2
+
+    def test_isin_strings(self, frame):
+        assert col("t.s").isin(["beta"]).evaluate(frame).sum() == 2
+
+    def test_empty_isin_raises(self, frame):
+        with pytest.raises(ExpressionError):
+            InList(col("t.n"), [])
+
+
+class TestStringPredicates:
+    def test_contains(self, frame):
+        assert col("t.s").contains("et").evaluate(frame).sum() == 2
+
+    def test_startswith(self, frame):
+        assert col("t.s").startswith("b").evaluate(frame).sum() == 2
+
+    def test_contains_no_match(self, frame):
+        assert col("t.s").contains("zzz").evaluate(frame).sum() == 0
+
+
+class TestBooleanConnectives:
+    def test_and(self, frame):
+        predicate = (col("t.n") > 1) & (col("t.n") < 5)
+        assert predicate.evaluate(frame).sum() == 3
+
+    def test_or(self, frame):
+        predicate = (col("t.n") == 1) | (col("t.n") == 5)
+        assert predicate.evaluate(frame).sum() == 2
+
+    def test_not(self, frame):
+        assert (~(col("t.n") == 1)).evaluate(frame).sum() == 4
+
+    def test_and_flattens(self, frame):
+        nested = And([And([col("t.n") > 0, col("t.n") > 1]), col("t.n") > 2])
+        assert len(nested.operands) == 3
+
+    def test_or_flattens(self, frame):
+        nested = Or([Or([col("t.n") == 1, col("t.n") == 2]), col("t.n") == 3])
+        assert len(nested.operands) == 3
+
+    def test_empty_and_raises(self):
+        with pytest.raises(ExpressionError):
+            And([])
+
+    def test_de_morgan(self, frame):
+        a = col("t.n") > 2
+        b = col("t.s") == "beta"
+        left = (~(a & b)).evaluate(frame)
+        right = (Not(a) | Not(b)).evaluate(frame)
+        assert np.array_equal(left, right)
+
+
+class TestIntrospection:
+    def test_columns(self):
+        predicate = (col("t.a") > 1) & (col("u.b") == 2)
+        assert predicate.columns() == {("t", "a"), ("u", "b")}
+
+    def test_tables(self):
+        predicate = (col("t.a") > 1) & (col("u.b") == col("t.c"))
+        assert predicate.tables() == {"t", "u"}
+
+    def test_unqualified_column(self):
+        assert col("x").columns() == {(None, "x")}
+        assert col("x").tables() == set()
+
+    def test_literal_has_no_columns(self):
+        assert lit(5).columns() == set()
+
+    def test_bool_coercion_raises(self):
+        with pytest.raises(ExpressionError):
+            bool(col("t.a") == col("t.b"))
+
+    def test_same_as(self):
+        assert col("t.a").same_as(col("t.a"))
+        assert not col("t.a").same_as(col("t.b"))
+        assert not col("t.a").same_as(col("u.a"))
+
+
+class TestConjunctionHelper:
+    def test_empty(self):
+        assert conjunction([]) is None
+        assert conjunction([None, None]) is None
+
+    def test_single(self):
+        predicate = col("t.a") > 1
+        assert conjunction([None, predicate]) is predicate
+
+    def test_multiple(self, frame):
+        combined = conjunction([col("t.n") > 1, None, col("t.n") < 5])
+        assert isinstance(combined, And)
+        assert combined.evaluate(frame).sum() == 3
+
+
+class TestLiteral:
+    def test_broadcast(self, frame):
+        assert list(lit(7).evaluate(frame)) == [7] * 5
+
+    def test_repr_forms(self, frame):
+        text = repr((col("t.n") >= 2) & col("t.s").contains("a"))
+        assert "t.n" in text and "contains" in text

@@ -1,0 +1,101 @@
+"""Unit tests for repro.expressions.frame."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expressions import Frame
+
+
+@pytest.fixture
+def frame():
+    return Frame(
+        {
+            "t.a": np.array([1, 2, 3, 4]),
+            "t.b": np.array([10.0, 20.0, 30.0, 40.0]),
+            "u.a": np.array([5, 6, 7, 8]),
+        }
+    )
+
+
+class TestConstruction:
+    def test_num_rows(self, frame):
+        assert frame.num_rows == 4
+
+    def test_empty(self):
+        assert Frame({}).num_rows == 0
+
+    def test_ragged_raises(self):
+        with pytest.raises(ExpressionError):
+            Frame({"a": np.array([1]), "b": np.array([1, 2])})
+
+    def test_from_table(self, two_table_db):
+        table = two_table_db.table("part")
+        frame = Frame.from_table(table)
+        assert frame.num_rows == table.num_rows
+        assert "part.p_size" in frame.column_names
+
+    def test_from_table_rows(self, two_table_db):
+        table = two_table_db.table("part")
+        frame = Frame.from_table_rows(table, np.array([0, 2]))
+        assert frame.num_rows == 2
+        assert frame.column("part.p_partkey")[1] == 2
+
+
+class TestColumnResolution:
+    def test_qualified(self, frame):
+        assert frame.column("t.a")[0] == 1
+
+    def test_unqualified_unique(self, frame):
+        assert frame.column("b")[1] == 20.0
+
+    def test_unqualified_ambiguous_raises(self, frame):
+        with pytest.raises(ExpressionError, match="ambiguous"):
+            frame.column("a")
+
+    def test_missing_raises(self, frame):
+        with pytest.raises(ExpressionError, match="no column"):
+            frame.column("zzz")
+
+    def test_contains(self, frame):
+        assert "t.a" in frame
+        assert "b" in frame
+        assert "a" not in frame  # ambiguous counts as absent
+        assert "zzz" not in frame
+
+
+class TestTransforms:
+    def test_mask(self, frame):
+        out = frame.mask(np.array([True, False, True, False]))
+        assert out.num_rows == 2
+        assert list(out.column("t.a")) == [1, 3]
+
+    def test_mask_wrong_length_raises(self, frame):
+        with pytest.raises(ExpressionError):
+            frame.mask(np.array([True]))
+
+    def test_mask_wrong_dtype_raises(self, frame):
+        with pytest.raises(ExpressionError):
+            frame.mask(np.array([1, 0, 1, 0]))
+
+    def test_take(self, frame):
+        out = frame.take(np.array([3, 0, 0]))
+        assert list(out.column("t.a")) == [4, 1, 1]
+
+    def test_select(self, frame):
+        out = frame.select(["t.b"])
+        assert out.column_names == ["t.b"]
+
+    def test_merge(self, frame):
+        other = Frame({"v.x": np.arange(4)})
+        merged = frame.merged_with(other)
+        assert merged.num_rows == 4
+        assert "v.x" in merged.column_names
+
+    def test_merge_length_mismatch_raises(self, frame):
+        with pytest.raises(ExpressionError):
+            frame.merged_with(Frame({"v.x": np.arange(3)}))
+
+    def test_merge_duplicate_column_raises(self, frame):
+        with pytest.raises(ExpressionError, match="duplicate"):
+            frame.merged_with(Frame({"t.a": np.arange(4)}))

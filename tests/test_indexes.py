@@ -1,0 +1,143 @@
+"""Unit tests for repro.indexes (sorted, hash, RID algebra)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.indexes import (
+    HashIndex,
+    SortedIndex,
+    intersect_rid_sets,
+    union_rid_lists,
+)
+
+
+@pytest.fixture
+def values():
+    return np.array([5, 3, 8, 3, 1, 9, 3, 7])
+
+
+class TestSortedIndex:
+    def test_lookup_eq(self, values):
+        index = SortedIndex(values)
+        assert sorted(index.lookup_eq(3)) == [1, 3, 6]
+        assert list(index.lookup_eq(42)) == []
+
+    def test_lookup_range_inclusive(self, values):
+        index = SortedIndex(values)
+        rids = index.lookup_range(3, 7)
+        assert sorted(values[rids]) == [3, 3, 3, 5, 7]
+
+    def test_lookup_range_exclusive(self, values):
+        index = SortedIndex(values)
+        rids = index.lookup_range(3, 7, low_inclusive=False, high_inclusive=False)
+        assert sorted(values[rids]) == [5]
+
+    def test_lookup_range_open_ended(self, values):
+        index = SortedIndex(values)
+        assert len(index.lookup_range(None, None)) == len(values)
+        assert sorted(values[index.lookup_range(8, None)]) == [8, 9]
+        assert sorted(values[index.lookup_range(None, 1)]) == [1]
+
+    def test_empty_range(self, values):
+        index = SortedIndex(values)
+        assert list(index.lookup_range(100, 200)) == []
+        assert list(index.lookup_range(7, 3)) == []
+
+    def test_count_range_matches_lookup(self, values):
+        index = SortedIndex(values)
+        for lo, hi in [(None, None), (3, 7), (0, 0), (8, None)]:
+            assert index.count_range(lo, hi) == len(index.lookup_range(lo, hi))
+
+    def test_lookup_many_eq(self, values):
+        index = SortedIndex(values)
+        rids = index.lookup_many_eq(np.array([3, 9]))
+        assert sorted(values[rids]) == [3, 3, 3, 9]
+
+    def test_lookup_many_eq_empty(self, values):
+        index = SortedIndex(values)
+        assert list(index.lookup_many_eq(np.array([], dtype=np.int64))) == []
+        assert list(index.lookup_many_eq(np.array([1000]))) == []
+
+    def test_min_max(self, values):
+        index = SortedIndex(values)
+        assert index.min_key() == 1
+        assert index.max_key() == 9
+
+    def test_empty_index_min_raises(self):
+        index = SortedIndex(np.array([], dtype=np.int64))
+        with pytest.raises(IndexError_):
+            index.min_key()
+
+    def test_2d_input_raises(self):
+        with pytest.raises(IndexError_):
+            SortedIndex(np.zeros((2, 2)))
+
+    def test_string_keys(self):
+        index = SortedIndex(np.array(["pear", "apple", "fig"]))
+        assert list(index.lookup_eq("fig")) == [2]
+
+    def test_num_entries(self, values):
+        assert SortedIndex(values).num_entries == 8
+
+
+class TestHashIndex:
+    def test_lookup(self, values):
+        index = HashIndex(values)
+        assert sorted(index.lookup(3)) == [1, 3, 6]
+        assert list(index.lookup(42)) == []
+
+    def test_lookup_many(self, values):
+        index = HashIndex(values)
+        rids = index.lookup_many(np.array([3, 3, 9]))
+        # duplicates in input contribute their matches twice
+        assert len(rids) == 7
+
+    def test_contains(self, values):
+        index = HashIndex(values)
+        assert 5 in index
+        assert 55 not in index
+
+    def test_counts(self, values):
+        index = HashIndex(values)
+        assert index.num_entries == 8
+        assert index.num_keys == 6
+
+    def test_numpy_scalar_lookup(self, values):
+        index = HashIndex(values)
+        assert sorted(index.lookup(np.int64(3))) == [1, 3, 6]
+
+    def test_empty(self):
+        index = HashIndex(np.array([], dtype=np.int64))
+        assert index.num_entries == 0
+        assert list(index.lookup(1)) == []
+
+    def test_2d_input_raises(self):
+        with pytest.raises(IndexError_):
+            HashIndex(np.zeros((2, 2)))
+
+
+class TestRidAlgebra:
+    def test_intersect_basic(self):
+        out = intersect_rid_sets(
+            [np.array([1, 2, 3, 4]), np.array([3, 4, 5]), np.array([4, 3, 9])]
+        )
+        assert list(out) == [3, 4]
+
+    def test_intersect_empty_input(self):
+        assert list(intersect_rid_sets([])) == []
+
+    def test_intersect_with_empty_set(self):
+        out = intersect_rid_sets([np.array([1, 2]), np.array([], dtype=np.int64)])
+        assert list(out) == []
+
+    def test_intersect_single(self):
+        assert list(intersect_rid_sets([np.array([2, 1, 2])])) == [1, 2]
+
+    def test_union(self):
+        out = union_rid_lists([np.array([3, 1]), np.array([2, 3])])
+        assert list(out) == [1, 2, 3]
+
+    def test_union_empty(self):
+        assert list(union_rid_lists([])) == []
+        assert list(union_rid_lists([np.array([], dtype=np.int64)])) == []

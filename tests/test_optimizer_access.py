@@ -1,0 +1,124 @@
+"""Unit tests for access-path generation."""
+
+import pytest
+
+from repro.core import ExactCardinalityEstimator
+from repro.cost import CostModel
+from repro.engine import IndexIntersect, IndexSeek, SeqScan
+from repro.expressions import col
+from repro.optimizer.access import access_paths, range_to_expr
+from repro.expressions.analysis import as_range_condition
+
+from tests.conftest import make_two_table_db
+
+
+@pytest.fixture
+def db():
+    return make_two_table_db()
+
+
+@pytest.fixture
+def card(db):
+    exact = ExactCardinalityEstimator(db)
+
+    def oracle(tables, predicate):
+        return exact.estimate(tables, predicate)
+
+    return oracle
+
+
+MODEL = CostModel()
+
+DATE_RANGE = col("lineitem.l_shipdate").between(729100, 729150)
+BOTH_DATES = DATE_RANGE & col("lineitem.l_receiptdate").between(729100, 729150)
+
+
+class TestRangeToExpr:
+    def test_between_roundtrip(self):
+        condition = as_range_condition(col("t.a").between(1, 5))
+        rebuilt = as_range_condition(range_to_expr(condition))
+        assert rebuilt.low == 1 and rebuilt.high == 5
+
+    def test_one_sided(self):
+        condition = as_range_condition(col("t.a") > 3)
+        rebuilt = as_range_condition(range_to_expr(condition))
+        assert rebuilt.low == 3 and not rebuilt.low_inclusive
+
+    def test_mixed_exclusivity(self):
+        merged = as_range_condition(col("t.a") >= 1)
+        merged = merged.__class__("t", "a", 1, 9, True, False)
+        rebuilt_expr = range_to_expr(merged)
+        rebuilt = None
+        # a half-open two-sided range becomes a conjunction; just check
+        # it references the right column
+        assert rebuilt_expr.columns() == {("t", "a")}
+
+
+class TestAccessPaths:
+    def test_always_includes_seqscan(self, db, card):
+        paths = access_paths(db, MODEL, card, "lineitem", None)
+        assert any(isinstance(p.operator, SeqScan) for p in paths)
+        assert len(paths) == 1  # no predicate → nothing else
+
+    def test_index_seek_generated(self, db, card):
+        paths = access_paths(db, MODEL, card, "lineitem", DATE_RANGE)
+        kinds = {type(p.operator) for p in paths}
+        assert SeqScan in kinds and IndexSeek in kinds
+
+    def test_index_intersection_generated(self, db, card):
+        paths = access_paths(db, MODEL, card, "lineitem", BOTH_DATES)
+        kinds = {type(p.operator) for p in paths}
+        assert IndexIntersect in kinds
+        # two single-column seeks as well
+        seeks = [p for p in paths if isinstance(p.operator, IndexSeek)]
+        assert len(seeks) == 2
+
+    def test_no_index_paths_for_unindexed_columns(self, db, card):
+        predicate = col("lineitem.l_quantity") > 25
+        paths = access_paths(db, MODEL, card, "lineitem", predicate)
+        assert all(isinstance(p.operator, SeqScan) for p in paths)
+
+    def test_rows_estimates_agree(self, db, card):
+        paths = access_paths(db, MODEL, card, "lineitem", BOTH_DATES)
+        rows = {round(p.rows, 3) for p in paths}
+        assert len(rows) == 1  # same logical result for every path
+
+    def test_costs_are_positive_and_differ(self, db, card):
+        paths = access_paths(db, MODEL, card, "lineitem", BOTH_DATES)
+        costs = [p.cost for p in paths]
+        assert all(c > 0 for c in costs)
+        assert len({round(c, 9) for c in costs}) > 1
+
+    def test_seek_residual_preserves_semantics(self, db, card):
+        """Each path must produce the same rows when executed."""
+        from repro.engine import ExecutionContext
+
+        predicate = BOTH_DATES & (col("lineitem.l_quantity") > 10)
+        paths = access_paths(db, MODEL, card, "lineitem", predicate)
+        results = set()
+        for path in paths:
+            frame = path.operator.execute(ExecutionContext(db))
+            results.add(tuple(sorted(frame.column("lineitem.l_id"))))
+        assert len(results) == 1
+
+    def test_order_annotations(self, db, card):
+        paths = access_paths(db, MODEL, card, "lineitem", DATE_RANGE)
+        by_type = {type(p.operator): p for p in paths}
+        assert by_type[SeqScan].order == "lineitem.l_id"  # clustered
+        assert by_type[IndexSeek].order == "lineitem.l_shipdate"
+
+    def test_annotations_set(self, db, card):
+        paths = access_paths(db, MODEL, card, "lineitem", DATE_RANGE)
+        for path in paths:
+            assert path.operator.est_rows is not None
+            assert path.operator.est_cost is not None
+
+    def test_date_string_literals_coerced(self, db, card):
+        import datetime
+
+        low = datetime.date.fromordinal(729100).isoformat()
+        high = datetime.date.fromordinal(729150).isoformat()
+        predicate = col("lineitem.l_shipdate").between(low, high)
+        paths = access_paths(db, MODEL, card, "lineitem", predicate)
+        seek = next(p for p in paths if isinstance(p.operator, IndexSeek))
+        assert seek.operator.condition.low == 729100

@@ -1,0 +1,92 @@
+"""Tests for the least-expected-cost baseline optimizer."""
+
+import pytest
+
+from repro.core import ExactCardinalityEstimator, RobustCardinalityEstimator
+from repro.engine import ExecutionContext
+from repro.errors import OptimizationError
+from repro.expressions import col
+from repro.optimizer import LeastExpectedCostOptimizer, Optimizer, SPJQuery
+from repro.stats import StatisticsManager
+
+
+@pytest.fixture
+def lec(tpch_db, tpch_stats):
+    return LeastExpectedCostOptimizer(tpch_db, tpch_stats, num_quantiles=5)
+
+
+CORRELATED = col("lineitem.l_shipdate").between("1997-07-01", "1997-09-30") & col(
+    "lineitem.l_receiptdate"
+).between("1997-07-01", "1997-09-30")
+
+
+class TestBasics:
+    def test_quantiles_are_midpoints(self, lec):
+        quantiles = lec.quantiles()
+        assert len(quantiles) == 5
+        assert quantiles[0] == pytest.approx(0.1)
+        assert quantiles[-1] == pytest.approx(0.9)
+
+    def test_invalid_quantile_count(self, tpch_db, tpch_stats):
+        with pytest.raises(OptimizationError):
+            LeastExpectedCostOptimizer(tpch_db, tpch_stats, num_quantiles=0)
+
+    def test_produces_runnable_plan(self, lec, tpch_db):
+        query = SPJQuery(["lineitem"], CORRELATED)
+        planned = lec.optimize(query)
+        frame = planned.plan.execute(ExecutionContext(tpch_db))
+        truth = ExactCardinalityEstimator(tpch_db).estimate(
+            {"lineitem"}, CORRELATED
+        )
+        assert frame.num_rows == truth.cardinality
+
+    def test_join_query(self, lec, tpch_db):
+        query = SPJQuery(["lineitem", "part"], col("part.p_size") <= 10)
+        planned = lec.optimize(query)
+        frame = planned.plan.execute(ExecutionContext(tpch_db))
+        truth = ExactCardinalityEstimator(tpch_db).estimate(
+            set(query.tables), query.predicate
+        )
+        assert frame.num_rows == truth.cardinality
+
+    def test_alternatives_ranked_by_expected_cost(self, lec):
+        query = SPJQuery(["lineitem"], CORRELATED)
+        planned = lec.optimize(query)
+        assert len(planned.alternatives) >= 2
+
+
+class TestBlowup:
+    def test_multi_invocation_blowup(self, tpch_db, tpch_stats):
+        """The paper's criticism: estimation work scales with the
+        number of subroutine invocations."""
+        query = SPJQuery(["lineitem"], CORRELATED)
+        single = Optimizer(
+            tpch_db, RobustCardinalityEstimator(tpch_stats, policy=0.8)
+        ).optimize(query)
+        multi = LeastExpectedCostOptimizer(
+            tpch_db, tpch_stats, num_quantiles=7
+        ).optimize(query)
+        assert multi.estimation_calls >= 7 * single.estimation_calls
+
+
+class TestDecisionQuality:
+    def test_lec_avoids_risky_plan_under_wide_posterior(self, tpch_db):
+        """With a tiny sample the posterior is wide; the expected cost
+        of the risky plan includes its disaster tail, so LEC plays
+        safe — agreeing with high-threshold robust optimization."""
+        stats = StatisticsManager(tpch_db)
+        stats.update_statistics(sample_size=60, seed=1)
+        lec = LeastExpectedCostOptimizer(tpch_db, stats, num_quantiles=7)
+        query = SPJQuery(["lineitem"], CORRELATED)
+        planned = lec.optimize(query)
+        assert "SeqScan" in planned.plan.label()
+
+    def test_lec_uses_risky_plan_when_safe(self, tpch_db, tpch_stats):
+        """A clearly tiny selectivity makes the risky plan dominate at
+        every quantile."""
+        predicate = col("lineitem.l_shipdate").between(
+            "1997-07-01", "1997-07-02"
+        ) & col("lineitem.l_receiptdate").between("1997-07-01", "1997-07-09")
+        lec = LeastExpectedCostOptimizer(tpch_db, tpch_stats, num_quantiles=5)
+        planned = lec.optimize(SPJQuery(["lineitem"], predicate))
+        assert "Index" in planned.plan.label()

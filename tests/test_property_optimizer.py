@@ -1,0 +1,173 @@
+"""Property-based optimizer correctness: any plan, same answer.
+
+Whatever predicate is thrown at it — and whichever access path or join
+method wins — the optimizer's chosen plan must return exactly the rows
+a brute-force evaluation returns, and its estimated cost must equal
+the simulated execution time when the estimator is exact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ExactCardinalityEstimator
+from repro.cost import CostModel
+from repro.engine import ExecutionContext
+from repro.expressions import Frame, col
+from repro.optimizer import Optimizer, SPJQuery
+
+DATE_LO, DATE_HI = 729000, 729365
+
+lineitem_conjunct = st.one_of(
+    st.tuples(
+        st.just("lineitem.l_shipdate"),
+        st.sampled_from(["<=", ">=", "between"]),
+        st.integers(DATE_LO, DATE_HI),
+        st.integers(0, 200),
+    ),
+    st.tuples(
+        st.just("lineitem.l_receiptdate"),
+        st.sampled_from(["<=", ">=", "between"]),
+        st.integers(DATE_LO, DATE_HI),
+        st.integers(0, 200),
+    ),
+    st.tuples(
+        st.just("lineitem.l_quantity"),
+        st.sampled_from(["<=", ">=", "=", "between"]),
+        st.integers(1, 50),
+        st.integers(0, 20),
+    ),
+)
+
+
+def build_predicate(conjuncts):
+    parts = []
+    for column, op, value, width in conjuncts:
+        reference = col(column)
+        if op == "<=":
+            parts.append(reference <= value)
+        elif op == ">=":
+            parts.append(reference >= value)
+        elif op == "=":
+            parts.append(reference == value)
+        else:
+            parts.append(reference.between(value, value + width))
+    predicate = parts[0]
+    for part in parts[1:]:
+        predicate = predicate & part
+    return predicate
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(conjuncts=st.lists(lineitem_conjunct, min_size=1, max_size=3))
+def test_single_table_plans_always_correct(two_table_db, conjuncts):
+    database = two_table_db
+    predicate = build_predicate(conjuncts)
+    model = CostModel()
+    planned = Optimizer(
+        database, ExactCardinalityEstimator(database), model
+    ).optimize(SPJQuery(["lineitem"], predicate))
+
+    ctx = ExecutionContext(database)
+    frame = planned.plan.execute(ctx)
+
+    truth_mask = predicate.evaluate(Frame.from_table(database.table("lineitem")))
+    assert frame.num_rows == int(truth_mask.sum())
+    assert sorted(frame.column("lineitem.l_id")) == sorted(
+        np.flatnonzero(truth_mask)
+    )
+    assert planned.estimated_cost == pytest.approx(
+        model.time_from_counters(ctx.counters), rel=1e-6
+    )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    size_hi=st.integers(1, 50),
+    conjuncts=st.lists(lineitem_conjunct, min_size=0, max_size=2),
+)
+def test_join_plans_always_correct(two_table_db, size_hi, conjuncts):
+    database = two_table_db
+    parts = [col("part.p_size") <= size_hi]
+    if conjuncts:
+        parts.append(build_predicate(conjuncts))
+    predicate = parts[0]
+    for part in parts[1:]:
+        predicate = predicate & part
+
+    model = CostModel()
+    planned = Optimizer(
+        database, ExactCardinalityEstimator(database), model
+    ).optimize(SPJQuery(["lineitem", "part"], predicate))
+    ctx = ExecutionContext(database)
+    frame = planned.plan.execute(ctx)
+
+    # brute force: evaluate over the materialized FK join
+    from repro.stats.join_synopsis import fk_join_frame
+
+    joined, _ = fk_join_frame(database, "lineitem", restrict_to={"lineitem", "part"})
+    truth = int(predicate.evaluate(joined).sum())
+    assert frame.num_rows == truth
+    assert planned.estimated_cost == pytest.approx(
+        model.time_from_counters(ctx.counters), rel=1e-6
+    )
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    threshold=st.floats(0.02, 0.98),
+    conjuncts=st.lists(lineitem_conjunct, min_size=1, max_size=2),
+)
+def test_threshold_never_changes_results(two_table_db, two_table_stats, threshold, conjuncts):
+    """Robust estimation at any threshold returns the same rows — only
+    the plan (and its time) may differ."""
+    from repro.core import RobustCardinalityEstimator
+
+    database = two_table_db
+    predicate = build_predicate(conjuncts)
+    estimator = RobustCardinalityEstimator(two_table_stats, policy=threshold)
+    planned = Optimizer(database, estimator).optimize(
+        SPJQuery(["lineitem"], predicate)
+    )
+    frame = planned.plan.execute(ExecutionContext(database))
+    truth = predicate.evaluate(Frame.from_table(database.table("lineitem"))).sum()
+    assert frame.num_rows == int(truth)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(conjuncts=st.lists(lineitem_conjunct, min_size=1, max_size=3))
+def test_every_alternative_recosts_to_its_dp_cost(two_table_db, conjuncts):
+    """PlanCoster agrees with the DP's incremental costing for every
+    candidate of every randomly generated query."""
+    from repro.optimizer import PlanCoster
+
+    database = two_table_db
+    predicate = build_predicate(conjuncts)
+    exact = ExactCardinalityEstimator(database)
+    planned = Optimizer(database, exact).optimize(
+        SPJQuery(["lineitem"], predicate)
+    )
+    coster = PlanCoster(
+        database, CostModel(), lambda t, p: exact.estimate(t, p).cardinality
+    )
+    for candidate in planned.alternatives:
+        cost, rows = coster.cost(candidate.operator)
+        assert cost == pytest.approx(candidate.cost, rel=1e-9)
+        assert rows == pytest.approx(candidate.rows, rel=1e-9)

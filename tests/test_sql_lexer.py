@@ -1,0 +1,77 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql import Token, TokenKind, tokenize
+from repro.sql.lexer import SqlSyntaxError
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)[:-1]]
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("lineitem l_shipdate")
+        assert [t.text for t in tokens[:-1]] == ["lineitem", "l_shipdate"]
+        assert all(t.kind is TokenKind.IDENTIFIER for t in tokens[:-1])
+
+    def test_numbers(self):
+        assert texts("42 3.14 .5") == ["42", "3.14", ".5"]
+        assert kinds("42 3.14") == [TokenKind.NUMBER, TokenKind.NUMBER]
+
+    def test_qualified_column_dots(self):
+        assert texts("a.b") == ["a", ".", "b"]
+
+    def test_number_then_dot_identifier(self):
+        # "1.x" must not swallow the dot into the number
+        assert texts("t1.x") == ["t1", ".", "x"]
+
+    def test_strings(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == "hello world"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_operators(self):
+        assert texts("<= >= <> != = < >") == ["<=", ">=", "<>", "!=", "=", "<", ">"]
+
+    def test_arithmetic_operators(self):
+        assert texts("+ - * /") == ["+", "-", "*", "/"]
+
+    def test_punctuation(self):
+        assert texts("( ) ,") == ["(", ")", ","]
+
+    def test_end_token(self):
+        assert tokenize("x")[-1].kind is TokenKind.END
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("a ; b")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_is_keyword_helper(self):
+        token = Token(TokenKind.KEYWORD, "SELECT", 0)
+        assert token.is_keyword("SELECT")
+        assert not token.is_keyword("FROM")
+
+    def test_empty_input(self):
+        tokens = tokenize("   ")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.END

@@ -1,0 +1,286 @@
+"""Unit tests for the SQL parser."""
+
+import numpy as np
+import pytest
+
+from repro.expressions import Frame
+from repro.sql import parse_predicate, parse_query
+from repro.sql.lexer import SqlSyntaxError
+
+
+@pytest.fixture
+def frame():
+    return Frame(
+        {
+            "t.a": np.array([1, 2, 3, 4, 5]),
+            "t.b": np.array([10.0, 20.0, 30.0, 40.0, 50.0]),
+            "t.s": np.array(["alpha", "beta", "gamma", "delta", "beta"]),
+        }
+    )
+
+
+class TestPredicates:
+    def test_comparison(self, frame):
+        assert parse_predicate("t.a > 3").evaluate(frame).sum() == 2
+
+    def test_all_operators(self, frame):
+        assert parse_predicate("t.a = 3").evaluate(frame).sum() == 1
+        assert parse_predicate("t.a != 3").evaluate(frame).sum() == 4
+        assert parse_predicate("t.a <> 3").evaluate(frame).sum() == 4
+        assert parse_predicate("t.a <= 3").evaluate(frame).sum() == 3
+        assert parse_predicate("t.a >= 3").evaluate(frame).sum() == 3
+        assert parse_predicate("t.a < 3").evaluate(frame).sum() == 2
+
+    def test_and_or_precedence(self, frame):
+        # AND binds tighter than OR
+        predicate = parse_predicate("t.a = 1 OR t.a = 2 AND t.b = 20")
+        assert predicate.evaluate(frame).sum() == 2  # rows a=1 and a=2
+
+    def test_parenthesized_boolean(self, frame):
+        predicate = parse_predicate("(t.a = 1 OR t.a = 2) AND t.b = 20")
+        assert predicate.evaluate(frame).sum() == 1
+
+    def test_not(self, frame):
+        assert parse_predicate("NOT t.a = 1").evaluate(frame).sum() == 4
+
+    def test_between(self, frame):
+        predicate = parse_predicate("t.a BETWEEN 2 AND 4")
+        assert predicate.evaluate(frame).sum() == 3
+
+    def test_between_then_and(self, frame):
+        predicate = parse_predicate("t.a BETWEEN 2 AND 4 AND t.b > 25")
+        assert predicate.evaluate(frame).sum() == 2  # a=3,4
+
+    def test_between_is_sargable(self):
+        from repro.expressions import Between
+        from repro.expressions.analysis import as_range_condition
+
+        predicate = parse_predicate("t.a BETWEEN 2 AND 4")
+        assert isinstance(predicate, Between)
+        assert as_range_condition(predicate) is not None
+
+    def test_in(self, frame):
+        assert parse_predicate("t.a IN (1, 3, 9)").evaluate(frame).sum() == 2
+
+    def test_not_in(self, frame):
+        assert parse_predicate("t.a NOT IN (1, 3)").evaluate(frame).sum() == 3
+
+    def test_in_strings(self, frame):
+        assert parse_predicate("t.s IN ('beta')").evaluate(frame).sum() == 2
+
+    def test_like_contains(self, frame):
+        assert parse_predicate("t.s LIKE '%et%'").evaluate(frame).sum() == 2
+
+    def test_like_prefix(self, frame):
+        assert parse_predicate("t.s LIKE 'b%'").evaluate(frame).sum() == 2
+
+    def test_not_like(self, frame):
+        assert parse_predicate("t.s NOT LIKE 'b%'").evaluate(frame).sum() == 3
+
+    def test_like_exact(self, frame):
+        assert parse_predicate("t.s LIKE 'beta'").evaluate(frame).sum() == 2
+
+    def test_like_suffix_unsupported(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_predicate("t.s LIKE '%x'")
+
+    def test_arithmetic(self, frame):
+        predicate = parse_predicate("t.b / t.a = 10")
+        assert predicate.evaluate(frame).all()
+
+    def test_arithmetic_precedence(self, frame):
+        # 2 + 3 * 10 = 32, not 50
+        predicate = parse_predicate("t.a + t.a * 10 = 33")
+        assert predicate.evaluate(frame).sum() == 1  # a=3
+
+    def test_parenthesized_arithmetic(self, frame):
+        predicate = parse_predicate("(t.a + 1) * 2 = 8")
+        assert predicate.evaluate(frame).sum() == 1  # a=3
+
+    def test_negative_literal(self, frame):
+        assert parse_predicate("t.a > -1").evaluate(frame).all()
+
+    def test_string_comparison(self, frame):
+        assert parse_predicate("t.s = 'beta'").evaluate(frame).sum() == 2
+
+    def test_date_strings_pass_through(self):
+        predicate = parse_predicate("t.d >= '1997-07-01'")
+        frame = Frame({"t.d": np.array([729100, 729300])})
+        # coercion happens at evaluation; 1997-07-01 is ordinal 729206
+        assert predicate.evaluate(frame).sum() == 1
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SqlSyntaxError, match="trailing"):
+            parse_predicate("t.a > 1 t.b")
+
+    def test_bare_operand_raises(self):
+        with pytest.raises(SqlSyntaxError, match="boolean"):
+            parse_predicate("t.a")
+
+    def test_non_boolean_and_operand_raises(self):
+        with pytest.raises(SqlSyntaxError, match="boolean"):
+            parse_predicate("t.a = 1 AND 5")
+
+
+class TestQueries:
+    def test_simple_select(self, tpch_db):
+        query = parse_query(
+            "SELECT lineitem.l_quantity FROM lineitem "
+            "WHERE lineitem.l_quantity > 45",
+            tpch_db,
+        )
+        assert query.tables == ("lineitem",)
+        assert query.projection == ("lineitem.l_quantity",)
+
+    def test_select_star(self, tpch_db):
+        query = parse_query("SELECT * FROM lineitem", tpch_db)
+        assert query.projection is None
+
+    def test_aggregate(self, tpch_db):
+        query = parse_query(
+            "SELECT SUM(lineitem.l_extendedprice) AS revenue FROM lineitem",
+            tpch_db,
+        )
+        [aggregate] = query.aggregates
+        assert aggregate.func == "sum"
+        assert aggregate.alias == "revenue"
+
+    def test_count_star(self, tpch_db):
+        query = parse_query("SELECT COUNT(*) FROM lineitem", tpch_db)
+        assert query.aggregates[0].column == "*"
+        assert query.aggregates[0].alias == "count_all"
+
+    def test_group_by(self, tpch_db):
+        query = parse_query(
+            "SELECT lineitem.l_partkey, COUNT(*) FROM lineitem "
+            "GROUP BY lineitem.l_partkey",
+            tpch_db,
+        )
+        assert query.group_by == ("lineitem.l_partkey",)
+
+    def test_plain_column_without_group_by_raises(self):
+        with pytest.raises(SqlSyntaxError, match="GROUP BY"):
+            parse_query("SELECT lineitem.l_partkey, COUNT(*) FROM lineitem")
+
+    def test_select_column_not_grouped_raises(self):
+        with pytest.raises(SqlSyntaxError, match="not in GROUP BY"):
+            parse_query(
+                "SELECT lineitem.l_partkey, COUNT(*) FROM lineitem "
+                "GROUP BY lineitem.l_orderkey"
+            )
+
+    def test_implicit_join(self, tpch_db):
+        query = parse_query(
+            "SELECT COUNT(*) FROM lineitem, orders, part "
+            "WHERE part.p_size < 10",
+            tpch_db,
+        )
+        assert set(query.tables) == {"lineitem", "orders", "part"}
+
+    def test_explicit_join_validated(self, tpch_db):
+        query = parse_query(
+            "SELECT COUNT(*) FROM lineitem "
+            "JOIN orders ON lineitem.l_orderkey = orders.o_orderkey",
+            tpch_db,
+        )
+        assert set(query.tables) == {"lineitem", "orders"}
+
+    def test_explicit_join_wrong_columns_raises(self, tpch_db):
+        with pytest.raises(SqlSyntaxError, match="foreign key"):
+            parse_query(
+                "SELECT COUNT(*) FROM lineitem "
+                "JOIN orders ON lineitem.l_partkey = orders.o_orderkey",
+                tpch_db,
+            )
+
+    def test_confidence_hint_percentage(self, tpch_db):
+        query = parse_query(
+            "SELECT COUNT(*) FROM lineitem OPTION (CONFIDENCE 95)", tpch_db
+        )
+        assert query.hint == 0.95
+
+    def test_confidence_hint_named(self, tpch_db):
+        query = parse_query(
+            "SELECT COUNT(*) FROM lineitem OPTION (CONFIDENCE conservative)",
+            tpch_db,
+        )
+        assert query.hint == "conservative"
+
+    def test_validation_against_schema(self, tpch_db):
+        with pytest.raises(Exception):
+            parse_query("SELECT * FROM ghost_table", tpch_db)
+
+    def test_no_database_skips_validation(self):
+        query = parse_query("SELECT * FROM ghost_table")
+        assert query.tables == ("ghost_table",)
+
+    def test_trailing_input_raises(self):
+        with pytest.raises(SqlSyntaxError, match="trailing"):
+            parse_query("SELECT * FROM t WHERE t.a = 1 extra")
+
+
+class TestEndToEndSql:
+    def test_paper_experiment_1_query(self, tpch_db):
+        """The paper's Section 6.2.1 template, as SQL."""
+        from repro.core import ExactCardinalityEstimator
+        from repro.engine import ExecutionContext
+        from repro.optimizer import Optimizer
+
+        query = parse_query(
+            "SELECT SUM(lineitem.l_extendedprice) AS revenue "
+            "FROM lineitem "
+            "WHERE lineitem.l_shipdate BETWEEN '1997-07-01' AND '1997-09-30' "
+            "AND lineitem.l_receiptdate BETWEEN '1997-07-15' AND '1997-10-15' "
+            "OPTION (CONFIDENCE 80)",
+            tpch_db,
+        )
+        assert query.hint == 0.80
+        planned = Optimizer(tpch_db, ExactCardinalityEstimator(tpch_db)).optimize(
+            query
+        )
+        frame = planned.plan.execute(ExecutionContext(tpch_db))
+        assert frame.num_rows == 1
+        assert frame.column("revenue")[0] >= 0
+
+
+class TestDistinct:
+    def test_distinct_maps_to_group_by(self, tpch_db):
+        query = parse_query(
+            "SELECT DISTINCT lineitem.l_partkey FROM lineitem", tpch_db
+        )
+        assert query.group_by == ("lineitem.l_partkey",)
+        assert query.aggregates == ()
+        assert query.projection is None
+
+    def test_distinct_executes(self, tpch_db):
+        import numpy as np
+
+        from repro.core import ExactCardinalityEstimator
+        from repro.engine import ExecutionContext
+        from repro.optimizer import Optimizer
+
+        query = parse_query(
+            "SELECT DISTINCT lineitem.l_partkey FROM lineitem "
+            "WHERE lineitem.l_quantity > 45",
+            tpch_db,
+        )
+        planned = Optimizer(tpch_db, ExactCardinalityEstimator(tpch_db)).optimize(
+            query
+        )
+        frame = planned.plan.execute(ExecutionContext(tpch_db))
+        table = tpch_db.table("lineitem")
+        mask = table.column("l_quantity") > 45
+        truth = len(np.unique(table.column("l_partkey")[mask]))
+        assert frame.num_rows == truth
+
+    def test_distinct_star_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="DISTINCT"):
+            parse_query("SELECT DISTINCT * FROM t")
+
+    def test_distinct_with_aggregate_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="DISTINCT"):
+            parse_query("SELECT DISTINCT COUNT(*) FROM t")
+
+    def test_distinct_with_group_by_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="DISTINCT"):
+            parse_query("SELECT DISTINCT t.a FROM t GROUP BY t.a")

@@ -1,0 +1,125 @@
+"""Unit tests for equi-depth histograms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats import EquiDepthHistogram
+
+
+@pytest.fixture
+def uniform():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 10_000, 20_000)
+
+
+class TestConstruction:
+    def test_bucket_counts_sum_to_total(self, uniform):
+        histogram = EquiDepthHistogram(uniform, 250)
+        assert histogram.counts.sum() == len(uniform)
+
+    def test_buckets_capped_by_rows(self):
+        histogram = EquiDepthHistogram(np.arange(10), 250)
+        assert histogram.num_buckets <= 10
+
+    def test_roughly_equal_depth(self, uniform):
+        histogram = EquiDepthHistogram(uniform, 100)
+        depths = histogram.counts
+        assert depths.max() < 3 * depths.min()
+
+    def test_distinct_values_exact_for_unique_column(self):
+        histogram = EquiDepthHistogram(np.arange(1000), 50)
+        assert histogram.distinct_values == 1000
+
+    def test_rejects_strings(self):
+        with pytest.raises(StatisticsError):
+            EquiDepthHistogram(np.array(["a", "b"]), 10)
+
+    def test_rejects_empty(self):
+        with pytest.raises(StatisticsError):
+            EquiDepthHistogram(np.array([], dtype=np.int64), 10)
+
+    def test_rejects_bad_bucket_count(self, uniform):
+        with pytest.raises(StatisticsError):
+            EquiDepthHistogram(uniform, 0)
+
+    def test_heavy_hitter_single_bucket(self):
+        values = np.concatenate([np.full(900, 7), np.arange(100)])
+        histogram = EquiDepthHistogram(values, 10)
+        assert histogram.selectivity_eq(7) == pytest.approx(0.9, abs=0.05)
+
+
+class TestRangeSelectivity:
+    def test_full_range_is_one(self, uniform):
+        histogram = EquiDepthHistogram(uniform, 250)
+        assert histogram.selectivity_range(None, None) == pytest.approx(1.0)
+
+    def test_half_range(self, uniform):
+        histogram = EquiDepthHistogram(uniform, 250)
+        estimate = histogram.selectivity_range(0, 4999)
+        truth = (uniform <= 4999).mean()
+        assert estimate == pytest.approx(truth, abs=0.02)
+
+    def test_narrow_range(self, uniform):
+        histogram = EquiDepthHistogram(uniform, 250)
+        estimate = histogram.selectivity_range(1000, 1099)
+        truth = ((uniform >= 1000) & (uniform <= 1099)).mean()
+        assert estimate == pytest.approx(truth, abs=0.005)
+
+    def test_out_of_domain_is_zero(self, uniform):
+        histogram = EquiDepthHistogram(uniform, 250)
+        assert histogram.selectivity_range(20_000, 30_000) == 0.0
+        assert histogram.selectivity_range(-10, -1) == 0.0
+
+    def test_inverted_range_is_zero(self, uniform):
+        histogram = EquiDepthHistogram(uniform, 250)
+        assert histogram.selectivity_range(100, 50) == 0.0
+
+    def test_skewed_data(self):
+        rng = np.random.default_rng(1)
+        skewed = (rng.pareto(2.0, 20_000) * 100).astype(np.int64)
+        histogram = EquiDepthHistogram(skewed, 250)
+        for hi in (50, 200, 1000):
+            truth = (skewed <= hi).mean()
+            assert histogram.selectivity_range(None, hi) == pytest.approx(
+                truth, abs=0.03
+            )
+
+
+class TestEqualitySelectivity:
+    def test_uniform_point(self, uniform):
+        histogram = EquiDepthHistogram(uniform, 250)
+        estimate = histogram.selectivity_eq(5000)
+        assert estimate == pytest.approx(1 / 10_000, rel=1.0)
+
+    def test_out_of_domain_zero(self, uniform):
+        histogram = EquiDepthHistogram(uniform, 250)
+        assert histogram.selectivity_eq(-5) == 0.0
+        assert histogram.selectivity_eq(99_999) == 0.0
+
+    def test_binary_column(self):
+        values = np.concatenate([np.zeros(750, dtype=np.int64), np.ones(250, dtype=np.int64)])
+        histogram = EquiDepthHistogram(values, 250)
+        assert histogram.selectivity_eq(0) == pytest.approx(0.75, abs=0.01)
+        assert histogram.selectivity_eq(1) == pytest.approx(0.25, abs=0.01)
+
+
+class TestAviFailureMode:
+    """The estimator knows marginals but cannot see correlations —
+    the exact failure mode of paper Experiments 1–3."""
+
+    def test_marginals_right_joint_wrong(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 1000, 50_000)
+        b = a + rng.integers(0, 10, 50_000)  # near-perfect correlation
+        hist_a = EquiDepthHistogram(a, 250)
+        hist_b = EquiDepthHistogram(b, 250)
+        sel_a = hist_a.selectivity_range(100, 199)
+        sel_b = hist_b.selectivity_range(500, 599)
+        avi = sel_a * sel_b
+        truth = ((a >= 100) & (a <= 199) & (b >= 500) & (b <= 599)).mean()
+        # marginals individually fine...
+        assert sel_a == pytest.approx((( a >= 100) & (a <= 199)).mean(), abs=0.01)
+        # ...but the AVI joint estimate is wildly off (truth is 0)
+        assert truth == 0.0
+        assert avi > 0.005

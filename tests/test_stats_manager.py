@@ -1,0 +1,98 @@
+"""Unit tests for the StatisticsManager."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats import StatisticsManager
+
+
+class TestUpdateStatistics:
+    def test_builds_samples_for_every_table(self, tpch_stats, tpch_db):
+        for name in tpch_db.table_names:
+            assert tpch_stats.sample_for(name) is not None
+            assert tpch_stats.synopsis_for(name) is not None
+
+    def test_builds_histograms_for_numeric_columns(self, tpch_stats):
+        assert tpch_stats.histogram("lineitem", "l_shipdate") is not None
+        assert tpch_stats.histogram("part", "p_size") is not None
+
+    def test_no_histograms_for_string_columns(self, tpch_stats):
+        assert tpch_stats.histogram("part", "p_brand") is None
+
+    def test_sample_size_recorded(self, tpch_stats):
+        assert tpch_stats.sample_size == 500
+        assert tpch_stats.sample_for("lineitem").size == 500
+
+    def test_table_rows(self, tpch_stats, tpch_db):
+        assert tpch_stats.table_rows("part") == tpch_db.table("part").num_rows
+
+
+class TestSynopsisCovering:
+    def test_exact_root_match(self, tpch_stats):
+        synopsis = tpch_stats.synopsis_covering({"lineitem", "orders"})
+        assert synopsis is not None
+        assert synopsis.root_table == "lineitem"
+
+    def test_full_set(self, tpch_stats):
+        synopsis = tpch_stats.synopsis_covering(
+            {"lineitem", "orders", "customer", "part"}
+        )
+        assert synopsis is not None
+
+    def test_mid_chain(self, tpch_stats):
+        synopsis = tpch_stats.synopsis_covering({"orders", "customer"})
+        assert synopsis.root_table == "orders"
+
+    def test_disconnected_returns_none(self, tpch_stats):
+        assert tpch_stats.synopsis_covering({"part", "customer"}) is None
+
+    def test_unknown_table_returns_none(self, tpch_stats):
+        assert tpch_stats.synopsis_covering({"ghost"}) is None
+
+
+class TestDropStatistics:
+    def test_drop_synopsis(self, tpch_db):
+        manager = StatisticsManager(tpch_db)
+        manager.update_statistics(sample_size=100, seed=0)
+        manager.drop_synopsis("lineitem")
+        assert manager.synopsis_for("lineitem") is None
+        assert manager.synopsis_covering({"lineitem", "part"}) is None
+        # other statistics untouched
+        assert manager.sample_for("lineitem") is not None
+
+    def test_drop_sample(self, tpch_db):
+        manager = StatisticsManager(tpch_db)
+        manager.update_statistics(sample_size=100, seed=0)
+        manager.drop_sample("part")
+        assert manager.sample_for("part") is None
+
+    def test_drop_histograms(self, tpch_db):
+        manager = StatisticsManager(tpch_db)
+        manager.update_statistics(sample_size=100, seed=0)
+        manager.drop_histograms("part")
+        assert manager.histogram("part", "p_size") is None
+        assert manager.histogram("lineitem", "l_shipdate") is not None
+
+    def test_require_synopsis_raises_when_missing(self, tpch_db):
+        manager = StatisticsManager(tpch_db)
+        with pytest.raises(StatisticsError):
+            manager.require_synopsis("lineitem")
+
+
+class TestDeterminism:
+    def test_same_seed_same_sample(self, tpch_db):
+        import numpy as np
+
+        a = StatisticsManager(tpch_db)
+        a.update_statistics(sample_size=100, seed=3)
+        b = StatisticsManager(tpch_db)
+        b.update_statistics(sample_size=100, seed=3)
+        assert np.array_equal(
+            a.sample_for("lineitem").row_ids, b.sample_for("lineitem").row_ids
+        )
+
+    def test_partial_update(self, tpch_db):
+        manager = StatisticsManager(tpch_db)
+        manager.update_statistics(sample_size=50, seed=0, tables=["part"])
+        assert manager.sample_for("part") is not None
+        assert manager.sample_for("lineitem") is None

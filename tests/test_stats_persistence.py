@@ -1,0 +1,100 @@
+"""Tests for statistics persistence (save/load round trip)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import RobustCardinalityEstimator
+from repro.errors import StatisticsError
+from repro.expressions import col
+from repro.stats import StatisticsManager, load_statistics, save_statistics
+
+
+@pytest.fixture
+def saved(tpch_db, tmp_path):
+    manager = StatisticsManager(tpch_db)
+    manager.update_statistics(sample_size=300, seed=17)
+    save_statistics(manager, tmp_path / "stats")
+    return manager, tmp_path / "stats"
+
+
+class TestRoundTrip:
+    def test_samples_identical(self, tpch_db, saved):
+        original, path = saved
+        restored = load_statistics(tpch_db, path)
+        for name in tpch_db.table_names:
+            assert np.array_equal(
+                original.sample_for(name).row_ids,
+                restored.sample_for(name).row_ids,
+            )
+
+    def test_synopses_identical(self, tpch_db, saved):
+        original, path = saved
+        restored = load_statistics(tpch_db, path)
+        predicate = (col("part.p_size") <= 10) & (
+            col("lineitem.l_quantity") > 25
+        )
+        assert original.synopsis_for("lineitem").count_satisfying(
+            predicate
+        ) == restored.synopsis_for("lineitem").count_satisfying(predicate)
+        assert (
+            restored.synopsis_for("lineitem").covered_tables
+            == original.synopsis_for("lineitem").covered_tables
+        )
+
+    def test_histograms_identical(self, tpch_db, saved):
+        original, path = saved
+        restored = load_statistics(tpch_db, path)
+        for column in ("l_shipdate", "l_quantity"):
+            a = original.histogram("lineitem", column)
+            b = restored.histogram("lineitem", column)
+            assert np.array_equal(a.uppers, b.uppers)
+            assert np.array_equal(a.counts, b.counts)
+            assert a.selectivity_range(a.minimum, a.uppers[10]) == pytest.approx(
+                b.selectivity_range(b.minimum, b.uppers[10])
+            )
+
+    def test_sample_size_restored(self, tpch_db, saved):
+        _, path = saved
+        restored = load_statistics(tpch_db, path)
+        assert restored.sample_size == 300
+
+    def test_estimates_identical(self, tpch_db, saved):
+        original, path = saved
+        restored = load_statistics(tpch_db, path)
+        predicate = col("lineitem.l_shipdate").between("1997-07-01", "1997-09-30")
+        a = RobustCardinalityEstimator(original, policy=0.8).estimate(
+            {"lineitem"}, predicate
+        )
+        b = RobustCardinalityEstimator(restored, policy=0.8).estimate(
+            {"lineitem"}, predicate
+        )
+        assert a.selectivity == b.selectivity
+
+
+class TestErrors:
+    def test_missing_manifest_raises(self, tpch_db, tmp_path):
+        with pytest.raises(StatisticsError, match="manifest"):
+            load_statistics(tpch_db, tmp_path / "nowhere")
+
+    def test_bad_version_raises(self, tpch_db, saved, tmp_path):
+        _, path = saved
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format_version"] = 999
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StatisticsError, match="format"):
+            load_statistics(tpch_db, path)
+
+    def test_mismatched_database_raises(self, saved, two_table_db):
+        _, path = saved
+        with pytest.raises(StatisticsError):
+            load_statistics(two_table_db, path)
+
+    def test_partial_statistics_saved(self, tpch_db, tmp_path):
+        manager = StatisticsManager(tpch_db)
+        manager.update_statistics(sample_size=100, seed=0, tables=["part"])
+        save_statistics(manager, tmp_path / "partial")
+        restored = load_statistics(tpch_db, tmp_path / "partial")
+        assert restored.sample_for("part") is not None
+        assert restored.sample_for("lineitem") is None

@@ -1,0 +1,73 @@
+"""Unit tests for TableSample."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatisticsError
+from repro.expressions import col
+from repro.stats import TableSample
+
+from repro.catalog import Column, ColumnType, Schema, Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        "t",
+        Schema([Column("k", ColumnType.INT64), Column("v", ColumnType.FLOAT64)]),
+        {"k": np.arange(1000), "v": np.linspace(0, 1, 1000)},
+    )
+
+
+class TestTableSample:
+    def test_size(self, table):
+        sample = TableSample(table, 100, rng=0)
+        assert sample.size == 100
+        assert sample.frame.num_rows == 100
+
+    def test_qualified_columns(self, table):
+        sample = TableSample(table, 10, rng=0)
+        assert "t.k" in sample.frame.column_names
+
+    def test_with_replacement_can_repeat(self, table):
+        # a sample larger than the table must contain repeats
+        sample = TableSample(table, 2000, rng=0)
+        assert len(np.unique(sample.row_ids)) < 2000
+
+    def test_deterministic_given_seed(self, table):
+        a = TableSample(table, 50, rng=42)
+        b = TableSample(table, 50, rng=42)
+        assert np.array_equal(a.row_ids, b.row_ids)
+
+    def test_different_seeds_differ(self, table):
+        a = TableSample(table, 50, rng=1)
+        b = TableSample(table, 50, rng=2)
+        assert not np.array_equal(a.row_ids, b.row_ids)
+
+    def test_count_satisfying(self, table):
+        sample = TableSample(table, 500, rng=0)
+        k = sample.count_satisfying(col("t.v") <= 0.5)
+        assert 0 <= k <= 500
+        # about half should satisfy; allow broad sampling slack
+        assert 175 <= k <= 325
+
+    def test_count_is_unbiased(self, table):
+        predicate = col("t.v") <= 0.2
+        ks = [
+            TableSample(table, 200, rng=seed).count_satisfying(predicate)
+            for seed in range(30)
+        ]
+        assert np.mean(ks) / 200 == pytest.approx(0.2, abs=0.03)
+
+    def test_invalid_size_raises(self, table):
+        with pytest.raises(StatisticsError):
+            TableSample(table, 0)
+
+    def test_empty_table_raises(self):
+        empty = Table(
+            "e",
+            Schema([Column("k", ColumnType.INT64)]),
+            {"k": np.array([], dtype=np.int64)},
+        )
+        with pytest.raises(StatisticsError):
+            TableSample(empty, 10)

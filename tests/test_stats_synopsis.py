@@ -1,0 +1,170 @@
+"""Unit tests for join synopses (the Section 3.2 construction)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatisticsError
+from repro.expressions import col
+from repro.stats import build_join_synopsis
+from repro.stats.join_synopsis import fk_join_frame
+
+from repro.catalog import Column, ColumnType, Database, ForeignKey, Schema, Table
+
+
+class TestBuildSynopsis:
+    def test_covers_all_ancestors(self, tpch_db):
+        synopsis = build_join_synopsis(tpch_db, "lineitem", 200, rng=0)
+        assert synopsis.covered_tables == {"lineitem", "orders", "customer", "part"}
+
+    def test_row_count_equals_sample_size(self, tpch_db):
+        synopsis = build_join_synopsis(tpch_db, "lineitem", 200, rng=0)
+        assert synopsis.frame.num_rows == 200
+        assert synopsis.size == 200
+
+    def test_leaf_table_synopsis_is_plain_sample(self, tpch_db):
+        synopsis = build_join_synopsis(tpch_db, "part", 100, rng=0)
+        assert synopsis.covered_tables == {"part"}
+
+    def test_mid_chain_root(self, tpch_db):
+        synopsis = build_join_synopsis(tpch_db, "orders", 100, rng=0)
+        assert synopsis.covered_tables == {"orders", "customer"}
+
+    def test_fk_values_align_with_parent_keys(self, tpch_db):
+        synopsis = build_join_synopsis(tpch_db, "lineitem", 300, rng=1)
+        frame = synopsis.frame
+        assert np.array_equal(
+            frame.column("lineitem.l_orderkey"), frame.column("orders.o_orderkey")
+        )
+        assert np.array_equal(
+            frame.column("lineitem.l_partkey"), frame.column("part.p_partkey")
+        )
+        assert np.array_equal(
+            frame.column("orders.o_custkey"), frame.column("customer.c_custkey")
+        )
+
+    def test_covers_predicate(self, tpch_db):
+        synopsis = build_join_synopsis(tpch_db, "lineitem", 100, rng=0)
+        assert synopsis.covers({"lineitem", "part"})
+        assert synopsis.covers({"lineitem"})
+        assert not synopsis.covers({"lineitem", "ghost"})
+
+    def test_count_satisfying_none_is_size(self, tpch_db):
+        synopsis = build_join_synopsis(tpch_db, "lineitem", 150, rng=0)
+        assert synopsis.count_satisfying(None) == 150
+
+    def test_count_satisfying_cross_table_predicate(self, tpch_db):
+        synopsis = build_join_synopsis(tpch_db, "lineitem", 400, rng=0)
+        predicate = (col("part.p_size") <= 25) & (
+            col("lineitem.l_quantity") > 25
+        )
+        k = synopsis.count_satisfying(predicate)
+        assert 0 < k < 400
+
+    def test_estimate_is_unbiased_for_join_predicate(self, tpch_db):
+        """The MLE k/n from the synopsis converges on the true joint
+        selectivity — the property AVI-based estimation lacks."""
+        predicate = (col("part.p_size") <= 10) & (
+            col("lineitem.l_quantity") > 40
+        )
+        truth_frame, _ = fk_join_frame(
+            tpch_db, "lineitem", restrict_to={"lineitem", "part"}
+        )
+        truth = predicate.evaluate(truth_frame).mean()
+        estimates = [
+            build_join_synopsis(tpch_db, "lineitem", 500, rng=seed).count_satisfying(
+                predicate
+            )
+            / 500
+            for seed in range(20)
+        ]
+        assert np.mean(estimates) == pytest.approx(truth, abs=0.015)
+
+    def test_invalid_size_raises(self, tpch_db):
+        with pytest.raises(StatisticsError):
+            build_join_synopsis(tpch_db, "lineitem", 0)
+
+    def test_deterministic_given_seed(self, tpch_db):
+        a = build_join_synopsis(tpch_db, "lineitem", 50, rng=9)
+        b = build_join_synopsis(tpch_db, "lineitem", 50, rng=9)
+        assert np.array_equal(
+            a.frame.column("lineitem.l_linenumber"),
+            b.frame.column("lineitem.l_linenumber"),
+        )
+
+
+class TestFkJoinFrame:
+    def test_full_join_preserves_cardinality(self, tpch_db):
+        frame, covered = fk_join_frame(tpch_db, "lineitem")
+        assert frame.num_rows == tpch_db.table("lineitem").num_rows
+        assert covered == {"lineitem", "orders", "customer", "part"}
+
+    def test_restricted_join(self, tpch_db):
+        frame, covered = fk_join_frame(
+            tpch_db, "lineitem", restrict_to={"lineitem", "orders"}
+        )
+        assert covered == {"lineitem", "orders"}
+        assert "part.p_size" not in frame.column_names
+
+    def test_dangling_fk_raises(self):
+        parent = Table(
+            "p",
+            Schema([Column("pk", ColumnType.INT64)], primary_key="pk"),
+            {"pk": np.arange(3)},
+        )
+        child = Table(
+            "c",
+            Schema(
+                [Column("ck", ColumnType.INT64), Column("fk", ColumnType.INT64)],
+                primary_key="ck",
+                foreign_keys=[ForeignKey("fk", "p", "pk")],
+            ),
+            {"ck": np.arange(3), "fk": np.array([0, 1, 7])},
+        )
+        db = Database([parent, child])  # deliberately not validated
+        with pytest.raises(StatisticsError, match="dangling"):
+            fk_join_frame(db, "c")
+
+    def test_diamond_fk_graph_raises(self):
+        """Two paths to the same ancestor are rejected (tree required)."""
+        top = Table(
+            "top",
+            Schema([Column("tk", ColumnType.INT64)], primary_key="tk"),
+            {"tk": np.arange(2)},
+        )
+        mid_a = Table(
+            "mid_a",
+            Schema(
+                [Column("ak", ColumnType.INT64), Column("a_tk", ColumnType.INT64)],
+                primary_key="ak",
+                foreign_keys=[ForeignKey("a_tk", "top", "tk")],
+            ),
+            {"ak": np.arange(2), "a_tk": np.arange(2)},
+        )
+        mid_b = Table(
+            "mid_b",
+            Schema(
+                [Column("bk", ColumnType.INT64), Column("b_tk", ColumnType.INT64)],
+                primary_key="bk",
+                foreign_keys=[ForeignKey("b_tk", "top", "tk")],
+            ),
+            {"bk": np.arange(2), "b_tk": np.arange(2)},
+        )
+        bottom = Table(
+            "bottom",
+            Schema(
+                [
+                    Column("k", ColumnType.INT64),
+                    Column("f_a", ColumnType.INT64),
+                    Column("f_b", ColumnType.INT64),
+                ],
+                primary_key="k",
+                foreign_keys=[
+                    ForeignKey("f_a", "mid_a", "ak"),
+                    ForeignKey("f_b", "mid_b", "bk"),
+                ],
+            ),
+            {"k": np.arange(2), "f_a": np.arange(2), "f_b": np.arange(2)},
+        )
+        db = Database([top, mid_a, mid_b, bottom])
+        with pytest.raises(StatisticsError, match="tree"):
+            fk_join_frame(db, "bottom")

@@ -1,0 +1,99 @@
+"""Tests for the star-schema generator's handcrafted distribution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import StarConfig, build_star_database
+
+
+class TestConfig:
+    def test_window(self):
+        assert StarConfig(num_dim=1000).window == 100
+
+    def test_true_join_fraction(self):
+        config = StarConfig(aligned_fraction=0.12)
+        assert config.true_join_fraction(0) == pytest.approx(0.012)
+        assert config.true_join_fraction(50) == pytest.approx(0.006)
+        assert config.true_join_fraction(100) == 0.0
+        assert config.true_join_fraction(150) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            StarConfig(num_fact=10)
+        with pytest.raises(WorkloadError):
+            StarConfig(num_dim=15)
+        with pytest.raises(WorkloadError):
+            StarConfig(aligned_fraction=1.5)
+
+
+class TestGeneratedDatabase:
+    def test_tables(self, star_db, star_config):
+        assert set(star_db.table_names) == {"dim1", "dim2", "dim3", "fact"}
+        assert star_db.table("fact").num_rows == star_config.num_fact
+        assert star_db.table("dim1").num_rows == star_config.num_dim
+
+    def test_integrity(self, star_db):
+        star_db.validate()
+
+    def test_fk_indexes(self, star_db):
+        for i in (1, 2, 3):
+            assert star_db.has_index("fact", f"f_dim{i}key")
+
+    def test_dim_attr_identity(self, star_db):
+        dim = star_db.table("dim1")
+        assert np.array_equal(dim.column("d_key"), dim.column("d_attr"))
+
+    def test_marginals_uniform(self, star_db, star_config):
+        """Every 10 % window on every dimension joins ≈10 % of fact rows,
+        regardless of its position — 1-D statistics can't distinguish
+        queries."""
+        fact = star_db.table("fact")
+        window = star_config.window
+        for column in ("f_dim1key", "f_dim2key", "f_dim3key"):
+            keys = fact.column(column)
+            for start in (0, 200, 500, 900):
+                fraction = (
+                    (keys >= start) & (keys < start + window)
+                ).mean()
+                assert fraction == pytest.approx(0.10, abs=0.01)
+
+    def test_triple_join_fraction_tracks_shift(self, star_db, star_config):
+        """The joint fraction matches the designed q(d) while marginals
+        stay fixed — the handcrafted Experiment 3 property."""
+        fact = star_db.table("fact")
+        k1 = fact.column("f_dim1key")
+        k2 = fact.column("f_dim2key")
+        k3 = fact.column("f_dim3key")
+        window = star_config.window
+        for shift in (0, 50, 100):
+            joint = (
+                (k1 < window)
+                & (k2 >= shift)
+                & (k2 < shift + window)
+                & (k3 < window)
+            ).mean()
+            assert joint == pytest.approx(
+                star_config.true_join_fraction(shift), abs=0.004
+            )
+
+    def test_phase_shifted_rows_never_triple_join(self, star_db, star_config):
+        """Only aligned rows can satisfy all three canonical windows."""
+        fact = star_db.table("fact")
+        k1, k2, k3 = (
+            fact.column("f_dim1key"),
+            fact.column("f_dim2key"),
+            fact.column("f_dim3key"),
+        )
+        window = star_config.window
+        joiners = (k1 < window) & (k2 < window) & (k3 < window)
+        # every triple-joiner is aligned: k1 == k2 == k3
+        assert np.array_equal(k1[joiners], k2[joiners])
+        assert np.array_equal(k1[joiners], k3[joiners])
+
+    def test_deterministic(self, star_config):
+        a = build_star_database(star_config)
+        b = build_star_database(star_config)
+        assert np.array_equal(
+            a.table("fact").column("f_dim2key"), b.table("fact").column("f_dim2key")
+        )

@@ -1,0 +1,147 @@
+"""Tests for the experiment query templates."""
+
+import pytest
+
+from repro.core import HistogramCardinalityEstimator
+from repro.workloads import (
+    PartCorrelationTemplate,
+    ShippingDatesTemplate,
+    StarJoinTemplate,
+)
+
+
+class TestShippingDates:
+    def test_instantiate(self, tpch_db):
+        query = ShippingDatesTemplate().instantiate(100)
+        query.validate(tpch_db)
+        assert query.tables == ("lineitem",)
+        assert query.aggregates[0].func == "sum"
+
+    def test_selectivity_sweeps_to_zero(self, tpch_db):
+        template = ShippingDatesTemplate()
+        low, high = template.param_range()
+        assert template.true_selectivity(tpch_db, high) == 0.0
+        assert template.true_selectivity(tpch_db, low) > 0.001
+
+    def test_avi_estimate_stuck_in_risky_regime(self, tpch_stats):
+        """The histogram/AVI estimate stays within a narrow band below
+        the plan crossover for every shift (the true selectivity sweeps
+        0–1 % meanwhile), so the histogram optimizer's choice never
+        adapts — the defining template property."""
+        template = ShippingDatesTemplate()
+        estimator = HistogramCardinalityEstimator(tpch_stats)
+        estimates = []
+        for shift in (80, 140, 200, 260):
+            query = template.instantiate(shift)
+            estimates.append(
+                estimator.estimate(set(query.tables), query.predicate).selectivity
+            )
+        # seasonal tails shrink the receipt marginal at extreme shifts,
+        # but the estimate never rises above the ~0.3 % plan crossover,
+        # so the histogram optimizer's plan choice never adapts
+        assert all(0 < e < 0.003 for e in estimates)
+
+    def test_params_for_targets(self, tpch_db):
+        template = ShippingDatesTemplate()
+        targets = [0.0, 0.002, 0.004]
+        chosen = template.params_for_targets(tpch_db, targets, step=4)
+        assert len(chosen) == 3
+        for (param, achieved), target in zip(chosen, targets):
+            assert achieved == pytest.approx(target, abs=0.0015)
+
+    def test_hint_propagates(self, tpch_db):
+        query = ShippingDatesTemplate(hint=0.95).instantiate(100)
+        assert query.hint == 0.95
+
+
+class TestPartCorrelation:
+    def test_instantiate(self, tpch_db):
+        query = PartCorrelationTemplate().instantiate(200)
+        query.validate(tpch_db)
+        assert set(query.tables) == {"lineitem", "orders", "part"}
+
+    def test_selectivity_range(self, tpch_db):
+        template = PartCorrelationTemplate()
+        low, high = template.param_range()
+        assert template.true_selectivity(tpch_db, high) == 0.0
+        peak = max(
+            template.true_selectivity(tpch_db, p) for p in range(0, 800, 100)
+        )
+        assert peak > 0.01  # reaches past 1 %
+
+    def test_avi_estimate_nearly_constant(self, tpch_stats):
+        template = PartCorrelationTemplate()
+        estimator = HistogramCardinalityEstimator(tpch_stats)
+        estimates = [
+            estimator.estimate(
+                set(template.instantiate(shift).tables),
+                template.instantiate(shift).predicate,
+            ).selectivity
+            for shift in (0, 400, 800, 1200)
+        ]
+        assert max(estimates) < 2.0 * min(estimates)
+        assert all(0 < e < 0.004 for e in estimates)
+
+    def test_avi_estimate_stuck_below_crossover(self, tpch_stats):
+        """The AVI product (≈0.16 %) sits below the INL crossover, so
+        the histogram optimizer always picks the risky plan."""
+        template = PartCorrelationTemplate()
+        estimator = HistogramCardinalityEstimator(tpch_stats)
+        query = template.instantiate(400)
+        estimate = estimator.estimate(set(query.tables), query.predicate)
+        assert estimate.selectivity < 0.004
+
+    def test_invalid_width_raises(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            PartCorrelationTemplate(window_width=0)
+
+
+class TestStarJoin:
+    def test_instantiate(self, star_db):
+        query = StarJoinTemplate().instantiate(30)
+        query.validate(star_db)
+        assert set(query.tables) == {"fact", "dim1", "dim2", "dim3"}
+        assert len(query.aggregates) == 2
+
+    def test_true_selectivity_matches_config(self, star_db, star_config):
+        template = StarJoinTemplate(star_config.num_dim)
+        for shift in (0, 50, 100):
+            measured = template.true_selectivity(star_db, shift)
+            assert measured == pytest.approx(
+                star_config.true_join_fraction(shift), abs=0.004
+            )
+
+    def test_each_filter_selects_ten_percent(self, star_db):
+        template = StarJoinTemplate()
+        query = template.instantiate(40)
+        from repro.core import ExactCardinalityEstimator
+
+        for i in (1, 2, 3):
+            per_dim = [
+                conjunct
+                for conjunct in query.predicates_per_table().items()
+                if conjunct[0] == f"dim{i}"
+            ]
+            [(_, predicate)] = per_dim
+            estimate = ExactCardinalityEstimator(star_db).estimate(
+                {f"dim{i}"}, predicate
+            )
+            assert estimate.selectivity == pytest.approx(0.10)
+
+    def test_invalid_num_dim_raises(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            StarJoinTemplate(num_dim=123)
+
+
+class TestCalibration:
+    def test_calibrate_produces_pairs(self, star_db):
+        template = StarJoinTemplate()
+        scan = template.calibrate(star_db, step=25)
+        assert len(scan) == 5
+        params, selectivities = zip(*scan)
+        assert list(params) == [0, 25, 50, 75, 100]
+        assert selectivities[0] > selectivities[-1]

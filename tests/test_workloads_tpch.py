@@ -1,0 +1,88 @@
+"""Tests for the TPC-H-shaped generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import TpchConfig, build_tpch_database
+from repro.workloads.tpch import MAX_RECEIPT_LAG, PART_CORR_SPREAD
+
+
+class TestConfig:
+    def test_ratios(self):
+        config = TpchConfig(num_lineitem=60_000)
+        assert config.num_orders == 15_000
+        assert config.num_part == 4_000
+        assert config.num_customer == 1_500
+
+    def test_too_small_raises(self):
+        with pytest.raises(WorkloadError):
+            TpchConfig(num_lineitem=10)
+
+
+class TestGeneratedDatabase:
+    def test_tables_and_sizes(self, tpch_db):
+        assert set(tpch_db.table_names) == {
+            "customer",
+            "orders",
+            "part",
+            "lineitem",
+        }
+        assert tpch_db.table("lineitem").num_rows == 12_000
+        assert tpch_db.table("orders").num_rows == 3_000
+
+    def test_referential_integrity(self, tpch_db):
+        tpch_db.validate()  # raises on violation
+
+    def test_physical_design(self, tpch_db):
+        assert tpch_db.clustering_column("lineitem") == "l_orderkey"
+        assert tpch_db.clustering_column("orders") == "o_orderkey"
+        assert tpch_db.has_index("lineitem", "l_shipdate")
+        assert tpch_db.has_index("lineitem", "l_receiptdate")
+        assert tpch_db.has_index("lineitem", "l_partkey")
+
+    def test_lineitem_stored_in_orderkey_order(self, tpch_db):
+        keys = tpch_db.table("lineitem").column("l_orderkey")
+        assert (np.diff(keys) >= 0).all()
+
+    def test_date_correlation(self, tpch_db):
+        """Receipt follows shipment within the configured lag window —
+        the correlation Experiment 1 exploits."""
+        table = tpch_db.table("lineitem")
+        lag = table.column("l_receiptdate") - table.column("l_shipdate")
+        assert lag.min() >= 1
+        assert lag.max() <= MAX_RECEIPT_LAG
+
+    def test_part_correlation(self, tpch_db):
+        """p_c2 tracks p_c1 within the spread — Experiment 2's injected
+        correlated distribution."""
+        part = tpch_db.table("part")
+        offset = part.column("p_c2") - part.column("p_c1")
+        assert offset.min() >= 0
+        assert offset.max() < PART_CORR_SPREAD
+
+    def test_deterministic(self):
+        a = build_tpch_database(TpchConfig(num_lineitem=2000, seed=9))
+        b = build_tpch_database(TpchConfig(num_lineitem=2000, seed=9))
+        assert np.array_equal(
+            a.table("lineitem").column("l_shipdate"),
+            b.table("lineitem").column("l_shipdate"),
+        )
+
+    def test_seeds_differ(self):
+        a = build_tpch_database(TpchConfig(num_lineitem=2000, seed=1))
+        b = build_tpch_database(TpchConfig(num_lineitem=2000, seed=2))
+        assert not np.array_equal(
+            a.table("lineitem").column("l_shipdate"),
+            b.table("lineitem").column("l_shipdate"),
+        )
+
+    def test_marginal_window_selectivities_in_band(self, tpch_db):
+        """Each 92-day date window selects a few percent of lineitem —
+        the fixed marginal the histograms see."""
+        from repro.catalog import date_ordinal
+
+        ship = tpch_db.table("lineitem").column("l_shipdate")
+        lo, hi = date_ordinal("1997-07-01"), date_ordinal("1997-09-30")
+        marginal = ((ship >= lo) & (ship <= hi)).mean()
+        assert 0.01 < marginal < 0.08
