@@ -1,0 +1,136 @@
+"""Harness performance benchmark: caching and parallelism trajectory.
+
+Runs the Figure-9 experiment grid through three harness arms —
+
+* ``serial_uncached`` — ``workers=1``, plan-execution cache off and
+  estimator memoization off: the pre-optimization baseline;
+* ``serial_cached`` — ``workers=1`` with both caches on;
+* ``parallel_cached`` — every core, both caches on
+
+— asserts they produce bit-identical records, and writes the counters
+and wall-clock numbers to ``benchmarks/results/BENCH_runner.json`` so
+later PRs can diff the perf trajectory against this baseline.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import time
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.core import HistogramCardinalityEstimator, RobustCardinalityEstimator
+from repro.experiments import EstimatorConfig, ExperimentRunner
+from repro.experiments.runner import PAPER_THRESHOLDS
+
+pytestmark = pytest.mark.perf
+
+
+def _build_robust_nomemo(statistics, threshold: float):
+    return RobustCardinalityEstimator(
+        statistics, policy=threshold, memoize_estimates=False
+    )
+
+
+def _build_histogram_nomemo(statistics):
+    return HistogramCardinalityEstimator(statistics, memoize_estimates=False)
+
+
+def uncached_configs(thresholds=PAPER_THRESHOLDS) -> list[EstimatorConfig]:
+    """The default configs with estimate memoization switched off."""
+    configs = [
+        EstimatorConfig(
+            name=f"T={threshold:.0%}",
+            build=functools.partial(_build_robust_nomemo, threshold=threshold),
+        )
+        for threshold in thresholds
+    ]
+    configs.append(EstimatorConfig("Histograms", _build_histogram_nomemo))
+    return configs
+
+
+def run_perf_comparison(
+    database,
+    template,
+    params,
+    seeds,
+    sample_size: int = 500,
+    rounds: int = 3,
+) -> dict:
+    """Run the three arms and return a JSON-ready comparison payload.
+
+    Wall-clock is the best of ``rounds`` runs per arm (the counters are
+    deterministic, so only the first round's perf object is kept for
+    them).
+    """
+
+    def best_of(runner, configs) -> tuple:
+        result, best_wall = None, float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            candidate = runner.run(params, configs)
+            best_wall = min(best_wall, time.perf_counter() - started)
+            result = result or candidate
+        return result, best_wall
+
+    def runner(**kwargs) -> ExperimentRunner:
+        return ExperimentRunner(
+            database, template, sample_size=sample_size, seeds=seeds, **kwargs
+        )
+
+    uncached, uncached_wall = best_of(
+        runner(workers=1, execution_cache=False), uncached_configs()
+    )
+    cached, cached_wall = best_of(
+        runner(workers=1, execution_cache=True), None
+    )
+    parallel, parallel_wall = best_of(
+        runner(workers=None, execution_cache=True), None
+    )
+
+    assert uncached.records == cached.records == parallel.records
+
+    def arm(result, wall: float) -> dict:
+        payload = result.perf.as_dict()
+        payload["best_wall_seconds"] = round(wall, 4)
+        return payload
+
+    return {
+        "benchmark": "runner_perf",
+        "template": template.name,
+        "grid": {
+            "configs": len(uncached.config_names),
+            "params": len(params),
+            "seeds": len(list(seeds)),
+            "records": len(uncached.records),
+        },
+        "identical_records": True,
+        "serial_uncached": arm(uncached, uncached_wall),
+        "serial_cached": arm(cached, cached_wall),
+        "parallel_cached": arm(parallel, parallel_wall),
+        "cached_speedup": round(uncached_wall / cached_wall, 4),
+    }
+
+
+def test_perf_runner(bench_tpch_db):
+    from repro.workloads import ShippingDatesTemplate
+
+    template = ShippingDatesTemplate()
+    targets = [0.0, 0.001, 0.002, 0.003, 0.004, 0.006, 0.008, 0.010, 0.012]
+    params = template.params_for_targets(bench_tpch_db, targets, step=2)
+    payload = run_perf_comparison(
+        bench_tpch_db, template, params, seeds=range(5)
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_runner.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(json.dumps(payload, indent=2))
+
+    # Acceptance: the fig-09 grid reuses at least half its executions,
+    # and the cached arm beats the uncached serial baseline end to end.
+    assert payload["serial_cached"]["exec_cache_hit_rate"] >= 0.5
+    assert payload["cached_speedup"] > 1.0

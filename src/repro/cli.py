@@ -93,6 +93,21 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seeds", type=int, default=4)
     experiment.add_argument("--sample-size", type=int, default=500)
     experiment.add_argument("--points", type=int, default=7)
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seed-parallel worker processes (default: all CPU cores)",
+    )
+    experiment.add_argument(
+        "--no-exec-cache",
+        action="store_true",
+        help="disable plan-execution reuse across estimator configs",
+    )
+    experiment.add_argument(
+        "--perf", action="store_true", help="print cache/timer statistics"
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     report = subparsers.add_parser(
@@ -102,6 +117,13 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--scale", type=int, default=30_000)
     report.add_argument("--fact-rows", type=int, default=40_000)
     report.add_argument("--seeds", type=int, default=4)
+    report.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seed-parallel worker processes (default: all CPU cores)",
+    )
     report.set_defaults(handler=_cmd_report)
 
     sql = subparsers.add_parser("sql", help="optimize and run a SQL query")
@@ -217,11 +239,18 @@ def _cmd_experiment(args) -> int:
         template,
         sample_size=args.sample_size,
         seeds=range(args.seeds),
+        workers=args.workers,
+        execution_cache=not args.no_exec_cache,
     )
     result = runner.run(params)
     print(format_selectivity_table(result))
     print()
     print(format_tradeoff_table(result))
+    if args.perf:
+        print()
+        print("perf:")
+        for key, value in result.perf.as_dict().items():
+            print(f"  {key}: {value}")
     return 0
 
 
@@ -232,6 +261,7 @@ def _cmd_report(args) -> int:
         lineitem_rows=args.scale,
         fact_rows=args.fact_rows,
         seeds=args.seeds,
+        workers=args.workers,
     )
     path = generate_report(args.output, config)
     print(f"report written to {path}")

@@ -29,9 +29,18 @@ class HistogramCardinalityEstimator(CardinalityEstimator):
         self,
         statistics: StatisticsManager,
         magic: MagicNumbers | None = None,
+        memoize_estimates: bool = True,
     ) -> None:
         self.statistics = statistics
         self.magic = magic or MagicNumbers()
+        # Same whole-estimate memoization as the robust estimator,
+        # minus the threshold key (histograms ignore the hint). Keyed
+        # on the statistics version so rebuilds invalidate the cache.
+        self.memoize_estimates = memoize_estimates
+        self._estimate_cache: dict = {}
+        self._estimate_cache_version: int = getattr(statistics, "version", 0)
+        self.estimate_cache_hits = 0
+        self.estimate_cache_misses = 0
 
     def estimate(
         self,
@@ -42,6 +51,26 @@ class HistogramCardinalityEstimator(CardinalityEstimator):
         names = set(tables)
         if not names:
             raise EstimationError("estimate requires at least one table")
+        if not self.memoize_estimates:
+            return self._estimate_impl(names, predicate)
+
+        version = getattr(self.statistics, "version", 0)
+        if version != self._estimate_cache_version:
+            self._estimate_cache.clear()
+            self._estimate_cache_version = version
+        key = (frozenset(names), repr(predicate))
+        cached = self._estimate_cache.get(key)
+        if cached is not None:
+            self.estimate_cache_hits += 1
+            return cached
+        self.estimate_cache_misses += 1
+        estimate = self._estimate_impl(names, predicate)
+        self._estimate_cache[key] = estimate
+        return estimate
+
+    def _estimate_impl(
+        self, names: set[str], predicate: Expr | None
+    ) -> CardinalityEstimate:
         root = self.statistics.database.root_relation(names)
         total = self.statistics.table_rows(root)
 

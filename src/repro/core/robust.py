@@ -18,7 +18,10 @@ subexpressions that actually lack statistics.
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable
+
+import numpy as np
 
 from repro.core.confidence import ConfidencePolicy, MODERATE
 from repro.core.estimate import CardinalityEstimate
@@ -58,6 +61,7 @@ class RobustCardinalityEstimator(CardinalityEstimator):
         magic: MagicNumbers | None = None,
         magic_concentration: float = 4.0,
         cache_conjunct_masks: bool = True,
+        memoize_estimates: bool = True,
     ) -> None:
         self.statistics = statistics
         self.prior = prior
@@ -73,10 +77,18 @@ class RobustCardinalityEstimator(CardinalityEstimator):
         # ANDed, instead of re-evaluating whole predicates. Keyed
         # weakly on the synopsis object so rebuilding statistics can
         # never serve stale masks.
-        import weakref
-
         self.cache_conjunct_masks = cache_conjunct_masks
         self._mask_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        # Whole-estimate memoization on top of the mask cache: the
+        # System-R DP re-prices the same (tables, predicate, threshold)
+        # triple across queries of a grid, and each hit skips a
+        # ``betaincinv`` inversion. Keyed on the statistics version so
+        # ``update_statistics``/``drop_*`` invalidate the cache.
+        self.memoize_estimates = memoize_estimates
+        self._estimate_cache: dict = {}
+        self._estimate_cache_version: int = getattr(statistics, "version", 0)
+        self.estimate_cache_hits = 0
+        self.estimate_cache_misses = 0
 
     # ------------------------------------------------------------------
     def estimate(
@@ -89,6 +101,26 @@ class RobustCardinalityEstimator(CardinalityEstimator):
         if not names:
             raise EstimationError("estimate requires at least one table")
         threshold = self.policy.threshold(hint)
+        if not self.memoize_estimates:
+            return self._estimate_impl(names, predicate, threshold)
+
+        version = getattr(self.statistics, "version", 0)
+        if version != self._estimate_cache_version:
+            self._estimate_cache.clear()
+            self._estimate_cache_version = version
+        key = (frozenset(names), repr(predicate), threshold)
+        cached = self._estimate_cache.get(key)
+        if cached is not None:
+            self.estimate_cache_hits += 1
+            return cached
+        self.estimate_cache_misses += 1
+        estimate = self._estimate_impl(names, predicate, threshold)
+        self._estimate_cache[key] = estimate
+        return estimate
+
+    def _estimate_impl(
+        self, names: set[str], predicate: Expr | None, threshold: float
+    ) -> CardinalityEstimate:
         root = self.statistics.database.root_relation(names)
         total = self.statistics.table_rows(root)
 
@@ -123,8 +155,6 @@ class RobustCardinalityEstimator(CardinalityEstimator):
             return synopsis.size
         if not self.cache_conjunct_masks:
             return synopsis.count_satisfying(predicate)
-        import numpy as np
-
         per_synopsis = self._mask_cache.get(synopsis)
         if per_synopsis is None:
             per_synopsis = {}

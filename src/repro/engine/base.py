@@ -51,6 +51,21 @@ class PhysicalOperator:
             pieces.append(child.explain(indent + 1))
         return "\n".join(pieces)
 
+    def signature(self, indent: int = 0) -> str:
+        """A deterministic key for the plan's *execution* behaviour.
+
+        Like :meth:`explain` but without the optimizer's cost/row
+        annotations: two plans with equal signatures touch the same
+        tables and indexes with the same predicates in the same tree
+        shape, so they charge identical work into the counters. Used
+        by the experiment harness to reuse executions across estimator
+        configurations that chose the same plan.
+        """
+        pieces = [f"{'  ' * indent}{self.label()}"]
+        for child in self.children():
+            pieces.append(child.signature(indent + 1))
+        return "\n".join(pieces)
+
     def _annotation(self) -> str:
         parts = []
         if self.est_rows is not None:

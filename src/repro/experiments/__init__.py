@@ -7,6 +7,7 @@ curves per configuration, and mean/std tradeoff points per
 configuration.
 """
 
+from repro.experiments.perf import PerfStats, PlanExecutionCache
 from repro.experiments.runner import (
     EstimatorConfig,
     ExperimentResult,
@@ -68,6 +69,8 @@ __all__ = [
     "EstimatorConfig",
     "ExperimentResult",
     "ExperimentRunner",
+    "PerfStats",
+    "PlanExecutionCache",
     "RunRecord",
     "default_configs",
     "format_selectivity_table",

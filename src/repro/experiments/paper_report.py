@@ -48,6 +48,8 @@ class ReportConfig:
     seeds: int = 4
     sample_size: int = 500
     points: int = 8
+    #: Seed-parallel worker processes; ``None`` uses every CPU core.
+    workers: int | None = None
 
 
 def generate_report(
@@ -159,7 +161,11 @@ def _experiment_sections(config: ReportConfig) -> str:
     targets = list(np.linspace(0.0, 0.012, config.points))
     params = exp1.params_for_targets(tpch, targets, step=4)
     result = ExperimentRunner(
-        tpch, exp1, sample_size=config.sample_size, seeds=range(config.seeds)
+        tpch,
+        exp1,
+        sample_size=config.sample_size,
+        seeds=range(config.seeds),
+        workers=config.workers,
     ).run(params)
     lines.append("### Experiment 1 / Figure 9\n")
     lines.append("```")
@@ -172,7 +178,11 @@ def _experiment_sections(config: ReportConfig) -> str:
     targets = list(np.linspace(0.0, 0.010, config.points))
     params = exp2.params_for_targets(tpch, targets, step=20)
     result = ExperimentRunner(
-        tpch, exp2, sample_size=config.sample_size, seeds=range(config.seeds)
+        tpch,
+        exp2,
+        sample_size=config.sample_size,
+        seeds=range(config.seeds),
+        workers=config.workers,
     ).run(params)
     lines.append("### Experiment 2 / Figure 10\n")
     lines.append("```")
@@ -189,7 +199,11 @@ def _experiment_sections(config: ReportConfig) -> str:
         (int(s), exp3.true_selectivity(star, int(s))) for s in shifts
     ]
     result = ExperimentRunner(
-        star, exp3, sample_size=config.sample_size, seeds=range(config.seeds)
+        star,
+        exp3,
+        sample_size=config.sample_size,
+        seeds=range(config.seeds),
+        workers=config.workers,
     ).run(params)
     lines.append("### Experiment 3 / Figure 11\n")
     lines.append("```")

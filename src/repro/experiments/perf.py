@@ -1,0 +1,130 @@
+"""Performance instrumentation and caching for the experiment harness.
+
+The paper's prototype "lacks even basic optimizations such as
+memoizing" and pays a 30–40 % estimation overhead (§6.1); the harness
+layer here is where we claw that back at experiment scale:
+
+* :class:`PlanExecutionCache` — simulated execution time is a pure
+  function of (database, physical plan, query parameter), so within
+  one statistics seed every distinct ``(param, plan signature)`` pair
+  is executed once and the ``(time, actual_rows)`` result reused
+  across estimator configurations that chose the same plan.
+* :class:`PerfStats` — cache hit/miss counters and per-phase
+  wall-clock timers (``stats_build``, ``optimize``, ``execute``),
+  merged across seeds/workers and exposed on ``ExperimentResult`` so
+  benchmarks can track the perf trajectory over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog import Database
+from repro.cost import CostModel
+from repro.engine import ExecutionContext, PhysicalOperator
+
+
+@dataclass
+class PerfStats:
+    """Counters and timers for one experiment run.
+
+    Counters and phase timers are summed across seeds (and worker
+    processes); ``wall_seconds`` is the end-to-end time observed by the
+    coordinating process, so with ``workers > 1`` it is smaller than
+    the sum of the phase timers.
+    """
+
+    workers: int = 1
+    execution_cache: bool = True
+    exec_cache_hits: int = 0
+    exec_cache_misses: int = 0
+    estimate_cache_hits: int = 0
+    estimate_cache_misses: int = 0
+    stats_build_seconds: float = 0.0
+    optimize_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def executions(self) -> int:
+        """Plans actually executed (cache misses)."""
+        return self.exec_cache_misses
+
+    @property
+    def exec_cache_hit_rate(self) -> float:
+        total = self.exec_cache_hits + self.exec_cache_misses
+        return self.exec_cache_hits / total if total else 0.0
+
+    @property
+    def estimate_cache_hit_rate(self) -> float:
+        total = self.estimate_cache_hits + self.estimate_cache_misses
+        return self.estimate_cache_hits / total if total else 0.0
+
+    def merge(self, other: "PerfStats") -> None:
+        """Fold one seed's counters and phase timers into this total."""
+        self.exec_cache_hits += other.exec_cache_hits
+        self.exec_cache_misses += other.exec_cache_misses
+        self.estimate_cache_hits += other.estimate_cache_hits
+        self.estimate_cache_misses += other.estimate_cache_misses
+        self.stats_build_seconds += other.stats_build_seconds
+        self.optimize_seconds += other.optimize_seconds
+        self.execute_seconds += other.execute_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (used by ``BENCH_runner.json``)."""
+        return {
+            "workers": self.workers,
+            "execution_cache": self.execution_cache,
+            "exec_cache_hits": self.exec_cache_hits,
+            "exec_cache_misses": self.exec_cache_misses,
+            "exec_cache_hit_rate": round(self.exec_cache_hit_rate, 4),
+            "estimate_cache_hits": self.estimate_cache_hits,
+            "estimate_cache_misses": self.estimate_cache_misses,
+            "estimate_cache_hit_rate": round(self.estimate_cache_hit_rate, 4),
+            "stats_build_seconds": round(self.stats_build_seconds, 4),
+            "optimize_seconds": round(self.optimize_seconds, 4),
+            "execute_seconds": round(self.execute_seconds, 4),
+            "wall_seconds": round(self.wall_seconds, 4),
+        }
+
+
+@dataclass
+class PlanExecutionCache:
+    """Reuse plan executions keyed on ``(key, plan signature)``.
+
+    The signature (:meth:`PhysicalOperator.signature`) captures every
+    execution-relevant detail of the operator tree — tables, indexes,
+    predicates, join keys, tree shape — but none of the optimizer's
+    cost annotations, so two estimator configurations that picked the
+    same physical plan share one execution. ``key`` scopes the reuse
+    (the query parameter in grid runs, the query index in mixes); the
+    caller guarantees the underlying data is fixed for the cache's
+    lifetime.
+    """
+
+    enabled: bool = True
+    hits: int = 0
+    misses: int = 0
+    _store: dict = field(default_factory=dict, repr=False)
+
+    def execute(
+        self,
+        database: Database,
+        cost_model: CostModel,
+        key,
+        plan: PhysicalOperator,
+    ) -> tuple[float, int]:
+        """Execute ``plan`` (or reuse), returning ``(time, rows)``."""
+        if self.enabled:
+            cache_key = (key, plan.signature())
+            cached = self._store.get(cache_key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        self.misses += 1
+        ctx = ExecutionContext(database)
+        frame = plan.execute(ctx)
+        result = (cost_model.time_from_counters(ctx.counters), frame.num_rows)
+        if self.enabled:
+            self._store[cache_key] = result
+        return result

@@ -7,10 +7,25 @@ configuration and execute the chosen plan; record the simulated
 execution time. Results are averaged over seeds, because "cardinality
 estimation performance can vary depending on the particular random
 choice of tuples for the samples".
+
+Seeds are independent by construction — each rebuilds its own
+:class:`~repro.stats.StatisticsManager` — so the grid fans out over a
+process pool (``workers=``), with results merged in seed order so the
+:class:`ExperimentResult` is identical regardless of worker count.
+Within one seed, simulated time is a pure function of (database, plan,
+parameter), so each distinct ``(param, plan signature)`` pair is
+executed once and reused across configurations via
+:class:`~repro.experiments.perf.PlanExecutionCache`.
 """
 
 from __future__ import annotations
 
+import functools
+import os
+import pickle
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -24,8 +39,8 @@ from repro.core import (
     RobustCardinalityEstimator,
 )
 from repro.cost import CostModel
-from repro.engine import ExecutionContext
 from repro.errors import ReproError
+from repro.experiments.perf import PerfStats, PlanExecutionCache
 from repro.optimizer import Optimizer
 from repro.stats import StatisticsManager
 from repro.workloads.templates import QueryTemplate
@@ -42,26 +57,35 @@ class EstimatorConfig:
     build: Callable[[StatisticsManager], CardinalityEstimator]
 
 
+def _build_robust(
+    statistics: StatisticsManager, threshold: float
+) -> CardinalityEstimator:
+    return RobustCardinalityEstimator(statistics, policy=threshold)
+
+
+def _build_histogram(statistics: StatisticsManager) -> CardinalityEstimator:
+    return HistogramCardinalityEstimator(statistics)
+
+
 def default_configs(
     thresholds: Sequence[float] = PAPER_THRESHOLDS,
     include_histogram: bool = True,
 ) -> list[EstimatorConfig]:
-    """Robust estimators at the paper's thresholds + histogram baseline."""
+    """Robust estimators at the paper's thresholds + histogram baseline.
+
+    Builders are partials of module-level functions (not lambdas) so
+    the configs pickle cleanly into worker processes.
+    """
     configs = [
         EstimatorConfig(
             name=f"T={threshold:.0%}",
-            build=lambda stats, t=threshold: RobustCardinalityEstimator(
-                stats, policy=t
-            ),
+            build=functools.partial(_build_robust, threshold=threshold),
         )
         for threshold in thresholds
     ]
     if include_histogram:
         configs.append(
-            EstimatorConfig(
-                name="Histograms",
-                build=lambda stats: HistogramCardinalityEstimator(stats),
-            )
+            EstimatorConfig(name="Histograms", build=_build_histogram)
         )
     return configs
 
@@ -81,43 +105,110 @@ class RunRecord:
 
 @dataclass
 class ExperimentResult:
-    """All records of one experiment, with the paper's summaries."""
+    """All records of one experiment, with the paper's summaries.
+
+    Summary lookups go through a lazily-built ``(config, param) →
+    times`` index instead of rescanning the record list per curve
+    point; the index is rebuilt whenever records were appended since it
+    was last built. Curve points are grouped on the integer ``param``
+    (two parameters that happen to round to the same printed
+    selectivity stay distinct points).
+    """
 
     template: str
     records: list[RunRecord] = field(default_factory=list)
+    #: Instrumentation for the run that produced the records. Excluded
+    #: from equality: results are compared by their records, which are
+    #: bit-identical across worker counts; timers never are.
+    perf: PerfStats = field(default_factory=PerfStats, compare=False)
+
+    def __post_init__(self) -> None:
+        self._indexed = -1
+        self._times: dict[tuple[str, int], list[float]] = {}
+        self._plans: dict[str, dict[str, int]] = {}
+        self._param_selectivity: dict[int, float] = {}
+        self._config_order: dict[str, None] = {}
+
+    def append(self, record: RunRecord) -> None:
+        """Add one record (the index refreshes on next lookup)."""
+        self.records.append(record)
+
+    def _ensure_index(self) -> None:
+        if self._indexed == len(self.records):
+            return
+        times: dict[tuple[str, int], list[float]] = {}
+        plans: dict[str, dict[str, int]] = {}
+        param_selectivity: dict[int, float] = {}
+        config_order: dict[str, None] = {}
+        for record in self.records:
+            times.setdefault((record.config, record.param), []).append(
+                record.time
+            )
+            per_config = plans.setdefault(record.config, {})
+            per_config[record.plan] = per_config.get(record.plan, 0) + 1
+            param_selectivity.setdefault(record.param, record.selectivity)
+            config_order.setdefault(record.config, None)
+        self._times = times
+        self._plans = plans
+        self._param_selectivity = param_selectivity
+        self._config_order = config_order
+        self._indexed = len(self.records)
 
     @property
     def config_names(self) -> list[str]:
-        seen: dict[str, None] = {}
-        for record in self.records:
-            seen.setdefault(record.config, None)
-        return list(seen)
+        self._ensure_index()
+        return list(self._config_order)
+
+    @property
+    def params(self) -> list[int]:
+        """Grid parameters, ordered by their true selectivity."""
+        self._ensure_index()
+        return sorted(
+            self._param_selectivity,
+            key=lambda p: (self._param_selectivity[p], p),
+        )
 
     @property
     def selectivities(self) -> list[float]:
-        return sorted({record.selectivity for record in self.records})
+        self._ensure_index()
+        return sorted(set(self._param_selectivity.values()))
+
+    def mean_time_for_param(self, config: str, param: int) -> float:
+        """Mean simulated time over seeds for one grid parameter."""
+        self._ensure_index()
+        times = self._times.get((config, param))
+        if not times:
+            raise ReproError(f"no records for {config!r} at param {param}")
+        return float(np.mean(times))
 
     def mean_time(self, config: str, selectivity: float) -> float:
         """Mean simulated time over seeds for one curve point."""
-        times = [
-            r.time
-            for r in self.records
-            if r.config == config and r.selectivity == selectivity
-        ]
+        self._ensure_index()
+        times: list[float] = []
+        for param, value in self._param_selectivity.items():
+            if value == selectivity:
+                times.extend(self._times.get((config, param), ()))
         if not times:
             raise ReproError(f"no records for {config!r} at {selectivity}")
         return float(np.mean(times))
 
     def curve(self, config: str) -> list[tuple[float, float]]:
         """The (selectivity, mean time) series for one configuration."""
+        self._ensure_index()
         return [
-            (selectivity, self.mean_time(config, selectivity))
-            for selectivity in self.selectivities
+            (
+                self._param_selectivity[param],
+                self.mean_time_for_param(config, param),
+            )
+            for param in self.params
         ]
 
     def tradeoff_point(self, config: str) -> TradeoffPoint:
         """Mean/std of time across all runs of one configuration."""
-        times = [r.time for r in self.records if r.config == config]
+        self._ensure_index()
+        times: list[float] = []
+        for param in self.params:
+            times.extend(self._times.get((config, param), ()))
         if not times:
             raise ReproError(f"no records for {config!r}")
         return tradeoff_from_times(config, times)
@@ -128,15 +219,97 @@ class ExperimentResult:
 
     def plan_counts(self, config: str) -> dict[str, int]:
         """How often each plan shape was chosen by a configuration."""
-        counts: dict[str, int] = {}
-        for record in self.records:
-            if record.config == config:
-                counts[record.plan] = counts.get(record.plan, 0) + 1
-        return counts
+        self._ensure_index()
+        return dict(self._plans.get(config, {}))
+
+
+def _run_seed(
+    database: Database,
+    template: QueryTemplate,
+    cost_model: CostModel,
+    sample_size: int,
+    histogram_buckets: int,
+    params: Sequence[tuple[int, float]],
+    configs: Sequence[EstimatorConfig],
+    execution_cache: bool,
+    seed: int,
+) -> tuple[list[RunRecord], PerfStats]:
+    """One seed's slice of the grid — the unit of parallelism."""
+    perf = PerfStats(execution_cache=execution_cache)
+    started = time.perf_counter()
+    statistics = StatisticsManager(database)
+    statistics.update_statistics(
+        sample_size=sample_size,
+        histogram_buckets=histogram_buckets,
+        seed=seed,
+    )
+    perf.stats_build_seconds += time.perf_counter() - started
+
+    cache = PlanExecutionCache(enabled=execution_cache)
+    records: list[RunRecord] = []
+    for config in configs:
+        estimator = config.build(statistics)
+        optimizer = Optimizer(database, estimator, cost_model)
+        for param, selectivity in params:
+            query = template.instantiate(param)
+            started = time.perf_counter()
+            planned = optimizer.optimize(query)
+            perf.optimize_seconds += time.perf_counter() - started
+
+            started = time.perf_counter()
+            simulated, actual_rows = cache.execute(
+                database, cost_model, param, planned.plan
+            )
+            perf.execute_seconds += time.perf_counter() - started
+            records.append(
+                RunRecord(
+                    config=config.name,
+                    param=param,
+                    selectivity=selectivity,
+                    seed=seed,
+                    time=simulated,
+                    plan=_plan_shape(planned.plan),
+                    actual_rows=actual_rows,
+                )
+            )
+        perf.estimate_cache_hits += getattr(estimator, "estimate_cache_hits", 0)
+        perf.estimate_cache_misses += getattr(
+            estimator, "estimate_cache_misses", 0
+        )
+    perf.exec_cache_hits = cache.hits
+    perf.exec_cache_misses = cache.misses
+    return records, perf
+
+
+#: Per-worker payload installed once by the pool initializer, so the
+#: database and configs are pickled per worker instead of per seed.
+_WORKER_PAYLOAD: dict | None = None
+
+
+def _init_worker(payload: dict) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+
+
+def _run_seed_in_worker(seed: int) -> tuple[list[RunRecord], PerfStats]:
+    return _run_seed(seed=seed, **_WORKER_PAYLOAD)
 
 
 class ExperimentRunner:
-    """Drives one experiment scenario end to end."""
+    """Drives one experiment scenario end to end.
+
+    Parameters
+    ----------
+    workers:
+        Process count for fanning seeds out; ``None`` (the default)
+        uses ``os.cpu_count()``. ``workers=1`` is the exact serial
+        path; any N produces an identical :class:`ExperimentResult`,
+        merged in seed order.
+    execution_cache:
+        Reuse plan executions within a seed across estimator
+        configurations that chose the same plan (on by default; the
+        records are identical either way).
+    """
 
     def __init__(
         self,
@@ -146,6 +319,8 @@ class ExperimentRunner:
         sample_size: int = 500,
         histogram_buckets: int = 250,
         seeds: Sequence[int] = tuple(range(12)),
+        workers: int | None = None,
+        execution_cache: bool = True,
     ) -> None:
         self.database = database
         self.template = template
@@ -153,6 +328,8 @@ class ExperimentRunner:
         self.sample_size = sample_size
         self.histogram_buckets = histogram_buckets
         self.seeds = list(seeds)
+        self.workers = workers
+        self.execution_cache = execution_cache
 
     def run(
         self,
@@ -165,46 +342,61 @@ class ExperimentRunner:
         from :meth:`QueryTemplate.params_for_targets`.
         """
         configs = list(configs) if configs is not None else default_configs()
+        payload = {
+            "database": self.database,
+            "template": self.template,
+            "cost_model": self.cost_model,
+            "sample_size": self.sample_size,
+            "histogram_buckets": self.histogram_buckets,
+            "params": list(params),
+            "configs": configs,
+            "execution_cache": self.execution_cache,
+        }
+        workers = self._resolve_workers(payload)
+
+        started = time.perf_counter()
+        if workers > 1:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(payload,),
+            ) as pool:
+                # map() yields in submission order: the merge below is
+                # deterministic in seed order regardless of which
+                # worker finishes first.
+                seed_outputs = list(pool.map(_run_seed_in_worker, self.seeds))
+        else:
+            seed_outputs = [
+                _run_seed(seed=seed, **payload) for seed in self.seeds
+            ]
+
         result = ExperimentResult(template=self.template.name)
-        for seed in self.seeds:
-            statistics = StatisticsManager(self.database)
-            statistics.update_statistics(
-                sample_size=self.sample_size,
-                histogram_buckets=self.histogram_buckets,
-                seed=seed,
-            )
-            for config in configs:
-                estimator = config.build(statistics)
-                optimizer = Optimizer(self.database, estimator, self.cost_model)
-                for param, selectivity in params:
-                    record = self._run_one(
-                        optimizer, config.name, param, selectivity, seed
-                    )
-                    result.records.append(record)
+        result.perf.workers = workers
+        result.perf.execution_cache = self.execution_cache
+        for records, perf in seed_outputs:
+            result.records.extend(records)
+            result.perf.merge(perf)
+        result.perf.wall_seconds = time.perf_counter() - started
         return result
 
-    def _run_one(
-        self,
-        optimizer: Optimizer,
-        config_name: str,
-        param: int,
-        selectivity: float,
-        seed: int,
-    ) -> RunRecord:
-        query = self.template.instantiate(param)
-        planned = optimizer.optimize(query)
-        ctx = ExecutionContext(self.database)
-        output = planned.plan.execute(ctx)
-        simulated = self.cost_model.time_from_counters(ctx.counters)
-        return RunRecord(
-            config=config_name,
-            param=param,
-            selectivity=selectivity,
-            seed=seed,
-            time=simulated,
-            plan=_plan_shape(planned.plan),
-            actual_rows=output.num_rows,
-        )
+    def _resolve_workers(self, payload: dict) -> int:
+        """Clamp the worker count and verify the grid can fan out."""
+        workers = self.workers if self.workers is not None else os.cpu_count() or 1
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        workers = min(workers, len(self.seeds))
+        if workers > 1:
+            try:
+                pickle.dumps(payload)
+            except Exception as exc:  # lambda configs, unpicklable models
+                warnings.warn(
+                    "experiment payload is not picklable "
+                    f"({exc}); falling back to workers=1",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                workers = 1
+        return workers
 
 
 def _plan_shape(plan) -> str:

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.catalog import Database
 from repro.core import CardinalityEstimator, ExactCardinalityEstimator
 from repro.cost import CostModel
-from repro.engine import ExecutionContext
+from repro.experiments.perf import PlanExecutionCache
 from repro.optimizer import Optimizer
 from repro.workloads.templates import QueryTemplate
 
@@ -92,17 +92,19 @@ def sensitivity_sweep(
     """
     model = cost_model or CostModel()
     oracle = Optimizer(database, ExactCardinalityEstimator(database), model)
+    # The oracle pass primes the cache: an estimator that picks the
+    # oracle's plan at a sweep point reuses that execution outright.
+    cache = PlanExecutionCache()
 
     # Oracle pass: the best achievable plan and time at each parameter.
     oracle_results: dict[int, tuple[str, float, float]] = {}
     for param in params:
         query = template.instantiate(param)
         planned = oracle.optimize(query)
-        ctx = ExecutionContext(database)
-        planned.plan.execute(ctx)
+        simulated, _ = cache.execute(database, model, param, planned.plan)
         oracle_results[param] = (
             plan_shape(planned.plan),
-            model.time_from_counters(ctx.counters),
+            simulated,
             template.true_selectivity(database, param),
         )
 
@@ -113,15 +115,14 @@ def sensitivity_sweep(
         for param in params:
             query = template.instantiate(param)
             planned = optimizer.optimize(query)
-            ctx = ExecutionContext(database)
-            planned.plan.execute(ctx)
+            simulated, _ = cache.execute(database, model, param, planned.plan)
             oracle_plan, oracle_time, selectivity = oracle_results[param]
             report.points.append(
                 SweepPoint(
                     param=param,
                     selectivity=selectivity,
                     plan=plan_shape(planned.plan),
-                    time=model.time_from_counters(ctx.counters),
+                    time=simulated,
                     oracle_plan=oracle_plan,
                     oracle_time=oracle_time,
                 )

@@ -19,8 +19,8 @@ import numpy as np
 
 from repro.catalog import Database
 from repro.cost import CostModel
-from repro.engine import ExecutionContext
 from repro.errors import ReproError
+from repro.experiments.perf import PlanExecutionCache
 from repro.experiments.runner import EstimatorConfig, default_configs
 from repro.optimizer import Optimizer
 from repro.random_state import RngLike, ensure_rng
@@ -100,15 +100,17 @@ def run_workload_mix(
     statistics = StatisticsManager(database)
     statistics.update_statistics(sample_size=sample_size, seed=statistics_seed)
 
+    # Configurations that choose the same plan for the same query share
+    # one execution (the query index scopes the reuse).
+    cache = PlanExecutionCache()
     profiles: dict[str, LatencyProfile] = {}
     for config in configs:
         optimizer = Optimizer(database, config.build(statistics), model)
         times = []
-        for query in queries:
+        for index, query in enumerate(queries):
             planned = optimizer.optimize(query)
-            ctx = ExecutionContext(database)
-            planned.plan.execute(ctx)
-            times.append(model.time_from_counters(ctx.counters))
+            simulated, _ = cache.execute(database, model, index, planned.plan)
+            times.append(simulated)
         profiles[config.name] = LatencyProfile.from_times(config.name, times)
     return profiles
 

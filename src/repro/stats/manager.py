@@ -28,6 +28,10 @@ class StatisticsManager:
         self._synopses: dict[str, JoinSynopsis] = {}
         self._histograms: dict[tuple[str, str], EquiDepthHistogram] = {}
         self.sample_size: int | None = None
+        #: Monotonic counter bumped whenever the statistics change
+        #: (rebuild or drop). Estimators key their memo caches on it so
+        #: a rebuild can never serve estimates from stale statistics.
+        self.version: int = 0
 
     # ------------------------------------------------------------------
     # Offline precomputation phase
@@ -48,6 +52,7 @@ class StatisticsManager:
         """
         names = list(tables) if tables is not None else self.database.table_names
         self.sample_size = sample_size
+        self.version += 1
         rngs = spawn_rngs(seed, 2 * len(names))
         for i, name in enumerate(names):
             table = self.database.table(name)
@@ -104,15 +109,18 @@ class StatisticsManager:
     def drop_synopsis(self, root_table: str) -> None:
         """Remove the join synopsis rooted at ``root_table``."""
         self._synopses.pop(root_table, None)
+        self.version += 1
 
     def drop_sample(self, table_name: str) -> None:
         """Remove the single-table sample for ``table_name``."""
         self._samples.pop(table_name, None)
+        self.version += 1
 
     def drop_histograms(self, table_name: str) -> None:
         """Remove every histogram on ``table_name``."""
         for key in [k for k in self._histograms if k[0] == table_name]:
             del self._histograms[key]
+        self.version += 1
 
     def require_synopsis(self, root_table: str) -> JoinSynopsis:
         """Like :meth:`synopsis_for` but raising when missing."""

@@ -1,0 +1,50 @@
+"""Fast tier-1 smoke of the perf benchmark harness.
+
+Runs :func:`benchmarks.test_perf_runner.run_perf_comparison` at toy
+scale so the tier-1 flow exercises the same three-arm comparison (and
+the ``BENCH_runner.json`` schema) that the full ``perf``-marked
+benchmark records at benchmark scale.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.test_perf_runner import run_perf_comparison
+from repro.workloads import ShippingDatesTemplate
+
+pytestmark = pytest.mark.perf
+
+
+def test_perf_comparison_smoke(tpch_db, tmp_path):
+    template = ShippingDatesTemplate()
+    params = template.params_for_targets(tpch_db, [0.0, 0.003, 0.006], step=4)
+    payload = run_perf_comparison(
+        tpch_db, template, params, seeds=(0, 1), sample_size=300, rounds=1
+    )
+
+    # The payload is JSON-serializable and carries the schema later
+    # PRs diff against.
+    text = json.dumps(payload)
+    restored = json.loads(text)
+    assert restored["identical_records"] is True
+    assert restored["grid"]["records"] == 6 * len(params) * 2
+    for arm in ("serial_uncached", "serial_cached", "parallel_cached"):
+        stats = restored[arm]
+        assert set(stats) >= {
+            "workers",
+            "execution_cache",
+            "exec_cache_hits",
+            "exec_cache_misses",
+            "exec_cache_hit_rate",
+            "estimate_cache_hits",
+            "estimate_cache_misses",
+            "stats_build_seconds",
+            "optimize_seconds",
+            "execute_seconds",
+            "wall_seconds",
+            "best_wall_seconds",
+        }
+    assert restored["serial_uncached"]["exec_cache_hit_rate"] == 0.0
+    assert restored["serial_cached"]["exec_cache_hit_rate"] > 0.0
+    (tmp_path / "BENCH_runner.json").write_text(text)
