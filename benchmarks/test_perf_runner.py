@@ -5,7 +5,10 @@ Runs the Figure-9 experiment grid through three harness arms —
 * ``serial_uncached`` — ``workers=1``, plan-execution cache off and
   estimator memoization off: the pre-optimization baseline;
 * ``serial_cached`` — ``workers=1`` with both caches on;
-* ``parallel_cached`` — every core, both caches on
+* ``serial_vectorized`` — ``workers=1``, caches on, plus
+  threshold-vectorized planning (one ``optimize_many`` per param
+  instead of one ``optimize`` per threshold);
+* ``parallel_cached`` — every core, caches and vectorization on
 
 — asserts they produce bit-identical records, and writes the counters
 and wall-clock numbers to ``benchmarks/results/BENCH_runner.json`` so
@@ -81,16 +84,29 @@ def run_perf_comparison(
         )
 
     uncached, uncached_wall = best_of(
-        runner(workers=1, execution_cache=False), uncached_configs()
+        runner(workers=1, execution_cache=False, vectorize_thresholds=False),
+        uncached_configs(),
     )
     cached, cached_wall = best_of(
-        runner(workers=1, execution_cache=True), None
+        runner(workers=1, execution_cache=True, vectorize_thresholds=False),
+        None,
+    )
+    vectorized, vectorized_wall = best_of(
+        runner(workers=1, execution_cache=True, vectorize_thresholds=True),
+        None,
     )
     parallel, parallel_wall = best_of(
-        runner(workers=None, execution_cache=True), None
+        runner(workers=None, execution_cache=True, vectorize_thresholds=True),
+        None,
     )
 
-    assert uncached.records == cached.records == parallel.records
+    assert (
+        uncached.records
+        == cached.records
+        == vectorized.records
+        == parallel.records
+    )
+    assert vectorized.perf.vector_passes > 0
 
     def arm(result, wall: float) -> dict:
         payload = result.perf.as_dict()
@@ -109,8 +125,12 @@ def run_perf_comparison(
         "identical_records": True,
         "serial_uncached": arm(uncached, uncached_wall),
         "serial_cached": arm(cached, cached_wall),
+        "serial_vectorized": arm(vectorized, vectorized_wall),
         "parallel_cached": arm(parallel, parallel_wall),
         "cached_speedup": round(uncached_wall / cached_wall, 4),
+        "vectorized_planning_speedup": round(
+            cached.perf.optimize_seconds / vectorized.perf.optimize_seconds, 4
+        ),
     }
 
 

@@ -14,14 +14,18 @@ lower thresholds make it aggressive.
 """
 
 from repro.core.prior import JEFFREYS, UNIFORM, Prior
-from repro.core.posterior import SelectivityPosterior
+from repro.core.posterior import (
+    BetaQuantileTable,
+    SelectivityPosterior,
+    quantile_table,
+)
 from repro.core.confidence import (
     AGGRESSIVE,
     CONSERVATIVE,
     MODERATE,
     ConfidencePolicy,
 )
-from repro.core.estimate import CardinalityEstimate
+from repro.core.estimate import CardinalityEstimate, VectorCardinalityEstimate
 from repro.core.estimator import CardinalityEstimator, ExactCardinalityEstimator
 from repro.core.fixed import FixedSelectivityEstimator
 from repro.core.magic import MagicDistribution, MagicNumbers
@@ -31,6 +35,7 @@ from repro.core.distinct_extension import GroupCountEstimator
 
 __all__ = [
     "AGGRESSIVE",
+    "BetaQuantileTable",
     "CONSERVATIVE",
     "CardinalityEstimate",
     "CardinalityEstimator",
@@ -47,4 +52,6 @@ __all__ = [
     "RobustCardinalityEstimator",
     "SelectivityPosterior",
     "UNIFORM",
+    "VectorCardinalityEstimate",
+    "quantile_table",
 ]

@@ -1,8 +1,10 @@
-"""The result type returned by cardinality estimators."""
+"""The result types returned by cardinality estimators."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.posterior import SelectivityPosterior
 
@@ -49,4 +51,46 @@ class CardinalityEstimate:
             f"{'⋈'.join(sorted(self.tables))}: "
             f"{self.cardinality:.1f} rows "
             f"(sel={self.selectivity:.4%}, {self.source}{t})"
+        )
+
+
+@dataclass(frozen=True)
+class VectorCardinalityEstimate(CardinalityEstimate):
+    """One estimate per confidence threshold, sharing the evidence.
+
+    ``selectivity`` and ``cardinality`` are numpy vectors over the
+    threshold axis (the sample counts ``(k, n)`` behind them are
+    threshold-independent, so they are computed once); ``threshold``
+    holds the grid. The per-threshold scalar views in
+    ``per_threshold`` are exactly what the scalar estimator would have
+    returned for each threshold.
+    """
+
+    per_threshold: tuple[CardinalityEstimate, ...] = ()
+
+    @classmethod
+    def from_estimates(
+        cls, estimates: "tuple[CardinalityEstimate, ...]"
+    ) -> "VectorCardinalityEstimate":
+        """Bundle per-threshold scalar estimates into one vector view."""
+        first = estimates[0]
+        return cls(
+            tables=first.tables,
+            selectivity=np.asarray([e.selectivity for e in estimates]),
+            cardinality=np.asarray([e.cardinality for e in estimates]),
+            root_table=first.root_table,
+            source=first.source,
+            posterior=first.posterior,
+            threshold=tuple(e.threshold for e in estimates),
+            per_threshold=tuple(estimates),
+        )
+
+    def at(self, index: int) -> CardinalityEstimate:
+        """The scalar estimate at threshold position ``index``."""
+        return self.per_threshold[index]
+
+    def __str__(self) -> str:
+        return (
+            f"{'⋈'.join(sorted(self.tables))}: "
+            f"{len(self.per_threshold)} thresholds, {self.source}"
         )

@@ -41,6 +41,25 @@ class CardinalityEstimator:
         """
         raise NotImplementedError
 
+    def estimate_many(
+        self,
+        tables: Iterable[str],
+        predicate: Expr | None,
+        thresholds: "tuple[float, ...]",
+    ) -> tuple[CardinalityEstimate, ...]:
+        """One estimate per confidence threshold, in grid order.
+
+        The default simply loops :meth:`estimate` with each threshold
+        as the hint. Threshold-aware estimators override this to share
+        the evidence gathering (synopsis masks, sample counts) across
+        the whole grid; threshold-blind estimators inherit a correct,
+        if redundant, implementation.
+        """
+        names = list(tables)
+        return tuple(
+            self.estimate(names, predicate, hint=t) for t in thresholds
+        )
+
     def describe(self) -> str:
         """Short label used in experiment reports."""
         return type(self).__name__

@@ -16,13 +16,14 @@ from repro.catalog.types import ColumnType, coerce_scalar
 from repro.core.estimate import CardinalityEstimate
 from repro.core.estimator import CardinalityEstimator
 from repro.core.magic import MagicNumbers
+from repro.core.memo import EstimateCacheMixin
 from repro.errors import EstimationError
-from repro.expressions import Expr, predicates_by_table, split_conjuncts
+from repro.expressions import Expr, expr_key, predicates_by_table, split_conjuncts
 from repro.expressions.analysis import as_range_condition, in_list_atoms
 from repro.stats import StatisticsManager
 
 
-class HistogramCardinalityEstimator(CardinalityEstimator):
+class HistogramCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
     """Point estimation from 1-D histograms + AVI + containment."""
 
     def __init__(
@@ -36,11 +37,7 @@ class HistogramCardinalityEstimator(CardinalityEstimator):
         # Same whole-estimate memoization as the robust estimator,
         # minus the threshold key (histograms ignore the hint). Keyed
         # on the statistics version so rebuilds invalidate the cache.
-        self.memoize_estimates = memoize_estimates
-        self._estimate_cache: dict = {}
-        self._estimate_cache_version: int = getattr(statistics, "version", 0)
-        self.estimate_cache_hits = 0
-        self.estimate_cache_misses = 0
+        self._init_estimate_cache(memoize_estimates)
 
     def estimate(
         self,
@@ -54,19 +51,23 @@ class HistogramCardinalityEstimator(CardinalityEstimator):
         if not self.memoize_estimates:
             return self._estimate_impl(names, predicate)
 
-        version = getattr(self.statistics, "version", 0)
-        if version != self._estimate_cache_version:
-            self._estimate_cache.clear()
-            self._estimate_cache_version = version
-        key = (frozenset(names), repr(predicate))
-        cached = self._estimate_cache.get(key)
+        key = (frozenset(names), expr_key(predicate))
+        cached = self._estimate_cache_get(key)
         if cached is not None:
-            self.estimate_cache_hits += 1
             return cached
-        self.estimate_cache_misses += 1
-        estimate = self._estimate_impl(names, predicate)
-        self._estimate_cache[key] = estimate
-        return estimate
+        return self._estimate_cache_put(
+            key, self._estimate_impl(names, predicate)
+        )
+
+    def estimate_many(
+        self,
+        tables: Iterable[str],
+        predicate: Expr | None,
+        thresholds: tuple[float, ...],
+    ) -> tuple[CardinalityEstimate, ...]:
+        """Histograms ignore the threshold: one estimate, repeated."""
+        estimate = self.estimate(tables, predicate)
+        return (estimate,) * len(thresholds)
 
     def _estimate_impl(
         self, names: set[str], predicate: Expr | None

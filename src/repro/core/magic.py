@@ -84,6 +84,18 @@ class MagicDistribution:
             scipy_special.betaincinv(self._prior.alpha, self._prior.beta, t)
         )
 
+    def selectivity_many(self, thresholds) -> "np.ndarray":
+        """Fallback selectivities for a whole threshold grid at once.
+
+        Elementwise identical to :meth:`selectivity` per threshold
+        (``betaincinv`` is a ufunc).
+        """
+        import numpy as np
+        from scipy import special as scipy_special
+
+        t = np.asarray([resolve_threshold(t) for t in thresholds], dtype=float)
+        return scipy_special.betaincinv(self._prior.alpha, self._prior.beta, t)
+
     def __repr__(self) -> str:
         return (
             f"MagicDistribution(mean={self.mean:g}, "

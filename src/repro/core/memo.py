@@ -1,0 +1,48 @@
+"""Whole-estimate memoization shared by the cardinality estimators.
+
+Both the robust and the histogram estimators memoize finished
+estimates keyed on the statistics manager's ``version`` counter, so
+``update_statistics``/``drop_*`` invalidate the cache automatically.
+The check/clear logic used to be duplicated in both classes; this
+mixin is the single home for it so the two cannot drift.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class EstimateCacheMixin:
+    """Version-checked estimate memoization.
+
+    Hosts expect ``self.statistics`` to be set before
+    :meth:`_init_estimate_cache` is called, and route lookups through
+    :meth:`_estimate_cache_get` / :meth:`_estimate_cache_put` (which
+    maintain the hit/miss counters the experiment harness reports).
+    """
+
+    def _init_estimate_cache(self, memoize_estimates: bool) -> None:
+        self.memoize_estimates = memoize_estimates
+        self._estimate_cache: dict = {}
+        self._estimate_cache_version: int = getattr(
+            self.statistics, "version", 0
+        )
+        self.estimate_cache_hits = 0
+        self.estimate_cache_misses = 0
+
+    def _estimate_cache_get(self, key) -> Any | None:
+        """The cached value for ``key``, dropping stale generations."""
+        version = getattr(self.statistics, "version", 0)
+        if version != self._estimate_cache_version:
+            self._estimate_cache.clear()
+            self._estimate_cache_version = version
+        cached = self._estimate_cache.get(key)
+        if cached is not None:
+            self.estimate_cache_hits += 1
+        return cached
+
+    def _estimate_cache_put(self, key, value):
+        """Record a miss and store ``value`` under ``key``."""
+        self.estimate_cache_misses += 1
+        self._estimate_cache[key] = value
+        return value

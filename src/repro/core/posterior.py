@@ -74,6 +74,17 @@ class SelectivityPosterior:
         result = scipy_special.betaincinv(self.alpha, self.beta, t_array)
         return float(result) if np.isscalar(t) or t_array.ndim == 0 else result
 
+    def ppf_vector(self, thresholds: tuple[float, ...]) -> np.ndarray:
+        """``ppf`` over a threshold grid via the shared quantile table.
+
+        Bit-identical to calling :meth:`ppf` per threshold
+        (``betaincinv`` is a ufunc evaluated elementwise either way),
+        but amortized: the whole ``(n + 1) × |thresholds|`` table is
+        computed once per (sample size, prior, grid) and every
+        subsequent inversion is a row lookup on the observed ``k``.
+        """
+        return quantile_table(self.n, self.prior, thresholds).row(self.k)
+
     # ------------------------------------------------------------------
     # Summaries
     # ------------------------------------------------------------------
@@ -114,3 +125,67 @@ class SelectivityPosterior:
             f"SelectivityPosterior(k={self.k}, n={self.n}, "
             f"prior={self.prior.name}, Beta({self.alpha:g}, {self.beta:g}))"
         )
+
+
+class BetaQuantileTable:
+    """Precomputed beta quantiles for every possible sample count.
+
+    For a fixed sample size ``n``, prior ``(a, b)``, and threshold grid
+    ``(t_0, …, t_{m-1})``, the satisfying count ``k`` is an *integer*
+    in ``[0, n]`` — so every posterior the estimator can form over that
+    sample is one of ``n + 1`` Beta distributions. The table holds
+
+        ``Q[k, j] = betaincinv(k + a, n − k + b, t_j)``,
+
+    turning each posterior inversion into an O(1) row lookup instead
+    of a ``betaincinv`` call. ``betaincinv`` is a ufunc, so the bulk
+    evaluation produces bit-identical values to scalar calls.
+    """
+
+    __slots__ = ("n", "thresholds", "table")
+
+    def __init__(
+        self, n: int, prior: Prior, thresholds: tuple[float, ...]
+    ) -> None:
+        if n <= 0:
+            raise EstimationError(f"sample size must be positive, got {n}")
+        grid = np.asarray(thresholds, dtype=float)
+        if grid.ndim != 1 or grid.size == 0:
+            raise EstimationError("threshold grid must be a non-empty vector")
+        if np.any((grid <= 0) | (grid >= 1)):
+            raise EstimationError("confidence threshold must lie strictly in (0, 1)")
+        self.n = int(n)
+        self.thresholds = tuple(float(t) for t in grid)
+        k = np.arange(self.n + 1, dtype=float)
+        alpha = k + prior.alpha
+        beta = self.n - k + prior.beta
+        self.table = scipy_special.betaincinv(
+            alpha[:, None], beta[:, None], grid[None, :]
+        )
+
+    def row(self, k: int) -> np.ndarray:
+        """Quantiles at every threshold for ``k`` satisfying tuples."""
+        if not 0 <= k <= self.n:
+            raise EstimationError(f"satisfying count k={k} outside [0, {self.n}]")
+        return self.table[int(k)]
+
+
+#: Process-wide table cache. Tables depend only on (sample size, prior,
+#: threshold grid) — never on the data — so they are shared across
+#: statistics rebuilds, seeds, and estimator instances.
+_TABLE_CACHE: dict[tuple, BetaQuantileTable] = {}
+_TABLE_CACHE_MAX = 64
+
+
+def quantile_table(
+    n: int, prior: Prior, thresholds: tuple[float, ...]
+) -> BetaQuantileTable:
+    """The memoized :class:`BetaQuantileTable` for one configuration."""
+    key = (int(n), prior.alpha, prior.beta, tuple(thresholds))
+    table = _TABLE_CACHE.get(key)
+    if table is None:
+        if len(_TABLE_CACHE) >= _TABLE_CACHE_MAX:
+            _TABLE_CACHE.pop(next(iter(_TABLE_CACHE)))
+        table = BetaQuantileTable(n, prior, thresholds)
+        _TABLE_CACHE[key] = table
+    return table

@@ -14,6 +14,12 @@ When the needed synopsis is missing, the estimator degrades gracefully
 containment assumptions, then magic distributions as the last resort.
 Estimation error from fallback assumptions is confined to the
 subexpressions that actually lack statistics.
+
+The sample counts ``(k, n)`` are threshold-independent — only the
+final ``cdf⁻¹(T)`` inversion changes with ``T`` — so
+:meth:`RobustCardinalityEstimator.estimate_many` prices a whole
+threshold grid from one synopsis pass, reading the inversions out of a
+precomputed :class:`~repro.core.posterior.BetaQuantileTable` row.
 """
 
 from __future__ import annotations
@@ -23,18 +29,24 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.core.confidence import ConfidencePolicy, MODERATE
+from repro.core.confidence import ConfidencePolicy, MODERATE, resolve_threshold
 from repro.core.estimate import CardinalityEstimate
 from repro.core.estimator import CardinalityEstimator
 from repro.core.magic import MagicDistribution, MagicNumbers
-from repro.core.posterior import SelectivityPosterior
+from repro.core.memo import EstimateCacheMixin
+from repro.core.posterior import SelectivityPosterior, quantile_table
 from repro.core.prior import JEFFREYS, Prior
 from repro.errors import EstimationError
-from repro.expressions import Expr, predicates_by_table, split_conjuncts
+from repro.expressions import (
+    Expr,
+    expr_key,
+    predicates_by_table,
+    split_conjuncts,
+)
 from repro.stats import StatisticsManager
 
 
-class RobustCardinalityEstimator(CardinalityEstimator):
+class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
     """Sample-based Bayesian estimation with a confidence threshold.
 
     Parameters
@@ -84,11 +96,10 @@ class RobustCardinalityEstimator(CardinalityEstimator):
         # triple across queries of a grid, and each hit skips a
         # ``betaincinv`` inversion. Keyed on the statistics version so
         # ``update_statistics``/``drop_*`` invalidate the cache.
-        self.memoize_estimates = memoize_estimates
-        self._estimate_cache: dict = {}
-        self._estimate_cache_version: int = getattr(statistics, "version", 0)
-        self.estimate_cache_hits = 0
-        self.estimate_cache_misses = 0
+        self._init_estimate_cache(memoize_estimates)
+        #: Posterior inversions served from a quantile-table row
+        #: instead of per-threshold ``betaincinv`` calls.
+        self.lut_hits = 0
 
     # ------------------------------------------------------------------
     def estimate(
@@ -104,20 +115,46 @@ class RobustCardinalityEstimator(CardinalityEstimator):
         if not self.memoize_estimates:
             return self._estimate_impl(names, predicate, threshold)
 
-        version = getattr(self.statistics, "version", 0)
-        if version != self._estimate_cache_version:
-            self._estimate_cache.clear()
-            self._estimate_cache_version = version
-        key = (frozenset(names), repr(predicate), threshold)
-        cached = self._estimate_cache.get(key)
+        key = (frozenset(names), expr_key(predicate), threshold)
+        cached = self._estimate_cache_get(key)
         if cached is not None:
-            self.estimate_cache_hits += 1
             return cached
-        self.estimate_cache_misses += 1
-        estimate = self._estimate_impl(names, predicate, threshold)
-        self._estimate_cache[key] = estimate
-        return estimate
+        return self._estimate_cache_put(
+            key, self._estimate_impl(names, predicate, threshold)
+        )
 
+    def estimate_many(
+        self,
+        tables: Iterable[str],
+        predicate: Expr | None,
+        thresholds: tuple[float, ...],
+    ) -> tuple[CardinalityEstimate, ...]:
+        """One estimate per threshold from a single evidence pass.
+
+        The synopsis mask and the ``(k, n)`` counts are computed once;
+        every posterior inversion is a quantile-table row lookup. The
+        returned estimates match :meth:`estimate` at each threshold
+        bit for bit (``betaincinv`` is evaluated elementwise in both
+        paths).
+        """
+        names = set(tables)
+        if not names:
+            raise EstimationError("estimate requires at least one table")
+        if not thresholds:
+            raise EstimationError("estimate_many requires at least one threshold")
+        grid = tuple(resolve_threshold(t) for t in thresholds)
+        if not self.memoize_estimates:
+            return self._estimate_many_impl(names, predicate, grid)
+
+        key = (frozenset(names), expr_key(predicate), grid)
+        cached = self._estimate_cache_get(key)
+        if cached is not None:
+            return cached
+        return self._estimate_cache_put(
+            key, self._estimate_many_impl(names, predicate, grid)
+        )
+
+    # ------------------------------------------------------------------
     def _estimate_impl(
         self, names: set[str], predicate: Expr | None, threshold: float
     ) -> CardinalityEstimate:
@@ -141,6 +178,35 @@ class RobustCardinalityEstimator(CardinalityEstimator):
 
         return self._estimate_fallback(names, predicate, threshold, root, total)
 
+    def _estimate_many_impl(
+        self, names: set[str], predicate: Expr | None, grid: tuple[float, ...]
+    ) -> tuple[CardinalityEstimate, ...]:
+        root = self.statistics.database.root_relation(names)
+        total = self.statistics.table_rows(root)
+
+        synopsis = self.statistics.synopsis_covering(names)
+        if synopsis is not None:
+            k = self._count_satisfying(synopsis, predicate)
+            posterior = SelectivityPosterior(k, synopsis.size, self.prior)
+            selectivities = quantile_table(
+                synopsis.size, self.prior, grid
+            ).row(k)
+            self.lut_hits += 1
+            return tuple(
+                CardinalityEstimate(
+                    tables=frozenset(names),
+                    selectivity=float(s),
+                    cardinality=float(s) * total,
+                    root_table=root,
+                    source="synopsis",
+                    posterior=posterior,
+                    threshold=t,
+                )
+                for s, t in zip(selectivities, grid)
+            )
+
+        return self._estimate_fallback_many(names, predicate, grid, root, total)
+
     # ------------------------------------------------------------------
     def _count_satisfying(self, synopsis, predicate: Expr | None) -> int:
         """Count synopsis tuples satisfying ``predicate``.
@@ -161,7 +227,7 @@ class RobustCardinalityEstimator(CardinalityEstimator):
             self._mask_cache[synopsis] = per_synopsis
         mask = np.ones(synopsis.size, dtype=bool)
         for conjunct in split_conjuncts(predicate):
-            key = repr(conjunct)
+            key = conjunct.cache_key()
             cached = per_synopsis.get(key)
             if cached is None:
                 cached = np.asarray(
@@ -215,12 +281,7 @@ class RobustCardinalityEstimator(CardinalityEstimator):
             selectivity *= self._magic_selectivity(unrouted, threshold)
             used_magic = True
 
-        if used_magic and used_sample:
-            source = "mixed"
-        elif used_magic:
-            source = "magic"
-        else:
-            source = "sample-avi"
+        source = self._fallback_source(used_sample, used_magic)
         return CardinalityEstimate(
             tables=frozenset(names),
             selectivity=selectivity,
@@ -230,6 +291,69 @@ class RobustCardinalityEstimator(CardinalityEstimator):
             threshold=threshold,
         )
 
+    def _estimate_fallback_many(
+        self,
+        names: set[str],
+        predicate: Expr | None,
+        grid: tuple[float, ...],
+        root: str,
+        total: int,
+    ) -> tuple[CardinalityEstimate, ...]:
+        """The Section 3.5 fallback over a whole threshold grid.
+
+        Each per-table sample is counted once; its ``n + 1``-row
+        quantile table supplies the selectivity at every threshold.
+        The multiplication order matches :meth:`_estimate_fallback`
+        exactly, so each vector lane reproduces the scalar result.
+        """
+        per_table = predicates_by_table(predicate)
+        unrouted = per_table.pop("", None)
+
+        selectivity = np.ones(len(grid))
+        used_sample = False
+        used_magic = False
+        for name in sorted(names):
+            table_predicate = per_table.get(name)
+            if table_predicate is None:
+                continue
+            sample = self.statistics.sample_for(name)
+            if sample is not None:
+                k = sample.count_satisfying(table_predicate)
+                selectivity = selectivity * quantile_table(
+                    sample.size, self.prior, grid
+                ).row(k)
+                self.lut_hits += 1
+                used_sample = True
+            else:
+                selectivity = selectivity * self._magic_selectivity_many(
+                    table_predicate, grid
+                )
+                used_magic = True
+        if unrouted is not None:
+            selectivity = selectivity * self._magic_selectivity_many(unrouted, grid)
+            used_magic = True
+
+        source = self._fallback_source(used_sample, used_magic)
+        return tuple(
+            CardinalityEstimate(
+                tables=frozenset(names),
+                selectivity=float(s),
+                cardinality=float(s) * total,
+                root_table=root,
+                source=source,
+                threshold=t,
+            )
+            for s, t in zip(selectivity, grid)
+        )
+
+    @staticmethod
+    def _fallback_source(used_sample: bool, used_magic: bool) -> str:
+        if used_magic and used_sample:
+            return "mixed"
+        if used_magic:
+            return "magic"
+        return "sample-avi"
+
     def _magic_selectivity(self, predicate: Expr, threshold: float) -> float:
         """Magic-distribution selectivity for an un-sampled predicate."""
         selectivity = 1.0
@@ -237,6 +361,17 @@ class RobustCardinalityEstimator(CardinalityEstimator):
             mean = self.magic.for_predicate(conjunct)
             distribution = MagicDistribution(mean, self.magic_concentration)
             selectivity *= distribution.selectivity(threshold)
+        return selectivity
+
+    def _magic_selectivity_many(
+        self, predicate: Expr, grid: tuple[float, ...]
+    ) -> np.ndarray:
+        """Magic-distribution selectivities over the threshold grid."""
+        selectivity = np.ones(len(grid))
+        for conjunct in split_conjuncts(predicate):
+            mean = self.magic.for_predicate(conjunct)
+            distribution = MagicDistribution(mean, self.magic_concentration)
+            selectivity = selectivity * distribution.selectivity_many(grid)
         return selectivity
 
     def describe(self) -> str:

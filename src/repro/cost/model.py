@@ -12,7 +12,22 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.engine.counters import WorkCounters
+
+
+def _ceil(value):
+    """Ceiling that maps over threshold-axis cost vectors.
+
+    Scalars keep the exact ``math.ceil`` (an int); arrays use
+    ``np.ceil`` — the values are identical (page counts are exact
+    integers well inside float64 range), so the scalar and vectorized
+    costing paths agree bit for bit.
+    """
+    if isinstance(value, np.ndarray):
+        return np.ceil(value)
+    return math.ceil(value)
 
 
 @dataclass(frozen=True)
@@ -89,7 +104,7 @@ class CostModel:
         cost = self.index_lookup_cost + matching_entries * self.index_entry_cost
         if clustered:
             # whole pages, matching the engine's ceil-division charge
-            cost += math.ceil(matching_entries / rows_per_page) * self.seq_page_cost
+            cost += _ceil(matching_entries / rows_per_page) * self.seq_page_cost
         else:
             cost += matching_entries * self.random_io_cost
         if has_residual:
@@ -109,7 +124,7 @@ class CostModel:
         cost = num_values * self.index_lookup_cost
         cost += matching_entries * self.index_entry_cost
         if clustered:
-            cost += math.ceil(matching_entries / rows_per_page) * self.seq_page_cost
+            cost += _ceil(matching_entries / rows_per_page) * self.seq_page_cost
         else:
             cost += matching_entries * self.random_io_cost
         if has_residual:
@@ -170,7 +185,7 @@ class CostModel:
         cost += matched_rows * self.index_entry_cost
         if clustered:
             # whole pages, matching the engine's ceil-division charge
-            cost += math.ceil(matched_rows / rows_per_page) * self.seq_page_cost
+            cost += _ceil(matched_rows / rows_per_page) * self.seq_page_cost
         else:
             cost += matched_rows * self.random_io_cost
         if has_residual:

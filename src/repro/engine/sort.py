@@ -21,7 +21,16 @@ from repro.expressions import Frame
 
 
 def sort_work(n_rows: float) -> float:
-    """Comparison count charged for sorting ``n_rows`` rows."""
+    """Comparison count charged for sorting ``n_rows`` rows.
+
+    Accepts a threshold-axis vector of row counts as well as a scalar;
+    the vector path evaluates each lane with the same scalar formula so
+    vectorized costing agrees bit for bit with per-threshold costing.
+    """
+    if isinstance(n_rows, np.ndarray):
+        return np.array(
+            [0.0 if v <= 1 else v * math.log2(v) for v in n_rows.tolist()]
+        )
     if n_rows <= 1:
         return 0.0
     return n_rows * math.log2(n_rows)

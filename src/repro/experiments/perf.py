@@ -36,10 +36,17 @@ class PerfStats:
 
     workers: int = 1
     execution_cache: bool = True
+    vectorize_thresholds: bool = True
     exec_cache_hits: int = 0
     exec_cache_misses: int = 0
     estimate_cache_hits: int = 0
     estimate_cache_misses: int = 0
+    #: Posterior inversions answered from a quantile-table row instead
+    #: of per-threshold ``betaincinv`` calls.
+    lut_hits: int = 0
+    #: Multi-threshold ``optimize_many`` passes (each replaces one
+    #: ``optimize`` per grouped threshold).
+    vector_passes: int = 0
     stats_build_seconds: float = 0.0
     optimize_seconds: float = 0.0
     execute_seconds: float = 0.0
@@ -66,6 +73,8 @@ class PerfStats:
         self.exec_cache_misses += other.exec_cache_misses
         self.estimate_cache_hits += other.estimate_cache_hits
         self.estimate_cache_misses += other.estimate_cache_misses
+        self.lut_hits += other.lut_hits
+        self.vector_passes += other.vector_passes
         self.stats_build_seconds += other.stats_build_seconds
         self.optimize_seconds += other.optimize_seconds
         self.execute_seconds += other.execute_seconds
@@ -75,12 +84,15 @@ class PerfStats:
         return {
             "workers": self.workers,
             "execution_cache": self.execution_cache,
+            "vectorize_thresholds": self.vectorize_thresholds,
             "exec_cache_hits": self.exec_cache_hits,
             "exec_cache_misses": self.exec_cache_misses,
             "exec_cache_hit_rate": round(self.exec_cache_hit_rate, 4),
             "estimate_cache_hits": self.estimate_cache_hits,
             "estimate_cache_misses": self.estimate_cache_misses,
             "estimate_cache_hit_rate": round(self.estimate_cache_hit_rate, 4),
+            "lut_hits": self.lut_hits,
+            "vector_passes": self.vector_passes,
             "stats_build_seconds": round(self.stats_build_seconds, 4),
             "optimize_seconds": round(self.optimize_seconds, 4),
             "execute_seconds": round(self.execute_seconds, 4),

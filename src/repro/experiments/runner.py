@@ -51,10 +51,19 @@ PAPER_THRESHOLDS = (0.05, 0.20, 0.50, 0.80, 0.95)
 
 @dataclass(frozen=True)
 class EstimatorConfig:
-    """A named way to build an estimator from fresh statistics."""
+    """A named way to build an estimator from fresh statistics.
+
+    ``threshold``/``group`` mark configurations that differ only in
+    their confidence threshold: configs sharing a ``group`` (with
+    ``threshold`` set) are planned together by one threshold-vectorized
+    ``optimize_many`` pass instead of one ``optimize`` per config.
+    Either field left ``None`` keeps the scalar per-config path.
+    """
 
     name: str
     build: Callable[[StatisticsManager], CardinalityEstimator]
+    threshold: float | None = None
+    group: str | None = None
 
 
 def _build_robust(
@@ -80,6 +89,8 @@ def default_configs(
         EstimatorConfig(
             name=f"T={threshold:.0%}",
             build=functools.partial(_build_robust, threshold=threshold),
+            threshold=threshold,
+            group="robust",
         )
         for threshold in thresholds
     ]
@@ -223,6 +234,24 @@ class ExperimentResult:
         return dict(self._plans.get(config, {}))
 
 
+def _threshold_groups(
+    configs: Sequence[EstimatorConfig],
+) -> dict[str, list[EstimatorConfig]]:
+    """Config groups eligible for one vectorized planning pass each.
+
+    A group qualifies when at least two configs share its name and all
+    carry an explicit threshold — a single-member "group" gains nothing
+    over the scalar path.
+    """
+    groups: dict[str, list[EstimatorConfig]] = {}
+    for config in configs:
+        if config.group is not None and config.threshold is not None:
+            groups.setdefault(config.group, []).append(config)
+    return {
+        name: members for name, members in groups.items() if len(members) >= 2
+    }
+
+
 def _run_seed(
     database: Database,
     template: QueryTemplate,
@@ -233,6 +262,7 @@ def _run_seed(
     configs: Sequence[EstimatorConfig],
     execution_cache: bool,
     seed: int,
+    vectorize_thresholds: bool = True,
 ) -> tuple[list[RunRecord], PerfStats]:
     """One seed's slice of the grid — the unit of parallelism."""
     perf = PerfStats(execution_cache=execution_cache)
@@ -245,20 +275,55 @@ def _run_seed(
     )
     perf.stats_build_seconds += time.perf_counter() - started
 
+    # Threshold-vectorized planning: configs that differ only in their
+    # threshold are planned together — one optimize_many per (group,
+    # param) replaces |group| optimize passes. The plans are stashed by
+    # (config, param) and the execution loop below consumes them in the
+    # original order, so the records are identical to the scalar path.
+    groups = _threshold_groups(configs) if vectorize_thresholds else {}
+    grouped_names = {
+        config.name for members in groups.values() for config in members
+    }
+    group_plans: dict[tuple[str, int], object] = {}
+    for members in groups.values():
+        grid = tuple(config.threshold for config in members)
+        estimator = members[0].build(statistics)
+        optimizer = Optimizer(database, estimator, cost_model)
+        for param, _selectivity in params:
+            query = template.instantiate(param)
+            started = time.perf_counter()
+            planned_grid = optimizer.optimize_many(query, grid)
+            perf.optimize_seconds += time.perf_counter() - started
+            perf.vector_passes += 1
+            for config, planned in zip(members, planned_grid):
+                group_plans[(config.name, param)] = planned.plan
+        perf.lut_hits += getattr(estimator, "lut_hits", 0)
+        perf.estimate_cache_hits += getattr(estimator, "estimate_cache_hits", 0)
+        perf.estimate_cache_misses += getattr(
+            estimator, "estimate_cache_misses", 0
+        )
+
     cache = PlanExecutionCache(enabled=execution_cache)
     records: list[RunRecord] = []
     for config in configs:
-        estimator = config.build(statistics)
-        optimizer = Optimizer(database, estimator, cost_model)
+        if config.name in grouped_names:
+            estimator = None
+            optimizer = None
+        else:
+            estimator = config.build(statistics)
+            optimizer = Optimizer(database, estimator, cost_model)
         for param, selectivity in params:
-            query = template.instantiate(param)
-            started = time.perf_counter()
-            planned = optimizer.optimize(query)
-            perf.optimize_seconds += time.perf_counter() - started
+            if config.name in grouped_names:
+                plan = group_plans[(config.name, param)]
+            else:
+                query = template.instantiate(param)
+                started = time.perf_counter()
+                plan = optimizer.optimize(query).plan
+                perf.optimize_seconds += time.perf_counter() - started
 
             started = time.perf_counter()
             simulated, actual_rows = cache.execute(
-                database, cost_model, param, planned.plan
+                database, cost_model, param, plan
             )
             perf.execute_seconds += time.perf_counter() - started
             records.append(
@@ -268,14 +333,18 @@ def _run_seed(
                     selectivity=selectivity,
                     seed=seed,
                     time=simulated,
-                    plan=_plan_shape(planned.plan),
+                    plan=_plan_shape(plan),
                     actual_rows=actual_rows,
                 )
             )
-        perf.estimate_cache_hits += getattr(estimator, "estimate_cache_hits", 0)
-        perf.estimate_cache_misses += getattr(
-            estimator, "estimate_cache_misses", 0
-        )
+        if estimator is not None:
+            perf.lut_hits += getattr(estimator, "lut_hits", 0)
+            perf.estimate_cache_hits += getattr(
+                estimator, "estimate_cache_hits", 0
+            )
+            perf.estimate_cache_misses += getattr(
+                estimator, "estimate_cache_misses", 0
+            )
     perf.exec_cache_hits = cache.hits
     perf.exec_cache_misses = cache.misses
     return records, perf
@@ -309,6 +378,11 @@ class ExperimentRunner:
         Reuse plan executions within a seed across estimator
         configurations that chose the same plan (on by default; the
         records are identical either way).
+    vectorize_thresholds:
+        Plan threshold-grouped configs with one multi-threshold
+        ``optimize_many`` pass per (group, param) instead of one
+        ``optimize`` per config (on by default; the records are
+        identical either way).
     """
 
     def __init__(
@@ -321,6 +395,7 @@ class ExperimentRunner:
         seeds: Sequence[int] = tuple(range(12)),
         workers: int | None = None,
         execution_cache: bool = True,
+        vectorize_thresholds: bool = True,
     ) -> None:
         self.database = database
         self.template = template
@@ -330,6 +405,7 @@ class ExperimentRunner:
         self.seeds = list(seeds)
         self.workers = workers
         self.execution_cache = execution_cache
+        self.vectorize_thresholds = vectorize_thresholds
 
     def run(
         self,
@@ -351,6 +427,7 @@ class ExperimentRunner:
             "params": list(params),
             "configs": configs,
             "execution_cache": self.execution_cache,
+            "vectorize_thresholds": self.vectorize_thresholds,
         }
         workers = self._resolve_workers(payload)
 
@@ -373,6 +450,7 @@ class ExperimentRunner:
         result = ExperimentResult(template=self.template.name)
         result.perf.workers = workers
         result.perf.execution_cache = self.execution_cache
+        result.perf.vectorize_thresholds = self.vectorize_thresholds
         for records, perf in seed_outputs:
             result.records.extend(records)
             result.perf.merge(perf)

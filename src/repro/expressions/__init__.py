@@ -34,6 +34,7 @@ from repro.expressions.expr import (
     StringStartsWith,
     col,
     conjunction,
+    expr_key,
     lit,
 )
 
@@ -60,5 +61,6 @@ __all__ = [
     "StringStartsWith",
     "col",
     "conjunction",
+    "expr_key",
     "lit",
 ]

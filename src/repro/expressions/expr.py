@@ -71,6 +71,20 @@ class Expr:
 
     __hash__ = None  # type: ignore[assignment]
 
+    def cache_key(self) -> str:
+        """Stable memo key for this (immutable) expression.
+
+        Estimator and optimizer caches key on the expression's repr;
+        recomputing it walks the whole tree on every lookup, so the
+        string is computed once and stored on the node. Nodes are never
+        mutated after construction, so the cached key cannot go stale.
+        """
+        key = getattr(self, "_cache_key", None)
+        if key is None:
+            key = repr(self)
+            self._cache_key = key
+        return key
+
     # -- comparison operators ------------------------------------------
     def __eq__(self, other) -> "Comparison":  # type: ignore[override]
         return Comparison(self, _as_expr(other), "=")
@@ -432,6 +446,11 @@ def col(qualified_name: str) -> ColumnRef:
 def lit(value) -> Literal:
     """Build a literal expression."""
     return Literal(value)
+
+
+def expr_key(expr: Expr | None) -> str:
+    """The cache key of ``expr``, with a fixed sentinel for ``None``."""
+    return "<none>" if expr is None else expr.cache_key()
 
 
 def conjunction(predicates: Sequence[Expr | None]) -> Expr | None:

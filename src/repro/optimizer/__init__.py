@@ -11,8 +11,13 @@ component stays identical.
 """
 
 from repro.optimizer.query import SPJQuery
-from repro.optimizer.candidates import PlanCandidate
-from repro.optimizer.optimizer import Optimizer, PlannedQuery
+from repro.optimizer.candidates import PlanCandidate, keep_best, keep_best_vector
+from repro.optimizer.optimizer import (
+    Optimizer,
+    PlannedQuery,
+    PlanningContext,
+    VectorPlanningContext,
+)
 from repro.optimizer.costing import PlanCoster
 from repro.optimizer.lec import LeastExpectedCostOptimizer
 
@@ -22,5 +27,9 @@ __all__ = [
     "PlanCandidate",
     "PlanCoster",
     "PlannedQuery",
+    "PlanningContext",
     "SPJQuery",
+    "VectorPlanningContext",
+    "keep_best",
+    "keep_best_vector",
 ]

@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
 
 from repro.engine import PhysicalOperator
 
@@ -55,3 +58,81 @@ def keep_best(candidates: list[PlanCandidate]) -> dict[str | None, PlanCandidate
         if None not in best or candidate.cost < best[None].cost:
             best[None] = candidate
     return best
+
+
+def lane_matrix(values, width: int) -> np.ndarray:
+    """Stack per-candidate values into an ``(n, width)`` matrix.
+
+    Scalar values (from threshold-independent formulas) broadcast
+    across the threshold axis so mixed scalar/vector candidate pools
+    compare lane by lane.
+    """
+    rows = []
+    for value in values:
+        if isinstance(value, np.ndarray) and value.shape == (width,):
+            rows.append(value)
+        else:
+            rows.append(
+                np.broadcast_to(
+                    np.asarray(value, dtype=float).reshape(-1), (width,)
+                )
+            )
+    return np.stack(rows)
+
+
+def lane_costs(candidates: list[PlanCandidate], width: int) -> np.ndarray:
+    """Candidate costs as a ``(len(candidates), width)`` matrix."""
+    return lane_matrix((candidate.cost for candidate in candidates), width)
+
+
+def keep_best_vector(
+    candidates: list[PlanCandidate], width: int
+) -> dict[str | None, list[PlanCandidate]]:
+    """Threshold-vectorized :func:`keep_best`.
+
+    Candidate costs are vectors over the ``width``-point threshold
+    grid. Per interesting-order slot we keep every candidate that is
+    the per-threshold minimum for at least one grid point, so the
+    surviving set is exactly the union of the scalar ``keep_best``
+    winners across thresholds. ``np.argmin`` takes the first index on
+    ties, matching the scalar loop's strict-``<`` first-wins rule, and
+    the ``None`` slot holds the per-threshold global winners just as
+    the scalar version holds the globally cheapest plan.
+    """
+    if not candidates:
+        return {}
+    costs = lane_costs(candidates, width)
+
+    slot_members: dict[str | None, list[int]] = {}
+    key_order: list[str | None] = []
+    for i, candidate in enumerate(candidates):
+        slot = candidate.order
+        if slot not in slot_members:
+            slot_members[slot] = []
+            key_order.append(slot)
+        slot_members[slot].append(i)
+        if None not in slot_members:
+            slot_members[None] = []
+            key_order.append(None)
+
+    best: dict[str | None, list[PlanCandidate]] = {}
+    for slot in key_order:
+        if slot is None:
+            members = list(range(len(candidates)))
+        else:
+            members = slot_members[slot]
+        winners = np.argmin(costs[members], axis=0)
+        kept = sorted({members[w] for w in winners.tolist()})
+        best[slot] = [candidates[i] for i in kept]
+    return best
+
+
+def iter_candidates(
+    best: "dict[str | None, PlanCandidate | list[PlanCandidate]]",
+) -> Iterator[PlanCandidate]:
+    """Iterate a pruned-slot mapping from either ``keep_best`` flavor."""
+    for value in best.values():
+        if isinstance(value, list):
+            yield from value
+        else:
+            yield value

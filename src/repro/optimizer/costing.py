@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from repro.catalog import Database
 from repro.cost import CostModel
 from repro.engine import (
@@ -41,6 +43,20 @@ from repro.expressions import Expr, col, conjunction
 
 #: Cardinality oracle: (tables, predicate) -> estimated rows.
 CardFn = Callable[[frozenset, Expr | None], float]
+
+
+def _minimum(a, b):
+    """``min`` that maps over threshold-axis row vectors."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+def _maximum(a, b):
+    """``max`` that maps over threshold-axis row vectors."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
 
 
 def condition_to_expr(table_name: str, condition: IndexCondition) -> Expr:
@@ -103,7 +119,7 @@ class PlanCoster:
             return cost + self.model.sort(rows), rows, tables, predicate
         if isinstance(op, Limit):
             cost, rows, tables, predicate = self._visit(op.child)
-            return cost, min(rows, float(op.count)), tables, predicate
+            return cost, _minimum(rows, float(op.count)), tables, predicate
         if isinstance(op, HashJoin):
             return self._hash_join(op)
         if isinstance(op, MergeJoin):
@@ -277,7 +293,7 @@ class PlanCoster:
     def _aggregate(self, op: HashAggregate):
         child_cost, child_rows, tables, predicate = self._visit(op.child)
         if op.group_by:
-            groups = min(child_rows, max(1.0, child_rows ** 0.8))
+            groups = _minimum(child_rows, _maximum(1.0, child_rows ** 0.8))
         else:
             groups = 1.0
         cost = child_cost + self.model.aggregate(

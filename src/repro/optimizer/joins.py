@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.engine import HashJoin, IndexedNLJoin, MergeJoin, Sort
 from repro.optimizer.candidates import PlanCandidate
 from repro.optimizer.query import JoinEdge
@@ -25,20 +27,56 @@ def join_candidates(
     candidates: list[PlanCandidate] = []
     model = ctx.model
 
-    # Hash join: build on the smaller estimated input.
-    if left.rows <= right.rows:
-        build, probe, build_key, probe_key = left, right, left_key, right_key
+    # Hash join: build on the smaller estimated input. On the
+    # threshold-vectorized path the smaller side can differ per
+    # threshold, so emit both orientations and mask each one to the
+    # thresholds where the scalar rule would pick it (``np.inf``
+    # elsewhere keeps the masked lanes from ever winning an argmin).
+    vector_rows = isinstance(left.rows, np.ndarray) or isinstance(
+        right.rows, np.ndarray
+    )
+    if vector_rows:
+        left_builds = np.asarray(left.rows <= right.rows)
+        if left_builds.all():
+            orientations = [(left, right, left_key, right_key, None)]
+        elif not left_builds.any():
+            orientations = [(right, left, right_key, left_key, None)]
+        else:
+            orientations = [
+                (left, right, left_key, right_key, left_builds),
+                (right, left, right_key, left_key, ~left_builds),
+            ]
+        for build, probe, build_key, probe_key, active in orientations:
+            cost = (
+                build.cost
+                + probe.cost
+                + model.hash_join(build.rows, probe.rows, out_rows)
+            )
+            if active is not None:
+                # The build side flips somewhere on the grid: mask each
+                # orientation to the thresholds where the scalar rule
+                # picks it (inf lanes never win an argmin).
+                cost = np.where(active, cost, np.inf)
+            operator = HashJoin(
+                build.operator, probe.operator, build_key, probe_key
+            )
+            candidates.append(
+                PlanCandidate(operator, tables, out_rows, cost, None).annotated()
+            )
     else:
-        build, probe, build_key, probe_key = right, left, right_key, left_key
-    cost = (
-        build.cost
-        + probe.cost
-        + model.hash_join(build.rows, probe.rows, out_rows)
-    )
-    operator = HashJoin(build.operator, probe.operator, build_key, probe_key)
-    candidates.append(
-        PlanCandidate(operator, tables, out_rows, cost, None).annotated()
-    )
+        if left.rows <= right.rows:
+            build, probe, build_key, probe_key = left, right, left_key, right_key
+        else:
+            build, probe, build_key, probe_key = right, left, right_key, left_key
+        cost = (
+            build.cost
+            + probe.cost
+            + model.hash_join(build.rows, probe.rows, out_rows)
+        )
+        operator = HashJoin(build.operator, probe.operator, build_key, probe_key)
+        candidates.append(
+            PlanCandidate(operator, tables, out_rows, cost, None).annotated()
+        )
 
     # Merge join: both inputs already ordered on their join keys.
     if left.order == left_key and right.order == right_key:

@@ -32,6 +32,7 @@ from repro.catalog import Database
 from repro.core import JEFFREYS, Prior, RobustCardinalityEstimator
 from repro.cost import CostModel
 from repro.errors import OptimizationError
+from repro.expressions import expr_key
 from repro.optimizer.candidates import PlanCandidate
 from repro.optimizer.costing import PlanCoster
 from repro.optimizer.optimizer import Optimizer, PlannedQuery, PlanningContext
@@ -117,7 +118,7 @@ class LeastExpectedCostOptimizer:
             cache: dict = {}
 
             def card(tables, predicate, _estimator=estimator, _cache=cache):
-                key = (frozenset(tables), repr(predicate))
+                key = (frozenset(tables), expr_key(predicate))
                 if key not in _cache:
                     _cache[key] = _estimator.estimate(
                         tables, predicate

@@ -8,8 +8,11 @@ drops in without touching enumeration, costing, or search.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from itertools import combinations
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.catalog import Database
 from repro.core import (
@@ -17,17 +20,45 @@ from repro.core import (
     CardinalityEstimator,
     GroupCountEstimator,
     RobustCardinalityEstimator,
+    VectorCardinalityEstimate,
 )
 from repro.cost import CostModel
 from repro.engine import HashAggregate, Limit, PhysicalOperator, Project, Sort
 from repro.engine.relops import Filter
 from repro.errors import OptimizationError
-from repro.expressions import Expr, conjunction
+from repro.expressions import Expr, conjunction, expr_key
 from repro.optimizer.access import access_paths
-from repro.optimizer.candidates import PlanCandidate, keep_best
+from repro.optimizer.candidates import (
+    PlanCandidate,
+    iter_candidates,
+    keep_best,
+    keep_best_vector,
+    lane_costs,
+    lane_matrix,
+)
 from repro.optimizer.joins import join_candidates
 from repro.optimizer.query import SPJQuery
 from repro.optimizer.star import detect_star, star_candidates
+
+
+def _lane(value, index: int) -> float:
+    """Scalar component of a threshold-axis vector (scalars pass through)."""
+    if isinstance(value, np.ndarray):
+        flat = value.reshape(-1)
+        return float(flat[0] if flat.size == 1 else flat[index])
+    return value
+
+
+def _lanes(value, width: int) -> list[float] | None:
+    """Per-lane list of a threshold-axis annotation (``None`` if unset)."""
+    if value is None:
+        return None
+    if isinstance(value, np.ndarray):
+        flat = value.reshape(-1)
+        if flat.size == 1:
+            return [float(flat[0])] * width
+        return flat.tolist()
+    return [float(value)] * width
 
 
 class PlanningContext:
@@ -61,13 +92,79 @@ class PlanningContext:
 
     def card(self, tables: frozenset, predicate: Expr | None) -> CardinalityEstimate:
         """Memoized cardinality estimate for an SPJ subexpression."""
-        key = (frozenset(tables), repr(predicate))
+        key = (frozenset(tables), expr_key(predicate))
         if key not in self._cache:
             self.estimation_calls += 1
             self._cache[key] = self.estimator.estimate(
                 tables, predicate, hint=self.query.hint
             )
         return self._cache[key]
+
+
+class VectorPlanningContext(PlanningContext):
+    """Planning context whose ``card`` oracle spans a threshold grid.
+
+    Each estimate is a :class:`VectorCardinalityEstimate` whose
+    ``cardinality`` is a vector over the grid, produced by one
+    ``estimate_many`` call — the synopsis mask and sample counts are
+    gathered once and inverted at every threshold via the quantile
+    lookup table.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        model: CostModel,
+        estimator: CardinalityEstimator,
+        query: SPJQuery,
+        thresholds: Sequence[float],
+    ) -> None:
+        super().__init__(database, model, estimator, query)
+        self.thresholds = tuple(thresholds)
+
+    def card(
+        self, tables: frozenset, predicate: Expr | None
+    ) -> VectorCardinalityEstimate:
+        key = (frozenset(tables), expr_key(predicate))
+        if key not in self._cache:
+            self.estimation_calls += 1
+            estimates = self.estimator.estimate_many(
+                tables, predicate, self.thresholds
+            )
+            self._cache[key] = VectorCardinalityEstimate.from_estimates(estimates)
+        return self._cache[key]
+
+
+class _ThresholdSlice:
+    """Scalar (single-threshold) view over a vector planning context.
+
+    Lets the unchanged scalar finalization code run against estimates
+    computed by the vectorized DP pass: ``card`` answers with the
+    per-threshold estimate at one grid index.
+    """
+
+    def __init__(self, ctx: VectorPlanningContext, index: int) -> None:
+        self._ctx = ctx
+        self._index = index
+        self.database = ctx.database
+        self.model = ctx.model
+        self.estimator = ctx.estimator
+        self.query = ctx.query
+        self.cross_predicate = ctx.cross_predicate
+        self.per_table = ctx.per_table
+
+    def pred_for(self, tables: frozenset) -> Expr | None:
+        return self._ctx.pred_for(tables)
+
+    def card(self, tables: frozenset, predicate: Expr | None) -> CardinalityEstimate:
+        return self._ctx.card(tables, predicate).at(self._index)
+
+    def estimates(self) -> dict:
+        """The vector cache sliced down to this threshold."""
+        return {
+            key: value.at(self._index)
+            for key, value in self._ctx._cache.items()
+        }
 
 
 @dataclass(eq=False)
@@ -126,7 +223,7 @@ class Optimizer:
 
         full_set = frozenset(query.tables)
         best_per_subset = self._enumerate_joins(ctx, query)
-        finalists = list(best_per_subset[full_set].values())
+        finalists = list(iter_candidates(best_per_subset[full_set]))
 
         if self.enable_star_plans:
             specs = detect_star(ctx, query)
@@ -152,11 +249,125 @@ class Optimizer:
         )
 
     # ------------------------------------------------------------------
+    def optimize_many(
+        self, query: SPJQuery, thresholds: Sequence[float]
+    ) -> list[PlannedQuery]:
+        """Plan ``query`` at every confidence threshold in one DP pass.
+
+        Estimates, costs, and the DP lattice all carry vectors over the
+        threshold grid; a final per-threshold argmin picks each grid
+        point's winner, which is then finalized by the unchanged scalar
+        code against a single-threshold slice of the vector estimates.
+        The per-threshold plans and estimates match what ``optimize``
+        produces with ``hint=t``, one threshold at a time.
+        """
+        grid = tuple(thresholds)
+        if not grid:
+            raise OptimizationError("optimize_many needs at least one threshold")
+        query.validate(self.database)
+        ctx = VectorPlanningContext(
+            self.database, self.cost_model, self.estimator, query, grid
+        )
+        width = len(grid)
+
+        full_set = frozenset(query.tables)
+        best_per_subset = self._enumerate_joins(
+            ctx, query, prune=lambda cands: keep_best_vector(cands, width)
+        )
+        finalists = list(iter_candidates(best_per_subset[full_set]))
+
+        if self.enable_star_plans:
+            specs = detect_star(ctx, query)
+            if specs is not None:
+                out_rows = ctx.card(full_set, ctx.pred_for(full_set)).cardinality
+                finalists.extend(star_candidates(ctx, query, specs, out_rows))
+
+        finalists = self._dedupe(finalists)
+        if not finalists:
+            raise OptimizationError(f"no plan found for {query}")
+
+        costs = lane_costs(finalists, width)
+        rows_matrix = lane_matrix((c.rows for c in finalists), width)
+        winners = np.argmin(costs, axis=0)
+
+        # The vector pass annotated operators with threshold-axis
+        # arrays. Snapshot them as per-lane lists so each threshold's
+        # finalization can stamp its own scalar lane back onto the
+        # (shared) subtrees; after the loop, shared nodes carry the
+        # last threshold's annotations — cosmetic only, since
+        # ``signature()`` ignores annotations and execution never
+        # reads them.
+        vector_notes: dict[int, tuple] = {}
+        for candidate in finalists:
+            for node in candidate.operator.walk():
+                if id(node) not in vector_notes:
+                    vector_notes[id(node)] = (
+                        node,
+                        _lanes(node.est_rows, width),
+                        _lanes(node.est_cost, width),
+                    )
+        stamped = [
+            entry
+            for entry in vector_notes.values()
+            if entry[1] is not None or entry[2] is not None
+        ]
+
+        planned: list[PlannedQuery] = []
+        for index, threshold in enumerate(grid):
+            for node, est_rows, est_cost in stamped:
+                if est_rows is not None:
+                    node.est_rows = est_rows[index]
+                if est_cost is not None:
+                    node.est_cost = est_cost[index]
+            winner = int(winners[index])
+            best = finalists[winner]
+            scalar_best = PlanCandidate(
+                best.operator,
+                best.tables,
+                float(rows_matrix[winner, index]),
+                float(costs[winner, index]),
+                best.order,
+            )
+            query_at = replace(query, hint=threshold)
+            slice_ctx = _ThresholdSlice(ctx, index)
+            plan, cost, rows = self.finalize_candidate(
+                slice_ctx, query_at, scalar_best
+            )
+            # Stable argsort == Python's stable sorted(key=cost), so the
+            # alternatives ranking matches the scalar path per lane.
+            ranking = np.argsort(costs[:, index], kind="stable")
+            alternatives = [
+                PlanCandidate(
+                    finalists[i].operator,
+                    finalists[i].tables,
+                    float(rows_matrix[i, index]),
+                    float(costs[i, index]),
+                    finalists[i].order,
+                )
+                for i in ranking.tolist()
+            ]
+            planned.append(
+                PlannedQuery(
+                    query=query_at,
+                    plan=plan,
+                    estimated_cost=cost,
+                    estimated_rows=rows,
+                    alternatives=alternatives,
+                    estimation_calls=ctx.estimation_calls,
+                    estimates=slice_ctx.estimates(),
+                )
+            )
+        return planned
+
+    # ------------------------------------------------------------------
     # Dynamic programming
     # ------------------------------------------------------------------
     def _enumerate_joins(
-        self, ctx: PlanningContext, query: SPJQuery
-    ) -> dict[frozenset, dict[str | None, PlanCandidate]]:
+        self,
+        ctx: PlanningContext,
+        query: SPJQuery,
+        prune: Callable[[list[PlanCandidate]], dict] = keep_best,
+    ) -> dict[frozenset, dict]:
         tables = list(query.tables)
         edges = query.join_edges(self.database)
         adjacency: dict[str, set[str]] = {name: set() for name in tables}
@@ -174,7 +385,7 @@ class Optimizer:
                 name,
                 ctx.pred_for(singleton),
             )
-            plans[singleton] = keep_best(candidates)
+            plans[singleton] = prune(candidates)
 
         for size in range(2, len(tables) + 1):
             for subset_tuple in combinations(tables, size):
@@ -195,13 +406,13 @@ class Optimizer:
                     if len(crossing) != 1:
                         continue  # tree partitions cross exactly one edge
                     edge = crossing[0]
-                    for left in plans[left_set].values():
-                        for right in plans[right_set].values():
+                    for left in iter_candidates(plans[left_set]):
+                        for right in iter_candidates(plans[right_set]):
                             candidates.extend(
                                 join_candidates(ctx, left, right, edge, out_rows)
                             )
                 if candidates:
-                    plans[subset] = keep_best(candidates)
+                    plans[subset] = prune(candidates)
 
         full_set = frozenset(tables)
         if full_set not in plans:

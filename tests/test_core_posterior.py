@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 from scipy import integrate
 
-from repro.core import JEFFREYS, UNIFORM, Prior, SelectivityPosterior
+from repro.core import (
+    JEFFREYS,
+    UNIFORM,
+    BetaQuantileTable,
+    Prior,
+    SelectivityPosterior,
+    quantile_table,
+)
 from repro.errors import EstimationError
 
 
@@ -122,6 +129,72 @@ class TestPaperFigure4Claims:
         hi = SelectivityPosterior(100, 100)
         assert lo.ppf(0.5) < 0.01
         assert hi.ppf(0.5) > 0.99
+
+
+class TestQuantileTable:
+    """The precomputed beta-quantile table must agree with ``ppf``.
+
+    ``betaincinv`` is a ufunc, so the bulk table evaluation and the
+    scalar ``ppf`` path are the same elementwise computation — the
+    agreement below is exact equality, not approximate.
+    """
+
+    GRID = (0.01, 0.05, 0.20, 0.50, 0.80, 0.95, 0.99)
+
+    @pytest.mark.parametrize("prior", [JEFFREYS, UNIFORM], ids=["jeffreys", "uniform"])
+    @pytest.mark.parametrize("n", [1, 10, 100])
+    def test_rows_match_ppf_at_every_count(self, n, prior):
+        table = quantile_table(n, prior, self.GRID)
+        for k in range(n + 1):
+            posterior = SelectivityPosterior(k, n, prior)
+            row = table.row(k)
+            for j, t in enumerate(self.GRID):
+                assert row[j] == posterior.ppf(t)
+
+    @pytest.mark.parametrize("prior", [JEFFREYS, UNIFORM], ids=["jeffreys", "uniform"])
+    @pytest.mark.parametrize("k", [0, 100])
+    def test_edge_counts_at_extreme_thresholds(self, k, prior):
+        """k=0 and k=n at thresholds 0.01/0.99 — the corners where a
+        naive table could underflow or clip."""
+        n = 100
+        posterior = SelectivityPosterior(k, n, prior)
+        row = quantile_table(n, prior, (0.01, 0.99)).row(k)
+        assert row[0] == posterior.ppf(0.01)
+        assert row[1] == posterior.ppf(0.99)
+        assert 0.0 <= row[0] < row[1] <= 1.0
+
+    def test_ppf_vector_matches_scalar_ppf(self):
+        posterior = SelectivityPosterior(7, 200)
+        out = posterior.ppf_vector(self.GRID)
+        assert out.shape == (len(self.GRID),)
+        for j, t in enumerate(self.GRID):
+            assert out[j] == posterior.ppf(t)
+
+    def test_rows_monotone_in_k_and_threshold(self):
+        table = quantile_table(50, JEFFREYS, self.GRID)
+        assert (np.diff(table.table, axis=0) > 0).all()  # more hits, more rows
+        assert (np.diff(table.table, axis=1) > 0).all()  # higher T, more rows
+
+    def test_cache_returns_same_object(self):
+        a = quantile_table(64, JEFFREYS, (0.2, 0.8))
+        b = quantile_table(64, JEFFREYS, (0.2, 0.8))
+        assert a is b
+        assert a is not quantile_table(64, UNIFORM, (0.2, 0.8))
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            BetaQuantileTable(0, JEFFREYS, (0.5,))
+        with pytest.raises(EstimationError):
+            BetaQuantileTable(10, JEFFREYS, ())
+        with pytest.raises(EstimationError):
+            BetaQuantileTable(10, JEFFREYS, (0.0, 0.5))
+        with pytest.raises(EstimationError):
+            BetaQuantileTable(10, JEFFREYS, (0.5, 1.0))
+        table = BetaQuantileTable(10, JEFFREYS, (0.5,))
+        with pytest.raises(EstimationError):
+            table.row(11)
+        with pytest.raises(EstimationError):
+            table.row(-1)
 
 
 class TestValidation:

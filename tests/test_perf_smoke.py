@@ -1,9 +1,10 @@
 """Fast tier-1 smoke of the perf benchmark harness.
 
-Runs :func:`benchmarks.test_perf_runner.run_perf_comparison` at toy
-scale so the tier-1 flow exercises the same three-arm comparison (and
-the ``BENCH_runner.json`` schema) that the full ``perf``-marked
-benchmark records at benchmark scale.
+Runs :func:`benchmarks.test_perf_runner.run_perf_comparison` and
+:func:`benchmarks.test_threshold_vectorized.run_vectorization_comparison`
+at toy scale so the tier-1 flow exercises the same arm comparisons
+(and the ``BENCH_*.json`` schemas) that the full ``perf``-marked
+benchmarks record at benchmark scale.
 """
 
 import json
@@ -11,6 +12,7 @@ import json
 import pytest
 
 from benchmarks.test_perf_runner import run_perf_comparison
+from benchmarks.test_threshold_vectorized import run_vectorization_comparison
 from repro.workloads import ShippingDatesTemplate
 
 pytestmark = pytest.mark.perf
@@ -29,7 +31,12 @@ def test_perf_comparison_smoke(tpch_db, tmp_path):
     restored = json.loads(text)
     assert restored["identical_records"] is True
     assert restored["grid"]["records"] == 6 * len(params) * 2
-    for arm in ("serial_uncached", "serial_cached", "parallel_cached"):
+    for arm in (
+        "serial_uncached",
+        "serial_cached",
+        "serial_vectorized",
+        "parallel_cached",
+    ):
         stats = restored[arm]
         assert set(stats) >= {
             "workers",
@@ -47,4 +54,25 @@ def test_perf_comparison_smoke(tpch_db, tmp_path):
         }
     assert restored["serial_uncached"]["exec_cache_hit_rate"] == 0.0
     assert restored["serial_cached"]["exec_cache_hit_rate"] > 0.0
+    assert restored["serial_vectorized"]["vector_passes"] > 0
+    assert restored["vectorized_planning_speedup"] > 0.0
     (tmp_path / "BENCH_runner.json").write_text(text)
+
+
+def test_vectorization_comparison_smoke(tpch_db, tmp_path):
+    template = ShippingDatesTemplate()
+    params = template.params_for_targets(tpch_db, [0.0, 0.003, 0.006], step=4)
+    payload = run_vectorization_comparison(
+        tpch_db, template, params, seeds=(0, 1), sample_size=300, rounds=1
+    )
+
+    restored = json.loads(json.dumps(payload))
+    assert restored["identical_records"] is True
+    assert restored["grid"]["records"] == 5 * len(params) * 2
+    assert restored["scalar"]["vector_passes"] == 0
+    assert restored["vectorized"]["vector_passes"] == len(params) * 2
+    assert restored["vectorized"]["lut_hits"] > 0
+    assert restored["planning_speedup"] > 0.0
+    (tmp_path / "BENCH_threshold_vectorized.json").write_text(
+        json.dumps(payload)
+    )
