@@ -12,6 +12,14 @@ Three subcommands::
             --workload tpch --threshold 80
         Parse, optimize, and execute a query against a generated
         workload, printing the plan and the simulated execution time.
+
+    python -m repro trace summarize traces.jsonl [--query ID]
+        Summarize (or explain one query of) a JSONL trace file
+        produced by ``experiment --trace-out`` or ``sql --trace-out``.
+
+``experiment`` and ``sql`` accept ``--trace`` / ``--trace-out FILE``
+to record end-to-end query traces (estimation evidence → optimizer
+decision → execution provenance); see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -108,6 +116,23 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--perf", action="store_true", help="print cache/timer statistics"
     )
+    experiment.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-query traces and print a trace summary",
+    )
+    experiment.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write traces as JSONL to FILE (implies --trace)",
+    )
+    experiment.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write run metrics in Prometheus text format to FILE",
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     report = subparsers.add_parser(
@@ -145,7 +170,33 @@ def _build_parser() -> argparse.ArgumentParser:
     sql.add_argument(
         "--explain-only", action="store_true", help="print the plan, don't run"
     )
+    sql.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a query trace and print its explanation",
+    )
+    sql.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write the query trace as JSONL to FILE (implies --trace)",
+    )
     sql.set_defaults(handler=_cmd_sql)
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect a JSONL trace file"
+    )
+    trace.add_argument(
+        "action", choices=["summarize"], help="what to do with the traces"
+    )
+    trace.add_argument("file", help="JSONL trace file")
+    trace.add_argument(
+        "--query",
+        metavar="ID",
+        default=None,
+        help="explain one trace: an exact trace_id or a unique substring",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     return parser
 
@@ -234,6 +285,7 @@ def _cmd_experiment(args) -> int:
             (int(s), template.true_selectivity(database, int(s))) for s in shifts
         ]
 
+    tracing = args.trace or args.trace_out is not None
     runner = ExperimentRunner(
         database,
         template,
@@ -241,16 +293,31 @@ def _cmd_experiment(args) -> int:
         seeds=range(args.seeds),
         workers=args.workers,
         execution_cache=not args.no_exec_cache,
+        trace=tracing,
     )
     result = runner.run(params)
     print(format_selectivity_table(result))
     print()
     print(format_tradeoff_table(result))
+    if tracing:
+        from repro.obs import summarize_traces, write_traces
+
+        trace_path = args.trace_out or f"traces_{args.name}.jsonl"
+        count = write_traces(trace_path, result.traces)
+        print()
+        print(summarize_traces(result.traces))
+        print(f"\n{count} traces written to {trace_path}")
     if args.perf:
         print()
-        print("perf:")
-        for key, value in result.perf.as_dict().items():
-            print(f"  {key}: {value}")
+        print(result.perf.format_summary())
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        result.perf.publish(registry)
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(registry.to_prometheus())
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -292,20 +359,76 @@ def _cmd_sql(args) -> int:
         else:
             estimator = HistogramCardinalityEstimator(statistics)
 
+    tracing = args.trace or args.trace_out is not None
+    tracer = None
+    if tracing:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        estimator.tracer = tracer
+
     cost_model = CostModel()
-    planned = Optimizer(database, estimator, cost_model).optimize(query)
+    planned = Optimizer(
+        database, estimator, cost_model, tracer=tracer
+    ).optimize(query)
     print(planned.explain())
-    if args.explain_only:
+    if args.explain_only and not tracing:
         return 0
 
-    ctx = ExecutionContext(database)
-    frame = planned.plan.execute(ctx)
-    simulated = cost_model.time_from_counters(ctx.counters)
-    print(f"\nrows: {frame.num_rows}")
-    for name in frame.column_names[: 8]:
-        values = frame.column(name)[:5]
-        print(f"  {name}: {list(values)}{' ...' if frame.num_rows > 5 else ''}")
-    print(f"simulated execution time: {simulated:.4f}s")
+    execution = None
+    if not args.explain_only:
+        ctx = ExecutionContext(database)
+        frame = planned.plan.execute(ctx)
+        simulated = cost_model.time_from_counters(ctx.counters)
+        print(f"\nrows: {frame.num_rows}")
+        for name in frame.column_names[: 8]:
+            values = frame.column(name)[:5]
+            print(f"  {name}: {list(values)}{' ...' if frame.num_rows > 5 else ''}")
+        print(f"simulated execution time: {simulated:.4f}s")
+        if tracing:
+            from repro.obs import execution_span
+
+            execution = execution_span(
+                planned.plan,
+                database,
+                cost_model,
+                simulated_seconds=simulated,
+                actual_rows=frame.num_rows,
+                estimated_rows=planned.estimated_rows,
+                estimated_cost=planned.estimated_cost,
+            )
+
+    if tracing:
+        from repro.obs import QueryTrace, explain_trace, write_traces
+
+        record = QueryTrace(
+            template=f"sql/{args.workload}",
+            config=estimator.describe(),
+            seed=args.seed,
+            estimation=tracer.drain_estimations(),
+            optimizer=planned.trace,
+            execution=execution,
+        ).as_dict()
+        print()
+        print(explain_trace([record], record["trace_id"]))
+        if args.trace_out:
+            write_traces(args.trace_out, [record])
+            print(f"\ntrace written to {args.trace_out}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import TraceError, explain_trace, read_traces, summarize_traces
+
+    try:
+        records = read_traces(args.file)
+        if args.query is not None:
+            print(explain_trace(records, args.query))
+        else:
+            print(summarize_traces(records))
+    except (OSError, TraceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -25,6 +25,12 @@ from repro.stats.join_synopsis import fk_join_frame
 class CardinalityEstimator:
     """Abstract base for cardinality estimators."""
 
+    #: Optional :class:`repro.obs.Tracer`. When set, estimators record
+    #: one estimation-evidence span per synopsis/sample/histogram
+    #: lookup; the default ``None`` keeps every hot path to a single
+    #: attribute check, so disabled tracing costs nothing.
+    tracer = None
+
     def estimate(
         self,
         tables: Iterable[str],

@@ -86,6 +86,19 @@ class HistogramCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
         if unrouted is not None:
             selectivity *= self._avi_product(None, unrouted)
 
+        if self.tracer is not None:
+            from repro.obs.trace import EstimationSpan
+
+            self.tracer.record_estimation(
+                EstimationSpan(
+                    tables=tuple(sorted(names)),
+                    source="histogram",
+                    quantile=selectivity,
+                    point_estimate=selectivity * total,
+                    predicate=None if predicate is None else str(predicate),
+                )
+            )
+
         return CardinalityEstimate(
             tables=frozenset(names),
             selectivity=selectivity,

@@ -37,6 +37,7 @@ from repro.core.memo import EstimateCacheMixin
 from repro.core.posterior import SelectivityPosterior, quantile_table
 from repro.core.prior import JEFFREYS, Prior
 from repro.errors import EstimationError
+from repro.obs.trace import EstimationSpan
 from repro.expressions import (
     Expr,
     expr_key,
@@ -166,6 +167,11 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
             k = self._count_satisfying(synopsis, predicate)
             posterior = SelectivityPosterior(k, synopsis.size, self.prior)
             selectivity = posterior.ppf(threshold)
+            if self.tracer is not None:
+                self._trace_lookup(
+                    names, "synopsis", k, synopsis.size, threshold,
+                    selectivity, selectivity * total, False, predicate,
+                )
             return CardinalityEstimate(
                 tables=frozenset(names),
                 selectivity=selectivity,
@@ -192,6 +198,13 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
                 synopsis.size, self.prior, grid
             ).row(k)
             self.lut_hits += 1
+            if self.tracer is not None:
+                self._trace_lookup(
+                    names, "synopsis", k, synopsis.size, grid,
+                    tuple(float(s) for s in selectivities),
+                    tuple(float(s) * total for s in selectivities),
+                    True, predicate,
+                )
             return tuple(
                 CardinalityEstimate(
                     tables=frozenset(names),
@@ -206,6 +219,35 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
             )
 
         return self._estimate_fallback_many(names, predicate, grid, root, total)
+
+    # ------------------------------------------------------------------
+    def _trace_lookup(
+        self,
+        tables,
+        source: str,
+        k: int | None,
+        n: int | None,
+        threshold,
+        quantile,
+        point_estimate,
+        lut_hit: bool,
+        predicate: Expr | None,
+    ) -> None:
+        """Record one estimation-evidence span (tracing path only)."""
+        self.tracer.record_estimation(
+            EstimationSpan(
+                tables=tuple(sorted(tables)),
+                source=source,
+                k=None if k is None else int(k),
+                n=None if n is None else int(n),
+                prior=self.prior.name if source in ("synopsis", "sample") else None,
+                threshold=threshold,
+                quantile=quantile,
+                point_estimate=point_estimate,
+                lut_hit=lut_hit,
+                predicate=None if predicate is None else str(predicate),
+            )
+        )
 
     # ------------------------------------------------------------------
     def _count_satisfying(self, synopsis, predicate: Expr | None) -> int:
@@ -270,16 +312,34 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
             if sample is not None:
                 k = sample.count_satisfying(table_predicate)
                 posterior = SelectivityPosterior(k, sample.size, self.prior)
-                selectivity *= posterior.ppf(threshold)
+                quantile = posterior.ppf(threshold)
+                selectivity *= quantile
                 used_sample = True
+                if self.tracer is not None:
+                    self._trace_lookup(
+                        {name}, "sample", k, sample.size, threshold,
+                        quantile, None, False, table_predicate,
+                    )
             else:
-                selectivity *= self._magic_selectivity(table_predicate, threshold)
+                magic = self._magic_selectivity(table_predicate, threshold)
+                selectivity *= magic
                 used_magic = True
+                if self.tracer is not None:
+                    self._trace_lookup(
+                        {name}, "magic", None, None, threshold,
+                        magic, None, False, table_predicate,
+                    )
         if unrouted is not None:
             # Cross-table or table-free conjuncts cannot be routed to a
             # single-table sample; charge them at magic selectivity.
-            selectivity *= self._magic_selectivity(unrouted, threshold)
+            magic = self._magic_selectivity(unrouted, threshold)
+            selectivity *= magic
             used_magic = True
+            if self.tracer is not None:
+                self._trace_lookup(
+                    names, "magic", None, None, threshold,
+                    magic, None, False, unrouted,
+                )
 
         source = self._fallback_source(used_sample, used_magic)
         return CardinalityEstimate(
@@ -319,19 +379,36 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
             sample = self.statistics.sample_for(name)
             if sample is not None:
                 k = sample.count_satisfying(table_predicate)
-                selectivity = selectivity * quantile_table(
-                    sample.size, self.prior, grid
-                ).row(k)
+                quantiles = quantile_table(sample.size, self.prior, grid).row(k)
+                selectivity = selectivity * quantiles
                 self.lut_hits += 1
                 used_sample = True
+                if self.tracer is not None:
+                    self._trace_lookup(
+                        {name}, "sample", k, sample.size, grid,
+                        tuple(float(q) for q in quantiles),
+                        None, True, table_predicate,
+                    )
             else:
-                selectivity = selectivity * self._magic_selectivity_many(
-                    table_predicate, grid
-                )
+                magic = self._magic_selectivity_many(table_predicate, grid)
+                selectivity = selectivity * magic
                 used_magic = True
+                if self.tracer is not None:
+                    self._trace_lookup(
+                        {name}, "magic", None, None, grid,
+                        tuple(float(q) for q in magic),
+                        None, False, table_predicate,
+                    )
         if unrouted is not None:
-            selectivity = selectivity * self._magic_selectivity_many(unrouted, grid)
+            magic = self._magic_selectivity_many(unrouted, grid)
+            selectivity = selectivity * magic
             used_magic = True
+            if self.tracer is not None:
+                self._trace_lookup(
+                    names, "magic", None, None, grid,
+                    tuple(float(q) for q in magic),
+                    None, False, unrouted,
+                )
 
         source = self._fallback_source(used_sample, used_magic)
         return tuple(

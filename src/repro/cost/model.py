@@ -14,7 +14,26 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from dataclasses import fields
+
 from repro.engine.counters import WorkCounters
+
+#: Cost-model coefficient backing each :class:`WorkCounters` field, in
+#: dataclass field order (which fixes the float summation order).
+#: Driving the counters→time map off ``fields()`` means a new counter
+#: fails loudly here instead of being silently priced at zero.
+_COUNTER_COEFFICIENTS: dict[str, str] = {
+    "seq_pages": "seq_page_cost",
+    "random_ios": "random_io_cost",
+    "index_entries": "index_entry_cost",
+    "index_lookups": "index_lookup_cost",
+    "cpu_rows": "cpu_tuple_cost",
+    "hash_build_rows": "hash_build_cost",
+    "hash_probe_rows": "hash_probe_cost",
+    "merge_rows": "merge_row_cost",
+    "sort_comparisons": "sort_comparison_cost",
+    "rows_output": "output_row_cost",
+}
 
 
 def _ceil(value):
@@ -64,19 +83,26 @@ class CostModel:
     # Counters → simulated time
     # ------------------------------------------------------------------
     def time_from_counters(self, counters: WorkCounters) -> float:
-        """Simulated execution time, in seconds, for recorded work."""
-        return (
-            counters.seq_pages * self.seq_page_cost
-            + counters.random_ios * self.random_io_cost
-            + counters.index_entries * self.index_entry_cost
-            + counters.index_lookups * self.index_lookup_cost
-            + counters.cpu_rows * self.cpu_tuple_cost
-            + counters.hash_build_rows * self.hash_build_cost
-            + counters.hash_probe_rows * self.hash_probe_cost
-            + counters.merge_rows * self.merge_row_cost
-            + counters.sort_comparisons * self.sort_comparison_cost
-            + counters.rows_output * self.output_row_cost
-        )
+        """Simulated execution time, in seconds, for recorded work.
+
+        Iterates the counter dataclass fields in declaration order —
+        the same accumulation order as the historical hand-written
+        sum, so the float result is bit-identical — charging each
+        field at its :data:`_COUNTER_COEFFICIENTS` coefficient.
+        """
+        total = 0.0
+        for field_ in fields(counters):
+            coefficient = getattr(self, _COUNTER_COEFFICIENTS[field_.name])
+            total += getattr(counters, field_.name) * coefficient
+        return total
+
+    def time_breakdown(self, counters: WorkCounters) -> dict[str, float]:
+        """Per-counter contribution to the simulated time, in seconds."""
+        return {
+            field_.name: getattr(counters, field_.name)
+            * getattr(self, _COUNTER_COEFFICIENTS[field_.name])
+            for field_ in fields(counters)
+        }
 
     # ------------------------------------------------------------------
     # Per-operator cost formulas (estimation side)

@@ -45,6 +45,15 @@ class WorkCounters:
         """The counters as a plain dict (for reports and tests)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def total_work(self) -> float:
+        """Sum of all counters — raw work units, not seconds.
+
+        Unitless by design (a page read and a hash probe each count
+        1), so it orders operators by activity; the cost model's
+        coefficients turn the same fields into simulated time.
+        """
+        return float(sum(getattr(self, f.name) for f in fields(self)))
+
     def copy(self) -> "WorkCounters":
         """An independent copy of the current totals."""
         return WorkCounters(**self.as_dict())

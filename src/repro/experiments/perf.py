@@ -79,6 +79,66 @@ class PerfStats:
         self.optimize_seconds += other.optimize_seconds
         self.execute_seconds += other.execute_seconds
 
+    def format_summary(self) -> str:
+        """Human-readable summary with the derived rates spelled out.
+
+        The raw-counter dump (``as_dict``) kept the hit *rates* and
+        LUT counters effectively invisible in ``--perf`` output; this
+        is the reporting-side fix for that asymmetry. All ratios guard
+        division by zero (a run with no cacheable work prints 0 %).
+        """
+        exec_total = self.exec_cache_hits + self.exec_cache_misses
+        est_total = self.estimate_cache_hits + self.estimate_cache_misses
+        lines = [
+            "perf summary:",
+            f"  workers: {self.workers}  "
+            f"(execution cache {'on' if self.execution_cache else 'off'}, "
+            f"threshold vectorization "
+            f"{'on' if self.vectorize_thresholds else 'off'})",
+            f"  execution cache: {self.exec_cache_hits} hits / "
+            f"{self.exec_cache_misses} misses over {exec_total} lookups "
+            f"({self.exec_cache_hit_rate:.1%} hit rate)",
+            f"  estimate cache: {self.estimate_cache_hits} hits / "
+            f"{self.estimate_cache_misses} misses over {est_total} lookups "
+            f"({self.estimate_cache_hit_rate:.1%} hit rate)",
+            f"  quantile-table hits: {self.lut_hits}  "
+            f"vectorized planning passes: {self.vector_passes}",
+            f"  phases: stats {self.stats_build_seconds:.3f}s | "
+            f"optimize {self.optimize_seconds:.3f}s | "
+            f"execute {self.execute_seconds:.3f}s | "
+            f"wall {self.wall_seconds:.3f}s",
+        ]
+        return "\n".join(lines)
+
+    def publish(self, registry) -> None:
+        """Absorb these counters into a
+        :class:`~repro.obs.MetricsRegistry` (counters for monotonic
+        totals, gauges for the phase timers and derived hit rates)."""
+        counts = registry.counter(
+            "repro_perf_events_total", "Harness cache/vectorization events."
+        )
+        counts.inc(self.exec_cache_hits, event="exec_cache_hit")
+        counts.inc(self.exec_cache_misses, event="exec_cache_miss")
+        counts.inc(self.estimate_cache_hits, event="estimate_cache_hit")
+        counts.inc(self.estimate_cache_misses, event="estimate_cache_miss")
+        counts.inc(self.lut_hits, event="lut_hit")
+        counts.inc(self.vector_passes, event="vector_pass")
+        seconds = registry.gauge(
+            "repro_phase_seconds", "Summed wall time per harness phase."
+        )
+        seconds.set(self.stats_build_seconds, phase="stats_build")
+        seconds.set(self.optimize_seconds, phase="optimize")
+        seconds.set(self.execute_seconds, phase="execute")
+        seconds.set(self.wall_seconds, phase="wall")
+        rates = registry.gauge(
+            "repro_cache_hit_rate", "Cache hit rates (0..1), by cache."
+        )
+        rates.set(self.exec_cache_hit_rate, cache="execution")
+        rates.set(self.estimate_cache_hit_rate, cache="estimate")
+        registry.gauge("repro_workers", "Worker processes used.").set(
+            self.workers
+        )
+
     def as_dict(self) -> dict:
         """JSON-ready snapshot (used by ``BENCH_runner.json``)."""
         return {

@@ -41,6 +41,9 @@ from repro.core import (
 from repro.cost import CostModel
 from repro.errors import ReproError
 from repro.experiments.perf import PerfStats, PlanExecutionCache
+from repro.obs.execution import execution_span
+from repro.obs.trace import QueryTrace, plan_shape
+from repro.obs.tracer import Tracer
 from repro.optimizer import Optimizer
 from repro.stats import StatisticsManager
 from repro.workloads.templates import QueryTemplate
@@ -132,6 +135,12 @@ class ExperimentResult:
     #: from equality: results are compared by their records, which are
     #: bit-identical across worker counts; timers never are.
     perf: PerfStats = field(default_factory=PerfStats, compare=False)
+    #: JSON-ready :class:`~repro.obs.QueryTrace` records (one per
+    #: executed query) when the runner was built with ``trace=True``;
+    #: merged in seed order, so deterministic (modulo the wall-clock
+    #: ``timing`` subtrees) for any worker count. Excluded from
+    #: equality for the same reason as ``perf``.
+    traces: list[dict] = field(default_factory=list, compare=False)
 
     def __post_init__(self) -> None:
         self._indexed = -1
@@ -263,9 +272,20 @@ def _run_seed(
     execution_cache: bool,
     seed: int,
     vectorize_thresholds: bool = True,
-) -> tuple[list[RunRecord], PerfStats]:
-    """One seed's slice of the grid — the unit of parallelism."""
+    trace: bool = False,
+) -> tuple[list[RunRecord], PerfStats, list[dict]]:
+    """One seed's slice of the grid — the unit of parallelism.
+
+    With ``trace=True`` a per-seed :class:`~repro.obs.Tracer` collects
+    estimation, optimizer, and execution spans, and the JSON-ready
+    trace records ride back to the coordinator alongside the run
+    records (sinks never enter worker processes). Tracing does not
+    change the records: the spans are read-only observations, and the
+    per-operator work breakdown re-executes subtrees in fresh contexts.
+    """
     perf = PerfStats(execution_cache=execution_cache)
+    tracer = Tracer() if trace else None
+    traces: list[dict] = []
     started = time.perf_counter()
     statistics = StatisticsManager(database)
     statistics.update_statistics(
@@ -285,18 +305,36 @@ def _run_seed(
         config.name for members in groups.values() for config in members
     }
     group_plans: dict[tuple[str, int], object] = {}
+    group_traces: dict[tuple[str, int], dict] = {}
     for members in groups.values():
         grid = tuple(config.threshold for config in members)
         estimator = members[0].build(statistics)
-        optimizer = Optimizer(database, estimator, cost_model)
+        if tracer is not None:
+            estimator.tracer = tracer
+        optimizer = Optimizer(database, estimator, cost_model, tracer=tracer)
         for param, _selectivity in params:
             query = template.instantiate(param)
             started = time.perf_counter()
             planned_grid = optimizer.optimize_many(query, grid)
-            perf.optimize_seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            perf.optimize_seconds += elapsed
             perf.vector_passes += 1
+            shared_spans = (
+                tracer.drain_estimations() if tracer is not None else None
+            )
             for config, planned in zip(members, planned_grid):
                 group_plans[(config.name, param)] = planned.plan
+                if tracer is not None:
+                    # One vectorized pass gathered the evidence for the
+                    # whole threshold group: each lane's trace links the
+                    # same estimation spans plus its own optimizer span.
+                    group_traces[(config.name, param)] = {
+                        "estimation": shared_spans,
+                        "optimizer": planned.trace,
+                        "estimated_rows": planned.estimated_rows,
+                        "estimated_cost": planned.estimated_cost,
+                        "optimize_seconds": elapsed,
+                    }
         perf.lut_hits += getattr(estimator, "lut_hits", 0)
         perf.estimate_cache_hits += getattr(estimator, "estimate_cache_hits", 0)
         perf.estimate_cache_misses += getattr(
@@ -311,21 +349,38 @@ def _run_seed(
             optimizer = None
         else:
             estimator = config.build(statistics)
-            optimizer = Optimizer(database, estimator, cost_model)
+            if tracer is not None:
+                estimator.tracer = tracer
+            optimizer = Optimizer(database, estimator, cost_model, tracer=tracer)
         for param, selectivity in params:
+            pending = None
             if config.name in grouped_names:
                 plan = group_plans[(config.name, param)]
+                if tracer is not None:
+                    pending = group_traces[(config.name, param)]
             else:
                 query = template.instantiate(param)
                 started = time.perf_counter()
-                plan = optimizer.optimize(query).plan
-                perf.optimize_seconds += time.perf_counter() - started
+                planned = optimizer.optimize(query)
+                elapsed = time.perf_counter() - started
+                perf.optimize_seconds += elapsed
+                plan = planned.plan
+                if tracer is not None:
+                    pending = {
+                        "estimation": tracer.drain_estimations(),
+                        "optimizer": planned.trace,
+                        "estimated_rows": planned.estimated_rows,
+                        "estimated_cost": planned.estimated_cost,
+                        "optimize_seconds": elapsed,
+                    }
 
+            hits_before = cache.hits
             started = time.perf_counter()
             simulated, actual_rows = cache.execute(
                 database, cost_model, param, plan
             )
-            perf.execute_seconds += time.perf_counter() - started
+            exec_elapsed = time.perf_counter() - started
+            perf.execute_seconds += exec_elapsed
             records.append(
                 RunRecord(
                     config=config.name,
@@ -333,10 +388,36 @@ def _run_seed(
                     selectivity=selectivity,
                     seed=seed,
                     time=simulated,
-                    plan=_plan_shape(plan),
+                    plan=plan_shape(plan),
                     actual_rows=actual_rows,
                 )
             )
+            if tracer is not None:
+                traces.append(
+                    QueryTrace(
+                        template=template.name,
+                        config=config.name,
+                        seed=seed,
+                        param=param,
+                        selectivity=selectivity,
+                        estimation=pending["estimation"],
+                        optimizer=pending["optimizer"],
+                        execution=execution_span(
+                            plan,
+                            database,
+                            cost_model,
+                            simulated_seconds=simulated,
+                            actual_rows=actual_rows,
+                            estimated_rows=pending["estimated_rows"],
+                            estimated_cost=pending["estimated_cost"],
+                            cache_hit=cache.hits > hits_before,
+                        ),
+                        timing={
+                            "optimize_seconds": pending["optimize_seconds"],
+                            "execute_wall_seconds": exec_elapsed,
+                        },
+                    ).as_dict()
+                )
         if estimator is not None:
             perf.lut_hits += getattr(estimator, "lut_hits", 0)
             perf.estimate_cache_hits += getattr(
@@ -347,7 +428,7 @@ def _run_seed(
             )
     perf.exec_cache_hits = cache.hits
     perf.exec_cache_misses = cache.misses
-    return records, perf
+    return records, perf, traces
 
 
 #: Per-worker payload installed once by the pool initializer, so the
@@ -360,7 +441,9 @@ def _init_worker(payload: dict) -> None:
     _WORKER_PAYLOAD = payload
 
 
-def _run_seed_in_worker(seed: int) -> tuple[list[RunRecord], PerfStats]:
+def _run_seed_in_worker(
+    seed: int,
+) -> tuple[list[RunRecord], PerfStats, list[dict]]:
     return _run_seed(seed=seed, **_WORKER_PAYLOAD)
 
 
@@ -383,6 +466,12 @@ class ExperimentRunner:
         ``optimize_many`` pass per (group, param) instead of one
         ``optimize`` per config (on by default; the records are
         identical either way).
+    trace:
+        Collect end-to-end query traces (estimation, optimizer, and
+        execution spans) on ``ExperimentResult.traces``, JSON-ready
+        for :func:`repro.obs.write_traces`. Off by default: disabled
+        tracing is a handful of ``is None`` checks, so the measured
+        run is unchanged.
     """
 
     def __init__(
@@ -396,6 +485,7 @@ class ExperimentRunner:
         workers: int | None = None,
         execution_cache: bool = True,
         vectorize_thresholds: bool = True,
+        trace: bool = False,
     ) -> None:
         self.database = database
         self.template = template
@@ -406,6 +496,7 @@ class ExperimentRunner:
         self.workers = workers
         self.execution_cache = execution_cache
         self.vectorize_thresholds = vectorize_thresholds
+        self.trace = trace
 
     def run(
         self,
@@ -428,6 +519,7 @@ class ExperimentRunner:
             "configs": configs,
             "execution_cache": self.execution_cache,
             "vectorize_thresholds": self.vectorize_thresholds,
+            "trace": self.trace,
         }
         workers = self._resolve_workers(payload)
 
@@ -451,9 +543,10 @@ class ExperimentRunner:
         result.perf.workers = workers
         result.perf.execution_cache = self.execution_cache
         result.perf.vectorize_thresholds = self.vectorize_thresholds
-        for records, perf in seed_outputs:
+        for records, perf, traces in seed_outputs:
             result.records.extend(records)
             result.perf.merge(perf)
+            result.traces.extend(traces)
         result.perf.wall_seconds = time.perf_counter() - started
         return result
 
@@ -477,7 +570,3 @@ class ExperimentRunner:
         return workers
 
 
-def _plan_shape(plan) -> str:
-    """A compact signature of the plan's operator tree."""
-    names = [type(op).__name__ for op in plan.walk()]
-    return ">".join(names)

@@ -1,0 +1,69 @@
+"""Observability: query tracing, execution provenance, and metrics.
+
+The paper's argument is about *why* a plan was chosen — which Beta
+posterior, which threshold quantile, how far the estimate landed from
+the true cardinality — so this package makes every estimate and plan
+decision a first-class, inspectable artifact:
+
+* :mod:`repro.obs.trace` — span types (estimation / optimizer /
+  execution) and the versioned, deterministic JSONL trace schema;
+* :mod:`repro.obs.tracer` — the per-pipeline :class:`Tracer` the
+  estimators and optimizer record into (``None`` everywhere by
+  default, so tracing costs nothing when off);
+* :mod:`repro.obs.sink` — :class:`TraceSink` implementations
+  (null / in-memory / JSONL file) plus strict readback validation;
+* :mod:`repro.obs.execution` — post-hoc execution provenance: the
+  per-operator :class:`~repro.engine.counters.WorkCounters` breakdown
+  and the plan-level Q-error accounting;
+* :mod:`repro.obs.registry` — a :class:`MetricsRegistry`
+  (counter / gauge / histogram with Prometheus-text and JSON export)
+  that the harness, estimators, and engine all report through;
+* :mod:`repro.obs.summarize` — the ``repro trace summarize`` renderer
+  (per-phase latency, Q-error distributions, "why this plan").
+"""
+
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    EstimationSpan,
+    QueryTrace,
+    canonical_json,
+    plan_shape,
+    q_error,
+    strip_timing,
+)
+from repro.obs.tracer import Tracer
+from repro.obs.sink import (
+    InMemoryTraceSink,
+    JsonlTraceSink,
+    NullTraceSink,
+    TraceError,
+    TraceSink,
+    read_traces,
+    write_traces,
+)
+from repro.obs.execution import execution_span, operator_spans
+from repro.obs.registry import MetricsRegistry
+from repro.obs.summarize import explain_trace, summarize_traces
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "EstimationSpan",
+    "InMemoryTraceSink",
+    "JsonlTraceSink",
+    "MetricsRegistry",
+    "NullTraceSink",
+    "QueryTrace",
+    "TraceError",
+    "TraceSink",
+    "Tracer",
+    "canonical_json",
+    "execution_span",
+    "explain_trace",
+    "operator_spans",
+    "plan_shape",
+    "q_error",
+    "read_traces",
+    "strip_timing",
+    "summarize_traces",
+    "write_traces",
+]

@@ -1,0 +1,224 @@
+"""A small metrics registry: counters, gauges, histograms.
+
+One registry absorbs everything the pipeline measures — the harness's
+:class:`~repro.experiments.perf.PerfStats` counters, the estimators'
+span counts, the engine's work counters — and exports them in two
+formats: Prometheus text exposition (for scraping a long-running
+deployment) and a JSON snapshot (for tests and reports).
+
+Metrics support Prometheus-style labels: ``counter.inc(config="T=80%")``
+keeps an independent series per label combination. Export order is
+deterministic (registration order for metrics, sorted label sets
+within a metric), so snapshots diff cleanly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class MetricsError(ReproError):
+    """A metric was registered or used inconsistently."""
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: tuple) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing value, one series per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise MetricsError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def snapshot(self) -> dict:
+        return {
+            _format_labels(key) or "": value
+            for key, value in sorted(self._series.items())
+        }
+
+    def prometheus_lines(self) -> list[str]:
+        return [
+            f"{self.name}{_format_labels(key)} {_format_value(value)}"
+            for key, value in sorted(self._series.items())
+        ]
+
+
+class Gauge(Counter):
+    """A value that can move both ways (timers, pool sizes, ratios)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self._series[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+
+#: Default histogram buckets, tuned for simulated-seconds and Q-error
+#: style magnitudes (decades from 1 ms to 1000).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0, 1000.0,
+)
+
+
+class Histogram:
+    """Cumulative-bucket histogram with sum and count, per label set."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise MetricsError(f"histogram {name} needs at least one bucket")
+        self._series: dict[tuple, dict] = {}
+
+    def _slot(self, key: tuple) -> dict:
+        slot = self._series.get(key)
+        if slot is None:
+            slot = {
+                "buckets": [0] * len(self.buckets),
+                "sum": 0.0,
+                "count": 0,
+            }
+            self._series[key] = slot
+        return slot
+
+    def observe(self, value: float, **labels) -> None:
+        slot = self._slot(_label_key(labels))
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                slot["buckets"][i] += 1
+        slot["sum"] += float(value)
+        slot["count"] += 1
+
+    def snapshot(self) -> dict:
+        out = {}
+        for key, slot in sorted(self._series.items()):
+            out[_format_labels(key) or ""] = {
+                "buckets": {
+                    _format_value(bound): slot["buckets"][i]
+                    for i, bound in enumerate(self.buckets)
+                },
+                "sum": slot["sum"],
+                "count": slot["count"],
+            }
+        return out
+
+    def prometheus_lines(self) -> list[str]:
+        lines = []
+        for key, slot in sorted(self._series.items()):
+            for i, bound in enumerate(self.buckets):
+                labels = dict(key)
+                labels["le"] = _format_value(bound)
+                lines.append(
+                    f"{self.name}_bucket{_format_labels(_label_key(labels))}"
+                    f" {slot['buckets'][i]}"
+                )
+            inf_labels = dict(key)
+            inf_labels["le"] = "+Inf"
+            lines.append(
+                f"{self.name}_bucket{_format_labels(_label_key(inf_labels))}"
+                f" {slot['count']}"
+            )
+            lines.append(
+                f"{self.name}_sum{_format_labels(key)}"
+                f" {_format_value(slot['sum'])}"
+            )
+            lines.append(
+                f"{self.name}_count{_format_labels(key)} {slot['count']}"
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric the pipeline reports."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, cls, name: str, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise MetricsError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, requested {cls.kind}"
+                )
+            return existing
+        metric = cls(name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help=help, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """A nested snapshot: ``{name: {kind, help, series}}``."""
+        return {
+            name: {
+                "kind": metric.kind,
+                "help": metric.help,
+                "series": metric.snapshot(),
+            }
+            for name, metric in self._metrics.items()
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (one block per metric)."""
+        lines: list[str] = []
+        for name, metric in self._metrics.items():
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(metric.prometheus_lines())
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,126 @@
+"""Trace sinks: where finished trace records go.
+
+Sinks consume JSON-ready dicts (one per executed query) and are the
+only component that touches bytes. The harness keeps sinks out of
+worker processes entirely: each :func:`~repro.experiments.runner._run_seed`
+worker returns its trace records alongside its run records, the
+coordinator concatenates them in seed order, and only then feeds a
+sink — so a plain file sink "works across ``ProcessPoolExecutor``
+workers" without any cross-process file locking, and the merged JSONL
+is identical for any worker count.
+
+:func:`read_traces` is the strict readback: it validates the schema
+version of every line and raises :class:`TraceError` on drift, which
+is what the CI trace-smoke job and ``repro trace summarize`` rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ReproError
+from repro.obs.trace import TRACE_SCHEMA_VERSION, canonical_json
+
+
+class TraceError(ReproError):
+    """A trace file is malformed or has an unsupported schema version."""
+
+
+class TraceSink:
+    """Abstract consumer of finished trace records."""
+
+    def emit(self, record: dict) -> None:
+        raise NotImplementedError
+
+    def emit_many(self, records: Iterable[dict]) -> None:
+        for record in records:
+            self.emit(record)
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullTraceSink(TraceSink):
+    """Discards everything — the zero-overhead default."""
+
+    def emit(self, record: dict) -> None:
+        pass
+
+
+class InMemoryTraceSink(TraceSink):
+    """Collects records in a list (tests, programmatic consumers)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+
+class JsonlTraceSink(TraceSink):
+    """Writes canonical JSONL, one record per line."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self.emitted = 0
+
+    def emit(self, record: dict) -> None:
+        if self._handle is None:
+            self._handle = self.path.open("w", encoding="utf-8")
+        self._handle.write(canonical_json(record) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def write_traces(path: str | Path, records: Iterable[dict]) -> int:
+    """Write ``records`` to ``path`` as canonical JSONL; returns count."""
+    with JsonlTraceSink(path) as sink:
+        sink.emit_many(records)
+        return sink.emitted
+
+
+def read_traces(path: str | Path) -> list[dict]:
+    """Load and validate a JSONL trace file.
+
+    Every line must parse as a JSON object carrying the supported
+    ``schema`` version; anything else raises :class:`TraceError` with
+    the offending line number.
+    """
+    path = Path(path)
+    records: list[dict] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(
+                    f"{path}:{lineno}: not valid JSON ({exc})"
+                ) from None
+            if not isinstance(record, dict):
+                raise TraceError(
+                    f"{path}:{lineno}: trace records must be objects"
+                )
+            version = record.get("schema")
+            if version != TRACE_SCHEMA_VERSION:
+                raise TraceError(
+                    f"{path}:{lineno}: schema version {version!r} "
+                    f"unsupported (expected {TRACE_SCHEMA_VERSION})"
+                )
+            records.append(record)
+    return records

@@ -8,6 +8,7 @@ drops in without touching enumeration, costing, or search.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 from itertools import combinations
 from typing import Callable, Sequence
@@ -27,6 +28,7 @@ from repro.engine import HashAggregate, Limit, PhysicalOperator, Project, Sort
 from repro.engine.relops import Filter
 from repro.errors import OptimizationError
 from repro.expressions import Expr, conjunction, expr_key
+from repro.obs.trace import plan_shape
 from repro.optimizer.access import access_paths
 from repro.optimizer.candidates import (
     PlanCandidate,
@@ -182,6 +184,10 @@ class PlannedQuery:
     #: Every cardinality estimate produced during planning, keyed by
     #: (table set, predicate repr) — exposes posteriors for diagnostics.
     estimates: dict = None
+    #: Optimizer span (DP level counts, pruning, winner provenance)
+    #: recorded when the optimizer was built with a tracer; ``None``
+    #: otherwise. JSON-ready for :class:`repro.obs.QueryTrace`.
+    trace: dict | None = None
 
     def explain(self) -> str:
         """Human-readable plan tree with estimates."""
@@ -209,20 +215,27 @@ class Optimizer:
         estimator: CardinalityEstimator,
         cost_model: CostModel | None = None,
         enable_star_plans: bool = True,
+        tracer=None,
     ) -> None:
         self.database = database
         self.estimator = estimator
         self.cost_model = cost_model or CostModel()
         self.enable_star_plans = enable_star_plans
+        #: Optional :class:`repro.obs.Tracer`; when set, every planned
+        #: query carries an optimizer span in ``PlannedQuery.trace``.
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     def optimize(self, query: SPJQuery) -> PlannedQuery:
         """Choose the cheapest physical plan for ``query``."""
         query.validate(self.database)
         ctx = PlanningContext(self.database, self.cost_model, self.estimator, query)
+        tracing = self.tracer is not None
+        dp_stats: list[dict] | None = [] if tracing else None
+        started = time.perf_counter() if tracing else 0.0
 
         full_set = frozenset(query.tables)
-        best_per_subset = self._enumerate_joins(ctx, query)
+        best_per_subset = self._enumerate_joins(ctx, query, dp_stats=dp_stats)
         finalists = list(iter_candidates(best_per_subset[full_set]))
 
         if self.enable_star_plans:
@@ -238,6 +251,26 @@ class Optimizer:
         best = finalists[0]
 
         plan, cost, rows = self.finalize_candidate(ctx, query, best)
+        span = None
+        if tracing:
+            span = self._optimizer_span(
+                strategy="scalar",
+                threshold=query.hint,
+                estimation_calls=ctx.estimation_calls,
+                dp_stats=dp_stats,
+                finalists=finalists,
+                winner={
+                    "plan_shape": plan_shape(plan),
+                    "cost": float(cost),
+                    "rows": float(rows),
+                    "order": best.order,
+                },
+                alternatives=[
+                    {"plan_shape": plan_shape(c.operator), "cost": float(c.cost)}
+                    for c in finalists[:5]
+                ],
+                optimize_seconds=time.perf_counter() - started,
+            )
         return PlannedQuery(
             query=query,
             plan=plan,
@@ -246,6 +279,7 @@ class Optimizer:
             alternatives=finalists,
             estimation_calls=ctx.estimation_calls,
             estimates=dict(ctx._cache),
+            trace=span,
         )
 
     # ------------------------------------------------------------------
@@ -269,10 +303,16 @@ class Optimizer:
             self.database, self.cost_model, self.estimator, query, grid
         )
         width = len(grid)
+        tracing = self.tracer is not None
+        dp_stats: list[dict] | None = [] if tracing else None
+        started = time.perf_counter() if tracing else 0.0
 
         full_set = frozenset(query.tables)
         best_per_subset = self._enumerate_joins(
-            ctx, query, prune=lambda cands: keep_best_vector(cands, width)
+            ctx,
+            query,
+            prune=lambda cands: keep_best_vector(cands, width),
+            dp_stats=dp_stats,
         )
         finalists = list(iter_candidates(best_per_subset[full_set]))
 
@@ -346,6 +386,32 @@ class Optimizer:
                 )
                 for i in ranking.tolist()
             ]
+            span = None
+            if tracing:
+                span = self._optimizer_span(
+                    strategy="vectorized",
+                    threshold=float(threshold),
+                    estimation_calls=ctx.estimation_calls,
+                    dp_stats=dp_stats,
+                    finalists=finalists,
+                    winner={
+                        "plan_shape": plan_shape(plan),
+                        "cost": float(cost),
+                        "rows": float(rows),
+                        "order": best.order,
+                        "lane": index,
+                        "grid": [float(t) for t in grid],
+                        "cost_vector": [float(c) for c in costs[winner]],
+                    },
+                    alternatives=[
+                        {
+                            "plan_shape": plan_shape(finalists[i].operator),
+                            "cost": float(costs[i, index]),
+                        }
+                        for i in ranking.tolist()[:5]
+                    ],
+                    optimize_seconds=time.perf_counter() - started,
+                )
             planned.append(
                 PlannedQuery(
                     query=query_at,
@@ -355,9 +421,50 @@ class Optimizer:
                     alternatives=alternatives,
                     estimation_calls=ctx.estimation_calls,
                     estimates=slice_ctx.estimates(),
+                    trace=span,
                 )
             )
         return planned
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _optimizer_span(
+        *,
+        strategy: str,
+        threshold,
+        estimation_calls: int,
+        dp_stats: list[dict],
+        finalists: list[PlanCandidate],
+        winner: dict,
+        alternatives: list[dict],
+        optimize_seconds: float,
+    ) -> dict:
+        """Assemble the JSON-ready optimizer span for one planned query.
+
+        Deterministic counts live at the top level; the per-level DP
+        wall times sit under ``timing`` so determinism checks can strip
+        them.
+        """
+        considered = sum(level["generated"] for level in dp_stats)
+        kept = sum(level["kept"] for level in dp_stats)
+        return {
+            "strategy": strategy,
+            "threshold": threshold,
+            "estimation_calls": estimation_calls,
+            "dp_levels": [
+                {key: value for key, value in level.items() if key != "seconds"}
+                for level in dp_stats
+            ],
+            "candidates_considered": considered,
+            "candidates_pruned": considered - kept,
+            "finalists": len(finalists),
+            "winner": winner,
+            "alternatives": alternatives,
+            "timing": {
+                "optimize_seconds": optimize_seconds,
+                "dp_level_seconds": [level["seconds"] for level in dp_stats],
+            },
+        }
 
     # ------------------------------------------------------------------
     # Dynamic programming
@@ -367,7 +474,12 @@ class Optimizer:
         ctx: PlanningContext,
         query: SPJQuery,
         prune: Callable[[list[PlanCandidate]], dict] = keep_best,
+        dp_stats: list[dict] | None = None,
     ) -> dict[frozenset, dict]:
+        """Bottom-up DP; when ``dp_stats`` is a list, one entry per DP
+        level is appended recording subsets evaluated, candidates
+        generated vs. kept after pruning, and the level's wall time
+        (tracing only — the enumeration itself is unchanged)."""
         tables = list(query.tables)
         edges = query.join_edges(self.database)
         adjacency: dict[str, set[str]] = {name: set() for name in tables}
@@ -375,6 +487,8 @@ class Optimizer:
             adjacency[edge.child].add(edge.parent)
             adjacency[edge.parent].add(edge.child)
 
+        level_started = time.perf_counter() if dp_stats is not None else 0.0
+        generated = kept = subsets = 0
         plans: dict[frozenset, dict[str | None, PlanCandidate]] = {}
         for name in tables:
             singleton = frozenset([name])
@@ -386,8 +500,25 @@ class Optimizer:
                 ctx.pred_for(singleton),
             )
             plans[singleton] = prune(candidates)
+            if dp_stats is not None:
+                subsets += 1
+                generated += len(candidates)
+                kept += len({id(c) for c in iter_candidates(plans[singleton])})
+        if dp_stats is not None:
+            dp_stats.append(
+                {
+                    "level": 1,
+                    "subsets": subsets,
+                    "generated": generated,
+                    "kept": kept,
+                    "seconds": time.perf_counter() - level_started,
+                }
+            )
 
         for size in range(2, len(tables) + 1):
+            if dp_stats is not None:
+                level_started = time.perf_counter()
+                generated = kept = subsets = 0
             for subset_tuple in combinations(tables, size):
                 subset = frozenset(subset_tuple)
                 if not self._connected(subset, adjacency):
@@ -413,6 +544,20 @@ class Optimizer:
                             )
                 if candidates:
                     plans[subset] = prune(candidates)
+                    if dp_stats is not None:
+                        subsets += 1
+                        generated += len(candidates)
+                        kept += len({id(c) for c in iter_candidates(plans[subset])})
+            if dp_stats is not None:
+                dp_stats.append(
+                    {
+                        "level": size,
+                        "subsets": subsets,
+                        "generated": generated,
+                        "kept": kept,
+                        "seconds": time.perf_counter() - level_started,
+                    }
+                )
 
         full_set = frozenset(tables)
         if full_set not in plans:

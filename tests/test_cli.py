@@ -148,6 +148,134 @@ class TestSql:
         assert code == 0
 
 
+class TestTrace:
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("traces") / "exp1.jsonl"
+        code = main(
+            [
+                "experiment",
+                "exp1",
+                "--scale",
+                "5000",
+                "--seeds",
+                "1",
+                "--points",
+                "2",
+                "--sample-size",
+                "200",
+                "--trace-out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_experiment_trace_out_writes_jsonl(self, trace_file, capsys):
+        from repro.obs import read_traces
+
+        records = read_traces(trace_file)
+        assert records and all(r["kind"] == "query" for r in records)
+        capsys.readouterr()
+
+    def test_summarize(self, trace_file, capsys):
+        assert main(["trace", "summarize", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Q-error by config" in out
+        assert "plan shapes by config" in out
+
+    def test_summarize_single_query(self, trace_file, capsys):
+        from repro.obs import read_traces
+
+        trace_id = read_traces(trace_file)[0]["trace_id"]
+        capsys.readouterr()
+        code = main(["trace", "summarize", str(trace_file), "--query", trace_id])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chosen plan:" in out
+        assert "estimation evidence" in out
+
+    def test_summarize_missing_file_fails(self, tmp_path, capsys):
+        code = main(["trace", "summarize", str(tmp_path / "absent.jsonl")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_summarize_rejects_bad_schema(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": 999}\n')
+        assert main(["trace", "summarize", str(bad)]) == 1
+        assert "schema" in capsys.readouterr().err
+
+    def test_sql_trace(self, tmp_path, capsys):
+        out_path = tmp_path / "sql.jsonl"
+        code = main(
+            [
+                "sql",
+                "SELECT COUNT(*) FROM lineitem WHERE lineitem.l_quantity > 45",
+                "--scale",
+                "5000",
+                "--sample-size",
+                "100",
+                "--trace-out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chosen plan:" in out
+        assert "execution breakdown" in out
+        from repro.obs import read_traces
+
+        (record,) = read_traces(out_path)
+        assert record["template"] == "sql/tpch"
+        assert record["execution"]["actual_rows"] == 1
+
+    def test_perf_flag_prints_summary(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "exp1",
+                "--scale",
+                "5000",
+                "--seeds",
+                "1",
+                "--points",
+                "2",
+                "--sample-size",
+                "200",
+                "--perf",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "perf summary:" in out
+        assert "hit rate" in out
+        assert "quantile-table hits" in out
+
+    def test_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "experiment",
+                "exp1",
+                "--scale",
+                "5000",
+                "--seeds",
+                "1",
+                "--points",
+                "2",
+                "--sample-size",
+                "200",
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        text = metrics.read_text()
+        assert "# TYPE repro_perf_events_total counter" in text
+        assert "repro_cache_hit_rate" in text
+
+
 class TestTopLevel:
     def test_no_command_shows_help(self, capsys):
         assert main([]) == 2

@@ -1,0 +1,153 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.experiments.perf import PerfStats
+from repro.obs import MetricsRegistry
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("requests_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labeled_series_are_independent(self):
+        c = Counter("lookups_total")
+        c.inc(config="T=5%")
+        c.inc(3, config="T=95%")
+        assert c.value(config="T=5%") == 1
+        assert c.value(config="T=95%") == 3
+        assert c.value(config="other") == 0
+
+    def test_cannot_decrease(self):
+        c = Counter("x")
+        with pytest.raises(MetricsError):
+            c.inc(-1)
+
+    def test_prometheus_lines_sorted_and_labeled(self):
+        c = Counter("hits_total")
+        c.inc(2, kind="b")
+        c.inc(1, kind="a")
+        assert c.prometheus_lines() == [
+            'hits_total{kind="a"} 1',
+            'hits_total{kind="b"} 2',
+        ]
+
+
+class TestGauge:
+    def test_set_moves_both_ways(self):
+        g = Gauge("pool_size")
+        g.set(5)
+        g.set(2)
+        assert g.value() == 2
+
+    def test_inc_allows_negative(self):
+        g = Gauge("delta")
+        g.inc(-1.5)
+        assert g.value() == -1.5
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        h = Histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        snap = h.snapshot()[""]
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(5.55)
+        assert snap["buckets"] == {"0.1": 1, "1": 2, "10": 3}
+
+    def test_needs_buckets(self):
+        with pytest.raises(MetricsError):
+            Histogram("empty", buckets=())
+
+    def test_prometheus_includes_inf_sum_count(self):
+        h = Histogram("t", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(2.0)
+        lines = h.prometheus_lines()
+        assert 't_bucket{le="1"} 1' in lines
+        assert 't_bucket{le="+Inf"} 2' in lines
+        assert "t_sum 2.5" in lines
+        assert "t_count 2" in lines
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        reg = MetricsRegistry()
+        a = reg.counter("c", "help text")
+        b = reg.counter("c")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(MetricsError):
+            reg.gauge("m")
+
+    def test_to_json_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "things").inc(4, lane="1")
+        snap = reg.to_json()
+        assert snap["c"]["kind"] == "counter"
+        assert snap["c"]["help"] == "things"
+        assert snap["c"]["series"] == {'{lane="1"}': 4}
+
+    def test_to_prometheus_has_help_and_type(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "a gauge").set(1.5)
+        text = reg.to_prometheus()
+        assert "# HELP g a gauge\n" in text
+        assert "# TYPE g gauge\n" in text
+        assert "g 1.5" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_exports_empty(self):
+        reg = MetricsRegistry()
+        assert reg.to_prometheus() == ""
+        assert reg.to_json() == {}
+
+
+class TestPerfStatsReporting:
+    def test_format_summary_shows_rates_and_lut(self):
+        p = PerfStats(
+            exec_cache_hits=3,
+            exec_cache_misses=1,
+            estimate_cache_hits=1,
+            estimate_cache_misses=3,
+            lut_hits=42,
+        )
+        text = p.format_summary()
+        assert "75.0% hit rate" in text
+        assert "25.0% hit rate" in text
+        assert "quantile-table hits: 42" in text
+
+    def test_format_summary_guards_zero_division(self):
+        text = PerfStats().format_summary()
+        assert "0.0% hit rate" in text
+
+    def test_publish_into_registry(self):
+        p = PerfStats(
+            workers=2,
+            exec_cache_hits=6,
+            exec_cache_misses=2,
+            lut_hits=9,
+            wall_seconds=1.5,
+        )
+        reg = MetricsRegistry()
+        p.publish(reg)
+        events = reg.counter("repro_perf_events_total")
+        assert events.value(event="exec_cache_hit") == 6
+        assert events.value(event="lut_hit") == 9
+        rates = reg.gauge("repro_cache_hit_rate")
+        assert rates.value(cache="execution") == pytest.approx(0.75)
+        assert reg.gauge("repro_phase_seconds").value(phase="wall") == 1.5
+        assert reg.gauge("repro_workers").value() == 2

@@ -1,0 +1,214 @@
+"""Tests for the trace schema, serialization, and sinks."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    EstimationSpan,
+    InMemoryTraceSink,
+    JsonlTraceSink,
+    NullTraceSink,
+    QueryTrace,
+    TraceError,
+    Tracer,
+    canonical_json,
+    q_error,
+    read_traces,
+    strip_timing,
+    write_traces,
+)
+
+
+class TestQError:
+    def test_symmetric(self):
+        assert q_error(10, 100) == pytest.approx(10.0)
+        assert q_error(100, 10) == pytest.approx(10.0)
+
+    def test_exact_is_one(self):
+        assert q_error(7, 7) == 1.0
+
+    def test_zero_actual_floored(self):
+        # both sides floor at 0.5 rows (audit.py convention)
+        assert q_error(5, 0) == pytest.approx(10.0)
+        assert q_error(0, 0) == 1.0
+
+    def test_none_estimate_passes_through(self):
+        assert q_error(None, 5) is None
+
+
+class TestStripTiming:
+    def test_removes_timing_at_any_depth(self):
+        record = {
+            "timing": {"wall": 1.0},
+            "execution": {
+                "timing": {"wall": 2.0},
+                "operators": [{"x": 1, "timing": {"t": 3.0}}],
+            },
+            "keep": 1,
+        }
+        stripped = strip_timing(record)
+        assert stripped == {
+            "execution": {"operators": [{"x": 1}]},
+            "keep": 1,
+        }
+
+    def test_is_a_deep_copy(self):
+        record = {"a": {"b": [1]}}
+        stripped = strip_timing(record)
+        stripped["a"]["b"].append(2)
+        assert record["a"]["b"] == [1]
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_minimal_separators(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_pure_function_of_contents(self):
+        a = {"x": 1, "y": {"p": 2, "q": 3}}
+        b = {"y": {"q": 3, "p": 2}, "x": 1}
+        assert canonical_json(a) == canonical_json(b)
+
+
+class TestEstimationSpan:
+    def test_scalar_as_dict(self):
+        span = EstimationSpan(
+            tables=("lineitem",),
+            source="synopsis",
+            k=29,
+            n=500,
+            prior="jeffreys",
+            threshold=0.8,
+            quantile=0.0675,
+            point_estimate=270.1,
+        )
+        d = span.as_dict()
+        assert d["tables"] == ["lineitem"]
+        assert d["k"] == 29 and d["n"] == 500
+        assert d["threshold"] == 0.8
+        assert d["lut_hit"] is False
+
+    def test_grid_fields_become_lists(self):
+        span = EstimationSpan(
+            tables=("part", "lineitem"),
+            source="synopsis",
+            threshold=(0.05, 0.95),
+            quantile=(0.01, 0.02),
+            point_estimate=(10.0, 20.0),
+            lut_hit=True,
+        )
+        d = span.as_dict()
+        assert d["tables"] == ["lineitem", "part"]
+        assert d["threshold"] == [0.05, 0.95]
+        assert d["quantile"] == [0.01, 0.02]
+        assert d["lut_hit"] is True
+        # grid spans must serialize (tuples alone would also work, but
+        # canonical_json must accept the record as-is)
+        canonical_json(d)
+
+
+class TestQueryTrace:
+    def make(self):
+        return QueryTrace(
+            template="exp1",
+            config="T=80%",
+            seed=3,
+            param=150,
+            selectivity=0.01,
+            timing={"optimize_seconds": 0.5},
+        )
+
+    def test_trace_id(self):
+        assert self.make().trace_id == "exp1/seed=3/config=T=80%/param=150"
+
+    def test_as_dict_is_versioned_and_serializable(self):
+        d = self.make().as_dict()
+        assert d["schema"] == TRACE_SCHEMA_VERSION
+        assert d["kind"] == "query"
+        assert d["trace_id"] == "exp1/seed=3/config=T=80%/param=150"
+        line = canonical_json(d)
+        assert json.loads(line)["config"] == "T=80%"
+
+    def test_timing_confined_to_timing_key(self):
+        d = strip_timing(self.make().as_dict())
+        assert "timing" not in d
+
+
+class TestTracer:
+    def test_buffers_and_drains(self):
+        tracer = Tracer()
+        span = EstimationSpan(tables=("t",), source="magic")
+        tracer.record_estimation(span)
+        drained = tracer.drain_estimations()
+        assert drained == [span.as_dict()]
+        assert tracer.drain_estimations() == []
+
+    def test_counts_spans_in_registry(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        tracer = Tracer(registry=reg)
+        tracer.record_estimation(EstimationSpan(tables=("t",), source="magic"))
+        counter = reg.counter("repro_estimation_spans_total")
+        assert counter.value(source="magic") == 1
+
+
+class TestSinks:
+    def test_in_memory(self):
+        with InMemoryTraceSink() as sink:
+            sink.emit({"schema": TRACE_SCHEMA_VERSION, "a": 1})
+            sink.emit_many([{"schema": TRACE_SCHEMA_VERSION, "b": 2}])
+        assert len(sink.records) == 2
+
+    def test_null_sink_is_noop(self):
+        with NullTraceSink() as sink:
+            sink.emit({"anything": True})
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        records = [
+            QueryTrace(template="t", config="c", seed=s).as_dict()
+            for s in range(3)
+        ]
+        with JsonlTraceSink(path) as sink:
+            sink.emit_many(records)
+        assert sink.emitted == 3
+        assert read_traces(path) == records
+
+    def test_jsonl_lines_are_canonical(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        record = QueryTrace(template="t", config="c", seed=0).as_dict()
+        write_traces(path, [record])
+        assert path.read_text().strip() == canonical_json(record)
+
+
+class TestWriteReadTraces:
+    def test_write_returns_count(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        records = [QueryTrace(template="t", config="c", seed=0).as_dict()]
+        assert write_traces(path, records) == 1
+
+    def test_read_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(TraceError, match="line 1"):
+            read_traces(path)
+
+    def test_read_rejects_non_dict_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1,2,3]\n")
+        with pytest.raises(TraceError):
+            read_traces(path)
+
+    def test_read_rejects_wrong_schema_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"schema": 999}) + "\n")
+        with pytest.raises(TraceError, match="schema"):
+            read_traces(path)
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        record = QueryTrace(template="t", config="c", seed=0).as_dict()
+        path.write_text(canonical_json(record) + "\n\n")
+        assert read_traces(path) == [record]

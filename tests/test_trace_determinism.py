@@ -1,0 +1,100 @@
+"""Trace determinism: same seed+config ⇒ byte-identical JSONL.
+
+The trace schema confines every wall-clock measurement to keys named
+``"timing"``; everything else is a pure function of (database,
+template, seeds, configs). These tests pin that property: two
+identical runs serialize byte-identically once the timing subtrees
+are stripped, and the merged trace stream is independent of the
+worker count.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentRunner, default_configs
+from repro.obs import canonical_json, read_traces, strip_timing, write_traces
+from repro.workloads import ShippingDatesTemplate
+
+
+def run_traced(tpch_db, workers, trace=True):
+    template = ShippingDatesTemplate()
+    params = [(p, template.true_selectivity(tpch_db, p)) for p in (60, 150)]
+    runner = ExperimentRunner(
+        tpch_db,
+        template,
+        sample_size=200,
+        seeds=(0, 1),
+        workers=workers,
+        trace=trace,
+    )
+    return runner.run(params, default_configs(thresholds=(0.05, 0.95)))
+
+
+def deterministic_lines(traces):
+    return [canonical_json(strip_timing(t)) for t in traces]
+
+
+@pytest.fixture(scope="module")
+def serial_run(tpch_db):
+    return run_traced(tpch_db, workers=1)
+
+
+@pytest.fixture(scope="module")
+def parallel_run(tpch_db):
+    return run_traced(tpch_db, workers=2)
+
+
+class TestTraceDeterminism:
+    def test_one_trace_per_record(self, serial_run):
+        assert len(serial_run.traces) == len(serial_run.records)
+        assert serial_run.traces  # non-empty grid
+
+    def test_same_seed_and_config_byte_identical(self, tpch_db, serial_run):
+        again = run_traced(tpch_db, workers=1)
+        assert deterministic_lines(serial_run.traces) == deterministic_lines(
+            again.traces
+        )
+
+    def test_workers_do_not_change_traces(self, serial_run, parallel_run):
+        assert deterministic_lines(serial_run.traces) == deterministic_lines(
+            parallel_run.traces
+        )
+
+    def test_records_unchanged_by_tracing(self, tpch_db, serial_run):
+        untraced = run_traced(tpch_db, workers=1, trace=False)
+        assert untraced.records == serial_run.records
+        assert untraced.traces == []
+
+    def test_jsonl_round_trip_preserves_records(self, tmp_path, serial_run):
+        path = tmp_path / "traces.jsonl"
+        count = write_traces(path, serial_run.traces)
+        assert count == len(serial_run.traces)
+        assert read_traces(path) == serial_run.traces
+
+    def test_trace_ids_unique_and_ordered_by_seed(self, serial_run):
+        ids = [t["trace_id"] for t in serial_run.traces]
+        assert len(set(ids)) == len(ids)
+        seeds = [t["seed"] for t in serial_run.traces]
+        assert seeds == sorted(seeds)
+
+    def test_spans_present(self, serial_run):
+        trace = serial_run.traces[0]
+        assert trace["estimation"], "estimation evidence missing"
+        assert trace["optimizer"]["winner"]["plan_shape"]
+        assert trace["execution"]["signature"]
+        assert trace["execution"]["counters"]
+
+    def test_vectorized_and_scalar_strategies_recorded(self, serial_run):
+        strategies = {
+            t["config"]: t["optimizer"]["strategy"] for t in serial_run.traces
+        }
+        assert strategies["T=5%"] == "vectorized"
+        assert strategies["Histograms"] == "scalar"
+
+    def test_timing_only_home_for_wall_clock(self, serial_run):
+        # the deterministic core must serialize identically even when
+        # computed twice within one process (guards against leaking
+        # id()/time() style values outside "timing")
+        lines = deterministic_lines(serial_run.traces)
+        assert lines == deterministic_lines(serial_run.traces)
+        for line in lines:
+            assert '"timing"' not in line
