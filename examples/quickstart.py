@@ -18,13 +18,12 @@ from repro import (
     HistogramCardinalityEstimator,
     RobustCardinalityEstimator,
     Schema,
+    Session,
     StatisticsManager,
     Table,
     col,
 )
-from repro.engine import ExecutionContext
-from repro.cost import CostModel
-from repro.optimizer import Optimizer, SPJQuery
+from repro.optimizer import SPJQuery
 
 
 def build_database(num_products=500, num_sales=50_000, seed=42):
@@ -111,18 +110,15 @@ def main():
     print(f"\nhistogram/AVI estimate: {avi.selectivity:.3%}  <- misses the correlation")
 
     # The threshold knob changes the chosen plan, not the optimizer.
+    # A Session wires estimator + optimizer + engine behind one call.
     print("\n== Plans at different confidence thresholds ==")
-    cost_model = CostModel()
-    for policy in ("aggressive", "conservative"):
-        optimizer = Optimizer(
-            database, RobustCardinalityEstimator(statistics, policy=policy), cost_model
-        )
-        planned = optimizer.optimize(SPJQuery(["sales"], predicate))
-        ctx = ExecutionContext(database)
-        frame = planned.plan.execute(ctx)
-        simulated = cost_model.time_from_counters(ctx.counters)
-        print(f"\n[{policy}]  rows={frame.num_rows}  simulated time={simulated:.4f}s")
-        print(planned.explain())
+    with Session(database, statistics=statistics) as session:
+        query = SPJQuery(["sales"], predicate)
+        for policy in ("aggressive", "conservative"):
+            result = session.execute(query, threshold=policy)
+            print(f"\n[{policy}]  rows={result.num_rows}  "
+                  f"simulated time={result.simulated_seconds:.4f}s")
+            print(result.prepared.explain())
 
 
 if __name__ == "__main__":

@@ -1,18 +1,14 @@
 """A tour of the SQL surface against generated TPC-H-shaped data.
 
-Parses and runs a sequence of statements — aggregates, joins, GROUP
-BY, DISTINCT, ORDER BY/LIMIT, IN-lists, and the paper's per-query
-confidence hint — printing each chosen plan and its simulated time.
+Runs a sequence of statements — aggregates, joins, GROUP BY,
+DISTINCT, ORDER BY/LIMIT, IN-lists, and the paper's per-query
+confidence hint — through one :class:`repro.Session`, printing each
+chosen plan and its simulated time.
 
 Run with:  python examples/sql_tour.py
 """
 
-from repro.core import RobustCardinalityEstimator
-from repro.cost import CostModel
-from repro.engine import ExecutionContext
-from repro.optimizer import Optimizer
-from repro.sql import parse_query
-from repro.stats import StatisticsManager
+from repro import Session
 from repro.workloads import TpchConfig, build_tpch_database
 
 STATEMENTS = [
@@ -44,27 +40,17 @@ STATEMENTS = [
 def main():
     print("generating TPC-H-shaped data (30k lineitem rows)...")
     database = build_tpch_database(TpchConfig(num_lineitem=30_000, seed=13))
-    statistics = StatisticsManager(database)
-    statistics.update_statistics(sample_size=500, seed=0)
-
-    cost_model = CostModel()
-    optimizer = Optimizer(
-        database, RobustCardinalityEstimator(statistics, policy=0.8), cost_model
-    )
+    session = Session(database, threshold="80", statistics_seed=0)
 
     for sql in STATEMENTS:
         print("\n" + "=" * 72)
         print(sql)
         print("-" * 72)
-        query = parse_query(sql, database)
-        planned = optimizer.optimize(query)
-        print(planned.explain())
-        ctx = ExecutionContext(database)
-        frame = planned.plan.execute(ctx)
-        simulated = cost_model.time_from_counters(ctx.counters)
-        print(f"-> {frame.num_rows} row(s) in {simulated:.4f}s simulated")
-        for name in frame.column_names[:4]:
-            values = frame.column(name)[:3]
+        result = session.execute(sql)
+        print(result.prepared.explain())
+        print(f"-> {result.num_rows} row(s) in {result.simulated_seconds:.4f}s simulated")
+        for name in result.column_names[:4]:
+            values = result.column(name)[:3]
             print(f"   {name}: {list(values)}")
 
 

@@ -3,8 +3,24 @@
 Reproduction of Babcock & Chaudhuri, "Towards a Robust Query Optimizer:
 A Principled and Practical Approach" (SIGMOD 2005).
 
+The stable public surface is the **session service**::
+
+    from repro import Session
+
+    session = Session(database, threshold="moderate")      # T = 80 %
+    prepared = session.prepare("SELECT COUNT(*) FROM lineitem "
+                               "WHERE lineitem.l_quantity > 45")
+    result = prepared.execute()          # cached plan, re-plans on
+    print(session.explain(prepared.sql))  # statistics changes
+
+Everything the session wires together remains importable for direct
+use — the pieces below are re-exported here because they form the
+supported API; deeper internals live in their subpackages and may move
+between releases.
+
 Quick tour
 ----------
+- :mod:`repro.service` — the ``Session``/``PreparedQuery`` facade
 - :mod:`repro.catalog` — columnar tables, foreign keys, indexes
 - :mod:`repro.expressions` — predicate trees evaluated over frames
 - :mod:`repro.engine` — physical operators with work-counter accounting
@@ -12,12 +28,15 @@ Quick tour
 - :mod:`repro.stats` — samples, join synopses, histograms
 - :mod:`repro.core` — the robust Bayesian estimator (the contribution)
 - :mod:`repro.optimizer` — System-R DP optimizer, estimator-pluggable
+- :mod:`repro.obs` — query traces, metrics registry, explain
 - :mod:`repro.analysis` — the paper's Section 5 analytical model
 - :mod:`repro.workloads` — TPC-H-shaped and star-schema generators
 - :mod:`repro.experiments` — the Section 6 experiment harness
 
-See ``examples/quickstart.py`` for an end-to-end walkthrough.
+See ``examples/session_service.py`` for an end-to-end walkthrough.
 """
+
+import warnings
 
 from repro.catalog import (
     Column,
@@ -30,65 +49,117 @@ from repro.catalog import (
     ordinal_date,
 )
 from repro.core import (
-    AGGRESSIVE,
-    CONSERVATIVE,
     CardinalityEstimate,
-    ConfidencePolicy,
+    CardinalityEstimator,
     ExactCardinalityEstimator,
     HistogramCardinalityEstimator,
-    JEFFREYS,
-    MODERATE,
     Prior,
     RobustCardinalityEstimator,
-    SelectivityPosterior,
-    UNIFORM,
+    resolve_threshold,
 )
 from repro.cost import CostModel
+from repro.experiments import EstimatorConfig, ExperimentRunner
 from repro.expressions import col, lit
+from repro.obs import MetricsRegistry, Tracer
 from repro.optimizer import (
     LeastExpectedCostOptimizer,
     Optimizer,
     PlannedQuery,
     SPJQuery,
 )
+from repro.service import (
+    PlanCache,
+    PreparedQuery,
+    QueryResult,
+    Session,
+    SessionConfig,
+    query_fingerprint,
+)
 from repro.sql import parse_predicate, parse_query, query_to_sql
 from repro.stats import StatisticsManager, load_statistics, save_statistics
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "AGGRESSIVE",
-    "CONSERVATIVE",
-    "CardinalityEstimate",
+    # the facade — start here
+    "Session",
+    "SessionConfig",
+    "PreparedQuery",
+    "QueryResult",
+    "PlanCache",
+    "query_fingerprint",
+    # catalog
     "Column",
     "ColumnType",
-    "ConfidencePolicy",
-    "CostModel",
     "Database",
-    "ExactCardinalityEstimator",
     "ForeignKey",
+    "Schema",
+    "Table",
+    "date_ordinal",
+    "ordinal_date",
+    # estimation (the paper's contribution)
+    "CardinalityEstimate",
+    "CardinalityEstimator",
+    "ExactCardinalityEstimator",
     "HistogramCardinalityEstimator",
-    "JEFFREYS",
-    "MODERATE",
     "Prior",
     "RobustCardinalityEstimator",
-    "Schema",
-    "SelectivityPosterior",
-    "StatisticsManager",
-    "Table",
-    "UNIFORM",
+    "resolve_threshold",
+    # optimization & costing
+    "CostModel",
     "LeastExpectedCostOptimizer",
     "Optimizer",
     "PlannedQuery",
     "SPJQuery",
-    "__version__",
-    "col",
-    "date_ordinal",
-    "lit",
-    "load_statistics",
-    "ordinal_date",
+    # SQL front-end
     "parse_predicate",
     "parse_query",
     "query_to_sql",
+    # statistics lifecycle
+    "StatisticsManager",
+    "load_statistics",
     "save_statistics",
+    # experiments & observability
+    "EstimatorConfig",
+    "ExperimentRunner",
+    "MetricsRegistry",
+    "Tracer",
+    # expression building
+    "col",
+    "lit",
+    "__version__",
 ]
+
+#: Former top-level names, now served with a deprecation warning.
+#: They remain first-class citizens of :mod:`repro.core` — only the
+#: top-level re-export is deprecated (one release of grace), keeping
+#: ``from repro import MODERATE``-style imports working while the
+#: curated ``__all__`` stays small enough to be a real contract.
+_DEPRECATED_REEXPORTS = {
+    "AGGRESSIVE": "repro.core",
+    "CONSERVATIVE": "repro.core",
+    "MODERATE": "repro.core",
+    "JEFFREYS": "repro.core",
+    "UNIFORM": "repro.core",
+    "ConfidencePolicy": "repro.core",
+    "SelectivityPosterior": "repro.core",
+}
+
+
+def __getattr__(name: str):
+    home = _DEPRECATED_REEXPORTS.get(name)
+    if home is not None:
+        warnings.warn(
+            f"importing {name!r} from 'repro' is deprecated and will be "
+            f"removed in a future release; import it from {home!r} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(home), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(__all__) | set(_DEPRECATED_REEXPORTS))

@@ -17,9 +17,12 @@ Three subcommands::
         Summarize (or explain one query of) a JSONL trace file
         produced by ``experiment --trace-out`` or ``sql --trace-out``.
 
-``experiment`` and ``sql`` accept ``--trace`` / ``--trace-out FILE``
-to record end-to-end query traces (estimation evidence → optimizer
-decision → execution provenance); see :mod:`repro.obs`.
+``experiment`` and ``sql`` share one observability flag set:
+``--trace`` / ``--trace-out FILE`` record end-to-end query traces
+(estimation evidence → optimizer decision → execution provenance) and
+``--metrics-out FILE`` writes run metrics in Prometheus text format;
+see :mod:`repro.obs`. Both subcommands run through the
+:class:`~repro.service.Session` facade.
 """
 
 from __future__ import annotations
@@ -37,21 +40,11 @@ from repro.analysis import (
     threshold_sweep,
     tradeoff_curve,
 )
-from repro.core import (
-    ExactCardinalityEstimator,
-    HistogramCardinalityEstimator,
-    RobustCardinalityEstimator,
-)
-from repro.cost import CostModel
-from repro.engine import ExecutionContext
 from repro.experiments import (
-    ExperimentRunner,
     format_selectivity_table,
     format_tradeoff_table,
 )
-from repro.optimizer import Optimizer
-from repro.sql import parse_query
-from repro.stats import StatisticsManager
+from repro.service import Session
 from repro.workloads import (
     PartCorrelationTemplate,
     ShippingDatesTemplate,
@@ -116,23 +109,7 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--perf", action="store_true", help="print cache/timer statistics"
     )
-    experiment.add_argument(
-        "--trace",
-        action="store_true",
-        help="record per-query traces and print a trace summary",
-    )
-    experiment.add_argument(
-        "--trace-out",
-        metavar="FILE",
-        default=None,
-        help="write traces as JSONL to FILE (implies --trace)",
-    )
-    experiment.add_argument(
-        "--metrics-out",
-        metavar="FILE",
-        default=None,
-        help="write run metrics in Prometheus text format to FILE",
-    )
+    _add_observability_flags(experiment, what="per-query traces")
     experiment.set_defaults(handler=_cmd_experiment)
 
     report = subparsers.add_parser(
@@ -170,17 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sql.add_argument(
         "--explain-only", action="store_true", help="print the plan, don't run"
     )
-    sql.add_argument(
-        "--trace",
-        action="store_true",
-        help="record a query trace and print its explanation",
-    )
-    sql.add_argument(
-        "--trace-out",
-        metavar="FILE",
-        default=None,
-        help="write the query trace as JSONL to FILE (implies --trace)",
-    )
+    _add_observability_flags(sql, what="a query trace")
     sql.set_defaults(handler=_cmd_sql)
 
     trace = subparsers.add_parser(
@@ -199,6 +166,37 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.set_defaults(handler=_cmd_trace)
 
     return parser
+
+
+def _add_observability_flags(sub: argparse.ArgumentParser, what: str) -> None:
+    """The one flag set every query-running subcommand shares.
+
+    Keeping ``sql`` and ``experiment`` on the same helper guarantees
+    flag parity: a new observability flag lands on both (or neither).
+    """
+    sub.add_argument(
+        "--trace",
+        action="store_true",
+        help=f"record {what} and print the trace view",
+    )
+    sub.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help=f"write {what} as JSONL to FILE (implies --trace)",
+    )
+    sub.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write run metrics in Prometheus text format to FILE",
+    )
+
+
+def _write_metrics(registry, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(registry.to_prometheus())
+    print(f"metrics written to {path}")
 
 
 # ----------------------------------------------------------------------
@@ -286,16 +284,15 @@ def _cmd_experiment(args) -> int:
         ]
 
     tracing = args.trace or args.trace_out is not None
-    runner = ExperimentRunner(
-        database,
+    session = Session(database, sample_size=args.sample_size)
+    result = session.run_experiment(
         template,
-        sample_size=args.sample_size,
+        params,
         seeds=range(args.seeds),
         workers=args.workers,
         execution_cache=not args.no_exec_cache,
         trace=tracing,
     )
-    result = runner.run(params)
     print(format_selectivity_table(result))
     print()
     print(format_tradeoff_table(result))
@@ -311,13 +308,7 @@ def _cmd_experiment(args) -> int:
         print()
         print(result.perf.format_summary())
     if args.metrics_out:
-        from repro.obs import MetricsRegistry
-
-        registry = MetricsRegistry()
-        result.perf.publish(registry)
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            handle.write(registry.to_prometheus())
-        print(f"metrics written to {args.metrics_out}")
+        _write_metrics(session.metrics, args.metrics_out)
     return 0
 
 
@@ -343,77 +334,42 @@ def _cmd_sql(args) -> int:
             StarConfig(num_fact=max(args.scale, 1000), seed=7)
         )
 
-    query = parse_query(args.query, database)
-
-    if args.estimator == "exact":
-        estimator = ExactCardinalityEstimator(database)
-    else:
-        statistics = StatisticsManager(database)
-        statistics.update_statistics(
-            sample_size=args.sample_size, seed=args.seed
-        )
-        if args.estimator == "robust":
-            estimator = RobustCardinalityEstimator(
-                statistics, policy=args.threshold
-            )
-        else:
-            estimator = HistogramCardinalityEstimator(statistics)
+    session = Session(
+        database,
+        estimator=args.estimator,
+        threshold=args.threshold,
+        sample_size=args.sample_size,
+        statistics_seed=args.seed,
+    )
+    prepared = session.prepare(args.query)
+    print(prepared.explain())
 
     tracing = args.trace or args.trace_out is not None
-    tracer = None
-    if tracing:
-        from repro.obs import Tracer
-
-        tracer = Tracer()
-        estimator.tracer = tracer
-
-    cost_model = CostModel()
-    planned = Optimizer(
-        database, estimator, cost_model, tracer=tracer
-    ).optimize(query)
-    print(planned.explain())
-    if args.explain_only and not tracing:
-        return 0
-
-    execution = None
     if not args.explain_only:
-        ctx = ExecutionContext(database)
-        frame = planned.plan.execute(ctx)
-        simulated = cost_model.time_from_counters(ctx.counters)
+        result = prepared.execute()
+        frame = result.frame
         print(f"\nrows: {frame.num_rows}")
         for name in frame.column_names[: 8]:
             values = frame.column(name)[:5]
             print(f"  {name}: {list(values)}{' ...' if frame.num_rows > 5 else ''}")
-        print(f"simulated execution time: {simulated:.4f}s")
-        if tracing:
-            from repro.obs import execution_span
-
-            execution = execution_span(
-                planned.plan,
-                database,
-                cost_model,
-                simulated_seconds=simulated,
-                actual_rows=frame.num_rows,
-                estimated_rows=planned.estimated_rows,
-                estimated_cost=planned.estimated_cost,
-            )
+        print(f"simulated execution time: {result.simulated_seconds:.4f}s")
 
     if tracing:
-        from repro.obs import QueryTrace, explain_trace, write_traces
+        from repro.obs import explain_trace, write_traces
 
-        record = QueryTrace(
-            template=f"sql/{args.workload}",
-            config=estimator.describe(),
-            seed=args.seed,
-            estimation=tracer.drain_estimations(),
-            optimizer=planned.trace,
-            execution=execution,
-        ).as_dict()
+        record = session.trace_query(
+            args.query,
+            execute=not args.explain_only,
+            label=f"sql/{args.workload}",
+        )
         print()
         print(explain_trace([record], record["trace_id"]))
         if args.trace_out:
             write_traces(args.trace_out, [record])
             print(f"\ntrace written to {args.trace_out}")
+    if args.metrics_out:
+        session.cache_stats()
+        _write_metrics(session.metrics, args.metrics_out)
     return 0
 
 

@@ -24,6 +24,7 @@ from repro.core.confidence import (
     CONSERVATIVE,
     MODERATE,
     ConfidencePolicy,
+    resolve_threshold,
 )
 from repro.core.estimate import CardinalityEstimate, VectorCardinalityEstimate
 from repro.core.estimator import CardinalityEstimator, ExactCardinalityEstimator
@@ -54,4 +55,5 @@ __all__ = [
     "UNIFORM",
     "VectorCardinalityEstimate",
     "quantile_table",
+    "resolve_threshold",
 ]

@@ -11,7 +11,7 @@ FK join preserves the child's cardinality.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -23,7 +23,25 @@ from repro.stats.join_synopsis import fk_join_frame
 
 
 class CardinalityEstimator:
-    """Abstract base for cardinality estimators."""
+    """Abstract base for cardinality estimators.
+
+    This is the module interface the paper's architecture hinges on
+    (§3.1): the optimizer, session service, and experiment harness all
+    speak exactly this protocol, so estimators are drop-in
+    replacements for one another. The protocol is three methods with
+    *identical keyword signatures* across every implementation
+    (enforced by ``tests/test_estimator_contract.py``):
+
+    - ``estimate(tables, predicate, hint=None)`` — one point estimate;
+    - ``estimate_many(tables, predicate, thresholds)`` — one estimate
+      per confidence threshold, in grid order, semantically equal to
+      looping ``estimate`` with each threshold as the hint;
+    - ``describe()`` — a short label for reports.
+
+    Subclasses must implement ``estimate``; ``estimate_many`` has a
+    correct default that threshold-aware estimators override to share
+    evidence gathering across the grid.
+    """
 
     #: Optional :class:`repro.obs.Tracer`. When set, estimators record
     #: one estimation-evidence span per synopsis/sample/histogram
@@ -51,7 +69,7 @@ class CardinalityEstimator:
         self,
         tables: Iterable[str],
         predicate: Expr | None,
-        thresholds: "tuple[float, ...]",
+        thresholds: Sequence[float],
     ) -> tuple[CardinalityEstimate, ...]:
         """One estimate per confidence threshold, in grid order.
 

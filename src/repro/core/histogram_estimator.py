@@ -10,7 +10,7 @@ the failure mode Experiments 1–3 are built around.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.catalog.types import ColumnType, coerce_scalar
 from repro.core.estimate import CardinalityEstimate
@@ -63,7 +63,7 @@ class HistogramCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
         self,
         tables: Iterable[str],
         predicate: Expr | None,
-        thresholds: tuple[float, ...],
+        thresholds: Sequence[float],
     ) -> tuple[CardinalityEstimate, ...]:
         """Histograms ignore the threshold: one estimate, repeated."""
         estimate = self.estimate(tables, predicate)

@@ -25,7 +25,7 @@ precomputed :class:`~repro.core.posterior.BetaQuantileTable` row.
 from __future__ import annotations
 
 import weakref
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -128,7 +128,7 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
         self,
         tables: Iterable[str],
         predicate: Expr | None,
-        thresholds: tuple[float, ...],
+        thresholds: Sequence[float],
     ) -> tuple[CardinalityEstimate, ...]:
         """One estimate per threshold from a single evidence pass.
 

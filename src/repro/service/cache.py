@@ -1,0 +1,209 @@
+"""A bounded, lock-striped LRU cache with per-key singleflight.
+
+The session layer keys plans on ``(query fingerprint, estimator
+config, statistics version)``, so entries for stale statistics age out
+of the LRU naturally — a version bump changes the key, misses, and
+re-plans; the old version's entries are never served again and are
+evicted as fresh traffic displaces them.
+
+Concurrency model: the key space is partitioned across N stripes, each
+guarded by its own lock, so sessions serving many threads don't
+serialize on one global mutex. Within a stripe, concurrent requests
+for the *same* missing key are collapsed ("singleflight"): the first
+caller computes the value while followers wait on an event and share
+the result, so an expensive planning pass runs exactly once no matter
+how many threads ask for it simultaneously.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, TypeVar
+
+from repro.errors import ReproError
+
+V = TypeVar("V")
+
+
+class PlanCacheError(ReproError):
+    """The cache was configured or used inconsistently."""
+
+
+class _InFlight:
+    """One in-progress computation that followers can wait on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+
+class _Stripe:
+    """One shard of the key space: an LRU dict plus its lock."""
+
+    __slots__ = ("lock", "entries", "inflight", "capacity")
+
+    def __init__(self, capacity: int) -> None:
+        self.lock = threading.Lock()
+        self.entries: OrderedDict = OrderedDict()
+        self.inflight: dict = {}
+        self.capacity = capacity
+
+
+class PlanCache:
+    """Bounded LRU over hashable keys, striped for concurrency.
+
+    Parameters
+    ----------
+    capacity:
+        Total entry bound across all stripes. ``0`` disables caching:
+        every :meth:`get_or_create` computes (used by benchmarks to
+        measure the uncached baseline through the same code path).
+    stripes:
+        Number of independently locked shards. Each stripe holds at
+        most ``ceil(capacity / stripes)`` entries, so the bound is
+        exact for ``stripes=1`` and within a stripe's rounding above.
+    """
+
+    def __init__(self, capacity: int = 256, stripes: int = 8) -> None:
+        if capacity < 0:
+            raise PlanCacheError(f"capacity must be >= 0, got {capacity}")
+        if stripes < 1:
+            raise PlanCacheError(f"stripes must be >= 1, got {stripes}")
+        self.capacity = capacity
+        stripes = min(stripes, capacity) or 1
+        per_stripe = -(-capacity // stripes) if capacity else 0
+        self._stripes = [_Stripe(per_stripe) for _ in range(stripes)]
+        self._stats_lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def _stripe_for(self, key: Hashable) -> _Stripe:
+        return self._stripes[hash(key) % len(self._stripes)]
+
+    def get_or_create(
+        self, key: Hashable, factory: Callable[[], V]
+    ) -> tuple[V, bool]:
+        """Return ``(value, was_cached)``, computing on first request.
+
+        ``factory`` runs at most once per key per generation: losers of
+        the insertion race wait for the winner's result (and re-raise
+        the winner's exception, without caching it). With ``capacity
+        0`` the factory always runs and nothing is retained.
+        """
+        if self.capacity == 0:
+            with self._stats_lock:
+                self.misses += 1
+            return factory(), False
+
+        stripe = self._stripe_for(key)
+        while True:
+            with stripe.lock:
+                if key in stripe.entries:
+                    stripe.entries.move_to_end(key)
+                    with self._stats_lock:
+                        self.hits += 1
+                    return stripe.entries[key], True
+                flight = stripe.inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    stripe.inflight[key] = flight
+                    leader = True
+                else:
+                    leader = False
+            if leader:
+                break
+            flight.event.wait()
+            if flight.error is None:
+                with self._stats_lock:
+                    self.hits += 1
+                return flight.value, True
+            # The leader failed; loop and retry as a fresh leader.
+            with stripe.lock:
+                if stripe.inflight.get(key) is flight:
+                    del stripe.inflight[key]
+
+        try:
+            value = factory()
+        except BaseException as exc:
+            with stripe.lock:
+                flight.error = exc
+                if stripe.inflight.get(key) is flight:
+                    del stripe.inflight[key]
+            flight.event.set()
+            raise
+        with stripe.lock:
+            stripe.entries[key] = value
+            stripe.entries.move_to_end(key)
+            evicted = 0
+            while len(stripe.entries) > stripe.capacity:
+                stripe.entries.popitem(last=False)
+                evicted += 1
+            if stripe.inflight.get(key) is flight:
+                del stripe.inflight[key]
+        flight.value = value
+        flight.event.set()
+        with self._stats_lock:
+            self.misses += 1
+            self.evictions += evicted
+        return value, False
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable):
+        """Peek without computing; ``None`` on miss (not counted)."""
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            if key in stripe.entries:
+                stripe.entries.move_to_end(key)
+                return stripe.entries[key]
+        return None
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert (or refresh) an entry, evicting LRU past capacity."""
+        if self.capacity == 0:
+            return
+        stripe = self._stripe_for(key)
+        evicted = 0
+        with stripe.lock:
+            stripe.entries[key] = value
+            stripe.entries.move_to_end(key)
+            while len(stripe.entries) > stripe.capacity:
+                stripe.entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            with self._stats_lock:
+                self.evictions += evicted
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        for stripe in self._stripes:
+            with stripe.lock:
+                stripe.entries.clear()
+
+    def __len__(self) -> int:
+        return sum(len(stripe.entries) for stripe in self._stripes)
+
+    def __contains__(self, key: Hashable) -> bool:
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            return key in stripe.entries
+
+    def stats(self) -> dict:
+        """Counters plus occupancy, JSON-ready."""
+        with self._stats_lock:
+            hits, misses, evictions = self.hits, self.misses, self.evictions
+        total = hits + misses
+        return {
+            "capacity": self.capacity,
+            "stripes": len(self._stripes),
+            "size": len(self),
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": hits / total if total else 0.0,
+        }

@@ -1,0 +1,30 @@
+"""Query fingerprints: the plan-cache identity of an SPJ query.
+
+Two queries share a fingerprint exactly when the optimizer would treat
+them identically *apart from the confidence threshold*: the canonical
+SQL rendering (``query_to_sql``) normalizes table order, predicate
+spelling, and clause layout, and the per-query hint is stripped because
+the threshold is part of the estimator configuration in the cache key,
+not of the query text. Hashing the canonical form keeps keys small and
+constant-size regardless of predicate depth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import replace
+
+from repro.optimizer import SPJQuery
+from repro.sql import query_to_sql
+
+
+def canonical_sql(query: SPJQuery) -> str:
+    """The canonical, hint-free SQL rendering of ``query``."""
+    if query.hint is not None:
+        query = replace(query, hint=None)
+    return query_to_sql(query)
+
+
+def query_fingerprint(query: SPJQuery) -> str:
+    """A stable hex digest identifying ``query`` up to its hint."""
+    return hashlib.sha256(canonical_sql(query).encode("utf-8")).hexdigest()[:20]

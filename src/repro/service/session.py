@@ -1,0 +1,708 @@
+"""The query session service: SQL in, plan/result/trace out.
+
+This is the repository's one public entry point — the fixed "above"
+that the paper's architecture implies (§3.1: only the cardinality
+estimation module changes; the optimizer and everything on top stay
+put). A :class:`Session` owns a database, its statistics, one
+estimator configuration, and a bounded plan cache; callers speak SQL
+(or :class:`~repro.optimizer.SPJQuery`) and get back
+:class:`PreparedQuery` handles they can execute, explain, or inspect,
+without ever hand-wiring ``StatisticsManager`` + estimator +
+``Optimizer`` + engine.
+
+Plan caching is *statistics-versioned*: cache keys include
+``StatisticsManager.version``, so rebuilding statistics (new sample
+seed, different sample size, dropped synopsis) silently invalidates
+every cached plan — the next prepare or execute re-plans against the
+new Beta posteriors. Prepared handles notice staleness at execution
+time and transparently re-plan, which is the PARQO-style contract:
+plans follow the statistics, callers never see a stale plan.
+
+Thread safety: the plan cache is lock-striped with per-key
+singleflight (two threads preparing the same query plan it exactly
+once), statistics builds are serialized by a session lock, and metrics
+go through the session's :class:`~repro.obs.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.catalog import Database
+from repro.core import (
+    CardinalityEstimator,
+    ExactCardinalityEstimator,
+    HistogramCardinalityEstimator,
+    JEFFREYS,
+    MODERATE,
+    Prior,
+    RobustCardinalityEstimator,
+    resolve_threshold,
+)
+from repro.cost import CostModel
+from repro.engine import ExecutionContext
+from repro.errors import ReproError
+from repro.expressions import Frame
+from repro.obs import MetricsRegistry, QueryTrace, Tracer, execution_span
+from repro.obs.summarize import explain_trace
+from repro.optimizer import Optimizer, PlannedQuery, SPJQuery
+from repro.service.cache import PlanCache
+from repro.service.fingerprint import canonical_sql, query_fingerprint
+from repro.sql import parse_query
+from repro.stats import StatisticsManager
+
+
+class SessionError(ReproError):
+    """The session was configured or used inconsistently."""
+
+
+#: Estimator kinds a session can be configured with.
+ESTIMATOR_KINDS = ("robust", "histogram", "exact")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything that makes two sessions plan identically.
+
+    The estimator configuration half of the plan-cache key: two
+    sessions over the same database, statistics version, and config
+    would produce byte-identical plans, so their entries are
+    interchangeable.
+    """
+
+    estimator: str = "robust"
+    threshold: float | str = MODERATE
+    prior: Prior = JEFFREYS
+    sample_size: int = 500
+    histogram_buckets: int = 250
+    statistics_seed: int | None = 0
+    plan_cache_size: int = 256
+    cache_stripes: int = 8
+    enable_star_plans: bool = True
+
+    def __post_init__(self) -> None:
+        if self.estimator not in ESTIMATOR_KINDS:
+            raise SessionError(
+                f"unknown estimator {self.estimator!r}; "
+                f"choose from {ESTIMATOR_KINDS}"
+            )
+
+    @property
+    def resolved_threshold(self) -> float | None:
+        """The default threshold as a fraction (``None`` when the
+        estimator has no notion of thresholds)."""
+        if self.estimator != "robust":
+            return None
+        return resolve_threshold(self.threshold)
+
+    def cache_key(self) -> tuple:
+        """The config component of every plan-cache key."""
+        return (
+            self.estimator,
+            self.prior.alpha,
+            self.prior.beta,
+            self.sample_size,
+            self.histogram_buckets,
+            self.enable_star_plans,
+        )
+
+
+@dataclass
+class QueryResult:
+    """One executed query: rows plus provenance."""
+
+    frame: Frame
+    simulated_seconds: float
+    prepared: "PreparedQuery"
+    #: Whether the plan came from the session cache (vs. a fresh
+    #: planning pass, including transparent re-plans after a
+    #: statistics bump).
+    plan_cached: bool
+
+    @property
+    def num_rows(self) -> int:
+        return self.frame.num_rows
+
+    def column(self, name: str):
+        return self.frame.column(name)
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.frame.column_names)
+
+
+class PreparedQuery:
+    """A planned statement bound to one session.
+
+    Cheap to re-execute: the plan is reused until the session's
+    statistics change, at which point :meth:`execute` transparently
+    re-plans (and re-binds this handle to the fresh plan).
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        query: SPJQuery,
+        planned: PlannedQuery,
+        threshold: float | None,
+        statistics_version: int,
+        from_cache: bool,
+    ) -> None:
+        self.session = session
+        self.query = query
+        self.planned = planned
+        #: Effective confidence threshold the plan was produced under
+        #: (``None`` for threshold-blind estimators).
+        self.threshold = threshold
+        #: ``StatisticsManager.version`` the plan was produced against.
+        self.statistics_version = statistics_version
+        #: Whether this handle was served from the session plan cache.
+        self.from_cache = from_cache
+        self.fingerprint = query_fingerprint(query)
+
+    # ------------------------------------------------------------------
+    @property
+    def sql(self) -> str:
+        """Canonical (hint-free) SQL of the prepared statement."""
+        return canonical_sql(self.query)
+
+    @property
+    def plan(self):
+        return self.planned.plan
+
+    @property
+    def estimated_cost(self) -> float:
+        return self.planned.estimated_cost
+
+    @property
+    def estimated_rows(self) -> float:
+        return self.planned.estimated_rows
+
+    def is_stale(self) -> bool:
+        """True when statistics moved past the plan's version."""
+        return self.session.statistics_version() != self.statistics_version
+
+    def explain(self) -> str:
+        """The plan tree with cost/row annotations."""
+        return self.planned.explain()
+
+    def execute(self) -> QueryResult:
+        """Run the plan (re-planning first if statistics moved)."""
+        return self.session._execute_prepared(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery({self.sql!r}, threshold={self.threshold}, "
+            f"stats_v{self.statistics_version})"
+        )
+
+
+class Session:
+    """The public facade: parse, plan, cache, execute, explain.
+
+    Parameters
+    ----------
+    database:
+        The catalog and data to serve queries against.
+    statistics:
+        An existing :class:`~repro.stats.StatisticsManager` to share
+        (e.g. with another session over the same database). By default
+        the session builds its own, lazily, on first use.
+    config / keyword overrides:
+        Estimator kind, default confidence threshold, prior, sample
+        size, plan-cache bound — see :class:`SessionConfig`. Keyword
+        arguments override the corresponding ``config`` field.
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` to report into; the
+        session creates a private one by default (``session.metrics``).
+
+    >>> session = Session(database, threshold="conservative")
+    >>> result = session.execute("SELECT COUNT(*) FROM lineitem")
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        statistics: StatisticsManager | None = None,
+        config: SessionConfig | None = None,
+        cost_model: CostModel | None = None,
+        metrics: MetricsRegistry | None = None,
+        **overrides,
+    ) -> None:
+        base = config or SessionConfig()
+        if overrides:
+            base = replace(base, **overrides)
+        self.database = database
+        self.config = base
+        self.cost_model = cost_model or CostModel()
+        self.metrics = metrics or MetricsRegistry()
+        self.plan_cache = PlanCache(
+            capacity=base.plan_cache_size, stripes=base.cache_stripes
+        )
+        # Parsed-statement cache (SQL text -> SPJQuery). Parsing is
+        # deterministic and the parse tree is treated as immutable, so
+        # repeat prepares of the same text skip the parser entirely.
+        # Follows the plan cache's capacity policy: size 0 disables it.
+        self._parse_cache = PlanCache(
+            capacity=base.plan_cache_size, stripes=base.cache_stripes
+        )
+        self._statistics = statistics
+        self._statistics_lock = threading.Lock()
+        self._estimator: CardinalityEstimator | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Statistics lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def statistics(self) -> StatisticsManager | None:
+        """The session's statistics (``None`` until first build for
+        statistics-backed estimators; always ``None``-safe to read)."""
+        return self._statistics
+
+    def statistics_version(self) -> int:
+        """The current statistics version (0 before any build)."""
+        statistics = self._statistics
+        return statistics.version if statistics is not None else 0
+
+    def _ensure_statistics(self) -> StatisticsManager | None:
+        if self.config.estimator == "exact":
+            return self._statistics
+        with self._statistics_lock:
+            if self._statistics is None:
+                self._statistics = StatisticsManager(self.database)
+            if self._statistics.version == 0:
+                started = time.perf_counter()
+                self._statistics.update_statistics(
+                    sample_size=self.config.sample_size,
+                    histogram_buckets=self.config.histogram_buckets,
+                    seed=self.config.statistics_seed,
+                )
+                self.metrics.gauge(
+                    "repro_session_statistics_build_seconds",
+                    "Wall time of the last statistics build.",
+                ).set(time.perf_counter() - started)
+            return self._statistics
+
+    def refresh_statistics(
+        self, seed=None, sample_size: int | None = None
+    ) -> int:
+        """Rebuild statistics, invalidating every cached plan.
+
+        Returns the new statistics version. The plan cache needs no
+        explicit flush: keys embed the version, so old entries can
+        never be served again and age out of the LRU.
+        """
+        if self.config.estimator == "exact":
+            raise SessionError("exact sessions have no statistics to refresh")
+        if sample_size is not None:
+            self.config = replace(self.config, sample_size=sample_size)
+        with self._statistics_lock:
+            if self._statistics is None:
+                self._statistics = StatisticsManager(self.database)
+            started = time.perf_counter()
+            self._statistics.update_statistics(
+                sample_size=self.config.sample_size,
+                histogram_buckets=self.config.histogram_buckets,
+                seed=self.config.statistics_seed if seed is None else seed,
+            )
+            self.metrics.gauge(
+                "repro_session_statistics_build_seconds",
+                "Wall time of the last statistics build.",
+            ).set(time.perf_counter() - started)
+            self.metrics.counter(
+                "repro_session_statistics_refreshes_total",
+                "Statistics rebuilds requested on the session.",
+            ).inc()
+            return self._statistics.version
+
+    # ------------------------------------------------------------------
+    # Estimator / optimizer wiring
+    # ------------------------------------------------------------------
+    def _build_estimator(self, tracer: Tracer | None = None):
+        """A fresh estimator honoring the session config."""
+        kind = self.config.estimator
+        if kind == "exact":
+            estimator = ExactCardinalityEstimator(self.database)
+        else:
+            statistics = self._ensure_statistics()
+            if kind == "robust":
+                estimator = RobustCardinalityEstimator(
+                    statistics,
+                    prior=self.config.prior,
+                    policy=self.config.resolved_threshold,
+                )
+            else:
+                estimator = HistogramCardinalityEstimator(statistics)
+        if tracer is not None:
+            estimator.tracer = tracer
+        return estimator
+
+    def _shared_estimator(self) -> CardinalityEstimator:
+        # Benign race: two threads may both build; last write wins and
+        # either instance answers identically (estimators are pure
+        # functions of statistics + config).
+        if self._estimator is None:
+            self._estimator = self._build_estimator()
+        return self._estimator
+
+    def _optimizer(self, tracer: Tracer | None = None) -> Optimizer:
+        estimator = (
+            self._build_estimator(tracer)
+            if tracer is not None
+            else self._shared_estimator()
+        )
+        return Optimizer(
+            self.database,
+            estimator,
+            self.cost_model,
+            enable_star_plans=self.config.enable_star_plans,
+            tracer=tracer,
+        )
+
+    # ------------------------------------------------------------------
+    # Prepare
+    # ------------------------------------------------------------------
+    def _coerce_query(self, query: str | SPJQuery) -> SPJQuery:
+        if isinstance(query, str):
+            cached = self._parse_cache.get(query)
+            if cached is not None:
+                return cached
+            parsed = parse_query(query, self.database)
+            self._parse_cache.put(query, parsed)
+            return parsed
+        if isinstance(query, SPJQuery):
+            return query
+        raise SessionError(
+            f"expected SQL text or SPJQuery, got {type(query).__name__}"
+        )
+
+    def _effective_threshold(
+        self, query: SPJQuery, threshold: float | str | None
+    ) -> float | None:
+        """Hint > per-call override > session default; ``None`` for
+        threshold-blind estimators."""
+        if self.config.estimator != "robust":
+            return None
+        if query.hint is not None:
+            return resolve_threshold(query.hint)
+        if threshold is not None:
+            return resolve_threshold(threshold)
+        return self.config.resolved_threshold
+
+    def _cache_key(
+        self, fingerprint: str, threshold: float | None, version: int
+    ) -> tuple:
+        return (fingerprint, self.config.cache_key(), threshold, version)
+
+    def prepare(
+        self, query: str | SPJQuery, threshold: float | str | None = None
+    ) -> PreparedQuery:
+        """Parse (if needed), plan, and cache one statement.
+
+        Preparing the same statement twice is a cache hit — the
+        returned handle carries the *same* plan object. A per-call
+        ``threshold`` (or an ``OPTION (CONFIDENCE …)`` hint in the
+        SQL) plans that statement at a different confidence level
+        under its own cache entry.
+        """
+        self._check_open()
+        parsed = self._coerce_query(query)
+        effective = self._effective_threshold(parsed, threshold)
+        self._ensure_statistics()
+        version = self.statistics_version()
+        fingerprint = query_fingerprint(parsed)
+        key = self._cache_key(fingerprint, effective, version)
+
+        def plan() -> PlannedQuery:
+            target = parsed
+            if self.config.estimator == "robust":
+                target = replace(parsed, hint=effective)
+            started = time.perf_counter()
+            planned = self._optimizer().optimize(target)
+            self.metrics.gauge(
+                "repro_session_last_plan_seconds",
+                "Wall time of the most recent planning pass.",
+            ).set(time.perf_counter() - started)
+            return planned
+
+        planned, was_cached = self.plan_cache.get_or_create(key, plan)
+        self._count_prepare(was_cached)
+        return PreparedQuery(
+            self, parsed, planned, effective, version, was_cached
+        )
+
+    def prepare_many(
+        self, query: str | SPJQuery, thresholds: Sequence[float | str]
+    ) -> list[PreparedQuery]:
+        """Prepare one statement across a whole confidence grid.
+
+        Missing grid points are planned together by one vectorized
+        :meth:`~repro.optimizer.Optimizer.optimize_many` pass (per-lane
+        plans are bit-identical to scalar ``optimize`` at the same
+        threshold, see PR 2), then cached individually — so a later
+        ``prepare(query, threshold=t)`` hits any lane planted here.
+        """
+        self._check_open()
+        if self.config.estimator != "robust":
+            raise SessionError(
+                "prepare_many needs a threshold-aware (robust) session"
+            )
+        if not thresholds:
+            raise SessionError("prepare_many needs at least one threshold")
+        parsed = self._coerce_query(query)
+        grid = [resolve_threshold(t) for t in thresholds]
+        self._ensure_statistics()
+        version = self.statistics_version()
+        fingerprint = query_fingerprint(parsed)
+
+        keyed = [
+            (t, self._cache_key(fingerprint, t, version)) for t in grid
+        ]
+        found: dict[float, PlannedQuery] = {}
+        hits: set[float] = set()
+        for threshold, key in keyed:
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                found[threshold] = cached
+                hits.add(threshold)
+        missing = [t for t in grid if t not in found]
+        if missing:
+            hintless = replace(parsed, hint=None)
+            planned_grid = self._optimizer().optimize_many(
+                hintless, tuple(missing)
+            )
+            for threshold, planned in zip(missing, planned_grid):
+                key = self._cache_key(fingerprint, threshold, version)
+                self.plan_cache.put(key, planned)
+                found[threshold] = planned
+
+        prepared = []
+        for threshold in grid:
+            was_cached = threshold in hits
+            self._count_prepare(was_cached)
+            prepared.append(
+                PreparedQuery(
+                    self, parsed, found[threshold], threshold, version,
+                    was_cached,
+                )
+            )
+        return prepared
+
+    def _count_prepare(self, was_cached: bool) -> None:
+        self.metrics.counter(
+            "repro_session_prepares_total",
+            "Statements prepared, by plan-cache outcome.",
+        ).inc(result="hit" if was_cached else "miss")
+
+    # ------------------------------------------------------------------
+    # Execute
+    # ------------------------------------------------------------------
+    def execute(
+        self, query: str | SPJQuery | PreparedQuery,
+        threshold: float | str | None = None,
+    ) -> QueryResult:
+        """Plan (through the cache) and run one statement."""
+        if isinstance(query, PreparedQuery):
+            return self._execute_prepared(query)
+        return self._execute_prepared(self.prepare(query, threshold))
+
+    def _execute_prepared(self, prepared: PreparedQuery) -> QueryResult:
+        self._check_open()
+        if prepared.is_stale():
+            # Statistics moved: transparently re-plan (a cache miss
+            # under the new version) and re-bind the handle.
+            fresh = self.prepare(prepared.query, prepared.threshold)
+            prepared.planned = fresh.planned
+            prepared.statistics_version = fresh.statistics_version
+            prepared.from_cache = fresh.from_cache
+            self.metrics.counter(
+                "repro_session_replans_total",
+                "Transparent re-plans after a statistics version bump.",
+            ).inc()
+        ctx = ExecutionContext(self.database)
+        started = time.perf_counter()
+        frame = prepared.plan.execute(ctx)
+        wall = time.perf_counter() - started
+        simulated = self.cost_model.time_from_counters(ctx.counters)
+        self.metrics.counter(
+            "repro_session_executes_total", "Statements executed."
+        ).inc()
+        self.metrics.histogram(
+            "repro_session_simulated_seconds",
+            "Simulated execution time of session statements.",
+        ).observe(simulated)
+        self.metrics.gauge(
+            "repro_session_last_execute_wall_seconds",
+            "Wall time of the most recent plan execution.",
+        ).set(wall)
+        return QueryResult(
+            frame=frame,
+            simulated_seconds=simulated,
+            prepared=prepared,
+            plan_cached=prepared.from_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # Explain / trace
+    # ------------------------------------------------------------------
+    def trace_query(
+        self,
+        query: str | SPJQuery,
+        threshold: float | str | None = None,
+        execute: bool = False,
+        label: str | None = None,
+    ) -> dict:
+        """Plan (and optionally run) with full tracing, returning the
+        JSON-ready :class:`~repro.obs.QueryTrace` record.
+
+        Traced planning bypasses the plan cache — the point is fresh
+        estimation-evidence spans — and never pollutes it.
+        """
+        self._check_open()
+        parsed = self._coerce_query(query)
+        effective = self._effective_threshold(parsed, threshold)
+        tracer = Tracer()
+        optimizer = self._optimizer(tracer)
+        target = parsed
+        if self.config.estimator == "robust":
+            target = replace(parsed, hint=effective)
+        started = time.perf_counter()
+        planned = optimizer.optimize(target)
+        optimize_seconds = time.perf_counter() - started
+        execution = None
+        if execute:
+            ctx = ExecutionContext(self.database)
+            frame = planned.plan.execute(ctx)
+            simulated = self.cost_model.time_from_counters(ctx.counters)
+            execution = execution_span(
+                planned.plan,
+                self.database,
+                self.cost_model,
+                simulated_seconds=simulated,
+                actual_rows=frame.num_rows,
+                estimated_rows=planned.estimated_rows,
+                estimated_cost=planned.estimated_cost,
+            )
+        return QueryTrace(
+            template=label or "session",
+            config=optimizer.estimator.describe(),
+            seed=self.config.statistics_seed
+            if isinstance(self.config.statistics_seed, int)
+            else None,
+            estimation=tracer.drain_estimations(),
+            optimizer=planned.trace,
+            execution=execution,
+            timing={"optimize_seconds": optimize_seconds},
+        ).as_dict()
+
+    def explain(
+        self,
+        query: str | SPJQuery,
+        threshold: float | str | None = None,
+        analyze: bool = False,
+    ) -> str:
+        """The "why this plan" explanation for one statement.
+
+        Combines the plan tree with the traced provenance (estimation
+        evidence, DP statistics, winner vs. runner-up); ``analyze=True``
+        also executes the plan and appends the per-operator work
+        breakdown, EXPLAIN-ANALYZE style.
+        """
+        record = self.trace_query(query, threshold, execute=analyze)
+        prepared = self.prepare(query, threshold)
+        plan_tree = prepared.explain()
+        provenance = explain_trace([record], record["trace_id"])
+        return f"{plan_tree}\n\n{provenance}"
+
+    # ------------------------------------------------------------------
+    # Experiments
+    # ------------------------------------------------------------------
+    def run_experiment(
+        self,
+        template,
+        params,
+        configs=None,
+        seeds: Sequence[int] = tuple(range(4)),
+        workers: int | None = None,
+        execution_cache: bool = True,
+        vectorize_thresholds: bool = True,
+        trace: bool = False,
+    ):
+        """Run a Section-6 style experiment grid against this database.
+
+        Delegates to :class:`~repro.experiments.ExperimentRunner` with
+        the session's database, cost model, and sample size, then
+        publishes the harness's perf counters into ``session.metrics``.
+        Experiment statistics are rebuilt per seed inside the runner
+        (the paper's protocol) — the session's own statistics and plan
+        cache are untouched.
+        """
+        self._check_open()
+        from repro.experiments import ExperimentRunner
+
+        runner = ExperimentRunner(
+            self.database,
+            template,
+            self.cost_model,
+            sample_size=self.config.sample_size,
+            histogram_buckets=self.config.histogram_buckets,
+            seeds=seeds,
+            workers=workers,
+            execution_cache=execution_cache,
+            vectorize_thresholds=vectorize_thresholds,
+            trace=trace,
+        )
+        result = runner.run(params, configs)
+        result.perf.publish(self.metrics)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict:
+        """Plan-cache counters, also mirrored into ``metrics``."""
+        stats = self.plan_cache.stats()
+        gauge = self.metrics.gauge(
+            "repro_session_plan_cache",
+            "Plan-cache occupancy and counters.",
+        )
+        for name in ("size", "hits", "misses", "evictions"):
+            gauge.set(float(stats[name]), stat=name)
+        gauge.set(stats["hit_rate"], stat="hit_rate")
+        return stats
+
+    def describe(self) -> str:
+        """One-line session summary for logs and reports."""
+        threshold = self.config.resolved_threshold
+        knob = f", T={threshold:.0%}" if threshold is not None else ""
+        return (
+            f"Session({self.config.estimator}{knob}, "
+            f"n={self.config.sample_size}, "
+            f"cache={self.config.plan_cache_size}, "
+            f"stats_v{self.statistics_version()})"
+        )
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionError("session is closed")
+
+    def close(self) -> None:
+        """Release cached plans; further use raises ``SessionError``."""
+        self.cache_stats()  # final metrics snapshot
+        self.plan_cache.clear()
+        self._parse_cache.clear()
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return self.describe()

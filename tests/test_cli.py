@@ -276,6 +276,47 @@ class TestTrace:
         assert "repro_cache_hit_rate" in text
 
 
+class TestObservabilityFlagParity:
+    """sql and experiment share one observability flag set."""
+
+    OBS_FLAGS = {"--trace", "--trace-out", "--metrics-out"}
+
+    def _option_strings(self, sub):
+        return {
+            opt for action in sub._actions for opt in action.option_strings
+        }
+
+    def test_both_subcommands_have_all_flags(self):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        choices = parser._subparsers._group_actions[0].choices
+        for name in ("sql", "experiment"):
+            missing = self.OBS_FLAGS - self._option_strings(choices[name])
+            assert not missing, f"{name} is missing {missing}"
+
+    def test_sql_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "sql_metrics.prom"
+        code = main(
+            [
+                "sql",
+                "SELECT COUNT(*) FROM lineitem WHERE lineitem.l_quantity > 45",
+                "--scale",
+                "5000",
+                "--sample-size",
+                "100",
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        assert "metrics written to" in capsys.readouterr().out
+        text = metrics.read_text()
+        assert "# TYPE repro_session_prepares_total counter" in text
+        assert "repro_session_executes_total" in text
+        assert "repro_session_plan_cache" in text
+
+
 class TestTopLevel:
     def test_no_command_shows_help(self, capsys):
         assert main([]) == 2

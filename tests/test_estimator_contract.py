@@ -1,8 +1,11 @@
 """Interface-contract tests every estimator must satisfy."""
 
+import inspect
+
 import pytest
 
 from repro.core import (
+    CardinalityEstimator,
     ExactCardinalityEstimator,
     FixedSelectivityEstimator,
     HistogramCardinalityEstimator,
@@ -76,3 +79,92 @@ class TestEstimatorContract:
     def test_describe_nonempty(self, tpch_db, tpch_stats, name, case_index):
         estimator = estimator_instances(tpch_db, tpch_stats)[name]
         assert estimator.describe()
+
+
+ALL_ESTIMATORS = (
+    CardinalityEstimator,
+    ExactCardinalityEstimator,
+    FixedSelectivityEstimator,
+    HistogramCardinalityEstimator,
+    RobustCardinalityEstimator,
+)
+
+
+def _signature_fields(func):
+    """(name, kind, default, annotation) per parameter, self excluded."""
+    return [
+        (p.name, p.kind, p.default, p.annotation)
+        for p in inspect.signature(func).parameters.values()
+        if p.name != "self"
+    ]
+
+
+class TestProtocolParity:
+    """The estimator protocol: one keyword signature, everywhere.
+
+    The optimizer, session service, and experiment harness call
+    estimators positionally and by keyword; any drift in parameter
+    names, defaults, or order between implementations is an API break
+    that type checkers won't catch (no Protocol/ABC here). These tests
+    pin every override to the base signature.
+    """
+
+    @pytest.mark.parametrize("cls", ALL_ESTIMATORS)
+    def test_estimate_signature_matches_base(self, cls):
+        assert _signature_fields(cls.estimate) == _signature_fields(
+            CardinalityEstimator.estimate
+        ), cls.__name__
+
+    @pytest.mark.parametrize("cls", ALL_ESTIMATORS)
+    def test_estimate_many_signature_matches_base(self, cls):
+        assert _signature_fields(cls.estimate_many) == _signature_fields(
+            CardinalityEstimator.estimate_many
+        ), cls.__name__
+
+    def test_every_estimator_has_estimate_many(self):
+        """The base default makes threshold-blind estimators (exact,
+        fixed) satisfy the vectorized interface without overriding."""
+        for cls in ALL_ESTIMATORS:
+            assert callable(getattr(cls, "estimate_many"))
+        assert (
+            ExactCardinalityEstimator.estimate_many
+            is CardinalityEstimator.estimate_many
+        )
+        assert (
+            FixedSelectivityEstimator.estimate_many
+            is CardinalityEstimator.estimate_many
+        )
+
+
+GRID = (0.05, 0.50, 0.95)
+
+
+@pytest.mark.parametrize("name", ["exact", "robust", "histogram", "fixed"])
+class TestEstimateManyConsistency:
+    """estimate_many == looping estimate with each threshold as hint."""
+
+    @pytest.mark.parametrize("case_index", range(len(CASES)))
+    def test_grid_matches_looped_estimates(
+        self, tpch_db, tpch_stats, name, case_index
+    ):
+        estimator = estimator_instances(tpch_db, tpch_stats)[name]
+        tables, predicate = CASES[case_index]
+        many = estimator.estimate_many(tables, predicate, GRID)
+        assert len(many) == len(GRID)
+        looped = [
+            estimator.estimate(tables, predicate, hint=t) for t in GRID
+        ]
+        for vectored, scalar in zip(many, looped):
+            assert vectored.selectivity == scalar.selectivity
+            assert vectored.cardinality == scalar.cardinality
+            assert vectored.root_table == scalar.root_table
+
+    def test_accepts_any_sequence(self, tpch_db, tpch_stats, name):
+        """Grids arrive as lists, tuples, or arrays; all must work."""
+        estimator = estimator_instances(tpch_db, tpch_stats)[name]
+        tables, predicate = CASES[1]
+        as_tuple = estimator.estimate_many(tables, predicate, GRID)
+        as_list = estimator.estimate_many(tables, predicate, list(GRID))
+        assert [e.selectivity for e in as_tuple] == [
+            e.selectivity for e in as_list
+        ]

@@ -15,6 +15,7 @@ EXPECTED_MARKERS = {
     "star_join_robustness.py": "SemiJoin",
     "threshold_tuning.py": "recommend",
     "plan_sensitivity.py": "Sensitivity sweep",
+    "session_service.py": "plan cache",
     "sql_tour.py": "simulated",
 }
 

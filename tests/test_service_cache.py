@@ -1,0 +1,169 @@
+"""Unit tests for the lock-striped singleflight LRU plan cache."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import PlanCache, PlanCacheError
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = PlanCache(capacity=4)
+        value, cached = cache.get_or_create("k", lambda: 41)
+        assert (value, cached) == (41, False)
+        value, cached = cache.get_or_create("k", lambda: 99)
+        assert (value, cached) == (41, True)
+
+    def test_get_peeks_without_computing(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get("absent") is None
+        cache.put("k", 7)
+        assert cache.get("k") == 7
+        # Peeks never touch the hit/miss counters.
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_contains_and_len(self):
+        cache = PlanCache(capacity=4, stripes=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache and "b" in cache and "c" not in cache
+        assert len(cache) == 2
+
+    def test_clear_keeps_counters(self):
+        cache = PlanCache(capacity=4)
+        cache.get_or_create("k", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["misses"] == 1
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(PlanCacheError):
+            PlanCache(capacity=-1)
+        with pytest.raises(PlanCacheError):
+            PlanCache(capacity=4, stripes=0)
+
+
+class TestCapacityZero:
+    """capacity=0 is the uncached baseline: same code path, no reuse."""
+
+    def test_always_computes(self):
+        cache = PlanCache(capacity=0)
+        calls = []
+        for _ in range(3):
+            value, cached = cache.get_or_create("k", lambda: calls.append(1))
+            assert cached is False
+        assert len(calls) == 3
+        assert len(cache) == 0
+
+    def test_put_is_a_no_op(self):
+        cache = PlanCache(capacity=0)
+        cache.put("k", 1)
+        assert cache.get("k") is None
+
+
+class TestLRU:
+    def test_eviction_bound(self):
+        cache = PlanCache(capacity=2, stripes=1)
+        for key in ("a", "b", "c"):
+            cache.get_or_create(key, lambda k=key: k.upper())
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+        # "a" is the least recently used entry, so it went first.
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_hit_refreshes_recency(self):
+        cache = PlanCache(capacity=2, stripes=1)
+        cache.get_or_create("a", lambda: 1)
+        cache.get_or_create("b", lambda: 2)
+        cache.get_or_create("a", lambda: -1)  # hit: "a" now most recent
+        cache.get_or_create("c", lambda: 3)  # evicts "b", not "a"
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_striped_capacity_still_bounded(self):
+        cache = PlanCache(capacity=8, stripes=4)
+        for i in range(100):
+            cache.get_or_create(i, lambda i=i: i)
+        # Each stripe holds at most ceil(8/4)=2 entries.
+        assert len(cache) <= 8
+
+    def test_stats_shape(self):
+        cache = PlanCache(capacity=4, stripes=2)
+        cache.get_or_create("k", lambda: 1)
+        cache.get_or_create("k", lambda: 1)
+        stats = cache.stats()
+        assert stats["capacity"] == 4
+        assert stats["stripes"] == 2
+        assert stats["size"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+
+class TestSingleflight:
+    def test_concurrent_requests_compute_once(self):
+        cache = PlanCache(capacity=8)
+        calls = []
+        barrier = threading.Barrier(8)
+        results = []
+
+        def slow_factory():
+            calls.append(1)
+            time.sleep(0.05)
+            return object()
+
+        def worker():
+            barrier.wait()
+            value, _ = cache.get_or_create("plan", slow_factory)
+            results.append(value)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(calls) == 1, "losers must wait, not recompute"
+        assert len(results) == 8
+        assert all(r is results[0] for r in results), (
+            "every caller shares the winner's object"
+        )
+
+    def test_leader_failure_propagates_and_next_caller_retries(self):
+        cache = PlanCache(capacity=8)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("planning failed")
+            return "ok"
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_create("k", flaky)
+        # The failure was not cached; a later caller recomputes.
+        value, cached = cache.get_or_create("k", flaky)
+        assert (value, cached) == ("ok", False)
+        assert len(attempts) == 2
+
+    def test_distinct_keys_do_not_serialize(self):
+        cache = PlanCache(capacity=8, stripes=4)
+        order = []
+
+        def factory(tag):
+            order.append(tag)
+            return tag
+
+        def worker(tag):
+            cache.get_or_create(tag, lambda: factory(tag))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(order) == [0, 1, 2, 3]

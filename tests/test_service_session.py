@@ -1,0 +1,287 @@
+"""Behavioral tests for the Session/PreparedQuery facade.
+
+The contract under test (ISSUE 4): the plan cache is keyed on
+(query fingerprint, estimator config, statistics version), so the same
+query twice is a hit returning the identical plan, a statistics bump
+invalidates automatically, concurrent prepares plan exactly once, and
+cached plans are byte-identical to what a hand-wired optimizer
+produces from the same statistics.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import RobustCardinalityEstimator
+from repro.cost import CostModel
+from repro.optimizer import Optimizer
+from repro.service import (
+    Session,
+    SessionConfig,
+    SessionError,
+    canonical_sql,
+    query_fingerprint,
+)
+from repro.sql import parse_query
+from repro.stats import StatisticsManager
+
+from tests.conftest import make_two_table_db
+
+QUERY = "SELECT COUNT(*) FROM lineitem WHERE lineitem.l_quantity > 45"
+JOIN_QUERY = (
+    "SELECT COUNT(*) FROM lineitem, part "
+    "WHERE part.p_size <= 10 AND lineitem.l_quantity > 30"
+)
+
+
+@pytest.fixture()
+def db():
+    return make_two_table_db()
+
+
+@pytest.fixture()
+def session(db):
+    return Session(db, sample_size=400, statistics_seed=11)
+
+
+class TestConfig:
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(SessionError):
+            SessionConfig(estimator="oracle")
+
+    def test_keyword_overrides(self, db):
+        session = Session(db, estimator="histogram", plan_cache_size=16)
+        assert session.config.estimator == "histogram"
+        assert session.config.plan_cache_size == 16
+
+    def test_resolved_threshold_none_for_threshold_blind(self):
+        assert SessionConfig(estimator="histogram").resolved_threshold is None
+        assert SessionConfig(estimator="robust", threshold="95").resolved_threshold == 0.95
+
+    def test_describe(self, session):
+        text = session.describe()
+        assert "robust" in text and "T=80%" in text
+
+
+class TestPrepareCaching:
+    def test_same_query_twice_is_a_hit_with_same_plan_object(self, session):
+        first = session.prepare(QUERY)
+        second = session.prepare(QUERY)
+        assert first.from_cache is False
+        assert second.from_cache is True
+        assert second.planned is first.planned
+        stats = session.cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_fingerprint_ignores_confidence_hint(self, db):
+        plain = parse_query(QUERY, db)
+        hinted = parse_query(QUERY + " OPTION (CONFIDENCE 95)", db)
+        assert query_fingerprint(plain) == query_fingerprint(hinted)
+        assert "OPTION" not in canonical_sql(hinted)
+
+    def test_distinct_thresholds_get_distinct_entries(self, session):
+        moderate = session.prepare(QUERY, threshold="80")
+        conservative = session.prepare(QUERY, threshold="95")
+        assert conservative.from_cache is False
+        assert moderate.threshold == 0.8
+        assert conservative.threshold == 0.95
+
+    def test_hint_overrides_call_and_session_threshold(self, session):
+        prepared = session.prepare(
+            QUERY + " OPTION (CONFIDENCE 95)", threshold="50"
+        )
+        assert prepared.threshold == 0.95
+
+    def test_cached_plan_byte_identical_to_fresh_optimize(self, db):
+        """A cache hit serves exactly what hand-wiring would produce."""
+        session = Session(db, sample_size=400, statistics_seed=11)
+        session.prepare(QUERY)
+        hit = session.prepare(QUERY)
+        assert hit.from_cache is True
+
+        # Hand-wire the old way against identically built statistics.
+        statistics = StatisticsManager(db)
+        statistics.update_statistics(sample_size=400, seed=11)
+        estimator = RobustCardinalityEstimator(statistics, policy=0.8)
+        fresh = Optimizer(db, estimator, CostModel()).optimize(
+            parse_query(QUERY, db)
+        )
+        assert hit.explain().encode() == fresh.explain().encode()
+        assert hit.plan.signature() == fresh.plan.signature()
+        assert hit.estimated_cost == fresh.estimated_cost
+        assert hit.estimated_rows == fresh.estimated_rows
+
+    def test_lru_eviction_respects_bound(self, db):
+        session = Session(db, plan_cache_size=2, cache_stripes=1,
+                          sample_size=200)
+        queries = [
+            QUERY,
+            "SELECT COUNT(*) FROM part WHERE part.p_size <= 10",
+            JOIN_QUERY,
+        ]
+        for q in queries:
+            session.prepare(q)
+        stats = session.cache_stats()
+        assert stats["size"] == 2
+        assert stats["evictions"] == 1
+        # The oldest entry was evicted: preparing it again is a miss.
+        assert session.prepare(queries[0]).from_cache is False
+
+
+class TestStatisticsVersioning:
+    def test_refresh_invalidates_cached_plans(self, session):
+        prepared = session.prepare(QUERY)
+        assert prepared.is_stale() is False
+        version = session.refresh_statistics(seed=12)
+        assert version == prepared.statistics_version + 1
+        assert prepared.is_stale() is True
+        fresh = session.prepare(QUERY)
+        assert fresh.from_cache is False, "new version must miss"
+        assert fresh.statistics_version == version
+
+    def test_execute_replans_transparently(self, session):
+        prepared = session.prepare(QUERY)
+        session.refresh_statistics(seed=12)
+        result = prepared.execute()
+        assert prepared.is_stale() is False, "handle re-bound to new plan"
+        assert prepared.statistics_version == session.statistics_version()
+        assert result.num_rows == 1
+        replans = session.metrics.counter(
+            "repro_session_replans_total", ""
+        ).value()
+        assert replans == 1
+
+    def test_exact_sessions_have_no_statistics(self, db):
+        session = Session(db, estimator="exact")
+        prepared = session.prepare(QUERY)
+        assert prepared.threshold is None
+        assert session.statistics_version() == 0
+        with pytest.raises(SessionError):
+            session.refresh_statistics()
+
+
+class TestConcurrency:
+    def test_concurrent_prepares_plan_exactly_once(self, db, monkeypatch):
+        session = Session(db, sample_size=200)
+        session.prepare(JOIN_QUERY)  # warm statistics, then forget plans
+        session.plan_cache.clear()
+
+        calls = []
+        real_optimize = Optimizer.optimize
+
+        def slow_optimize(self, query):
+            calls.append(1)
+            time.sleep(0.05)
+            return real_optimize(self, query)
+
+        monkeypatch.setattr(Optimizer, "optimize", slow_optimize)
+        barrier = threading.Barrier(6)
+        prepared = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            handle = session.prepare(JOIN_QUERY)
+            with lock:
+                prepared.append(handle)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(calls) == 1, "singleflight: one planning pass total"
+        assert len(prepared) == 6
+        assert all(p.planned is prepared[0].planned for p in prepared)
+
+
+class TestPrepareMany:
+    GRID = (0.05, 0.5, 0.95)
+
+    def test_lanes_match_scalar_prepare(self, session):
+        lanes = session.prepare_many(QUERY, self.GRID)
+        assert [p.threshold for p in lanes] == list(self.GRID)
+        # A later scalar prepare at any lane threshold is a cache hit.
+        again = session.prepare(QUERY, threshold=0.5)
+        assert again.from_cache is True
+        assert again.planned is lanes[1].planned
+
+    def test_lane_plans_equal_scalar_plans(self, db):
+        vector_session = Session(db, sample_size=400, statistics_seed=11)
+        scalar_session = Session(db, sample_size=400, statistics_seed=11)
+        lanes = vector_session.prepare_many(JOIN_QUERY, self.GRID)
+        for threshold, lane in zip(self.GRID, lanes):
+            scalar = scalar_session.prepare(JOIN_QUERY, threshold=threshold)
+            assert lane.plan.signature() == scalar.plan.signature()
+            assert lane.estimated_cost == pytest.approx(
+                scalar.estimated_cost
+            )
+
+    def test_requires_robust_session(self, db):
+        session = Session(db, estimator="histogram")
+        with pytest.raises(SessionError):
+            session.prepare_many(QUERY, self.GRID)
+        robust = Session(db)
+        with pytest.raises(SessionError):
+            robust.prepare_many(QUERY, ())
+
+
+class TestExecuteAndExplain:
+    def test_execute_sql_end_to_end(self, session):
+        result = session.execute(QUERY)
+        assert result.num_rows == 1
+        assert len(result.column_names) == 1
+        assert result.simulated_seconds > 0
+        assert result.plan_cached is False
+        assert session.execute(QUERY).plan_cached is True
+
+    def test_explain_includes_plan_and_provenance(self, session):
+        text = session.explain(QUERY)
+        assert "Aggregate" in text or "Scan" in text
+        assert "chosen plan:" in text
+        assert "estimation evidence" in text
+
+    def test_trace_query_record_shape(self, session):
+        record = session.trace_query(QUERY, execute=True, label="test")
+        assert record["template"] == "test"
+        assert record["kind"] == "query"
+        assert record["execution"]["actual_rows"] == 1
+        assert record["estimation"], "estimation spans must be captured"
+        assert record["timing"]["optimize_seconds"] >= 0
+
+    def test_tracing_does_not_pollute_the_plan_cache(self, session):
+        session.trace_query(QUERY)
+        assert len(session.plan_cache) == 0
+        assert session.prepare(QUERY).from_cache is False
+
+
+class TestLifecycle:
+    def test_closed_session_rejects_use(self, session):
+        session.prepare(QUERY)
+        session.close()
+        with pytest.raises(SessionError):
+            session.prepare(QUERY)
+        with pytest.raises(SessionError):
+            session.execute(QUERY)
+
+    def test_context_manager_closes(self, db):
+        with Session(db, sample_size=200) as session:
+            session.prepare(QUERY)
+        assert session._closed
+
+    def test_metrics_track_prepares_by_outcome(self, session):
+        session.prepare(QUERY)
+        session.prepare(QUERY)
+        counter = session.metrics.counter("repro_session_prepares_total", "")
+        assert counter.value(result="miss") == 1
+        assert counter.value(result="hit") == 1
+
+    def test_shared_statistics_are_not_rebuilt(self, db):
+        statistics = StatisticsManager(db)
+        statistics.update_statistics(sample_size=400, seed=11)
+        version = statistics.version
+        session = Session(db, statistics=statistics)
+        session.prepare(QUERY)
+        assert statistics.version == version
