@@ -1,0 +1,152 @@
+"""Degraded-mode planning overhead and chaos-sweep throughput.
+
+Two questions about the fault layer's cost:
+
+* **Degraded planning overhead** — when every estimator call fails and
+  the session re-plans through the §3.5 magic-only fallback, how much
+  slower is a prepare than the healthy path? The degraded path skips
+  sampling and synopsis probes entirely, so it must stay within a
+  small multiple of healthy planning (it is pure DP over magic
+  selectivities); the assertion is a loose ceiling, the recorded JSON
+  carries the real ratio.
+* **Chaos sweep throughput** — how long a seeded fault plan takes end
+  to end (archive copy + corruption + session + two workload rounds +
+  invariant checks), so CI budgets for the smoke sweep are grounded in
+  a measured number.
+
+Writes ``benchmarks/results/BENCH_chaos.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.errors import EstimationError
+from repro.faults import ChaosHarness, generate_fault_plans
+from repro.service import Session
+from repro.stats import StatisticsManager
+
+pytestmark = pytest.mark.perf
+
+#: Degraded prepares replace estimation with closed-form magic
+#: numbers, so they must not be more than this factor slower than
+#: healthy prepares (they are usually comparable or faster).
+MAX_DEGRADED_SLOWDOWN = 5.0
+
+QUERIES = [
+    "SELECT COUNT(*) FROM lineitem WHERE lineitem.l_quantity > 45",
+    "SELECT COUNT(*) FROM part WHERE part.p_size <= 10",
+    "SELECT COUNT(*) FROM lineitem, part "
+    "WHERE part.p_size <= 10 AND lineitem.l_quantity > 30",
+]
+ROUNDS = 3
+REPEATS = 5
+
+
+class _AlwaysFailing:
+    def __init__(self, inner):
+        self.inner = inner
+
+    def estimate(self, tables, predicate, hint=None):
+        raise EstimationError("benchmark-injected")
+
+    def estimate_many(self, tables, predicate, thresholds):
+        raise EstimationError("benchmark-injected")
+
+    def describe(self):
+        return "always-failing"
+
+
+def _time_prepares(session: Session) -> float:
+    """Best-of-rounds seconds for REPEATS passes over the query mix."""
+    for query in QUERIES:  # untimed warm-up (first-touch estimation)
+        session.prepare(query)
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        for _ in range(REPEATS):
+            for query in QUERIES:
+                session.prepare(query)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_degraded_planning_overhead(bench_tpch_db):
+    statistics = StatisticsManager(bench_tpch_db)
+    statistics.update_statistics(sample_size=500, seed=0)
+
+    # Healthy arm: plan cache disabled so every prepare really plans.
+    healthy = Session(
+        bench_tpch_db, statistics=statistics, plan_cache_size=0
+    )
+    healthy_seconds = _time_prepares(healthy)
+
+    # Degraded arm: every estimator call fails, every prepare routes
+    # through _prepare_degraded's magic-only fallback planner.
+    degraded = Session(
+        bench_tpch_db, statistics=statistics, plan_cache_size=0
+    )
+    degraded.estimator_decorator = _AlwaysFailing
+    degraded_seconds = _time_prepares(degraded)
+    assert degraded.degradations(), "the degraded arm must actually degrade"
+    assert all(
+        p.degraded_reason == "estimator-failure"
+        for p in [degraded.prepare(q) for q in QUERIES]
+    )
+
+    slowdown = degraded_seconds / healthy_seconds
+    prepares = ROUNDS and REPEATS * len(QUERIES)
+
+    harness = ChaosHarness(
+        bench_tpch_db,
+        QUERIES,
+        sample_size=200,
+        statistics_seed=17,
+    )
+    plans = generate_fault_plans(
+        6, seed=0, tables=tuple(bench_tpch_db.table_names)
+    )
+    sweep_started = time.perf_counter()
+    report = harness.run(plans)
+    sweep_seconds = time.perf_counter() - sweep_started
+    assert report.passed, report.format_summary()
+
+    payload = {
+        "benchmark": "chaos_degraded",
+        "workload": {
+            "queries": len(QUERIES),
+            "repeats": REPEATS,
+            "rounds": ROUNDS,
+        },
+        "healthy": {
+            "best_seconds": round(healthy_seconds, 4),
+            "prepares_per_second": round(prepares / healthy_seconds, 2),
+        },
+        "degraded": {
+            "best_seconds": round(degraded_seconds, 4),
+            "prepares_per_second": round(prepares / degraded_seconds, 2),
+            "degradations": len(degraded.degradations()),
+        },
+        "degraded_slowdown": round(slowdown, 4),
+        "max_degraded_slowdown": MAX_DEGRADED_SLOWDOWN,
+        "chaos_sweep": {
+            "plans": len(plans),
+            "seconds": round(sweep_seconds, 4),
+            "seconds_per_plan": round(sweep_seconds / len(plans), 4),
+            "plans_degraded": sum(
+                1 for o in report.outcomes if o.degradations
+            ),
+            "violations": report.num_violations,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_chaos.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(json.dumps(payload, indent=2))
+
+    assert slowdown <= MAX_DEGRADED_SLOWDOWN

@@ -17,6 +17,12 @@ Three subcommands::
         Summarize (or explain one query of) a JSONL trace file
         produced by ``experiment --trace-out`` or ``sql --trace-out``.
 
+    python -m repro chaos --plans 20 --seed 0
+        Sweep seeded fault plans (corrupted statistics archives,
+        failing estimators, mid-session staleness) against a live
+        session and check the graceful-degradation invariants; see
+        :mod:`repro.faults`.
+
 ``experiment`` and ``sql`` share one observability flag set:
 ``--trace`` / ``--trace-out FILE`` record end-to-end query traces
 (estimation evidence → optimizer decision → execution provenance) and
@@ -164,6 +170,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="explain one trace: an exact trace_id or a unique substring",
     )
     trace.set_defaults(handler=_cmd_trace)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="sweep seeded fault plans against the degradation invariants",
+    )
+    chaos.add_argument(
+        "--plans", type=int, default=20, help="number of fault plans to sweep"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--workload", choices=["tpch", "star"], default="tpch")
+    chaos.add_argument("--scale", type=int, default=4_000)
+    chaos.add_argument("--sample-size", type=int, default=150)
+    chaos.add_argument(
+        "--threshold",
+        default="80",
+        help="confidence threshold (percentage or named level)",
+    )
+    chaos.add_argument(
+        "--max-faults",
+        type=int,
+        default=3,
+        help="maximum faults injected together in one plan",
+    )
+    chaos.add_argument(
+        "--verbose", action="store_true", help="report passing plans too"
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
 
     return parser
 
@@ -371,6 +404,51 @@ def _cmd_sql(args) -> int:
         session.cache_stats()
         _write_metrics(session.metrics, args.metrics_out)
     return 0
+
+
+#: The workload each ``chaos`` sweep drives under every fault plan:
+#: a selection, a second table's selection, and a two-table join, so
+#: the sweep exercises single-table fallbacks and join synopses alike.
+_CHAOS_QUERIES = {
+    "tpch": (
+        "SELECT COUNT(*) FROM lineitem WHERE lineitem.l_quantity > 45",
+        "SELECT COUNT(*) FROM part WHERE part.p_size <= 10",
+        "SELECT COUNT(*) FROM lineitem, part "
+        "WHERE part.p_size <= 10 AND lineitem.l_quantity > 30",
+    ),
+    "star": (
+        "SELECT COUNT(*) FROM dim1 WHERE dim1.d_attr < 100",
+        "SELECT COUNT(*) FROM fact, dim1 WHERE dim1.d_attr < 100",
+    ),
+}
+
+
+def _cmd_chaos(args) -> int:
+    from repro.faults import ChaosHarness, generate_fault_plans
+
+    if args.workload == "tpch":
+        database = build_tpch_database(
+            TpchConfig(num_lineitem=args.scale, seed=7)
+        )
+    else:
+        database = build_star_database(
+            StarConfig(num_fact=max(args.scale, 1000), seed=7)
+        )
+    harness = ChaosHarness(
+        database,
+        _CHAOS_QUERIES[args.workload],
+        sample_size=args.sample_size,
+        threshold=args.threshold,
+    )
+    plans = generate_fault_plans(
+        args.plans,
+        seed=args.seed,
+        tables=tuple(database.table_names),
+        max_faults=args.max_faults,
+    )
+    report = harness.run(plans)
+    print(report.format_summary(verbose=args.verbose))
+    return 0 if report.passed else 1
 
 
 def _cmd_trace(args) -> int:

@@ -101,6 +101,15 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
         #: Posterior inversions served from a quantile-table row
         #: instead of per-threshold ``betaincinv`` calls.
         self.lut_hits = 0
+        #: §3.5 fallback attribution: estimation passes that could not
+        #: use a covering synopsis, counted by fallback source
+        #: ("sample-avi" / "magic" / "mixed"). Memoized repeats of the
+        #: same estimate are not re-counted — these are unique passes.
+        self.fallback_counts: dict[str, int] = {}
+        #: Optional hook called as ``listener(tables, source)`` on
+        #: every fallback pass; the session wires this into its
+        #: metrics registry so degradations are attributed live.
+        self.fallback_listener = None
 
     # ------------------------------------------------------------------
     def estimate(
@@ -342,6 +351,7 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
                 )
 
         source = self._fallback_source(used_sample, used_magic)
+        self._note_fallback(names, source)
         return CardinalityEstimate(
             tables=frozenset(names),
             selectivity=selectivity,
@@ -411,6 +421,7 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
                 )
 
         source = self._fallback_source(used_sample, used_magic)
+        self._note_fallback(names, source)
         return tuple(
             CardinalityEstimate(
                 tables=frozenset(names),
@@ -422,6 +433,12 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
             )
             for s, t in zip(selectivity, grid)
         )
+
+    def _note_fallback(self, names: set[str], source: str) -> None:
+        """Attribute one §3.5 fallback pass (counter + optional hook)."""
+        self.fallback_counts[source] = self.fallback_counts.get(source, 0) + 1
+        if self.fallback_listener is not None:
+            self.fallback_listener(frozenset(names), source)
 
     @staticmethod
     def _fallback_source(used_sample: bool, used_magic: bool) -> str:

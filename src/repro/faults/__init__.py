@@ -1,0 +1,69 @@
+"""Deterministic fault injection and graceful-degradation validation.
+
+The paper's claim is *robustness*: estimation should degrade
+predictably when statistics are missing or unreliable (§3.5), and the
+experiments stress seed-to-seed variance (§6.2) precisely because the
+happy path proves nothing. Related work makes the same argument from
+the other side — PARQO and probabilistic robust plan evaluation both
+validate optimizers *under injected estimation error*. This package is
+that validation layer for the whole statistics lifecycle:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultSpec`,
+  a seeded, declarative description of which faults to inject
+  (corrupted statistics archives, mid-session staleness, failing or
+  stalling estimators, cache pressure), plus the deterministic
+  :func:`generate_fault_plans` sweep generator;
+* :mod:`repro.faults.injectors` — the fault implementations: archive
+  corruptors (truncated ``.npz``, manifest/array mismatch,
+  out-of-range row ids, …) and the :class:`FaultyEstimator` wrapper;
+* :mod:`repro.faults.invariants` — the properties that must survive
+  any fault, including the §3.5 magic-number envelope;
+* :mod:`repro.faults.harness` — :class:`ChaosHarness`, which sweeps
+  fault plans against a :class:`~repro.service.Session` and checks
+  four invariants on every plan:
+
+  1. **executable-plan** — the planner always returns a plan that
+     executes, no matter what was injected;
+  2. **fallback-envelope** — statistics-free estimates stay inside
+     the magic-distribution envelope;
+  3. **cache-versioning** — the plan cache never serves a plan across
+     a statistics change;
+  4. **degradation-attributed** — every degradation leaves a
+     :class:`~repro.obs.DegradationEvent` and a metrics increment
+     behind; nothing degrades silently.
+
+Run a sweep from the command line with ``python -m repro chaos``.
+"""
+
+from repro.faults.plan import (
+    ARCHIVE_FAULTS,
+    FAULT_KINDS,
+    RUNTIME_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    generate_fault_plans,
+)
+from repro.faults.injectors import FaultyEstimator, apply_archive_fault
+from repro.faults.invariants import (
+    INVARIANTS,
+    magic_envelope,
+    span_violations,
+)
+from repro.faults.harness import ChaosHarness, ChaosReport, PlanOutcome
+
+__all__ = [
+    "ARCHIVE_FAULTS",
+    "ChaosHarness",
+    "ChaosReport",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyEstimator",
+    "INVARIANTS",
+    "PlanOutcome",
+    "RUNTIME_FAULTS",
+    "apply_archive_fault",
+    "generate_fault_plans",
+    "magic_envelope",
+    "span_violations",
+]

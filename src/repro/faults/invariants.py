@@ -1,0 +1,92 @@
+"""The properties that must survive any injected fault.
+
+The harness checks four invariants; this module holds the pieces that
+are pure functions of data, so tests can exercise them directly.
+
+The **§3.5 envelope**: a statistics-free predicate is priced at the
+``T``-th percentile of a magic distribution whose mean is one of the
+paper's magic numbers (0.1 for equality up to 1/3 for inequality, with
+``NOT`` complements reaching 0.9). A fallback estimate for a
+conjunction of ``c`` atoms therefore lies between
+``ppf_T(Beta(mean=0.1))^c`` (every atom at the most selective magic
+number) and ``ppf_T(Beta(mean=0.9))`` (one atom at the least
+selective). Anything outside that band did not come from the
+documented fallback path.
+"""
+
+from __future__ import annotations
+
+from repro.core.magic import MagicDistribution
+
+#: The invariant names the chaos harness reports against.
+INVARIANTS = (
+    "executable-plan",
+    "fallback-envelope",
+    "cache-versioning",
+    "degradation-attributed",
+)
+
+#: Extremes of the magic-number table (§3.5): the most selective mean
+#: (equality, 0.1) and its NOT-complement (0.9).
+_MAGIC_MEAN_LO = 0.1
+_MAGIC_MEAN_HI = 0.9
+
+
+def magic_envelope(
+    threshold: float, conjuncts: int = 1, concentration: float = 4.0
+) -> tuple[float, float]:
+    """The [lo, hi] selectivity band a magic fallback may occupy.
+
+    ``conjuncts`` bounds how many atoms the fallback may have
+    multiplied together (each one shrinks the lower edge).
+    """
+    lo = MagicDistribution(_MAGIC_MEAN_LO, concentration).selectivity(
+        threshold
+    ) ** max(int(conjuncts), 1)
+    hi = MagicDistribution(_MAGIC_MEAN_HI, concentration).selectivity(threshold)
+    return lo, hi
+
+
+def _as_lanes(value) -> list:
+    """A span field that is scalar (point path) or a list (grid path)."""
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]
+
+
+def span_violations(
+    record: dict, conjunct_bound: int, concentration: float = 4.0
+) -> list[str]:
+    """Envelope violations in one query-trace record.
+
+    Every estimation span's quantile must be a valid selectivity;
+    spans attributed to the magic fallback must additionally sit
+    inside :func:`magic_envelope` for their recorded threshold.
+    """
+    violations: list[str] = []
+    for span in record.get("estimation", ()):
+        source = span.get("source")
+        quantiles = _as_lanes(span.get("quantile"))
+        thresholds = _as_lanes(span.get("threshold"))
+        if len(thresholds) == 1 and len(quantiles) > 1:
+            thresholds = thresholds * len(quantiles)
+        for quantile, threshold in zip(quantiles, thresholds):
+            if quantile is None:
+                continue
+            if not 0.0 <= quantile <= 1.0:
+                violations.append(
+                    f"fallback-envelope: span over {span.get('tables')} "
+                    f"has quantile {quantile!r} outside [0, 1]"
+                )
+                continue
+            if source == "magic" and threshold is not None:
+                lo, hi = magic_envelope(
+                    threshold, conjunct_bound, concentration
+                )
+                if not lo <= quantile <= hi:
+                    violations.append(
+                        "fallback-envelope: magic span over "
+                        f"{span.get('tables')} at T={threshold:g} gave "
+                        f"{quantile:.6g}, outside [{lo:.6g}, {hi:.6g}]"
+                    )
+    return violations

@@ -42,10 +42,13 @@ from repro.obs.sink import (
     write_traces,
 )
 from repro.obs.execution import execution_span, operator_spans
+from repro.obs.health import DEGRADATION_REASONS, DegradationEvent
 from repro.obs.registry import MetricsRegistry
 from repro.obs.summarize import explain_trace, summarize_traces
 
 __all__ = [
+    "DEGRADATION_REASONS",
+    "DegradationEvent",
     "TRACE_SCHEMA_VERSION",
     "EstimationSpan",
     "InMemoryTraceSink",

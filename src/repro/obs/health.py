@@ -1,0 +1,66 @@
+"""Degradation events: the attribution record for graceful fallback.
+
+The paper's robustness story (§3.5) is that the optimizer keeps
+working when statistics are missing or unreliable — but *silent*
+degradation is how estimation bugs hide. Every time the session layer
+routes around a failure (an unreadable statistics archive, an
+estimator raising mid-plan, statistics that fail their health check),
+it records a :class:`DegradationEvent` carrying the machine-readable
+reason, a human-readable detail, and the statistics version in force,
+and mirrors the reason into the
+:class:`~repro.obs.registry.MetricsRegistry`
+(``repro_session_degradations_total{reason=...}``). The chaos harness
+(:mod:`repro.faults`) asserts the converse: no injected fault may
+degrade the session without leaving one of these events behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: Machine-readable degradation reasons the session may record.
+DEGRADATION_REASONS = (
+    "statistics-load-failed",
+    "statistics-health",
+    "estimator-failure",
+    "statistics-missing",
+)
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One attributed instance of graceful degradation.
+
+    Attributes
+    ----------
+    reason:
+        One of :data:`DEGRADATION_REASONS`.
+    detail:
+        Human-readable context (the exception text, the health issues).
+    component:
+        Which layer degraded (``"statistics"``, ``"planner"``, ...).
+    statistics_version:
+        The statistics version in force when the event was recorded.
+    """
+
+    reason: str
+    detail: str
+    component: str
+    statistics_version: int
+
+    def __post_init__(self) -> None:
+        if self.reason not in DEGRADATION_REASONS:
+            raise ValueError(
+                f"unknown degradation reason {self.reason!r}; "
+                f"expected one of {DEGRADATION_REASONS}"
+            )
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering (stable key order)."""
+        return {
+            "reason": self.reason,
+            "detail": self.detail,
+            "component": self.component,
+            "statistics_version": self.statistics_version,
+        }

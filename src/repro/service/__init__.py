@@ -16,6 +16,8 @@ stop re-wiring it by hand.
 from repro.service.cache import PlanCache, PlanCacheError
 from repro.service.fingerprint import canonical_sql, query_fingerprint
 from repro.service.session import (
+    DEGRADED,
+    HEALTHY,
     PreparedQuery,
     QueryResult,
     Session,
@@ -24,6 +26,8 @@ from repro.service.session import (
 )
 
 __all__ = [
+    "DEGRADED",
+    "HEALTHY",
     "PlanCache",
     "PlanCacheError",
     "PreparedQuery",

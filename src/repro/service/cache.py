@@ -164,7 +164,13 @@ class PlanCache:
         return None
 
     def put(self, key: Hashable, value) -> None:
-        """Insert (or refresh) an entry, evicting LRU past capacity."""
+        """Insert (or refresh) an entry, evicting LRU past capacity.
+
+        A ``put`` also supersedes any in-flight :meth:`get_or_create`
+        for the same key: followers waiting on the leader's factory
+        are released immediately with this value instead of blocking
+        on a computation whose result is already cached.
+        """
         if self.capacity == 0:
             return
         stripe = self._stripe_for(key)
@@ -175,6 +181,10 @@ class PlanCache:
             while len(stripe.entries) > stripe.capacity:
                 stripe.entries.popitem(last=False)
                 evicted += 1
+            flight = stripe.inflight.pop(key, None)
+        if flight is not None:
+            flight.value = value
+            flight.event.set()
         if evicted:
             with self._stats_lock:
                 self.evictions += evicted

@@ -44,15 +44,21 @@ from repro.core import (
 )
 from repro.cost import CostModel
 from repro.engine import ExecutionContext
-from repro.errors import ReproError
+from repro.errors import EstimationError, ReproError, StatisticsError
 from repro.expressions import Frame
-from repro.obs import MetricsRegistry, QueryTrace, Tracer, execution_span
+from repro.obs import (
+    DegradationEvent,
+    MetricsRegistry,
+    QueryTrace,
+    Tracer,
+    execution_span,
+)
 from repro.obs.summarize import explain_trace
 from repro.optimizer import Optimizer, PlannedQuery, SPJQuery
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import canonical_sql, query_fingerprint
 from repro.sql import parse_query
-from repro.stats import StatisticsManager
+from repro.stats import StatisticsManager, load_statistics
 
 
 class SessionError(ReproError):
@@ -61,6 +67,10 @@ class SessionError(ReproError):
 
 #: Estimator kinds a session can be configured with.
 ESTIMATOR_KINDS = ("robust", "histogram", "exact")
+
+#: Session health states (the degraded-mode state machine).
+HEALTHY = "healthy"
+DEGRADED = "degraded"
 
 
 @dataclass(frozen=True)
@@ -150,6 +160,7 @@ class PreparedQuery:
         threshold: float | None,
         statistics_version: int,
         from_cache: bool,
+        degraded_reason: str | None = None,
     ) -> None:
         self.session = session
         self.query = query
@@ -161,6 +172,10 @@ class PreparedQuery:
         self.statistics_version = statistics_version
         #: Whether this handle was served from the session plan cache.
         self.from_cache = from_cache
+        #: Set when the plan came from the degraded (§3.5 magic-only)
+        #: path after the configured estimator failed; such plans are
+        #: never cached.
+        self.degraded_reason = degraded_reason
         self.fingerprint = query_fingerprint(query)
 
     # ------------------------------------------------------------------
@@ -254,6 +269,26 @@ class Session:
         self._statistics_lock = threading.Lock()
         self._estimator: CardinalityEstimator | None = None
         self._closed = False
+        # Degraded-mode state machine: HEALTHY until a degradation is
+        # recorded, back to HEALTHY on a successful attach/refresh.
+        self._health = HEALTHY
+        self._degradations: list[DegradationEvent] = []
+        self._estimator_decorator = None
+
+    @property
+    def estimator_decorator(self):
+        """Optional estimator middleware ``decorator(estimator) ->
+        estimator`` applied to every non-traced estimator build; the
+        fault-injection harness uses it to make estimators fail or
+        stall deterministically. Assigning (or clearing) it rebinds
+        the session's estimator on next use."""
+        return self._estimator_decorator
+
+    @estimator_decorator.setter
+    def estimator_decorator(self, value) -> None:
+        self._estimator_decorator = value
+        with self._statistics_lock:
+            self._estimator = None
 
     # ------------------------------------------------------------------
     # Statistics lifecycle
@@ -318,7 +353,100 @@ class Session:
                 "repro_session_statistics_refreshes_total",
                 "Statistics rebuilds requested on the session.",
             ).inc()
+            self._set_health(HEALTHY)
             return self._statistics.version
+
+    def attach_statistics(
+        self,
+        source: StatisticsManager | str,
+        *,
+        strict: bool = False,
+    ) -> int:
+        """Swap in statistics (a manager, or a saved-archive path).
+
+        The attach runs a health check
+        (:meth:`~repro.stats.StatisticsManager.health_issues`). A clean
+        bill restores :data:`HEALTHY`; load failures and health issues
+        record attributed :class:`~repro.obs.DegradationEvent`\\ s and
+        put the session in :data:`DEGRADED` mode — the session keeps
+        serving queries through the §3.5 fallbacks rather than failing
+        (``strict=True`` raises on a load failure instead).
+
+        Loaded managers carry a process-unique statistics version, so
+        every cached plan from the previous statistics is structurally
+        invalidated — attaching can never serve a plan planned under
+        different statistics. Returns the statistics version in force
+        after the attach.
+        """
+        self._check_open()
+        if self.config.estimator == "exact":
+            raise SessionError("exact sessions have no statistics to attach")
+        if isinstance(source, StatisticsManager):
+            manager = source
+        else:
+            try:
+                manager = load_statistics(self.database, source)
+            except StatisticsError as exc:
+                if strict:
+                    raise
+                self._record_degradation(
+                    "statistics-load-failed", str(exc), component="statistics"
+                )
+                return self.statistics_version()
+        issues = manager.health_issues()
+        with self._statistics_lock:
+            self._statistics = manager
+            self._estimator = None  # rebind lazily to the new manager
+        if issues:
+            self._record_degradation(
+                "statistics-health",
+                "; ".join(issues),
+                component="statistics",
+            )
+        else:
+            self._set_health(HEALTHY)
+        self.metrics.counter(
+            "repro_session_statistics_attaches_total",
+            "Statistics managers attached to the session.",
+        ).inc(result="degraded" if issues else "healthy")
+        return manager.version
+
+    # ------------------------------------------------------------------
+    # Degraded-mode state machine
+    # ------------------------------------------------------------------
+    @property
+    def health(self) -> str:
+        """:data:`HEALTHY` or :data:`DEGRADED`."""
+        return self._health
+
+    def degradations(self) -> list[DegradationEvent]:
+        """Every degradation recorded on this session, in order."""
+        return list(self._degradations)
+
+    def _set_health(self, state: str) -> None:
+        self._health = state
+        self.metrics.gauge(
+            "repro_session_degraded",
+            "1 while the session is in degraded mode, else 0.",
+        ).set(1.0 if state == DEGRADED else 0.0)
+
+    def _record_degradation(
+        self, reason: str, detail: str, component: str
+    ) -> DegradationEvent:
+        """Attribute one degradation: event list + metrics + state."""
+        event = DegradationEvent(
+            reason=reason,
+            detail=detail,
+            component=component,
+            statistics_version=self.statistics_version(),
+        )
+        self._degradations.append(event)
+        self.metrics.counter(
+            "repro_session_degradations_total",
+            "Graceful degradations, by attributed reason.",
+        ).inc(reason=reason)
+        self._set_health(DEGRADED)
+        return event
 
     # ------------------------------------------------------------------
     # Estimator / optimizer wiring
@@ -336,10 +464,40 @@ class Session:
                     prior=self.config.prior,
                     policy=self.config.resolved_threshold,
                 )
+                estimator.fallback_listener = self._note_fallback_estimate
             else:
                 estimator = HistogramCardinalityEstimator(statistics)
         if tracer is not None:
             estimator.tracer = tracer
+        elif self.estimator_decorator is not None:
+            estimator = self.estimator_decorator(estimator)
+        return estimator
+
+    def _note_fallback_estimate(self, tables, source: str) -> None:
+        """§3.5 fallback attribution hook wired into robust estimators."""
+        self.metrics.counter(
+            "repro_session_fallback_estimates_total",
+            "Estimation passes routed through the §3.5 fallbacks, "
+            "by fallback source.",
+        ).inc(source=source)
+
+    def _fallback_estimator(self) -> RobustCardinalityEstimator:
+        """The last-resort planner estimator: §3.5 magic-only routing.
+
+        Built over an *empty* statistics manager, so every estimate
+        takes the fallback path — base-table cardinalities stay exact,
+        predicates price at magic-distribution percentiles. It always
+        answers, which is what keeps the planner total under injected
+        estimator faults.
+        """
+        estimator = RobustCardinalityEstimator(
+            StatisticsManager(self.database),
+            prior=self.config.prior,
+            policy=self.config.resolved_threshold
+            if self.config.estimator == "robust"
+            else MODERATE,
+        )
+        estimator.fallback_listener = self._note_fallback_estimate
         return estimator
 
     def _shared_estimator(self) -> CardinalityEstimator:
@@ -430,10 +588,48 @@ class Session:
             ).set(time.perf_counter() - started)
             return planned
 
-        planned, was_cached = self.plan_cache.get_or_create(key, plan)
+        try:
+            planned, was_cached = self.plan_cache.get_or_create(key, plan)
+        except (EstimationError, StatisticsError) as exc:
+            return self._prepare_degraded(parsed, effective, version, exc)
         self._count_prepare(was_cached)
         return PreparedQuery(
             self, parsed, planned, effective, version, was_cached
+        )
+
+    def _prepare_degraded(
+        self,
+        parsed: SPJQuery,
+        effective: float | None,
+        version: int,
+        exc: ReproError,
+    ) -> PreparedQuery:
+        """Plan through the §3.5 magic-only path after an estimator failure.
+
+        The degradation is attributed (event + metrics), and the
+        resulting plan is handed back **uncached** — the plan cache
+        only ever holds plans produced by the configured estimator, so
+        a transient estimator fault can't poison it.
+        """
+        event = self._record_degradation(
+            "estimator-failure",
+            f"{type(exc).__name__}: {exc}",
+            component="planner",
+        )
+        target = parsed
+        if self.config.estimator == "robust":
+            target = replace(parsed, hint=effective)
+        optimizer = Optimizer(
+            self.database,
+            self._fallback_estimator(),
+            self.cost_model,
+            enable_star_plans=self.config.enable_star_plans,
+        )
+        planned = optimizer.optimize(target)
+        self._count_prepare(False)
+        return PreparedQuery(
+            self, parsed, planned, effective, version, False,
+            degraded_reason=event.reason,
         )
 
     def prepare_many(
@@ -473,9 +669,14 @@ class Session:
         missing = [t for t in grid if t not in found]
         if missing:
             hintless = replace(parsed, hint=None)
-            planned_grid = self._optimizer().optimize_many(
-                hintless, tuple(missing)
-            )
+            try:
+                planned_grid = self._optimizer().optimize_many(
+                    hintless, tuple(missing)
+                )
+            except (EstimationError, StatisticsError):
+                # Degrade lane by lane through the scalar path (which
+                # attributes the failure and plans uncached via §3.5).
+                return [self.prepare(hintless, t) for t in grid]
             for threshold, planned in zip(missing, planned_grid):
                 key = self._cache_key(fingerprint, threshold, version)
                 self.plan_cache.put(key, planned)
@@ -680,11 +881,12 @@ class Session:
         """One-line session summary for logs and reports."""
         threshold = self.config.resolved_threshold
         knob = f", T={threshold:.0%}" if threshold is not None else ""
+        flag = ", DEGRADED" if self._health == DEGRADED else ""
         return (
             f"Session({self.config.estimator}{knob}, "
             f"n={self.config.sample_size}, "
             f"cache={self.config.plan_cache_size}, "
-            f"stats_v{self.statistics_version()})"
+            f"stats_v{self.statistics_version()}{flag})"
         )
 
     def _check_open(self) -> None:

@@ -96,6 +96,11 @@ def rebuild_join_synopsis(
     if len(row_ids) == 0:
         raise StatisticsError("row_ids must be non-empty")
     row_ids = np.asarray(row_ids, dtype=np.int64)
+    num_rows = database.table(root_table).num_rows
+    if row_ids.min() < 0 or row_ids.max() >= num_rows:
+        raise StatisticsError(
+            f"synopsis row_ids out of range for table {root_table!r}"
+        )
     frame, covered = fk_join_frame(database, root_table, row_ids=row_ids)
     return JoinSynopsis(root_table, len(row_ids), covered, frame, row_ids)
 

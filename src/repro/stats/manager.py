@@ -9,14 +9,37 @@ Individual statistics can be dropped to exercise the paper's
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable
 
 from repro.catalog import ColumnType, Database
-from repro.errors import StatisticsError
+from repro.errors import CatalogError, StatisticsError
 from repro.random_state import RngLike, spawn_rngs
 from repro.stats.histogram import EquiDepthHistogram
 from repro.stats.join_synopsis import JoinSynopsis, build_join_synopsis
 from repro.stats.sample import TableSample
+
+# Process-wide statistics epoch. Every statistics state change — a
+# rebuild, a drop, or restoring a persisted archive — draws its
+# ``version`` from this one counter, so two different statistics
+# states can never carry the same version, even across managers.
+# Plan caches and estimator memos key on the version; without a shared
+# allocator, two archives loaded into one session would both sit at
+# the same counter value and silently share cache entries.
+_EPOCH_LOCK = threading.Lock()
+_EPOCH = 0
+
+
+def next_statistics_epoch(floor: int = 0) -> int:
+    """Allocate the next process-unique statistics version.
+
+    ``floor`` keeps the counter monotonic past an externally persisted
+    epoch (e.g. the version recorded in a statistics archive).
+    """
+    global _EPOCH
+    with _EPOCH_LOCK:
+        _EPOCH = max(_EPOCH, floor) + 1
+        return _EPOCH
 
 
 class StatisticsManager:
@@ -28,10 +51,18 @@ class StatisticsManager:
         self._synopses: dict[str, JoinSynopsis] = {}
         self._histograms: dict[tuple[str, str], EquiDepthHistogram] = {}
         self.sample_size: int | None = None
-        #: Monotonic counter bumped whenever the statistics change
-        #: (rebuild or drop). Estimators key their memo caches on it so
-        #: a rebuild can never serve estimates from stale statistics.
+        #: Statistics version: 0 before any build, then a
+        #: process-unique epoch stamped on every change (rebuild, drop,
+        #: or archive load). Estimators and the session plan cache key
+        #: their caches on it, so no two statistics states — including
+        #: states loaded from different archives — can ever share a
+        #: cache entry.
         self.version: int = 0
+
+    def bump_version(self, floor: int = 0) -> int:
+        """Stamp (and return) a fresh process-unique version."""
+        self.version = next_statistics_epoch(max(floor, self.version))
+        return self.version
 
     # ------------------------------------------------------------------
     # Offline precomputation phase
@@ -52,7 +83,7 @@ class StatisticsManager:
         """
         names = list(tables) if tables is not None else self.database.table_names
         self.sample_size = sample_size
-        self.version += 1
+        self.bump_version()
         rngs = spawn_rngs(seed, 2 * len(names))
         for i, name in enumerate(names):
             table = self.database.table(name)
@@ -88,7 +119,10 @@ class StatisticsManager:
         """
         try:
             root = self.database.root_relation(tables)
-        except Exception:
+        except CatalogError:
+            # Expected: the tables don't form a rooted FK tree, so no
+            # synopsis can cover them. Anything else is a real bug and
+            # must propagate, not masquerade as "no synopsis".
             return None
         synopsis = self._synopses.get(root)
         if synopsis is not None and synopsis.covers(set(tables)):
@@ -109,18 +143,54 @@ class StatisticsManager:
     def drop_synopsis(self, root_table: str) -> None:
         """Remove the join synopsis rooted at ``root_table``."""
         self._synopses.pop(root_table, None)
-        self.version += 1
+        self.bump_version()
 
     def drop_sample(self, table_name: str) -> None:
         """Remove the single-table sample for ``table_name``."""
         self._samples.pop(table_name, None)
-        self.version += 1
+        self.bump_version()
 
     def drop_histograms(self, table_name: str) -> None:
         """Remove every histogram on ``table_name``."""
         for key in [k for k in self._histograms if k[0] == table_name]:
             del self._histograms[key]
-        self.version += 1
+        self.bump_version()
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def health_issues(self) -> list[str]:
+        """Consistency problems a session should know about on attach.
+
+        Returns human-readable issue strings, empty when healthy.
+        Missing statistics are reported (they route estimates through
+        the Section 3.5 fallbacks) but internally inconsistent ones —
+        row ids outside their table, a synopsis whose root positions
+        were lost — are too, so callers can decide whether to degrade
+        or rebuild.
+        """
+        issues: list[str] = []
+        if not self._samples and not self._synopses and not self._histograms:
+            issues.append("no statistics built (every estimate will fall back)")
+            return issues
+        for name in self.database.table_names:
+            rows = self.database.table(name).num_rows
+            sample = self._samples.get(name)
+            if sample is None:
+                issues.append(f"table {name!r}: no sample")
+            elif len(sample.row_ids) and (
+                sample.row_ids.min() < 0 or sample.row_ids.max() >= rows
+            ):
+                issues.append(f"table {name!r}: sample row ids out of range")
+            synopsis = self._synopses.get(name)
+            if synopsis is None:
+                issues.append(f"table {name!r}: no join synopsis")
+            elif synopsis.root_row_ids is None:
+                issues.append(
+                    f"table {name!r}: synopsis lacks root row ids "
+                    "(cannot be persisted)"
+                )
+        return issues
 
     def require_synopsis(self, root_table: str) -> JoinSynopsis:
         """Like :meth:`synopsis_for` but raising when missing."""

@@ -367,3 +367,39 @@ class TestReport:
         assert "Experiment 1 / Figure 9" in text
         assert "Experiment 3 / Figure 11" in text
         assert "Histograms" in text
+
+
+class TestChaos:
+    def test_small_sweep_passes(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--plans", "4",
+                "--seed", "0",
+                "--scale", "1500",
+                "--sample-size", "80",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "chaos sweep: 4 fault plans" in out
+        assert out.strip().endswith("PASS")
+
+    def test_verbose_lists_every_plan(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--plans", "2",
+                "--seed", "1",
+                "--scale", "1500",
+                "--sample-size", "80",
+                "--verbose",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert out.count("[ok]") == 2
+
+    def test_bad_plan_count_rejected(self, capsys):
+        with pytest.raises(Exception, match="count"):
+            main(["chaos", "--plans", "0", "--scale", "1500"])

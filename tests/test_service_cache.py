@@ -167,3 +167,56 @@ class TestSingleflight:
         for t in threads:
             t.join()
         assert sorted(order) == [0, 1, 2, 3]
+
+    def test_put_supersedes_inflight_computation(self):
+        """A put() for a key being computed releases the waiters.
+
+        The session uses this when a background refresh finishes while
+        a singleflight leader is still planning: followers should get
+        the fresh cached value immediately instead of blocking on the
+        leader's (now redundant) factory.
+        """
+        cache = PlanCache(capacity=8)
+        leader_started = threading.Event()
+        release_leader = threading.Event()
+        follower_results = []
+
+        def slow_factory():
+            leader_started.set()
+            release_leader.wait(timeout=5)
+            return "slow"
+
+        leader = threading.Thread(
+            target=lambda: cache.get_or_create("k", slow_factory)
+        )
+        leader.start()
+        assert leader_started.wait(timeout=5)
+
+        def follower():
+            value, cached = cache.get_or_create(
+                "k", lambda: pytest.fail("follower must never compute")
+            )
+            follower_results.append((value, cached))
+
+        followers = [threading.Thread(target=follower) for _ in range(3)]
+        for t in followers:
+            t.start()
+        time.sleep(0.05)  # let the followers park on the flight event
+
+        cache.put("k", "fast")
+        for t in followers:
+            t.join(timeout=5)
+        assert follower_results == [("fast", True)] * 3, (
+            "put() must release waiters with the superseding value"
+        )
+
+        # The leader finishes later; its stale result must not clobber
+        # anything for the waiters that were already released.
+        release_leader.set()
+        leader.join(timeout=5)
+        assert not leader.is_alive()
+
+    def test_put_without_inflight_is_plain_insert(self):
+        cache = PlanCache(capacity=8)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"

@@ -96,3 +96,76 @@ class TestDeterminism:
         manager.update_statistics(sample_size=50, seed=0, tables=["part"])
         assert manager.sample_for("part") is not None
         assert manager.sample_for("lineitem") is None
+
+
+class TestSynopsisCoveringErrorDiscipline:
+    def test_catalog_errors_mean_no_synopsis(self, tpch_stats, monkeypatch):
+        from repro.errors import CatalogError
+
+        def raising(tables):
+            raise CatalogError("no rooted FK tree")
+
+        monkeypatch.setattr(
+            tpch_stats.database, "root_relation", raising
+        )
+        assert tpch_stats.synopsis_covering({"lineitem", "orders"}) is None
+
+    def test_unexpected_errors_propagate(self, tpch_stats, monkeypatch):
+        """Regression: a bare ``except Exception`` here used to turn
+        genuine bugs in root-relation resolution into a silent "no
+        synopsis", sending estimates down the fallback chain with no
+        indication anything was wrong."""
+
+        def raising(tables):
+            raise RuntimeError("bug in root_relation")
+
+        monkeypatch.setattr(
+            tpch_stats.database, "root_relation", raising
+        )
+        with pytest.raises(RuntimeError, match="bug in root_relation"):
+            tpch_stats.synopsis_covering({"lineitem", "orders"})
+
+
+class TestVersionEpoch:
+    def test_versions_unique_across_managers(self, tpch_db):
+        a = StatisticsManager(tpch_db)
+        b = StatisticsManager(tpch_db)
+        a.update_statistics(sample_size=50, seed=0, tables=["part"])
+        b.update_statistics(sample_size=50, seed=0, tables=["part"])
+        assert a.version != b.version
+
+    def test_bump_version_monotonic_and_floored(self, tpch_db):
+        manager = StatisticsManager(tpch_db)
+        first = manager.bump_version()
+        second = manager.bump_version(floor=first + 100)
+        assert second > first + 100
+        third = manager.bump_version(floor=0)  # floor below current
+        assert third > second
+
+
+class TestHealthIssues:
+    def test_fresh_manager_reports_nothing_built(self, tpch_db):
+        issues = StatisticsManager(tpch_db).health_issues()
+        assert issues == [
+            "no statistics built (every estimate will fall back)"
+        ]
+
+    def test_complete_statistics_healthy(self, tpch_stats):
+        assert tpch_stats.health_issues() == []
+
+    def test_missing_pieces_reported_per_table(self, tpch_db):
+        manager = StatisticsManager(tpch_db)
+        manager.update_statistics(sample_size=50, seed=0)
+        manager.drop_sample("part")
+        manager.drop_synopsis("lineitem")
+        issues = manager.health_issues()
+        assert "table 'part': no sample" in issues
+        assert "table 'lineitem': no join synopsis" in issues
+
+    def test_out_of_range_sample_reported(self, tpch_db):
+        manager = StatisticsManager(tpch_db)
+        manager.update_statistics(sample_size=50, seed=0)
+        sample = manager.sample_for("part")
+        sample.row_ids[0] = tpch_db.table("part").num_rows + 1
+        issues = manager.health_issues()
+        assert any("sample row ids out of range" in issue for issue in issues)

@@ -1,6 +1,7 @@
 """Tests for statistics persistence (save/load round trip)."""
 
 import json
+import shutil
 
 import numpy as np
 import pytest
@@ -98,3 +99,209 @@ class TestErrors:
         restored = load_statistics(tpch_db, tmp_path / "partial")
         assert restored.sample_for("part") is not None
         assert restored.sample_for("lineitem") is None
+
+    def test_empty_statistics_round_trip(self, tpch_db, tmp_path):
+        save_statistics(StatisticsManager(tpch_db), tmp_path / "empty")
+        restored = load_statistics(tpch_db, tmp_path / "empty")
+        for name in tpch_db.table_names:
+            assert restored.sample_for(name) is None
+            assert restored.synopsis_for(name) is None
+
+    def test_unknown_table_raises(self, tpch_db, saved):
+        _, path = saved
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["tables"]["phantom"] = manifest["tables"]["part"]
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StatisticsError, match="unknown table"):
+            load_statistics(tpch_db, path)
+
+    def test_garbage_manifest_raises(self, tpch_db, saved):
+        _, path = saved
+        (path / "manifest.json").write_text('{"tables": [truncated')
+        with pytest.raises(StatisticsError, match="unreadable"):
+            load_statistics(tpch_db, path)
+
+    def test_non_dict_manifest_raises(self, tpch_db, saved):
+        _, path = saved
+        (path / "manifest.json").write_text('["not", "a", "manifest"]')
+        with pytest.raises(StatisticsError, match="malformed"):
+            load_statistics(tpch_db, path)
+
+    def test_missing_npz_raises(self, tpch_db, saved):
+        _, path = saved
+        (path / "part.npz").unlink()
+        with pytest.raises(StatisticsError, match="missing"):
+            load_statistics(tpch_db, path)
+
+    def test_truncated_npz_raises(self, tpch_db, saved):
+        _, path = saved
+        data = (path / "lineitem.npz").read_bytes()
+        (path / "lineitem.npz").write_bytes(data[: len(data) // 2])
+        with pytest.raises(StatisticsError, match="corrupt"):
+            load_statistics(tpch_db, path)
+
+    def test_manifest_promising_missing_array_raises(self, tpch_db, saved):
+        _, path = saved
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["tables"]["part"]["histograms"].append("no_such_column")
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StatisticsError, match="promised by the manifest"):
+            load_statistics(tpch_db, path)
+
+    @pytest.mark.parametrize(
+        "array_key", ["sample_row_ids", "synopsis_row_ids"]
+    )
+    def test_out_of_range_row_ids_raise(self, tpch_db, saved, array_key):
+        _, path = saved
+        target = path / "lineitem.npz"
+        with np.load(target) as handle:
+            arrays = {key: handle[key] for key in handle.files}
+        ids = arrays[array_key].copy()
+        ids[0] = tpch_db.table("lineitem").num_rows + 7
+        arrays[array_key] = ids
+        np.savez_compressed(target, **arrays)
+        with pytest.raises(StatisticsError, match="out of range"):
+            load_statistics(tpch_db, path)
+
+
+class TestAtomicSave:
+    """A failed save must never corrupt an existing archive."""
+
+    def test_failed_save_preserves_existing_archive(
+        self, tpch_db, saved, monkeypatch
+    ):
+        original, path = saved
+        expected = {
+            name: original.sample_for(name).row_ids.copy()
+            for name in tpch_db.table_names
+        }
+
+        fresh = StatisticsManager(tpch_db)
+        fresh.update_statistics(sample_size=120, seed=99)
+        calls = []
+
+        def failing_savez(*args, **kwargs):
+            calls.append(1)
+            if len(calls) >= 2:  # die mid-archive, after one table
+                raise OSError("disk full")
+            return real_savez(*args, **kwargs)
+
+        real_savez = np.savez_compressed
+        monkeypatch.setattr(np, "savez_compressed", failing_savez)
+        with pytest.raises(OSError, match="disk full"):
+            save_statistics(fresh, path)
+        monkeypatch.undo()
+
+        # The old archive is still complete and loads the old sample.
+        restored = load_statistics(tpch_db, path)
+        for name, row_ids in expected.items():
+            assert np.array_equal(restored.sample_for(name).row_ids, row_ids)
+
+    def test_failed_save_leaves_no_partial_fresh_archive(
+        self, tpch_db, tmp_path, monkeypatch
+    ):
+        manager = StatisticsManager(tpch_db)
+        manager.update_statistics(sample_size=100, seed=3)
+        calls = []
+
+        def failing_savez(*args, **kwargs):
+            calls.append(1)
+            if len(calls) >= 2:
+                raise OSError("disk full")
+            return real_savez(*args, **kwargs)
+
+        real_savez = np.savez_compressed
+        monkeypatch.setattr(np, "savez_compressed", failing_savez)
+        target = tmp_path / "fresh"
+        with pytest.raises(OSError):
+            save_statistics(manager, target)
+        monkeypatch.undo()
+
+        # Nothing (and in particular no half-written archive) landed.
+        assert not target.exists()
+        with pytest.raises(StatisticsError, match="manifest"):
+            load_statistics(tpch_db, target)
+        # The staging directory was cleaned up too.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_interrupted_swap_rolls_back(self, tpch_db, saved, monkeypatch):
+        import repro.stats.persistence as persistence
+
+        original, path = saved
+        fresh = StatisticsManager(tpch_db)
+        fresh.update_statistics(sample_size=120, seed=99)
+
+        real_replace = persistence.os.replace
+        calls = []
+
+        def failing_replace(src, dst):
+            calls.append((src, dst))
+            if len(calls) == 2:  # the staging -> target rename
+                raise OSError("interrupted")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(persistence.os, "replace", failing_replace)
+        with pytest.raises(OSError, match="interrupted"):
+            save_statistics(fresh, path)
+        monkeypatch.undo()
+
+        restored = load_statistics(tpch_db, path)
+        assert np.array_equal(
+            restored.sample_for("part").row_ids,
+            original.sample_for("part").row_ids,
+        )
+
+    def test_save_overwrites_cleanly(self, tpch_db, saved):
+        original, path = saved
+        fresh = StatisticsManager(tpch_db)
+        fresh.update_statistics(sample_size=120, seed=99)
+        save_statistics(fresh, path)
+        restored = load_statistics(tpch_db, path)
+        assert restored.sample_size == 120
+        assert not np.array_equal(
+            restored.sample_for("part").row_ids,
+            original.sample_for("part").row_ids,
+        )
+
+
+class TestStatisticsEpoch:
+    """Loaded managers must never collide with each other (or their
+    saver) on ``version`` — cache keys embed it."""
+
+    def test_load_allocates_fresh_version(self, tpch_db, saved):
+        original, path = saved
+        restored = load_statistics(tpch_db, path)
+        assert restored.version != original.version
+        assert restored.version > 0
+
+    def test_two_loads_of_same_archive_differ(self, tpch_db, saved):
+        _, path = saved
+        first = load_statistics(tpch_db, path)
+        second = load_statistics(tpch_db, path)
+        assert first.version != second.version
+
+    def test_two_archives_never_share_a_version(self, tpch_db, saved, tmp_path):
+        _, path = saved
+        other = tmp_path / "other"
+        shutil.copytree(path, other)
+        a = load_statistics(tpch_db, path)
+        b = load_statistics(tpch_db, other)
+        assert a.version != b.version
+
+    def test_epoch_floor_respected(self, tpch_db, saved):
+        _, path = saved
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["statistics_epoch"] = 10_000_000
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        restored = load_statistics(tpch_db, path)
+        assert restored.version > 10_000_000
+
+    def test_version_moves_on_every_mutation(self, tpch_db, saved):
+        _, path = saved
+        restored = load_statistics(tpch_db, path)
+        seen = {restored.version}
+        restored.drop_synopsis("lineitem")
+        assert restored.version not in seen
+        seen.add(restored.version)
+        restored.drop_sample("lineitem")
+        assert restored.version not in seen
