@@ -1,0 +1,322 @@
+"""Paper-scale workload sweep: zero-copy execution at 1x/10x/100x.
+
+The paper's TPC-H testbed is scale factor 1 — 6 M ``lineitem`` rows.
+This sweep dials ``TpchConfig(scale=...)`` from the repo's default
+60 k up to that size and measures four hand-built physical plans
+(scan, index seek, hash join, merge join — each topped with an
+aggregate so every arm must actually gather its columns) under the
+lazy selection-vector engine and the historical eager engine.
+
+Recorded per (scale, plan): best-of-k wall seconds for both arms,
+input rows/sec, the per-operator :class:`WorkCounters` breakdown
+(collected untimed via ``operator_spans``), and the process peak RSS
+(``resource.getrusage`` — scales run ascending so the monotone
+``ru_maxrss`` is attributable to the largest completed scale).
+
+Gates:
+
+* every plan's wall-clock stays ~linear in rows — growth exponent at
+  most ``GROWTH_EXPONENT_BUDGET``;
+* streaming plans hold per-row cost, normalized by the measured
+  hardware streaming floor at each scale, to at most
+  ``PER_ROW_BUDGET`` growth — per-row engine cost flat or improving
+  once the memory hierarchy's own charge for the row volume is
+  divided out; gather-bound join plans get the documented
+  ``JOIN_PER_ROW_BUDGET`` cache-residency allowance (at 1x the whole
+  working set is cache-resident, at 100x random gathers pay DRAM
+  latency — see DESIGN.md §13);
+* at 100x the lazy engine beats eager by at least ``LAZY_SPEEDUP``
+  (perf-marked full sweep);
+* lazy and eager results are bit-identical at every scale.
+
+The default run sweeps 1x/10x (CI's ``scale-smoke`` budget); the
+``perf``-marked run adds 100x and writes the full
+``benchmarks/results/BENCH_scale.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.catalog import date_ordinal
+from repro.engine import (
+    ExecOptions,
+    ExecutionContext,
+    HashAggregate,
+    HashJoin,
+    IndexSeek,
+    MergeJoin,
+    SeqScan,
+)
+from repro.engine import kernels
+from repro.engine.aggregate import AggregateSpec
+from repro.engine.scans import IndexCondition
+from repro.expressions import col
+from repro.obs import operator_spans
+from repro.workloads import TpchConfig, build_tpch_database
+
+#: Streaming plans (scan/seek + count aggregation touch every byte
+#: once, in order): per-row wall-clock at the top scale, *normalized
+#: by the hardware streaming floor at that scale* (see
+#: :func:`_bandwidth_floor`), must stay within this factor of the 1x
+#: normalized cost. Raw per-row nanoseconds cannot be gated at 1.2x
+#: across a 100x sweep on real hardware: the floor itself — four raw
+#: numpy calls with zero engine code — grows ≈2x when the working set
+#: moves from L2 (60 k rows ≈ 0.5 MiB/column) to DRAM (6 M rows ≈
+#: 48 MiB/column). Normalizing isolates what the engine adds per row
+#: from what the memory hierarchy charges for the row volume.
+PER_ROW_BUDGET = 1.2
+#: Join plans gather through permutation arrays, so their per-element
+#: cost is DRAM-latency-bound at 100x while the 1x working set is
+#: cache-resident — a hardware effect, not superlinear work (the
+#: growth *exponent* gate below proves the work stays ~linear, and the
+#: eager arm degrades faster, which is what the speedup gate rewards).
+#: Measured ≈2.4-3.1x on a single-core runner; budget with headroom.
+JOIN_PER_ROW_BUDGET = 3.5
+#: Wall-clock must stay ~linear in rows for every plan:
+#: log(wall_top/wall_base) / log(scale_top/scale_base) at most this.
+GROWTH_EXPONENT_BUDGET = 1.25
+#: Required lazy-over-eager speedup at 100x.
+LAZY_SPEEDUP = 1.5
+#: Plans whose hot loop is sequential (held to PER_ROW_BUDGET).
+STREAMING_PLANS = ("seqscan-agg", "indexseek-agg")
+
+
+def _make_plans():
+    """Four plans, each forced to materialize via a top aggregate."""
+    ship_lo = date_ordinal("1994-01-01")
+    ship_hi = date_ordinal("1994-03-31")
+    return {
+        # The paper's experiment queries are COUNT(*) aggregates; the
+        # scan/join plans use that shape so the sweep measures the
+        # streaming path (grouped min/max keeps the sorted-group path
+        # covered via the index-seek plan below).
+        "seqscan-agg": HashAggregate(
+            SeqScan("lineitem", col("lineitem.l_quantity") > 25),
+            group_by=["lineitem.l_shipdate"],
+            aggregates=[AggregateSpec("count", "*", "n")],
+        ),
+        "indexseek-agg": HashAggregate(
+            IndexSeek(
+                "lineitem",
+                IndexCondition("l_shipdate", ship_lo, ship_hi),
+                residual=col("lineitem.l_quantity") > 10,
+            ),
+            group_by=["lineitem.l_receiptdate"],
+            aggregates=[
+                AggregateSpec("count", "lineitem.l_linenumber", "n"),
+                AggregateSpec("min", "lineitem.l_quantity", "min_qty"),
+            ],
+        ),
+        "hashjoin-agg": HashAggregate(
+            HashJoin(
+                SeqScan("part", col("part.p_size") <= 25),
+                SeqScan("lineitem", col("lineitem.l_quantity") > 20),
+                "part.p_partkey",
+                "lineitem.l_partkey",
+            ),
+            group_by=["part.p_size"],
+            aggregates=[AggregateSpec("count", "*", "n")],
+        ),
+        "mergejoin-agg": HashAggregate(
+            MergeJoin(
+                SeqScan("part", col("part.p_size") <= 25),
+                SeqScan("lineitem", col("lineitem.l_quantity") > 20),
+                "part.p_partkey",
+                "lineitem.l_partkey",
+            ),
+            group_by=["lineitem.l_shipdate"],
+            aggregates=[AggregateSpec("count", "*", "n")],
+        ),
+    }
+
+
+def _assert_frames_identical(a, b, context):
+    assert a.column_names == b.column_names, context
+    assert a.num_rows == b.num_rows, context
+    for name in a.column_names:
+        x, y = a.column(name), b.column(name)
+        assert x.dtype == y.dtype, f"{context}: {name}"
+        np.testing.assert_array_equal(x, y, err_msg=f"{context}: {name}")
+
+
+def _bandwidth_floor(db, rounds=5):
+    """Hardware streaming floor, ns/row: raw numpy, no engine code.
+
+    The exact kernel sequence a filtered COUNT…GROUP BY needs —
+    vectorized compare, ``flatnonzero``, one gather, one ``bincount``
+    — with every engine layer removed. Its per-row cost captures what
+    the memory hierarchy charges at this working-set size, which is
+    the denominator for the streaming-plan per-row gate.
+    """
+    quantity = db.table("lineitem").column("l_quantity")
+    keys = db.table("lineitem").column("l_shipdate")
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        sel = np.flatnonzero(quantity > 25)
+        gathered = keys[sel]
+        np.bincount(gathered - gathered.min())
+        best = min(best, time.perf_counter() - started)
+    return best / len(quantity) * 1e9
+
+
+def _time_plan(plan, db, options, rounds):
+    """Best-of-``rounds`` wall seconds; returns (frame, seconds)."""
+    best, frame = float("inf"), None
+    for _ in range(rounds):
+        ctx = ExecutionContext(db, options)
+        started = time.perf_counter()
+        frame = plan.execute(ctx)
+        best = min(best, time.perf_counter() - started)
+    return frame, best
+
+
+def run_sweep(scales) -> dict:
+    """Run the full sweep ascending and return the JSON-ready payload."""
+    payload = {
+        "scales": list(scales),
+        "base_lineitem": TpchConfig().num_lineitem,
+        "kernels": kernels.describe(),
+        "per_row_budget": PER_ROW_BUDGET,
+        "join_per_row_budget": JOIN_PER_ROW_BUDGET,
+        "growth_exponent_budget": GROWTH_EXPONENT_BUDGET,
+        "streaming_plans": list(STREAMING_PLANS),
+        "lazy_speedup_gate": LAZY_SPEEDUP,
+        "runs": [],
+    }
+    for scale in scales:
+        # Small scales finish in sub-millisecond wall-clock, where
+        # scheduler noise dominates; buy precision with more rounds.
+        rounds = 2 if scale >= 100 else (3 if scale >= 10 else 5)
+        db = build_tpch_database(TpchConfig(scale=scale, seed=7))
+        num_rows = db.table("lineitem").num_rows
+        entry = {
+            "scale": scale,
+            "lineitem_rows": num_rows,
+            "floor_per_row_ns": _bandwidth_floor(db),
+            "plans": {},
+        }
+        for name, plan in _make_plans().items():
+            lazy_frame, lazy_s = _time_plan(
+                plan, db, ExecOptions(lazy_frames=True), rounds
+            )
+            eager_frame, eager_s = _time_plan(
+                plan, db, ExecOptions.eager(), rounds
+            )
+            _assert_frames_identical(
+                lazy_frame.eager(), eager_frame, f"{name}@{scale}x"
+            )
+            spans, root_counters, _ = operator_spans(plan, db)
+            entry["plans"][name] = {
+                "lazy_seconds": lazy_s,
+                "eager_seconds": eager_s,
+                "speedup": eager_s / lazy_s,
+                "rows_per_sec": num_rows / lazy_s,
+                "per_row_ns": lazy_s / num_rows * 1e9,
+                "output_rows": lazy_frame.num_rows,
+                "counters": root_counters.as_dict(),
+                "operators": [
+                    {
+                        "operator": s["operator"],
+                        "actual_rows": s["actual_rows"],
+                        "counters": s["counters"],
+                    }
+                    for s in spans
+                ],
+            }
+        # Ascending scales: the monotone high-water mark after this
+        # scale finishes belongs to it (Linux reports KiB).
+        entry["peak_rss_mib"] = (
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        )
+        payload["runs"].append(entry)
+        del db
+    return payload
+
+
+def _check_linear_scaling(payload):
+    """Wall-clock scaling gates on the lazy arm.
+
+    Every plan must keep its growth *exponent* near 1 (work linear in
+    rows); streaming plans additionally hold their absolute per-row
+    cost nearly flat, and gather-bound joins get the documented
+    cache-residency allowance.
+    """
+    import math
+
+    runs = {run["scale"]: run for run in payload["runs"]}
+    lo_scale, hi_scale = min(runs), max(runs)
+    base, top = runs[lo_scale], runs[hi_scale]
+    for name in base["plans"]:
+        base_plan, top_plan = base["plans"][name], top["plans"][name]
+        exponent = math.log(
+            top_plan["lazy_seconds"] / base_plan["lazy_seconds"]
+        ) / math.log(hi_scale / lo_scale)
+        assert exponent <= GROWTH_EXPONENT_BUDGET, (
+            f"{name}: wall-clock grows as rows^{exponent:.2f} "
+            f"(budget rows^{GROWTH_EXPONENT_BUDGET})"
+        )
+        if name in STREAMING_PLANS:
+            # Engine-added per-row cost: normalize by the hardware
+            # streaming floor at each scale so the L2→DRAM bandwidth
+            # cliff (which the raw-numpy floor pays identically) does
+            # not masquerade as engine superlinearity.
+            base_norm = base_plan["per_row_ns"] / base["floor_per_row_ns"]
+            top_norm = top_plan["per_row_ns"] / top["floor_per_row_ns"]
+            growth, budget = top_norm / base_norm, PER_ROW_BUDGET
+            detail = "floor-normalized per-row cost"
+        else:
+            growth, budget = (
+                top_plan["per_row_ns"] / base_plan["per_row_ns"],
+                JOIN_PER_ROW_BUDGET,
+            )
+            detail = "per-row cost"
+        assert growth <= budget, (
+            f"{name}: {detail} grew {growth:.2f}x from {lo_scale}x "
+            f"to {hi_scale}x (budget {budget}x)"
+        )
+
+
+def _write(payload):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_scale.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def test_scale_sweep_smoke():
+    """1x/10x sweep — CI's scale-smoke budget.
+
+    Fixed per-query overheads still matter at 10x, so the smoke gate
+    only requires per-row cost not to *grow* beyond the budget; the
+    100x acceptance gates live in the perf-marked full sweep.
+    """
+    payload = run_sweep([1, 10])
+    _check_linear_scaling(payload)
+    _write(payload)
+    for run in payload["runs"]:
+        for name, plan in run["plans"].items():
+            assert plan["rows_per_sec"] > 0
+            assert plan["counters"]["rows_output"] >= plan["output_rows"]
+
+
+@pytest.mark.perf
+def test_scale_sweep_full():
+    """1x/10x/100x — the paper-scale sweep with the acceptance gates."""
+    payload = run_sweep([1, 10, 100])
+    _check_linear_scaling(payload)
+    top = payload["runs"][-1]
+    assert top["lineitem_rows"] == 6_000_000
+    for name, plan in top["plans"].items():
+        assert plan["speedup"] >= LAZY_SPEEDUP, (
+            f"{name}: lazy only {plan['speedup']:.2f}x faster than eager "
+            f"at 100x (gate {LAZY_SPEEDUP}x)"
+        )
+    _write(payload)

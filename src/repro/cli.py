@@ -46,6 +46,7 @@ from repro.analysis import (
     threshold_sweep,
     tradeoff_curve,
 )
+from repro.engine import kernels
 from repro.experiments import (
     format_selectivity_table,
     format_tradeoff_table,
@@ -113,6 +114,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable plan-execution reuse across estimator configs",
     )
     experiment.add_argument(
+        "--no-scan-cache",
+        action="store_true",
+        help="disable shared base-scan reuse across plan executions",
+    )
+    experiment.add_argument(
+        "--kernels",
+        choices=["auto", "numpy", "numba"],
+        default="auto",
+        help="execution kernel backend (auto picks numba when installed)",
+    )
+    experiment.add_argument(
         "--perf", action="store_true", help="print cache/timer statistics"
     )
     _add_observability_flags(experiment, what="per-query traces")
@@ -131,6 +143,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="seed-parallel worker processes (default: all CPU cores)",
+    )
+    report.add_argument(
+        "--kernels",
+        choices=["auto", "numpy", "numba"],
+        default="auto",
+        help="execution kernel backend (auto picks numba when installed)",
     )
     report.set_defaults(handler=_cmd_report)
 
@@ -152,6 +170,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sql.add_argument(
         "--explain-only", action="store_true", help="print the plan, don't run"
+    )
+    sql.add_argument(
+        "--kernels",
+        choices=["auto", "numpy", "numba"],
+        default="auto",
+        help="execution kernel backend (auto picks numba when installed)",
     )
     _add_observability_flags(sql, what="a query trace")
     sql.set_defaults(handler=_cmd_sql)
@@ -195,6 +219,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--verbose", action="store_true", help="report passing plans too"
+    )
+    chaos.add_argument(
+        "--kernels",
+        choices=["auto", "numpy", "numba"],
+        default="auto",
+        help="execution kernel backend (auto picks numba when installed)",
     )
     chaos.set_defaults(handler=_cmd_chaos)
 
@@ -297,6 +327,7 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    kernels.set_backend(args.kernels)
     if args.name == "exp1":
         database = build_tpch_database(TpchConfig(num_lineitem=args.scale, seed=7))
         template = ShippingDatesTemplate()
@@ -324,6 +355,7 @@ def _cmd_experiment(args) -> int:
         seeds=range(args.seeds),
         workers=args.workers,
         execution_cache=not args.no_exec_cache,
+        scan_cache=not args.no_scan_cache,
         trace=tracing,
     )
     print(format_selectivity_table(result))
@@ -348,6 +380,7 @@ def _cmd_experiment(args) -> int:
 def _cmd_report(args) -> int:
     from repro.experiments import ReportConfig, generate_report
 
+    kernels.set_backend(args.kernels)
     config = ReportConfig(
         lineitem_rows=args.scale,
         fact_rows=args.fact_rows,
@@ -360,6 +393,7 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_sql(args) -> int:
+    kernels.set_backend(args.kernels)
     if args.workload == "tpch":
         database = build_tpch_database(TpchConfig(num_lineitem=args.scale, seed=7))
     else:
@@ -426,6 +460,7 @@ _CHAOS_QUERIES = {
 def _cmd_chaos(args) -> int:
     from repro.faults import ChaosHarness, generate_fault_plans
 
+    kernels.set_backend(args.kernels)
     if args.workload == "tpch":
         database = build_tpch_database(
             TpchConfig(num_lineitem=args.scale, seed=7)

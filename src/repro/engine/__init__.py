@@ -9,8 +9,10 @@ function evaluated at actual cardinalities — the setting analyzed in
 Section 5 of the paper.
 """
 
+from repro.engine import kernels
 from repro.engine.counters import WorkCounters
-from repro.engine.context import ExecutionContext
+from repro.engine.context import ExecOptions, ExecutionContext
+from repro.engine.scancache import ScanCache
 from repro.engine.base import PhysicalOperator
 from repro.engine.scans import IndexIntersect, IndexSeek, IndexUnionSeek, SeqScan
 from repro.engine.relops import Filter, Project
@@ -21,6 +23,7 @@ from repro.engine.aggregate import AggregateSpec, HashAggregate
 
 __all__ = [
     "AggregateSpec",
+    "ExecOptions",
     "ExecutionContext",
     "Filter",
     "HashAggregate",
@@ -33,8 +36,10 @@ __all__ = [
     "MergeJoin",
     "PhysicalOperator",
     "Project",
+    "ScanCache",
     "SeqScan",
     "Sort",
     "StarSemiJoin",
     "WorkCounters",
+    "kernels",
 ]

@@ -7,6 +7,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.engine import kernels
 from repro.engine.base import PhysicalOperator
 from repro.engine.context import ExecutionContext
 from repro.errors import ExecutionError
@@ -85,8 +86,23 @@ class HashAggregate(PhysicalOperator):
 
     def _grouped(self, frame: Frame) -> Frame:
         key_arrays = [frame.column(name) for name in self.group_by]
-        # Group via lexicographic sort over the key columns.
-        order = np.lexsort(key_arrays[::-1])
+        # COUNT-only aggregates over one compact integer key never need
+        # the group sort: counts and sorted unique keys come straight
+        # from one bincount pass, bit-identical to the sorted path.
+        if len(key_arrays) == 1 and all(
+            spec.func == "count" for spec in self.aggregates
+        ):
+            compact = kernels.grouped_count_compact(key_arrays[0])
+            if compact is not None:
+                group_keys, counts = compact
+                columns = {self.group_by[0]: group_keys}
+                for spec in self.aggregates:
+                    columns[spec.alias] = counts.astype(np.float64)
+                return Frame(columns)
+        # Group via lexicographic sort over the key columns. The
+        # kernel's stable radix path returns the same (unique) stable
+        # permutation np.lexsort would, in O(n) for integer keys.
+        order = kernels.lexsort_stable(key_arrays[::-1])
         sorted_keys = [array[order] for array in key_arrays]
         if frame.num_rows == 0:
             boundaries = np.empty(0, dtype=np.int64)
@@ -109,10 +125,18 @@ class HashAggregate(PhysicalOperator):
         }
         for spec in self.aggregates:
             values = self._agg_input(frame, spec)[order]
-            func = _AGG_FUNCS[spec.func]
-            columns[spec.alias] = np.array(
-                [func(values[s:e]) for s, e in zip(starts, ends)]
-            )
+            # Vectorized per-group reduction where it is exactness-
+            # preserving (counts, min/max, integer sums); the kernel
+            # returns None for the float-summation cases, which keep
+            # the reference per-group loop so results stay bit-
+            # identical to the historical path.
+            aggregated = kernels.grouped_aggregate(spec.func, values, starts, ends)
+            if aggregated is None:
+                func = _AGG_FUNCS[spec.func]
+                aggregated = np.array(
+                    [func(values[s:e]) for s, e in zip(starts, ends)]
+                )
+            columns[spec.alias] = aggregated
         return Frame(columns)
 
     def _agg_input(self, frame: Frame, spec: AggregateSpec) -> np.ndarray:

@@ -1,0 +1,81 @@
+"""Shared scan cache: memoized base-table access paths.
+
+The experiment harness executes many plans over the same database —
+the plan-execution cache already deduplicates *identical plans*, but
+two different plans for one parameter still share their leaves (the
+same ``SeqScan(lineitem, q > 45)`` appears under both the stable and
+the risky join order). A :class:`ScanCache` memoizes those leaf
+results so each distinct (operator kind, table, predicate) combination
+filters the base data once per experiment, not once per plan.
+
+Correctness rules:
+
+* **Unit of account.** The simulation's clock is :class:`WorkCounters`,
+  not wall time, so a cache hit must charge *exactly* the counters a
+  cold execution would. Operators therefore keep counter arithmetic
+  outside the memoized computation, replaying it from small cached
+  aux values (RID counts, entry counts) on every hit. Experiment
+  records are bit-identical with the cache on or off.
+* **Staleness.** A cache is pinned to the first :class:`Database`
+  object it sees; table data in this engine is immutable once built,
+  so object identity is the version. An :class:`ExecutionContext`
+  carrying a cache pinned to a *different* database silently bypasses
+  it rather than serving wrong rows.
+* **Immutability.** Cached values include frames; frames are immutable
+  by contract, and lazy frames share (never mutate) base arrays, so
+  handing the same frame to many plan executions is safe. Callers that
+  re-mask or take from a cached frame get fresh frames.
+
+Keys are plain tuples built by the operators from table names,
+``expr_key`` predicate signatures, and the laziness flag (an eager
+caller must not receive a lazy frame or vice versa).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.catalog import Database
+
+
+class ScanCache:
+    """Memo table for base-table access paths, pinned to one database."""
+
+    def __init__(self) -> None:
+        self._database: Database | None = None
+        self._entries: dict[tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def valid_for(self, database: Database) -> bool:
+        """Whether this cache may serve results for ``database``.
+
+        The first database seen pins the cache; any other database
+        object (even an equal-content rebuild) invalidates it for that
+        context, because statistics refreshes and chaos faults rebuild
+        the Database object when data changes.
+        """
+        if self._database is None:
+            self._database = database
+        return self._database is database
+
+    def get_or_compute(self, key: tuple, compute: Callable[[], object]) -> object:
+        """Return the memoized value for ``key``, computing it on miss."""
+        if key in self._entries:
+            self.hits += 1
+            return self._entries[key]
+        value = compute()
+        self.misses += 1
+        self._entries[key] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._database = None
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss counts for perf reporting."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}

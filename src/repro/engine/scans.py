@@ -4,6 +4,18 @@ These are the paper's canonical stable-vs-risky pair (Section 2.1):
 a sequential scan costs the same at any selectivity, while an index
 intersection costs one random I/O per qualifying row — blazingly fast
 at low selectivity, agonizingly slow at high selectivity.
+
+Two scale features live here (added with the zero-copy execution work):
+
+* When ``ctx.lazy_frames`` is set (the default), the operators build
+  selection-vector frames — filtering composes row selections instead
+  of gathering every column, so untouched columns are never copied.
+* Results are memoized through ``ctx.scan_memo`` when the context
+  carries a :class:`~repro.engine.scancache.ScanCache`. The counter
+  arithmetic stays *outside* the memoized computation, replayed from
+  small cached aux values on every hit, so :class:`WorkCounters` —
+  the simulation's unit of account — are bit-identical with the cache
+  on or off.
 """
 
 from __future__ import annotations
@@ -16,7 +28,7 @@ import numpy as np
 from repro.engine.base import PhysicalOperator
 from repro.engine.context import ExecutionContext
 from repro.errors import ExecutionError
-from repro.expressions import Expr, Frame
+from repro.expressions import Expr, Frame, expr_key
 from repro.indexes import intersect_rid_sets, union_rid_lists
 
 
@@ -35,6 +47,15 @@ class IndexCondition:
     low_inclusive: bool = True
     high_inclusive: bool = True
 
+    def cache_key(self) -> tuple:
+        return (
+            self.column,
+            self.low,
+            self.high,
+            self.low_inclusive,
+            self.high_inclusive,
+        )
+
 
 class SeqScan(PhysicalOperator):
     """Scan a whole table, optionally filtering rows.
@@ -51,9 +72,17 @@ class SeqScan(PhysicalOperator):
         table = ctx.database.table(self.table_name)
         ctx.counters.seq_pages += table.num_pages
         ctx.counters.cpu_rows += table.num_rows
-        frame = Frame.from_table(table)
-        if self.predicate is not None:
-            frame = frame.mask(self.predicate.evaluate(frame))
+        lazy = ctx.lazy_frames
+
+        def compute() -> Frame:
+            frame = Frame.from_table(table, lazy=lazy)
+            if self.predicate is not None:
+                frame = frame.mask(self.predicate.evaluate(frame))
+            return frame
+
+        frame = ctx.scan_memo(
+            ("seq-scan", self.table_name, expr_key(self.predicate), lazy), compute
+        )
         ctx.counters.rows_output += frame.num_rows
         return frame
 
@@ -88,25 +117,41 @@ class IndexSeek(PhysicalOperator):
             raise ExecutionError(
                 f"no index on {self.table_name}.{self.condition.column}"
             )
-        rids = index.lookup_range(
-            self.condition.low,
-            self.condition.high,
-            self.condition.low_inclusive,
-            self.condition.high_inclusive,
+        lazy = ctx.lazy_frames
+
+        def compute() -> tuple[int, Frame]:
+            rids = index.lookup_range(
+                self.condition.low,
+                self.condition.high,
+                self.condition.low_inclusive,
+                self.condition.high_inclusive,
+            )
+            frame = Frame.from_table_rows(table, rids, lazy=lazy)
+            if self.residual is not None:
+                frame = frame.mask(self.residual.evaluate(frame))
+            return len(rids), frame
+
+        n_rids, frame = ctx.scan_memo(
+            (
+                "index-seek",
+                self.table_name,
+                self.condition.cache_key(),
+                expr_key(self.residual),
+                lazy,
+            ),
+            compute,
         )
         ctx.counters.index_lookups += 1
-        ctx.counters.index_entries += len(rids)
+        ctx.counters.index_entries += n_rids
         clustered = (
             ctx.database.clustering_column(self.table_name) == self.condition.column
         )
         if clustered:
-            ctx.counters.seq_pages += -(-len(rids) // table.rows_per_page)
+            ctx.counters.seq_pages += -(-n_rids // table.rows_per_page)
         else:
-            ctx.counters.random_ios += len(rids)
-        frame = Frame.from_table_rows(table, rids)
+            ctx.counters.random_ios += n_rids
         if self.residual is not None:
-            ctx.counters.cpu_rows += frame.num_rows
-            frame = frame.mask(self.residual.evaluate(frame))
+            ctx.counters.cpu_rows += n_rids
         ctx.counters.rows_output += frame.num_rows
         return frame
 
@@ -146,22 +191,37 @@ class IndexUnionSeek(PhysicalOperator):
         index = ctx.database.sorted_index(self.table_name, self.column)
         if index is None:
             raise ExecutionError(f"no index on {self.table_name}.{self.column}")
-        rid_lists = []
-        for value in self.values:
-            rids = index.lookup_eq(value)
-            ctx.counters.index_lookups += 1
-            ctx.counters.index_entries += len(rids)
-            rid_lists.append(rids)
-        final = union_rid_lists(rid_lists)
+        lazy = ctx.lazy_frames
+
+        def compute() -> tuple[int, int, Frame]:
+            rid_lists = [index.lookup_eq(value) for value in self.values]
+            entries = sum(len(rids) for rids in rid_lists)
+            final = union_rid_lists(rid_lists)
+            frame = Frame.from_table_rows(table, final, lazy=lazy)
+            if self.residual is not None:
+                frame = frame.mask(self.residual.evaluate(frame))
+            return entries, len(final), frame
+
+        entries, n_final, frame = ctx.scan_memo(
+            (
+                "index-union",
+                self.table_name,
+                self.column,
+                tuple(self.values),
+                expr_key(self.residual),
+                lazy,
+            ),
+            compute,
+        )
+        ctx.counters.index_lookups += len(self.values)
+        ctx.counters.index_entries += entries
         clustered = ctx.database.clustering_column(self.table_name) == self.column
         if clustered:
-            ctx.counters.seq_pages += -(-len(final) // table.rows_per_page)
+            ctx.counters.seq_pages += -(-n_final // table.rows_per_page)
         else:
-            ctx.counters.random_ios += len(final)
-        frame = Frame.from_table_rows(table, final)
+            ctx.counters.random_ios += n_final
         if self.residual is not None:
-            ctx.counters.cpu_rows += frame.num_rows
-            frame = frame.mask(self.residual.evaluate(frame))
+            ctx.counters.cpu_rows += n_final
         ctx.counters.rows_output += frame.num_rows
         return frame
 
@@ -193,28 +253,49 @@ class IndexIntersect(PhysicalOperator):
 
     def execute(self, ctx: ExecutionContext) -> Frame:
         table = ctx.database.table(self.table_name)
-        rid_sets: list[np.ndarray] = []
+        indexes = []
         for condition in self.conditions:
             index = ctx.database.sorted_index(self.table_name, condition.column)
             if index is None:
                 raise ExecutionError(
                     f"no index on {self.table_name}.{condition.column}"
                 )
-            rids = index.lookup_range(
-                condition.low,
-                condition.high,
-                condition.low_inclusive,
-                condition.high_inclusive,
-            )
-            ctx.counters.index_lookups += 1
-            ctx.counters.index_entries += len(rids)
-            rid_sets.append(rids)
-        final = intersect_rid_sets(rid_sets)
-        ctx.counters.random_ios += len(final)
-        frame = Frame.from_table_rows(table, final)
+            indexes.append(index)
+        lazy = ctx.lazy_frames
+
+        def compute() -> tuple[int, int, Frame]:
+            rid_sets: list[np.ndarray] = []
+            entries = 0
+            for index, condition in zip(indexes, self.conditions):
+                rids = index.lookup_range(
+                    condition.low,
+                    condition.high,
+                    condition.low_inclusive,
+                    condition.high_inclusive,
+                )
+                entries += len(rids)
+                rid_sets.append(rids)
+            final = intersect_rid_sets(rid_sets)
+            frame = Frame.from_table_rows(table, final, lazy=lazy)
+            if self.residual is not None:
+                frame = frame.mask(self.residual.evaluate(frame))
+            return entries, len(final), frame
+
+        entries, n_final, frame = ctx.scan_memo(
+            (
+                "index-intersect",
+                self.table_name,
+                tuple(c.cache_key() for c in self.conditions),
+                expr_key(self.residual),
+                lazy,
+            ),
+            compute,
+        )
+        ctx.counters.index_lookups += len(self.conditions)
+        ctx.counters.index_entries += entries
+        ctx.counters.random_ios += n_final
         if self.residual is not None:
-            ctx.counters.cpu_rows += frame.num_rows
-            frame = frame.mask(self.residual.evaluate(frame))
+            ctx.counters.cpu_rows += n_final
         ctx.counters.rows_output += frame.num_rows
         return frame
 

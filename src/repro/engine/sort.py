@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.engine import kernels
 from repro.engine.base import PhysicalOperator
 from repro.engine.context import ExecutionContext
 from repro.errors import ExecutionError
@@ -61,7 +62,7 @@ class Sort(PhysicalOperator):
         frame = self.child.execute(ctx)
         ctx.counters.sort_comparisons += sort_work(frame.num_rows)
         columns = [frame.column(key) for key in reversed(self.keys)]
-        order = np.lexsort(columns)
+        order = kernels.lexsort_stable(columns)
         return frame.take(order)
 
     def label(self) -> str:

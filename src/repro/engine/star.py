@@ -20,7 +20,7 @@ from repro.engine.base import PhysicalOperator
 from repro.engine.context import ExecutionContext
 from repro.engine.joinutil import match_keys
 from repro.errors import ExecutionError
-from repro.expressions import Expr, Frame
+from repro.expressions import Expr, Frame, expr_key
 from repro.indexes import intersect_rid_sets
 
 
@@ -83,14 +83,23 @@ class StarSemiJoin(PhysicalOperator):
                 f"{spec.dim_table}.{dim_table.schema.primary_key}"
             )
             ctx.counters.index_lookups += len(keys)
-            rids = index.lookup_many_eq(keys)
+            rids = ctx.scan_memo(
+                (
+                    "star-semi",
+                    self.fact_table,
+                    spec.fact_fk_column,
+                    spec.dim_table,
+                    expr_key(spec.predicate),
+                ),
+                lambda: index.lookup_many_eq(keys),
+            )
             ctx.counters.index_entries += len(rids)
             rid_sets.append(rids)
 
         # Phase 2: intersect RID sets, fetch surviving fact rows.
         final_rids = intersect_rid_sets(rid_sets)
         ctx.counters.random_ios += len(final_rids)
-        result = Frame.from_table_rows(fact, final_rids)
+        result = Frame.from_table_rows(fact, final_rids, lazy=ctx.lazy_frames)
         if self.fact_predicate is not None:
             ctx.counters.cpu_rows += result.num_rows
             result = result.mask(self.fact_predicate.evaluate(result))
@@ -113,10 +122,20 @@ class StarSemiJoin(PhysicalOperator):
         dim = ctx.database.table(spec.dim_table)
         ctx.counters.seq_pages += dim.num_pages
         ctx.counters.cpu_rows += dim.num_rows
-        frame = Frame.from_table(dim)
-        if spec.predicate is not None:
-            frame = frame.mask(spec.predicate.evaluate(frame))
-        return frame
+        lazy = ctx.lazy_frames
+
+        def compute() -> Frame:
+            frame = Frame.from_table(dim, lazy=lazy)
+            if spec.predicate is not None:
+                frame = frame.mask(spec.predicate.evaluate(frame))
+            return frame
+
+        # Shares the key space with SeqScan on purpose: a dimension
+        # scanned by a SeqScan in one plan and by StarSemiJoin in
+        # another is the same physical work.
+        return ctx.scan_memo(
+            ("seq-scan", spec.dim_table, expr_key(spec.predicate), lazy), compute
+        )
 
     def _attach_dimension(
         self,

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.catalog import Database
 from repro.cost import CostModel
-from repro.engine import ExecutionContext, PhysicalOperator
+from repro.engine import ExecOptions, ExecutionContext, PhysicalOperator, ScanCache
 
 
 @dataclass
@@ -37,10 +37,15 @@ class PerfStats:
     workers: int = 1
     execution_cache: bool = True
     vectorize_thresholds: bool = True
+    scan_cache: bool = True
     exec_cache_hits: int = 0
     exec_cache_misses: int = 0
     estimate_cache_hits: int = 0
     estimate_cache_misses: int = 0
+    #: Base-table scans answered from the shared scan cache instead of
+    #: re-filtering (plan-execution cache *misses* still share leaves).
+    scan_cache_hits: int = 0
+    scan_cache_misses: int = 0
     #: Posterior inversions answered from a quantile-table row instead
     #: of per-threshold ``betaincinv`` calls.
     lut_hits: int = 0
@@ -67,12 +72,19 @@ class PerfStats:
         total = self.estimate_cache_hits + self.estimate_cache_misses
         return self.estimate_cache_hits / total if total else 0.0
 
+    @property
+    def scan_cache_hit_rate(self) -> float:
+        total = self.scan_cache_hits + self.scan_cache_misses
+        return self.scan_cache_hits / total if total else 0.0
+
     def merge(self, other: "PerfStats") -> None:
         """Fold one seed's counters and phase timers into this total."""
         self.exec_cache_hits += other.exec_cache_hits
         self.exec_cache_misses += other.exec_cache_misses
         self.estimate_cache_hits += other.estimate_cache_hits
         self.estimate_cache_misses += other.estimate_cache_misses
+        self.scan_cache_hits += other.scan_cache_hits
+        self.scan_cache_misses += other.scan_cache_misses
         self.lut_hits += other.lut_hits
         self.vector_passes += other.vector_passes
         self.stats_build_seconds += other.stats_build_seconds
@@ -101,6 +113,10 @@ class PerfStats:
             f"  estimate cache: {self.estimate_cache_hits} hits / "
             f"{self.estimate_cache_misses} misses over {est_total} lookups "
             f"({self.estimate_cache_hit_rate:.1%} hit rate)",
+            f"  scan cache: {self.scan_cache_hits} hits / "
+            f"{self.scan_cache_misses} misses "
+            f"({self.scan_cache_hit_rate:.1%} hit rate, "
+            f"{'on' if self.scan_cache else 'off'})",
             f"  quantile-table hits: {self.lut_hits}  "
             f"vectorized planning passes: {self.vector_passes}",
             f"  phases: stats {self.stats_build_seconds:.3f}s | "
@@ -121,6 +137,8 @@ class PerfStats:
         counts.inc(self.exec_cache_misses, event="exec_cache_miss")
         counts.inc(self.estimate_cache_hits, event="estimate_cache_hit")
         counts.inc(self.estimate_cache_misses, event="estimate_cache_miss")
+        counts.inc(self.scan_cache_hits, event="scan_cache_hit")
+        counts.inc(self.scan_cache_misses, event="scan_cache_miss")
         counts.inc(self.lut_hits, event="lut_hit")
         counts.inc(self.vector_passes, event="vector_pass")
         seconds = registry.gauge(
@@ -135,6 +153,7 @@ class PerfStats:
         )
         rates.set(self.exec_cache_hit_rate, cache="execution")
         rates.set(self.estimate_cache_hit_rate, cache="estimate")
+        rates.set(self.scan_cache_hit_rate, cache="scan")
         registry.gauge("repro_workers", "Worker processes used.").set(
             self.workers
         )
@@ -151,6 +170,10 @@ class PerfStats:
             "estimate_cache_hits": self.estimate_cache_hits,
             "estimate_cache_misses": self.estimate_cache_misses,
             "estimate_cache_hit_rate": round(self.estimate_cache_hit_rate, 4),
+            "scan_cache": self.scan_cache,
+            "scan_cache_hits": self.scan_cache_hits,
+            "scan_cache_misses": self.scan_cache_misses,
+            "scan_cache_hit_rate": round(self.scan_cache_hit_rate, 4),
             "lut_hits": self.lut_hits,
             "vector_passes": self.vector_passes,
             "stats_build_seconds": round(self.stats_build_seconds, 4),
@@ -175,9 +198,16 @@ class PlanExecutionCache:
     """
 
     enabled: bool = True
+    #: Share base-table scan results across the plan executions this
+    #: cache performs (two *different* plans for one parameter still
+    #: share their leaves). Counter-neutral: operators replay the same
+    #: :class:`WorkCounters` arithmetic on hits, so ``(time, rows)``
+    #: results — the experiment records — are bit-identical either way.
+    scan_cache: bool = True
     hits: int = 0
     misses: int = 0
     _store: dict = field(default_factory=dict, repr=False)
+    _scans: ScanCache | None = field(default=None, repr=False)
 
     def execute(
         self,
@@ -194,9 +224,17 @@ class PlanExecutionCache:
                 self.hits += 1
                 return cached
         self.misses += 1
-        ctx = ExecutionContext(database)
+        if self.scan_cache and self._scans is None:
+            self._scans = ScanCache()
+        ctx = ExecutionContext(database, ExecOptions(scan_cache=self._scans))
         frame = plan.execute(ctx)
         result = (cost_model.time_from_counters(ctx.counters), frame.num_rows)
         if self.enabled:
             self._store[cache_key] = result
         return result
+
+    def scan_stats(self) -> tuple[int, int]:
+        """``(hits, misses)`` of the shared scan cache (zeros if off)."""
+        if self._scans is None:
+            return (0, 0)
+        return (self._scans.hits, self._scans.misses)

@@ -273,6 +273,7 @@ def _run_seed(
     seed: int,
     vectorize_thresholds: bool = True,
     trace: bool = False,
+    scan_cache: bool = True,
 ) -> tuple[list[RunRecord], PerfStats, list[dict]]:
     """One seed's slice of the grid — the unit of parallelism.
 
@@ -283,7 +284,7 @@ def _run_seed(
     change the records: the spans are read-only observations, and the
     per-operator work breakdown re-executes subtrees in fresh contexts.
     """
-    perf = PerfStats(execution_cache=execution_cache)
+    perf = PerfStats(execution_cache=execution_cache, scan_cache=scan_cache)
     tracer = Tracer() if trace else None
     traces: list[dict] = []
     started = time.perf_counter()
@@ -341,7 +342,7 @@ def _run_seed(
             estimator, "estimate_cache_misses", 0
         )
 
-    cache = PlanExecutionCache(enabled=execution_cache)
+    cache = PlanExecutionCache(enabled=execution_cache, scan_cache=scan_cache)
     records: list[RunRecord] = []
     for config in configs:
         if config.name in grouped_names:
@@ -428,6 +429,7 @@ def _run_seed(
             )
     perf.exec_cache_hits = cache.hits
     perf.exec_cache_misses = cache.misses
+    perf.scan_cache_hits, perf.scan_cache_misses = cache.scan_stats()
     return records, perf, traces
 
 
@@ -461,6 +463,11 @@ class ExperimentRunner:
         Reuse plan executions within a seed across estimator
         configurations that chose the same plan (on by default; the
         records are identical either way).
+    scan_cache:
+        Share base-table scan results across plan executions within a
+        seed, so two different plans over the same parameter reuse
+        their common leaves (on by default; counters are replayed on
+        hits, so the records are identical either way).
     vectorize_thresholds:
         Plan threshold-grouped configs with one multi-threshold
         ``optimize_many`` pass per (group, param) instead of one
@@ -486,6 +493,7 @@ class ExperimentRunner:
         execution_cache: bool = True,
         vectorize_thresholds: bool = True,
         trace: bool = False,
+        scan_cache: bool = True,
     ) -> None:
         self.database = database
         self.template = template
@@ -497,6 +505,7 @@ class ExperimentRunner:
         self.execution_cache = execution_cache
         self.vectorize_thresholds = vectorize_thresholds
         self.trace = trace
+        self.scan_cache = scan_cache
 
     def run(
         self,
@@ -520,6 +529,7 @@ class ExperimentRunner:
             "execution_cache": self.execution_cache,
             "vectorize_thresholds": self.vectorize_thresholds,
             "trace": self.trace,
+            "scan_cache": self.scan_cache,
         }
         workers = self._resolve_workers(payload)
 
@@ -543,6 +553,7 @@ class ExperimentRunner:
         result.perf.workers = workers
         result.perf.execution_cache = self.execution_cache
         result.perf.vectorize_thresholds = self.vectorize_thresholds
+        result.perf.scan_cache = self.scan_cache
         for records, perf, traces in seed_outputs:
             result.records.extend(records)
             result.perf.merge(perf)

@@ -239,12 +239,28 @@ class Comparison(Expr):
         self.op = op
 
     def evaluate(self, frame: Frame) -> np.ndarray:
-        left = self.left.evaluate(frame)
-        right = self.right.evaluate(frame)
-        if isinstance(self.right, Literal):
-            right = np.full(frame.num_rows, _coerce_against(self.right.value, left))
-        if isinstance(self.left, Literal):
-            left = np.full(frame.num_rows, _coerce_against(self.left.value, right))
+        left_lit = isinstance(self.left, Literal)
+        right_lit = isinstance(self.right, Literal)
+        if right_lit and not left_lit:
+            # Compare against the coerced scalar: broadcasting yields
+            # the same booleans as materializing the literal into a
+            # full column, without the O(n) allocation per predicate.
+            left = self.left.evaluate(frame)
+            right = _coerce_against(self.right.value, left)
+        elif left_lit and not right_lit:
+            right = self.right.evaluate(frame)
+            left = _coerce_against(self.left.value, right)
+        else:
+            left = self.left.evaluate(frame)
+            right = self.right.evaluate(frame)
+            if right_lit:
+                right = np.full(
+                    frame.num_rows, _coerce_against(self.right.value, left)
+                )
+            if left_lit:
+                left = np.full(
+                    frame.num_rows, _coerce_against(self.left.value, right)
+                )
         result = _COMPARATORS[self.op](left, right)
         return np.asarray(result, dtype=bool)
 
@@ -289,7 +305,12 @@ class Between(Expr):
         values = self.target.evaluate(frame)
         low = _coerce_against(self.low, values)
         high = _coerce_against(self.high, values)
-        return (values >= low) & (values <= high)
+        # Deferred import: expressions is a lower layer than engine, so
+        # the kernel dispatch is looked up at call time (and BETWEEN is
+        # hot enough on 6M-row scans to warrant the fused kernel).
+        from repro.engine import kernels
+
+        return kernels.eval_between(values, low, high)
 
     def columns(self) -> set[ColumnKey]:
         return self.target.columns()

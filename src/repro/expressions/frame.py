@@ -3,6 +3,32 @@
 A frame maps *qualified* column names (``table.column``) to arrays of
 equal length. Frames are produced by scans, joins, samples, and join
 synopses; expressions evaluate against them.
+
+Frames come in two flavours sharing one class:
+
+* **Eager** frames (the default, and the only kind that existed before
+  the scale work) materialize a fresh copy of every column on every
+  ``mask``/``take``. Simple, but a ``SeqScan → join → join`` chain
+  gathers each column once per operator whether or not anything ever
+  reads it.
+* **Lazy** frames (``lazy=True``) represent each column as a *source*:
+  a base array plus an optional selection vector of row positions.
+  ``mask`` and ``take`` merely compose selection vectors — O(result
+  rows) total, independent of column count — and a column is gathered
+  (``base[sel]``) only the first time something actually reads it,
+  after which the materialized array is memoized. Projection pruning
+  falls out for free: columns no operator touches are never copied.
+
+The two paths are bit-identical: ``base[sel][rows]`` and
+``base[sel[rows]]`` are the same exact gather, and boolean masks are
+converted to position vectors with ``np.flatnonzero`` (``a[keep]`` and
+``a[np.flatnonzero(keep)]`` agree element-for-element and dtype-for-
+dtype). The engine asserts this equivalence in its test suite.
+
+Frames are immutable by contract: no caller may write into an array
+obtained from :meth:`column`. Lazy frames additionally share base
+arrays (and possibly selection vectors) with their inputs, so the
+contract is what makes sharing safe.
 """
 
 from __future__ import annotations
@@ -14,26 +40,86 @@ import numpy as np
 from repro.errors import ExpressionError
 
 
+class _Source:
+    """One column's backing store: a base array plus an optional
+    selection vector of row positions into it (``None`` = identity)."""
+
+    __slots__ = ("base", "sel")
+
+    def __init__(self, base: np.ndarray, sel: np.ndarray | None) -> None:
+        self.base = base
+        self.sel = sel
+
+    def __len__(self) -> int:
+        return len(self.base) if self.sel is None else len(self.sel)
+
+    def gather(self) -> np.ndarray:
+        """Materialize the column (identity sources return the base)."""
+        return self.base if self.sel is None else self.base[self.sel]
+
+
 class Frame:
     """An ordered mapping of qualified column names to numpy arrays."""
 
-    def __init__(self, columns: Mapping[str, np.ndarray]) -> None:
-        self._columns: dict[str, np.ndarray] = dict(columns)
-        lengths = {len(array) for array in self._columns.values()}
+    def __init__(self, columns: Mapping[str, np.ndarray], *, lazy: bool = False) -> None:
+        sources: dict[str, _Source] = {}
+        cache: dict[str, np.ndarray] = {}
+        lengths = set()
+        for name, array in dict(columns).items():
+            sources[name] = _Source(array, None)
+            cache[name] = array
+            lengths.add(len(array))
         if len(lengths) > 1:
             raise ExpressionError(f"ragged frame (lengths {sorted(lengths)})")
+        self._sources = sources
+        self._cache = cache
         self._num_rows = lengths.pop() if lengths else 0
+        self._lazy = lazy
 
     @classmethod
-    def from_table(cls, table) -> "Frame":
-        """Build a frame over a whole table with qualified names."""
-        return cls(
-            {table.qualified(name): table.column(name) for name in table.schema.column_names}
-        )
+    def _from_sources(
+        cls,
+        sources: dict[str, _Source],
+        num_rows: int,
+        lazy: bool,
+        cache: dict[str, np.ndarray] | None = None,
+    ) -> "Frame":
+        frame = cls.__new__(cls)
+        frame._sources = sources
+        frame._cache = cache if cache is not None else {}
+        frame._num_rows = num_rows
+        frame._lazy = lazy
+        return frame
 
     @classmethod
-    def from_table_rows(cls, table, row_ids: np.ndarray) -> "Frame":
-        """Build a frame over selected rows of a table."""
+    def from_table(cls, table, *, lazy: bool = False) -> "Frame":
+        """Build a frame over a whole table with qualified names.
+
+        Never copies (columns reference the table's arrays); ``lazy``
+        only affects how later ``mask``/``take`` calls behave.
+        """
+        sources = {
+            table.qualified(name): _Source(table.column(name), None)
+            for name in table.schema.column_names
+        }
+        return cls._from_sources(sources, table.num_rows, lazy)
+
+    @classmethod
+    def from_table_rows(cls, table, row_ids: np.ndarray, *, lazy: bool = False) -> "Frame":
+        """Build a frame over selected rows of a table.
+
+        The eager flavour gathers every column immediately (the
+        historical behaviour); the lazy flavour wraps the table's
+        arrays with ``row_ids`` as a shared selection vector, copying
+        nothing until a column is read.
+        """
+        if lazy:
+            sel = np.asarray(row_ids, dtype=np.int64)
+            sources = {
+                table.qualified(name): _Source(table.column(name), sel)
+                for name in table.schema.column_names
+            }
+            return cls._from_sources(sources, len(sel), True)
         return cls(
             {
                 table.qualified(name): array
@@ -47,22 +133,34 @@ class Frame:
         return self._num_rows
 
     @property
+    def is_lazy(self) -> bool:
+        """Whether ``mask``/``take`` compose selection vectors."""
+        return self._lazy
+
+    @property
     def column_names(self) -> list[str]:
         """Qualified column names in insertion order."""
-        return list(self._columns)
+        return list(self._sources)
 
-    def column(self, qualified_name: str) -> np.ndarray:
-        """Return the array stored under ``qualified_name``.
+    @property
+    def materialized_columns(self) -> list[str]:
+        """Names of columns whose arrays exist in memory right now.
 
-        As a convenience, an unqualified name resolves when exactly one
-        frame column has that suffix.
+        On an eager frame this is every column; on a lazy frame, only
+        the columns something has read. Used by tests and benchmarks to
+        assert projection pruning ("untouched columns are never
+        gathered").
         """
-        if qualified_name in self._columns:
-            return self._columns[qualified_name]
+        return [name for name in self._sources if name in self._cache]
+
+    def _resolve(self, qualified_name: str) -> str:
+        """Resolve a (possibly unqualified) name to a stored key."""
+        if qualified_name in self._sources:
+            return qualified_name
         suffix = f".{qualified_name}"
-        matches = [name for name in self._columns if name.endswith(suffix)]
+        matches = [name for name in self._sources if name.endswith(suffix)]
         if len(matches) == 1:
-            return self._columns[matches[0]]
+            return matches[0]
         if len(matches) > 1:
             raise ExpressionError(
                 f"ambiguous column {qualified_name!r}: matches {matches}"
@@ -71,9 +169,23 @@ class Frame:
             f"no column {qualified_name!r} in frame with {self.column_names}"
         )
 
+    def column(self, qualified_name: str) -> np.ndarray:
+        """Return the array stored under ``qualified_name``.
+
+        As a convenience, an unqualified name resolves when exactly one
+        frame column has that suffix. On lazy frames the first read of
+        a column gathers and memoizes it.
+        """
+        key = self._resolve(qualified_name)
+        array = self._cache.get(key)
+        if array is None:
+            array = self._sources[key].gather()
+            self._cache[key] = array
+        return array
+
     def __contains__(self, qualified_name: str) -> bool:
         try:
-            self.column(qualified_name)
+            self._resolve(qualified_name)
         except ExpressionError:
             return False
         return True
@@ -82,15 +194,58 @@ class Frame:
         """Return a new frame with only the rows where ``keep`` is True."""
         if keep.dtype != np.bool_ or len(keep) != self._num_rows:
             raise ExpressionError("mask must be a boolean array of frame length")
-        return Frame({name: array[keep] for name, array in self._columns.items()})
+        if not self._lazy:
+            return Frame(
+                {name: self.column(name)[keep] for name in self._sources}
+            )
+        return self._compose(np.flatnonzero(keep))
 
     def take(self, row_ids: np.ndarray) -> "Frame":
         """Return a new frame with rows gathered by position."""
-        return Frame({name: array[row_ids] for name, array in self._columns.items()})
+        if not self._lazy:
+            return Frame(
+                {name: self.column(name)[row_ids] for name in self._sources}
+            )
+        rows = np.asarray(row_ids)
+        if rows.dtype == np.bool_:
+            raise ExpressionError("take() requires positions; use mask() for booleans")
+        return self._compose(rows.astype(np.int64, copy=False))
+
+    def _compose(self, row_ids: np.ndarray) -> "Frame":
+        """Selection-vector composition: the zero-copy mask/take core.
+
+        Columns sharing one selection vector (the common case: all
+        columns of one scan) compose it once, so the cost is O(result
+        rows) per *distinct* vector, not per column — and no data
+        column is touched at all.
+        """
+        composed: dict[int, np.ndarray] = {}
+        sources: dict[str, _Source] = {}
+        for name, src in self._sources.items():
+            sel_id = id(src.sel)
+            sel = composed.get(sel_id)
+            if sel is None:
+                sel = row_ids if src.sel is None else src.sel[row_ids]
+                composed[sel_id] = sel
+            sources[name] = _Source(src.base, sel)
+        return Frame._from_sources(sources, len(row_ids), True)
 
     def select(self, names: list[str]) -> "Frame":
-        """Return a new frame with only the listed (qualified) columns."""
-        return Frame({name: self.column(name) for name in names})
+        """Return a new frame with only the listed (qualified) columns.
+
+        On lazy frames this also drops the pruned columns' source
+        references, releasing their base arrays for garbage collection
+        once no other frame shares them.
+        """
+        sources: dict[str, _Source] = {}
+        cache: dict[str, np.ndarray] = {}
+        for name in names:
+            key = self._resolve(name)
+            sources[name] = self._sources[key]
+            if key in self._cache:
+                cache[name] = self._cache[key]
+        num_rows = self._num_rows if sources else 0
+        return Frame._from_sources(sources, num_rows, self._lazy, cache)
 
     def merged_with(self, other: "Frame") -> "Frame":
         """Column-wise concatenation of two row-aligned frames."""
@@ -98,12 +253,21 @@ class Frame:
             raise ExpressionError(
                 f"cannot merge frames of {self._num_rows} and {other.num_rows} rows"
             )
-        overlap = set(self._columns) & set(other._columns)
+        overlap = set(self._sources) & set(other._sources)
         if overlap:
             raise ExpressionError(f"duplicate columns when merging: {sorted(overlap)}")
-        combined = dict(self._columns)
-        combined.update(other._columns)
-        return Frame(combined)
+        sources = dict(self._sources)
+        sources.update(other._sources)
+        cache = dict(self._cache)
+        cache.update(other._cache)
+        return Frame._from_sources(
+            sources, self._num_rows, self._lazy or other._lazy, cache
+        )
+
+    def eager(self) -> "Frame":
+        """A fully-materialized copy of this frame (for comparisons)."""
+        return Frame({name: self.column(name) for name in self._sources})
 
     def __repr__(self) -> str:
-        return f"Frame(rows={self._num_rows}, columns={self.column_names})"
+        kind = "lazy, " if self._lazy else ""
+        return f"Frame({kind}rows={self._num_rows}, columns={self.column_names})"

@@ -43,7 +43,7 @@ from repro.core import (
     resolve_threshold,
 )
 from repro.cost import CostModel
-from repro.engine import ExecutionContext
+from repro.engine import ExecOptions, ExecutionContext, ScanCache
 from repro.errors import EstimationError, ReproError, StatisticsError
 from repro.expressions import Frame
 from repro.obs import (
@@ -267,6 +267,13 @@ class Session:
         )
         self._statistics = statistics
         self._statistics_lock = threading.Lock()
+        # Shared scan cache for this session's executions. The session
+        # is bound to one immutable Database object for its lifetime
+        # (statistics refreshes rebuild statistics, not table data), so
+        # base-scan results stay valid across statements. Dict access
+        # is atomic under the GIL; a race costs a duplicate compute,
+        # never a wrong result.
+        self._scan_cache = ScanCache()
         self._estimator: CardinalityEstimator | None = None
         self._closed = False
         # Degraded-mode state machine: HEALTHY until a degradation is
@@ -725,7 +732,9 @@ class Session:
                 "repro_session_replans_total",
                 "Transparent re-plans after a statistics version bump.",
             ).inc()
-        ctx = ExecutionContext(self.database)
+        ctx = ExecutionContext(
+            self.database, ExecOptions(scan_cache=self._scan_cache)
+        )
         started = time.perf_counter()
         frame = prepared.plan.execute(ctx)
         wall = time.perf_counter() - started
@@ -833,6 +842,7 @@ class Session:
         execution_cache: bool = True,
         vectorize_thresholds: bool = True,
         trace: bool = False,
+        scan_cache: bool = True,
     ):
         """Run a Section-6 style experiment grid against this database.
 
@@ -857,6 +867,7 @@ class Session:
             execution_cache=execution_cache,
             vectorize_thresholds=vectorize_thresholds,
             trace=trace,
+            scan_cache=scan_cache,
         )
         result = runner.run(params, configs)
         result.perf.publish(self.metrics)

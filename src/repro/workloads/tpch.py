@@ -69,15 +69,31 @@ class TpchConfig:
     ~1 = pronounced skew, as in the TPC-H skew variants). Skew makes
     per-part join fan-outs uneven, stressing both histogram distinct
     counts and the containment assumption.
+
+    ``scale`` multiplies ``num_lineitem`` (and with it the derived
+    ``orders``/``part``/``customer`` sizes) so sweeps can dial row
+    volume without touching the base shape: ``scale=100`` over the
+    default 60 k reaches 6 M lineitem rows — the paper's TPC-H scale
+    factor 1 testbed.
     """
 
     num_lineitem: int = 60_000
     seed: RngLike = 0
     part_skew: float = 0.0
+    scale: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise WorkloadError("scale must be positive")
+        if self.scale != 1.0:
+            # Frozen dataclass: fold the factor into num_lineitem once,
+            # so every derived size and downstream consumer sees plain
+            # row counts.
+            object.__setattr__(
+                self, "num_lineitem", int(round(self.num_lineitem * self.scale))
+            )
         if self.num_lineitem < 100:
-            raise WorkloadError("num_lineitem must be at least 100")
+            raise WorkloadError("num_lineitem must be at least 100 (after scale)")
         if self.part_skew < 0:
             raise WorkloadError("part_skew must be non-negative")
 

@@ -1,0 +1,422 @@
+"""Unit tests for repro.engine.kernels (backend dispatch + bit-identity).
+
+Every kernel has a pure-numpy reference; the dispatch layer must return
+bit-identical results no matter which backend is active. The numba
+variants only run where numba is installed (it is an optional
+dependency), so those assertions are conditional — the numpy fallback
+path is the one exercised everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import kernels
+from repro.engine.joinutil import match_keys, semijoin_mask
+from repro.errors import ReproError
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    yield
+    kernels.set_backend(None)
+
+
+def reference_match_keys(left, right):
+    """O(n·m) brute-force matching, grouped by left row."""
+    pairs = [
+        (i, j)
+        for i in range(len(left))
+        for j in range(len(right))
+        if left[i] == right[j]
+    ]
+    if not pairs:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    li, ri = zip(*pairs)
+    return np.array(li, dtype=np.int64), np.array(ri, dtype=np.int64)
+
+
+class TestBackendSelection:
+    def test_numpy_always_available(self):
+        assert "numpy" in kernels.available_backends()
+
+    def test_default_resolves(self):
+        assert kernels.active_backend() in ("numpy", "numba")
+
+    def test_force_numpy(self):
+        kernels.set_backend("numpy")
+        assert kernels.active_backend() == "numpy"
+
+    def test_auto_restores(self):
+        kernels.set_backend("numpy")
+        kernels.set_backend("auto")
+        assert kernels.active_backend() in ("numpy", "numba")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError, match="unknown kernel backend"):
+            kernels.set_backend("cuda")
+
+    def test_numba_request_fails_loudly_when_missing(self):
+        if "numba" in kernels.available_backends():
+            pytest.skip("numba installed: strict request succeeds")
+        with pytest.raises(ReproError, match="not installed"):
+            kernels.set_backend("numba")
+
+    def test_describe_is_json_ready(self):
+        import json
+
+        snapshot = json.loads(json.dumps(kernels.describe()))
+        assert snapshot["active_backend"] in ("numpy", "numba")
+
+
+class TestMatchKeys:
+    @pytest.mark.parametrize(
+        "left, right",
+        [
+            ([], []),
+            ([], [1, 2]),
+            ([1, 2], []),
+            ([1, 2, 3], [4, 5, 6]),  # no matches
+            ([10, 20, 20, 30], [20, 10, 40]),
+            ([1, 1], [1, 1, 1]),  # all-duplicate keys
+            ([5] * 7, [5] * 7),
+        ],
+    )
+    def test_matches_brute_force(self, left, right):
+        left = np.array(left, dtype=np.int64)
+        right = np.array(right, dtype=np.int64)
+        li, ri = match_keys(left, right)
+        el, er = reference_match_keys(left, right)
+        assert sorted(zip(li, ri)) == sorted(zip(el, er))
+
+    def test_output_grouped_by_left_row(self):
+        left = np.array([7, 3, 7])
+        right = np.array([7, 9, 7, 3])
+        li, ri = match_keys(left, right)
+        # Left indices non-decreasing (grouped), right ascending within
+        # each left row — the contract downstream take() order relies on.
+        assert list(li) == sorted(li)
+        for row in np.unique(li):
+            rows = ri[li == row]
+            assert list(rows) == sorted(rows)
+
+    def test_random_large_agrees_with_numpy_reference(self):
+        rng = np.random.default_rng(0)
+        left = rng.integers(0, 500, 20_000)
+        right = rng.integers(0, 500, 10_000)
+        li, ri = match_keys(left, right)
+        el, er = kernels.match_keys_numpy(left, right)
+        np.testing.assert_array_equal(li, el)
+        np.testing.assert_array_equal(ri, er)
+
+    def test_table_path_bit_identical_to_reference(self):
+        # Unique compact left keys over a large input trigger the
+        # PK-FK lookup-table path; output must equal the sorted path.
+        rng = np.random.default_rng(2)
+        left = rng.permutation(6000)[:3000]  # unique, span 2x count
+        right = rng.integers(-100, 6100, 20_000)  # some out of range
+        li, ri = match_keys(left, right)
+        el, er = kernels.match_keys_numpy(left, right)
+        np.testing.assert_array_equal(li, el)
+        np.testing.assert_array_equal(ri, er)
+
+    def test_duplicate_left_keys_fall_back_identically(self):
+        rng = np.random.default_rng(3)
+        left = rng.integers(0, 3000, 5000)  # duplicates: cross products
+        right = rng.integers(0, 3000, 5000)
+        li, ri = match_keys(left, right)
+        el, er = kernels.match_keys_numpy(left, right)
+        np.testing.assert_array_equal(li, el)
+        np.testing.assert_array_equal(ri, er)
+
+    def test_million_row_input(self):
+        rng = np.random.default_rng(1)
+        left = rng.integers(0, 2_000_000, 1_200_000)
+        right = rng.integers(0, 2_000_000, 1000)
+        li, ri = match_keys(left, right)
+        np.testing.assert_array_equal(left[li], right[ri])
+        # Cross-check the match count with a membership count on the
+        # (unique-keyed) right side.
+        uniq, counts = np.unique(right, return_counts=True)
+        expected = counts[np.searchsorted(uniq, left[np.isin(left, uniq)])].sum()
+        assert len(li) == expected
+
+
+class TestStableOrder:
+    """The stable permutation is unique — radix must equal mergesort."""
+
+    @pytest.mark.parametrize(
+        "keys",
+        [
+            np.array([], dtype=np.int64),
+            np.array([5], dtype=np.int64),
+            np.array([3, 1, 3, 1, 3], dtype=np.int64),  # ties: stability
+            np.array([-(2**62), 2**62, 0], dtype=np.int64),  # span fallback
+        ],
+    )
+    def test_edge_cases(self, keys):
+        np.testing.assert_array_equal(
+            kernels.stable_order(keys), np.argsort(keys, kind="stable")
+        )
+
+    @pytest.mark.parametrize(
+        "lo, hi",
+        [
+            (0, 1000),  # single uint16 digit
+            (-500, 200),  # negative lows still shift cleanly
+            (0, 2**20),  # two-digit radix
+            (10**9, 10**9 + 2**31),  # big offset, span just under 2**32
+            (0, 2**40),  # beyond radix span: mergesort fallback
+        ],
+    )
+    def test_random_integers_match_mergesort(self, lo, hi):
+        rng = np.random.default_rng(hi % 1009)
+        keys = rng.integers(lo, hi, 50_000)
+        np.testing.assert_array_equal(
+            kernels.stable_order(keys), np.argsort(keys, kind="stable")
+        )
+
+    def test_unsigned_and_float_and_string(self):
+        rng = np.random.default_rng(9)
+        for keys in (
+            rng.integers(0, 100, 5000).astype(np.uint64),
+            rng.uniform(-1, 1, 5000),
+            np.array(["pear", "fig", "fig", "apple"] * 100),
+        ):
+            np.testing.assert_array_equal(
+                kernels.stable_order(keys), np.argsort(keys, kind="stable")
+            )
+
+    def test_lexsort_matches_numpy(self):
+        rng = np.random.default_rng(10)
+        primary = rng.integers(0, 20, 4000)
+        secondary = rng.integers(0, 9, 4000)
+        tertiary = rng.choice(np.array(["a", "b", "c"]), 4000)
+        for keys in (
+            [primary],
+            [secondary, primary],
+            [tertiary, secondary, primary],
+        ):
+            np.testing.assert_array_equal(
+                kernels.lexsort_stable(keys), np.lexsort(keys)
+            )
+
+    def test_lexsort_requires_keys(self):
+        with pytest.raises(ReproError, match="at least one key"):
+            kernels.lexsort_stable([])
+
+
+class TestMembership:
+    def test_small_inputs_use_isin_verbatim(self, monkeypatch):
+        calls = {"isin": 0, "table": 0}
+        real_isin, real_table = kernels.membership_isin, kernels.membership_table
+
+        def spy_isin(a, b):
+            calls["isin"] += 1
+            return real_isin(a, b)
+
+        def spy_table(a, b):
+            calls["table"] += 1
+            return real_table(a, b)
+
+        monkeypatch.setattr(kernels, "membership_isin", spy_isin)
+        monkeypatch.setattr(kernels, "membership_table", spy_table)
+        small = np.arange(100)
+        kernels.membership(small, small)
+        assert calls == {"isin": 1, "table": 0}
+        big = np.arange(kernels.SEMIJOIN_SMALL_N + 1)
+        kernels.membership(big, big[:10])
+        assert calls == {"isin": 1, "table": 1}  # large + compact: hash path
+
+    def test_wide_range_integers_stay_on_isin(self, monkeypatch):
+        monkeypatch.setattr(
+            kernels, "membership_table", lambda a, b: pytest.fail("table used")
+        )
+        rng = np.random.default_rng(11)
+        left = rng.integers(0, 2**60, 10_000)
+        right = rng.integers(0, 2**60, 1000)
+        np.testing.assert_array_equal(
+            kernels.membership(left, right), np.isin(left, right)
+        )
+
+    def test_one_empty_side_large_other(self):
+        left = np.arange(kernels.SEMIJOIN_SMALL_N + 5)
+        out = kernels.membership(left, np.empty(0, dtype=np.int64))
+        assert out.shape == left.shape and not out.any()
+        assert kernels.membership(np.empty(0, dtype=np.int64), left).shape == (0,)
+
+    def test_table_matches_sorted_reference(self):
+        rng = np.random.default_rng(12)
+        left = rng.integers(0, 30_000, 20_000)
+        right = rng.integers(0, 30_000, 5_000)
+        np.testing.assert_array_equal(
+            kernels.membership_table(left, right),
+            kernels.membership_sorted(left, right),
+        )
+
+    @pytest.mark.parametrize("n_left, n_right", [(10, 5), (5000, 3000), (9000, 40)])
+    def test_bit_identical_to_isin(self, n_left, n_right):
+        rng = np.random.default_rng(n_left)
+        left = rng.integers(0, 4000, n_left)
+        right = rng.integers(0, 4000, n_right)
+        np.testing.assert_array_equal(
+            kernels.membership(left, right), np.isin(left, right)
+        )
+
+    def test_floats_and_nan_match_isin(self):
+        rng = np.random.default_rng(3)
+        left = rng.uniform(0, 100, 6000)
+        left[::7] = np.nan
+        right = np.concatenate([rng.uniform(0, 100, 3000), [np.nan]])
+        np.testing.assert_array_equal(
+            kernels.membership(left, right), np.isin(left, right)
+        )
+
+    def test_semijoin_mask_empty_paths(self):
+        assert semijoin_mask(np.array([]), np.array([1])).shape == (0,)
+        out = semijoin_mask(np.array([1, 2]), np.array([]))
+        assert not out.any() and out.dtype == bool
+
+    def test_semijoin_mask_large_agrees(self):
+        rng = np.random.default_rng(4)
+        left = rng.integers(0, 10_000, 50_000)
+        right = rng.integers(0, 10_000, 8_000)
+        np.testing.assert_array_equal(
+            semijoin_mask(left, right), np.isin(left, right)
+        )
+
+    @pytest.mark.perf
+    def test_dispatched_path_not_slower_than_isin_at_scale(self):
+        import time
+
+        rng = np.random.default_rng(5)
+
+        def best_of(func, a, b, k=5):
+            times = []
+            for _ in range(k):
+                start = time.perf_counter()
+                func(a, b)
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        # Join-key regime: large arrays over a compact key universe.
+        left = rng.integers(0, 5_000_000, 2_000_000)
+        right = rng.integers(0, 5_000_000, 500_000)
+        dispatched = best_of(kernels.membership, left, right, k=3)
+        isin = best_of(kernels.membership_isin, left, right, k=3)
+        # The hash-table path should win; 1.25x margin absorbs noise
+        # while still failing on a real regression to a slower path.
+        assert dispatched <= isin * 1.25
+
+
+class TestEvalBetween:
+    @pytest.mark.parametrize(
+        "values, low, high",
+        [
+            (np.arange(1000), 100, 500),
+            (np.linspace(-5, 5, 777), -1.25, 3.5),
+            (np.array([1.0, np.nan, 2.0]), 0.5, 1.5),
+            (np.array([], dtype=np.int64), 0, 1),
+        ],
+    )
+    def test_matches_naive(self, values, low, high):
+        np.testing.assert_array_equal(
+            kernels.eval_between(values, low, high),
+            (values >= low) & (values <= high),
+        )
+
+    def test_string_arrays_supported(self):
+        values = np.array(["apple", "cherry", "fig", "plum"])
+        np.testing.assert_array_equal(
+            kernels.eval_between(values, "b", "g"),
+            (values >= "b") & (values <= "g"),
+        )
+
+    def test_does_not_mutate_input(self):
+        values = np.arange(10)
+        before = values.copy()
+        kernels.eval_between(values, 2, 5)
+        np.testing.assert_array_equal(values, before)
+
+
+class TestGroupedAggregate:
+    def _groups(self, values, group_sizes):
+        ends = np.cumsum(group_sizes)
+        starts = ends - np.asarray(group_sizes)
+        return np.asarray(starts), np.asarray(ends)
+
+    @pytest.mark.parametrize("func", ["count", "min", "max"])
+    @pytest.mark.parametrize("dtype", [np.int64, np.float64])
+    def test_exact_fast_paths(self, func, dtype):
+        rng = np.random.default_rng(6)
+        values = rng.integers(-50, 50, 30).astype(dtype)
+        starts, ends = self._groups(values, [3, 1, 10, 7, 9])
+        out = kernels.grouped_aggregate(func, values, starts, ends)
+        reference = {
+            "count": lambda a: float(len(a)),
+            "min": lambda a: float(a.min()),
+            "max": lambda a: float(a.max()),
+        }[func]
+        expected = np.array([reference(values[s:e]) for s, e in zip(starts, ends)])
+        np.testing.assert_array_equal(out, expected)
+        assert out.dtype == expected.dtype
+
+    def test_integer_sum_exact(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(-(2**40), 2**40, 64)
+        starts, ends = self._groups(values, [16, 16, 16, 16])
+        out = kernels.grouped_aggregate("sum", values, starts, ends)
+        expected = np.array(
+            [float(values[s:e].sum()) for s, e in zip(starts, ends)]
+        )
+        np.testing.assert_array_equal(out, expected)
+
+    def test_float_sum_declined(self):
+        values = np.random.default_rng(8).uniform(0, 1, 20)
+        starts, ends = self._groups(values, [10, 10])
+        assert kernels.grouped_aggregate("sum", values, starts, ends) is None
+        assert kernels.grouped_aggregate("avg", values, starts, ends) is None
+
+    def test_empty_input(self):
+        empty = np.empty(0, dtype=np.int64)
+        out = kernels.grouped_aggregate("count", empty, empty, empty)
+        assert out is not None and len(out) == 0
+
+
+class TestGroupedCountCompact:
+    def _reference(self, keys):
+        """Sorted-unique keys and run lengths, as the sort path yields."""
+        uniq, counts = np.unique(keys, return_counts=True)
+        return uniq, counts
+
+    @pytest.mark.parametrize(
+        "keys",
+        [
+            np.array([7, 3, 3, 7, 7, 1], dtype=np.int64),
+            np.array([5], dtype=np.int64),
+            np.array([-4, -4, -4], dtype=np.int64),  # negative lows
+            np.arange(1000, dtype=np.int32)[::-1].copy(),
+        ],
+    )
+    def test_matches_sorted_grouping(self, keys):
+        result = kernels.grouped_count_compact(keys)
+        assert result is not None
+        group_keys, counts = result
+        expected_keys, expected_counts = self._reference(keys)
+        np.testing.assert_array_equal(group_keys, expected_keys)
+        np.testing.assert_array_equal(counts, expected_counts)
+        assert group_keys.dtype == keys.dtype
+
+    def test_declines_non_compact_and_non_integer(self):
+        assert kernels.grouped_count_compact(np.empty(0, dtype=np.int64)) is None
+        assert kernels.grouped_count_compact(np.array([0.5, 1.5])) is None
+        sparse = np.array([0, 2**40], dtype=np.int64)
+        assert kernels.grouped_count_compact(sparse) is None
+
+    def test_large_random(self):
+        rng = np.random.default_rng(13)
+        keys = rng.integers(100, 3000, 200_000)
+        group_keys, counts = kernels.grouped_count_compact(keys)
+        expected_keys, expected_counts = self._reference(keys)
+        np.testing.assert_array_equal(group_keys, expected_keys)
+        np.testing.assert_array_equal(counts, expected_counts)
+        assert counts.sum() == len(keys)

@@ -1,0 +1,389 @@
+"""Zero-copy execution: selection-vector frames, projection pruning,
+and the shared scan cache.
+
+Three contracts under test:
+
+1. Lazy (selection-vector) frames are bit-identical to the historical
+   eager frames — same values, same dtypes — across every operator,
+   including the >1M-row and all-duplicate-key edge cases.
+2. Laziness actually prunes work: columns nothing reads are never
+   materialized.
+3. The scan cache reuses base scans across plan executions while
+   charging the exact same :class:`WorkCounters` — the simulation's
+   unit of account — so experiment records don't depend on the cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ExecOptions,
+    ExecutionContext,
+    HashAggregate,
+    HashJoin,
+    IndexIntersect,
+    IndexSeek,
+    IndexUnionSeek,
+    IndexedNLJoin,
+    Limit,
+    MergeJoin,
+    ScanCache,
+    SeqScan,
+    Sort,
+    StarSemiJoin,
+)
+from repro.engine.aggregate import AggregateSpec
+from repro.engine.scans import IndexCondition
+from repro.engine.star import DimensionSpec
+from repro.errors import ExpressionError
+from repro.expressions import Frame, col
+
+from tests.conftest import make_two_table_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_two_table_db(n_part=60, n_lineitem=3000)
+
+
+def assert_frames_identical(a: Frame, b: Frame):
+    assert a.column_names == b.column_names
+    assert a.num_rows == b.num_rows
+    for name in a.column_names:
+        x, y = a.column(name), b.column(name)
+        assert x.dtype == y.dtype, name
+        np.testing.assert_array_equal(x, y, err_msg=name)
+
+
+def run_both(op, db):
+    """Execute one plan eagerly and lazily; return both (frame, counters)."""
+    lazy_ctx = ExecutionContext(db, ExecOptions(lazy_frames=True))
+    eager_ctx = ExecutionContext(db, ExecOptions.eager())
+    return (
+        op.execute(lazy_ctx),
+        lazy_ctx.counters,
+        op.execute(eager_ctx),
+        eager_ctx.counters,
+    )
+
+
+class TestLazyFrameBasics:
+    def test_mask_composes_without_materializing(self):
+        frame = Frame.from_table_rows(
+            _table(), np.arange(50), lazy=True
+        )
+        out = frame.mask(np.arange(50) % 2 == 0)
+        assert out.is_lazy
+        assert out.num_rows == 25
+        assert out.materialized_columns == []
+
+    def test_column_read_memoizes_and_matches_eager(self):
+        frame = _lazy_pair()[0]
+        eager = _lazy_pair()[1]
+        out = frame.take(np.array([5, 3, 3, 0]))
+        expected = eager.take(np.array([5, 3, 3, 0]))
+        assert out.materialized_columns == []
+        np.testing.assert_array_equal(out.column("t.a"), expected.column("t.a"))
+        assert out.materialized_columns == ["t.a"]
+        # Second read returns the memoized array object.
+        assert out.column("t.a") is out.column("t.a")
+
+    def test_take_rejects_boolean_row_ids(self):
+        frame = _lazy_pair()[0]
+        with pytest.raises(ExpressionError, match="positions"):
+            frame.take(np.array([True] * frame.num_rows))
+
+    def test_empty_selection(self):
+        lazy, eager = _lazy_pair()
+        keep = np.zeros(lazy.num_rows, dtype=bool)
+        assert_frames_identical(lazy.mask(keep).eager(), eager.mask(keep))
+
+    def test_all_duplicate_positions(self):
+        lazy, eager = _lazy_pair()
+        rows = np.zeros(1000, dtype=np.int64)
+        assert_frames_identical(lazy.take(rows).eager(), eager.take(rows))
+
+    def test_chained_compositions_match(self):
+        lazy, eager = _lazy_pair()
+        rng = np.random.default_rng(0)
+        keep = rng.random(lazy.num_rows) < 0.5
+        l1, e1 = lazy.mask(keep), eager.mask(keep)
+        rows = rng.integers(0, l1.num_rows, 37)
+        assert_frames_identical(l1.take(rows).eager(), e1.take(rows))
+
+    def test_select_prunes_sources(self):
+        lazy = _lazy_pair()[0]
+        out = lazy.select(["t.b"])
+        assert out.column_names == ["t.b"]
+        assert out.is_lazy
+
+    def test_merge_of_lazy_and_eager_is_lazy(self):
+        lazy = _lazy_pair()[0]
+        other = Frame({"v.x": np.arange(lazy.num_rows)})
+        merged = lazy.merged_with(other)
+        assert merged.is_lazy
+        # The eager side's columns are already materialized, the lazy
+        # side's are not.
+        assert "v.x" in merged.materialized_columns
+
+    def test_million_row_mask_bit_identical(self):
+        n = 1_200_000
+        rng = np.random.default_rng(1)
+        base = {
+            "t.x": rng.integers(0, 1000, n),
+            "t.y": rng.uniform(0, 1, n),
+        }
+        lazy = Frame(base, lazy=True)
+        eager = Frame(base)
+        keep = base["t.x"] % 3 == 0
+        assert_frames_identical(lazy.mask(keep).eager(), eager.mask(keep))
+
+
+def _table():
+    return make_two_table_db(n_part=50, n_lineitem=200).table("part")
+
+
+def _lazy_pair():
+    rng = np.random.default_rng(42)
+    columns = {
+        "t.a": rng.integers(0, 100, 400),
+        "t.b": rng.uniform(0, 1, 400),
+        "u.c": rng.choice(["x", "y", "z"], 400),
+    }
+    return Frame(columns, lazy=True), Frame(columns)
+
+
+def scan_part(pred=True):
+    return SeqScan("part", col("part.p_size") <= 25 if pred else None)
+
+
+def scan_lineitem(pred=True):
+    return SeqScan("lineitem", col("lineitem.l_quantity") > 20 if pred else None)
+
+
+OPERATORS = {
+    "seqscan": lambda: scan_lineitem(),
+    "indexseek": lambda: IndexSeek(
+        "lineitem",
+        IndexCondition("l_shipdate", 729050, 729250),
+        residual=col("lineitem.l_quantity") > 10,
+    ),
+    "indexunion": lambda: IndexUnionSeek(
+        "lineitem", "l_partkey", [3, 9, 27], residual=col("lineitem.l_quantity") > 5
+    ),
+    "indexintersect": lambda: IndexIntersect(
+        "lineitem",
+        [
+            IndexCondition("l_shipdate", 729050, 729250),
+            IndexCondition("l_receiptdate", 729100, 729300),
+        ],
+    ),
+    "hashjoin": lambda: HashJoin(
+        scan_part(), scan_lineitem(), "part.p_partkey", "lineitem.l_partkey"
+    ),
+    "mergejoin": lambda: MergeJoin(
+        scan_part(), scan_lineitem(), "part.p_partkey", "lineitem.l_partkey"
+    ),
+    "indexednljoin": lambda: IndexedNLJoin(
+        scan_part(),
+        "lineitem",
+        "part.p_partkey",
+        "l_partkey",
+        residual=col("lineitem.l_quantity") > 15,
+    ),
+    "sort-limit": lambda: Limit(
+        Sort(scan_lineitem(), ["lineitem.l_quantity", "lineitem.l_id"]), 40
+    ),
+    "aggregate": lambda: HashAggregate(
+        scan_lineitem(),
+        [
+            AggregateSpec("sum", "lineitem.l_quantity", "qty"),
+            AggregateSpec("count", "*", "n"),
+            AggregateSpec("min", "lineitem.l_shipdate", "first_ship"),
+            AggregateSpec("max", "lineitem.l_shipdate", "last_ship"),
+            AggregateSpec("avg", "lineitem.l_quantity", "avg_qty"),
+        ],
+        group_by=["lineitem.l_partkey"],
+    ),
+}
+
+
+class TestOperatorBitIdentity:
+    @pytest.mark.parametrize("name", sorted(OPERATORS))
+    def test_lazy_matches_eager(self, db, name):
+        lazy_frame, lazy_counters, eager_frame, eager_counters = run_both(
+            OPERATORS[name](), db
+        )
+        assert_frames_identical(lazy_frame.eager(), eager_frame)
+        assert lazy_counters.as_dict() == eager_counters.as_dict()
+
+    def test_star_semijoin_lazy_matches_eager(self, star_db):
+        window = 100
+        op = StarSemiJoin(
+            "fact",
+            semi_dims=[
+                DimensionSpec(
+                    "dim1", "f_dim1key", col("dim1.d_attr") <= window - 1
+                ),
+                DimensionSpec(
+                    "dim2",
+                    "f_dim2key",
+                    (col("dim2.d_attr") >= 10) & (col("dim2.d_attr") <= window + 9),
+                ),
+            ],
+            hash_dims=[
+                DimensionSpec(
+                    "dim3", "f_dim3key", col("dim3.d_attr") <= window - 1
+                )
+            ],
+        )
+        lazy_frame, lazy_counters, eager_frame, eager_counters = run_both(
+            op, star_db
+        )
+        assert_frames_identical(lazy_frame.eager(), eager_frame)
+        assert lazy_counters.as_dict() == eager_counters.as_dict()
+
+
+class TestProjectionPruning:
+    def test_filtered_scan_materializes_nothing_downstream(self, db):
+        ctx = ExecutionContext(db)
+        frame = scan_lineitem().execute(ctx)
+        # The predicate read l_quantity on the *input* frame; the
+        # output is a fresh composition with no gathered columns.
+        assert frame.is_lazy
+        assert frame.materialized_columns == []
+
+    def test_join_gathers_only_touched_columns(self, db):
+        op = HashJoin(
+            scan_part(), scan_lineitem(), "part.p_partkey", "lineitem.l_partkey"
+        )
+        ctx = ExecutionContext(db)
+        result = op.execute(ctx)
+        # The join only gathered its key columns on the *inputs*; the
+        # merged output starts unmaterialized.
+        assert result.materialized_columns == []
+        result.column("lineitem.l_quantity")
+        assert result.materialized_columns == ["lineitem.l_quantity"]
+
+    def test_eager_mode_still_materializes_everything(self, db):
+        ctx = ExecutionContext(db, ExecOptions.eager())
+        frame = scan_lineitem().execute(ctx)
+        assert not frame.is_lazy
+        assert set(frame.materialized_columns) == set(frame.column_names)
+
+
+class TestScanCache:
+    def test_repeat_scans_hit(self, db):
+        cache = ScanCache()
+        options = ExecOptions(scan_cache=cache)
+        op = scan_lineitem()
+        first = op.execute(ExecutionContext(db, options))
+        second = op.execute(ExecutionContext(db, options))
+        assert cache.hits == 1 and cache.misses == 1
+        assert second is first  # the memoized frame itself
+
+    def test_counters_identical_hot_and_cold(self, db):
+        cache = ScanCache()
+        options = ExecOptions(scan_cache=cache)
+        for make in OPERATORS.values():
+            op = make()
+            cold = ExecutionContext(db, options)
+            op.execute(cold)
+            warm = ExecutionContext(db, options)
+            op.execute(warm)
+            assert cold.counters.as_dict() == warm.counters.as_dict(), op.label()
+        assert cache.hits > 0
+
+    def test_different_predicates_do_not_collide(self, db):
+        cache = ScanCache()
+        options = ExecOptions(scan_cache=cache)
+        a = SeqScan("lineitem", col("lineitem.l_quantity") > 20)
+        b = SeqScan("lineitem", col("lineitem.l_quantity") > 30)
+        fa = a.execute(ExecutionContext(db, options))
+        fb = b.execute(ExecutionContext(db, options))
+        assert cache.hits == 0 and cache.misses == 2
+        assert fa.num_rows != fb.num_rows
+
+    def test_lazy_and_eager_entries_are_distinct(self, db):
+        cache = ScanCache()
+        op = scan_lineitem()
+        lazy = op.execute(
+            ExecutionContext(db, ExecOptions(lazy_frames=True, scan_cache=cache))
+        )
+        eager = op.execute(
+            ExecutionContext(db, ExecOptions(lazy_frames=False, scan_cache=cache))
+        )
+        assert cache.misses == 2 and cache.hits == 0
+        assert lazy.is_lazy and not eager.is_lazy
+
+    def test_cache_pinned_to_first_database(self, db):
+        cache = ScanCache()
+        op = scan_lineitem()
+        op.execute(ExecutionContext(db, ExecOptions(scan_cache=cache)))
+        other = make_two_table_db(n_part=60, n_lineitem=3000)
+        # Same content, different Database object: the cache must not
+        # serve (it cannot prove the data is the same), and must not
+        # poison itself either.
+        frame = op.execute(ExecutionContext(other, ExecOptions(scan_cache=cache)))
+        assert cache.hits == 0
+        assert frame.num_rows > 0
+
+    def test_index_error_not_cached(self, db):
+        from repro.errors import ExecutionError
+
+        cache = ScanCache()
+        options = ExecOptions(scan_cache=cache)
+        bad = IndexSeek("lineitem", IndexCondition("l_quantity", 0, 10))
+        for _ in range(2):
+            with pytest.raises(ExecutionError, match="no index"):
+                bad.execute(ExecutionContext(db, options))
+        assert len(cache) == 0
+
+
+class TestExperimentRecordsUnchanged:
+    """The scan cache must be invisible in experiment records."""
+
+    def test_runner_records_bit_identical(self, tpch_db):
+        from repro.experiments import ExperimentRunner
+        from repro.workloads import ShippingDatesTemplate
+
+        template = ShippingDatesTemplate()
+        params = template.params_for_targets(tpch_db, [0.002, 0.008], step=4)
+
+        def run(scan_cache):
+            # Disable the plan-execution cache so repeated executions
+            # actually reach the scans — otherwise the exec cache
+            # absorbs every repeat and the scan cache sees no traffic.
+            runner = ExperimentRunner(
+                tpch_db,
+                template,
+                sample_size=200,
+                seeds=[0],
+                workers=1,
+                execution_cache=False,
+                scan_cache=scan_cache,
+            )
+            return runner.run(params)
+
+        cached, uncached = run(True), run(False)
+        assert cached.records == uncached.records
+        assert cached.perf.scan_cache_hits > 0
+        assert uncached.perf.scan_cache_hits == 0
+        d = cached.perf.as_dict()
+        assert d["scan_cache"] is True
+        assert d["scan_cache_hit_rate"] > 0
+
+    def test_session_prepared_reexecution_reuses_scans(self, tpch_db):
+        from repro.service import Session
+
+        session = Session(tpch_db, sample_size=200)
+        query = (
+            "SELECT COUNT(*) FROM lineitem "
+            "WHERE lineitem.l_quantity > 30"
+        )
+        prepared = session.prepare(query)
+        first = prepared.execute()
+        second = prepared.execute()
+        assert first.simulated_seconds == second.simulated_seconds
+        assert_frames_identical(first.frame.eager(), second.frame.eager())
+        assert session._scan_cache.hits > 0
