@@ -21,6 +21,8 @@ between releases.
 Quick tour
 ----------
 - :mod:`repro.service` — the ``Session``/``PreparedQuery`` facade
+- :mod:`repro.serving` — multi-tenant serving: admission control,
+  worker pool, statistics hot-swap, seeded load generation
 - :mod:`repro.catalog` — columnar tables, foreign keys, indexes
 - :mod:`repro.expressions` — predicate trees evaluated over frames
 - :mod:`repro.engine` — physical operators with work-counter accounting
@@ -75,6 +77,14 @@ from repro.service import (
     SessionConfig,
     query_fingerprint,
 )
+from repro.serving import (
+    AdmissionConfig,
+    LoadConfig,
+    QueryServer,
+    ServedQuery,
+    TenantSpec,
+    run_load,
+)
 from repro.sql import parse_predicate, parse_query, query_to_sql
 from repro.stats import StatisticsManager, load_statistics, save_statistics
 
@@ -88,6 +98,13 @@ __all__ = [
     "QueryResult",
     "PlanCache",
     "query_fingerprint",
+    # multi-tenant serving
+    "AdmissionConfig",
+    "LoadConfig",
+    "QueryServer",
+    "ServedQuery",
+    "TenantSpec",
+    "run_load",
     # catalog
     "Column",
     "ColumnType",

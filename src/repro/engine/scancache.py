@@ -25,6 +25,15 @@ Correctness rules:
   by contract, and lazy frames share (never mutate) base arrays, so
   handing the same frame to many plan executions is safe. Callers that
   re-mask or take from a cached frame get fresh frames.
+* **Concurrency.** One cache may be shared by many executor threads
+  (the serving layer's worker pool drives concurrent plan executions
+  through a session-owned cache). A per-cache mutex guards the entry
+  dict, the database pin, and the hit/miss counters; misses for the
+  *same* key are collapsed singleflight-style — the first thread
+  materializes the scan while followers wait on an event and share the
+  result, so one leaf is never filtered twice just because two plans
+  reached it simultaneously. ``compute`` runs outside the mutex, so
+  distinct keys never serialize on each other's materialization.
 
 Keys are plain tuples built by the operators from table names,
 ``expr_key`` predicate signatures, and the laziness flag (an eager
@@ -33,19 +42,43 @@ caller must not receive a lazy frame or vice versa).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 from repro.catalog import Database
+
+
+class _InFlightScan:
+    """One in-progress leaf materialization followers can wait on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: object = None
+        self.error: BaseException | None = None
 
 
 class ScanCache:
     """Memo table for base-table access paths, pinned to one database."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._database: Database | None = None
         self._entries: dict[tuple, object] = {}
-        self.hits = 0
-        self.misses = 0
+        self._inflight: dict[tuple, _InFlightScan] = {}
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
 
     def valid_for(self, database: Database) -> bool:
         """Whether this cache may serve results for ``database``.
@@ -53,29 +86,81 @@ class ScanCache:
         The first database seen pins the cache; any other database
         object (even an equal-content rebuild) invalidates it for that
         context, because statistics refreshes and chaos faults rebuild
-        the Database object when data changes.
+        the Database object when data changes. The check-and-pin is
+        atomic: two threads racing with *different* databases can never
+        both pin (and then cross-pollinate) one cache.
         """
-        if self._database is None:
-            self._database = database
-        return self._database is database
+        with self._lock:
+            if self._database is None:
+                self._database = database
+            return self._database is database
 
     def get_or_compute(self, key: tuple, compute: Callable[[], object]) -> object:
-        """Return the memoized value for ``key``, computing it on miss."""
-        if key in self._entries:
-            self.hits += 1
-            return self._entries[key]
-        value = compute()
-        self.misses += 1
-        self._entries[key] = value
+        """Return the memoized value for ``key``, computing it on miss.
+
+        ``compute`` runs at most once per key per generation: the first
+        thread to miss becomes the leader and materializes outside the
+        lock, followers wait and share the leader's result (counted as
+        hits — they did no scan work). A leader failure is propagated
+        to the leader and releases followers to retry as fresh leaders,
+        so an exception is never cached.
+        """
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._hits += 1
+                    return self._entries[key]
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlightScan()
+                    self._inflight[key] = flight
+                    leader = True
+                else:
+                    leader = False
+            if leader:
+                break
+            flight.event.wait()
+            if flight.error is None:
+                with self._lock:
+                    self._hits += 1
+                return flight.value
+            # The leader failed; loop and retry as a fresh leader.
+            with self._lock:
+                if self._inflight.get(key) is flight:
+                    del self._inflight[key]
+
+        try:
+            value = compute()
+        except BaseException as exc:
+            with self._lock:
+                flight.error = exc
+                if self._inflight.get(key) is flight:
+                    del self._inflight[key]
+            flight.event.set()
+            raise
+        with self._lock:
+            self._misses += 1
+            self._entries[key] = value
+            if self._inflight.get(key) is flight:
+                del self._inflight[key]
+        flight.value = value
+        flight.event.set()
         return value
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._database = None
-        self._entries.clear()
+        with self._lock:
+            self._database = None
+            self._entries.clear()
 
     def stats(self) -> dict:
         """Hit/miss counts for perf reporting."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "entries": len(self._entries),
+            }

@@ -218,7 +218,7 @@ class ChaosHarness:
 
         drops = [s for s in plan.runtime_specs if s.kind.startswith("drop-")]
         if drops:
-            statistics = session._ensure_statistics()
+            statistics = session._ensure_state().manager
             tables = self.database.table_names
             for spec in drops:
                 table = spec.table or tables[int(rng.integers(0, len(tables)))]
@@ -274,7 +274,7 @@ class ChaosHarness:
             parsed = prepared.query
             if session.config.estimator == "robust":
                 parsed = replace(parsed, hint=prepared.threshold)
-            fresh = session._optimizer().optimize(parsed)
+            fresh = session._optimizer(session._ensure_state()).optimize(parsed)
         except ReproError:
             return  # injected estimator fault during the probe: skip
         if fresh.estimated_cost != prepared.estimated_cost or (

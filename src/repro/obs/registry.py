@@ -10,9 +10,20 @@ Metrics support Prometheus-style labels: ``counter.inc(config="T=80%")``
 keeps an independent series per label combination. Export order is
 deterministic (registration order for metrics, sorted label sets
 within a metric), so snapshots diff cleanly.
+
+Thread safety: every metric guards its own series dict with a private
+lock — mutation (``inc``/``set``/``observe``), labeled-child creation,
+and export all hold it — and the registry guards metric registration
+with a registry-level lock. Locking is *per metric*, not registry-wide,
+so two threads incrementing different metrics never contend; export
+takes each metric's lock only long enough to copy its series, so a
+snapshot taken mid-traffic is internally consistent per series without
+stalling writers.
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.errors import ReproError
 
@@ -48,27 +59,35 @@ class Counter:
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
+        self._lock = threading.Lock()
         self._series: dict[tuple, float] = {}
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         if amount < 0:
             raise MetricsError(f"counter {self.name} cannot decrease")
         key = _label_key(labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels) -> float:
-        return self._series.get(_label_key(labels), 0.0)
+        key = _label_key(labels)
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+    def _copy_series(self) -> list[tuple[tuple, float]]:
+        with self._lock:
+            return sorted(self._series.items())
 
     def snapshot(self) -> dict:
         return {
             _format_labels(key) or "": value
-            for key, value in sorted(self._series.items())
+            for key, value in self._copy_series()
         }
 
     def prometheus_lines(self) -> list[str]:
         return [
             f"{self.name}{_format_labels(key)} {_format_value(value)}"
-            for key, value in sorted(self._series.items())
+            for key, value in self._copy_series()
         ]
 
 
@@ -78,11 +97,14 @@ class Gauge(Counter):
     kind = "gauge"
 
     def set(self, value: float, **labels) -> None:
-        self._series[_label_key(labels)] = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         key = _label_key(labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
 
 
 #: Default histogram buckets, tuned for simulated-seconds and Q-error
@@ -108,9 +130,12 @@ class Histogram:
         self.buckets = tuple(sorted(buckets))
         if not self.buckets:
             raise MetricsError(f"histogram {name} needs at least one bucket")
+        self._lock = threading.Lock()
         self._series: dict[tuple, dict] = {}
 
     def _slot(self, key: tuple) -> dict:
+        # Callers must hold self._lock: slot creation is a check-then-
+        # insert that would otherwise drop a racing thread's slot.
         slot = self._series.get(key)
         if slot is None:
             slot = {
@@ -122,16 +147,32 @@ class Histogram:
         return slot
 
     def observe(self, value: float, **labels) -> None:
-        slot = self._slot(_label_key(labels))
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                slot["buckets"][i] += 1
-        slot["sum"] += float(value)
-        slot["count"] += 1
+        key = _label_key(labels)
+        with self._lock:
+            slot = self._slot(key)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    slot["buckets"][i] += 1
+            slot["sum"] += float(value)
+            slot["count"] += 1
+
+    def _copy_series(self) -> list[tuple[tuple, dict]]:
+        with self._lock:
+            return [
+                (
+                    key,
+                    {
+                        "buckets": list(slot["buckets"]),
+                        "sum": slot["sum"],
+                        "count": slot["count"],
+                    },
+                )
+                for key, slot in sorted(self._series.items())
+            ]
 
     def snapshot(self) -> dict:
         out = {}
-        for key, slot in sorted(self._series.items()):
+        for key, slot in self._copy_series():
             out[_format_labels(key) or ""] = {
                 "buckets": {
                     _format_value(bound): slot["buckets"][i]
@@ -144,7 +185,7 @@ class Histogram:
 
     def prometheus_lines(self) -> list[str]:
         lines = []
-        for key, slot in sorted(self._series.items()):
+        for key, slot in self._copy_series():
             for i, bound in enumerate(self.buckets):
                 labels = dict(key)
                 labels["le"] = _format_value(bound)
@@ -172,20 +213,22 @@ class MetricsRegistry:
     """Get-or-create home for every metric the pipeline reports."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
     def _get_or_create(self, cls, name: str, **kwargs):
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if type(existing) is not cls:
-                raise MetricsError(
-                    f"metric {name!r} already registered as "
-                    f"{existing.kind}, requested {cls.kind}"
-                )
-            return existing
-        metric = cls(name, **kwargs)
-        self._metrics[name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise MetricsError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, requested {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help=help)
@@ -201,6 +244,10 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get_or_create(Histogram, name, help=help, buckets=buckets)
 
+    def _metrics_snapshot(self) -> list[tuple[str, Counter | Gauge | Histogram]]:
+        with self._lock:
+            return list(self._metrics.items())
+
     # ------------------------------------------------------------------
     def to_json(self) -> dict:
         """A nested snapshot: ``{name: {kind, help, series}}``."""
@@ -210,13 +257,13 @@ class MetricsRegistry:
                 "help": metric.help,
                 "series": metric.snapshot(),
             }
-            for name, metric in self._metrics.items()
+            for name, metric in self._metrics_snapshot()
         }
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (one block per metric)."""
         lines: list[str] = []
-        for name, metric in self._metrics.items():
+        for name, metric in self._metrics_snapshot():
             if metric.help:
                 lines.append(f"# HELP {name} {metric.help}")
             lines.append(f"# TYPE {name} {metric.kind}")

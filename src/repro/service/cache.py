@@ -42,15 +42,26 @@ class _InFlight:
 
 
 class _Stripe:
-    """One shard of the key space: an LRU dict plus its lock."""
+    """One shard of the key space: an LRU dict plus its lock.
 
-    __slots__ = ("lock", "entries", "inflight", "capacity")
+    Hit/miss/eviction counters live *on the stripe* and are mutated
+    only under the stripe's own lock — the cache-wide totals are
+    aggregated at read time. A hit therefore touches exactly one lock
+    (the stripe's, which it already holds), never a process-wide stats
+    mutex that would serialize otherwise-uncontended stripes.
+    """
+
+    __slots__ = ("lock", "entries", "inflight", "capacity",
+                 "hits", "misses", "evictions")
 
     def __init__(self, capacity: int) -> None:
         self.lock = threading.Lock()
         self.entries: OrderedDict = OrderedDict()
         self.inflight: dict = {}
         self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
 
 class PlanCache:
@@ -77,10 +88,20 @@ class PlanCache:
         stripes = min(stripes, capacity) or 1
         per_stripe = -(-capacity // stripes) if capacity else 0
         self._stripes = [_Stripe(per_stripe) for _ in range(stripes)]
-        self._stats_lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+
+    # Aggregated-at-read counters (kept as properties so callers and
+    # older tests that read ``cache.hits`` keep working).
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self._stripes)
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self._stripes)
+
+    @property
+    def evictions(self) -> int:
+        return sum(s.evictions for s in self._stripes)
 
     # ------------------------------------------------------------------
     def _stripe_for(self, key: Hashable) -> _Stripe:
@@ -96,18 +117,17 @@ class PlanCache:
         the winner's exception, without caching it). With ``capacity
         0`` the factory always runs and nothing is retained.
         """
+        stripe = self._stripe_for(key)
         if self.capacity == 0:
-            with self._stats_lock:
-                self.misses += 1
+            with stripe.lock:
+                stripe.misses += 1
             return factory(), False
 
-        stripe = self._stripe_for(key)
         while True:
             with stripe.lock:
                 if key in stripe.entries:
                     stripe.entries.move_to_end(key)
-                    with self._stats_lock:
-                        self.hits += 1
+                    stripe.hits += 1
                     return stripe.entries[key], True
                 flight = stripe.inflight.get(key)
                 if flight is None:
@@ -120,8 +140,8 @@ class PlanCache:
                 break
             flight.event.wait()
             if flight.error is None:
-                with self._stats_lock:
-                    self.hits += 1
+                with stripe.lock:
+                    stripe.hits += 1
                 return flight.value, True
             # The leader failed; loop and retry as a fresh leader.
             with stripe.lock:
@@ -140,17 +160,14 @@ class PlanCache:
         with stripe.lock:
             stripe.entries[key] = value
             stripe.entries.move_to_end(key)
-            evicted = 0
             while len(stripe.entries) > stripe.capacity:
                 stripe.entries.popitem(last=False)
-                evicted += 1
+                stripe.evictions += 1
             if stripe.inflight.get(key) is flight:
                 del stripe.inflight[key]
+            stripe.misses += 1
         flight.value = value
         flight.event.set()
-        with self._stats_lock:
-            self.misses += 1
-            self.evictions += evicted
         return value, False
 
     # ------------------------------------------------------------------
@@ -174,20 +191,16 @@ class PlanCache:
         if self.capacity == 0:
             return
         stripe = self._stripe_for(key)
-        evicted = 0
         with stripe.lock:
             stripe.entries[key] = value
             stripe.entries.move_to_end(key)
             while len(stripe.entries) > stripe.capacity:
                 stripe.entries.popitem(last=False)
-                evicted += 1
+                stripe.evictions += 1
             flight = stripe.inflight.pop(key, None)
         if flight is not None:
             flight.value = value
             flight.event.set()
-        if evicted:
-            with self._stats_lock:
-                self.evictions += evicted
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
@@ -204,9 +217,19 @@ class PlanCache:
             return key in stripe.entries
 
     def stats(self) -> dict:
-        """Counters plus occupancy, JSON-ready."""
-        with self._stats_lock:
-            hits, misses, evictions = self.hits, self.misses, self.evictions
+        """Counters plus occupancy, JSON-ready.
+
+        Totals are aggregated from the per-stripe counters at read
+        time; each stripe's triple is read under its own lock, so the
+        totals never include a torn per-stripe update (a cross-stripe
+        snapshot taken mid-traffic is monotonic, not frozen).
+        """
+        hits = misses = evictions = 0
+        for stripe in self._stripes:
+            with stripe.lock:
+                hits += stripe.hits
+                misses += stripe.misses
+                evictions += stripe.evictions
         total = hits + misses
         return {
             "capacity": self.capacity,

@@ -22,6 +22,17 @@ Thread safety: the plan cache is lock-striped with per-key
 singleflight (two threads preparing the same query plan it exactly
 once), statistics builds are serialized by a session lock, and metrics
 go through the session's :class:`~repro.obs.MetricsRegistry`.
+
+Statistics hot-swap under load: the session's (manager, estimator)
+pair lives in one immutable-slot :class:`_StatsState` that swaps are a
+*single* attribute assignment of. A prepare takes one snapshot of that
+state and derives both its cache-key version and its estimator from
+it, so a swap landing mid-prepare can never mix old statistics with a
+new version (or vice versa) — the racing prepare plans entirely
+against the old snapshot, whose cache key embeds the old version and
+is structurally unreachable after the swap. ``refresh_statistics`` is
+copy-on-refresh for the same reason: it builds a *fresh* manager and
+swaps it in rather than mutating the one in-flight readers hold.
 """
 
 from __future__ import annotations
@@ -215,6 +226,42 @@ class PreparedQuery:
         )
 
 
+class _StatsState:
+    """One atomically-swapped statistics binding.
+
+    Bundles a statistics manager with the estimator lazily built over
+    it, so readers that grab one ``session._state`` reference see a
+    *consistent* pair: the estimator in a state always answers from
+    that state's manager. Swaps (attach, refresh, decorator changes)
+    install a whole new state object in one attribute assignment —
+    atomic under the interpreter — instead of mutating fields that a
+    concurrent prepare might read half-updated.
+
+    ``estimator`` memoization is a benign race: two threads may both
+    build, last write wins, and either instance answers identically
+    (estimators are pure functions of statistics + config).
+    """
+
+    __slots__ = ("manager", "estimator", "ready")
+
+    def __init__(
+        self,
+        manager: StatisticsManager | None = None,
+        *,
+        ready: bool = False,
+    ) -> None:
+        self.manager = manager
+        self.estimator: CardinalityEstimator | None = None
+        #: Whether the manager is fully built and safe for lock-free
+        #: reads. Unready states funnel every reader through the
+        #: session statistics lock until the build completes.
+        self.ready = ready
+
+    @property
+    def version(self) -> int:
+        return self.manager.version if self.manager is not None else 0
+
+
 class Session:
     """The public facade: parse, plan, cache, execute, explain.
 
@@ -265,16 +312,18 @@ class Session:
         self._parse_cache = PlanCache(
             capacity=base.plan_cache_size, stripes=base.cache_stripes
         )
-        self._statistics = statistics
+        self._state = _StatsState(
+            statistics,
+            ready=statistics is not None and statistics.version > 0,
+        )
         self._statistics_lock = threading.Lock()
         # Shared scan cache for this session's executions. The session
         # is bound to one immutable Database object for its lifetime
         # (statistics refreshes rebuild statistics, not table data), so
-        # base-scan results stay valid across statements. Dict access
-        # is atomic under the GIL; a race costs a duplicate compute,
-        # never a wrong result.
+        # base-scan results stay valid across statements. The cache is
+        # internally locked with singleflight misses, so concurrent
+        # executors share leaf materializations safely.
         self._scan_cache = ScanCache()
-        self._estimator: CardinalityEstimator | None = None
         self._closed = False
         # Degraded-mode state machine: HEALTHY until a degradation is
         # recorded, back to HEALTHY on a successful attach/refresh.
@@ -295,7 +344,11 @@ class Session:
     def estimator_decorator(self, value) -> None:
         self._estimator_decorator = value
         with self._statistics_lock:
-            self._estimator = None
+            # Swap in a fresh state sharing the manager so the memoized
+            # estimator is rebuilt (with the new decorator) on next use.
+            state = self._state
+            fresh = _StatsState(state.manager, ready=state.ready)
+            self._state = fresh
 
     # ------------------------------------------------------------------
     # Statistics lifecycle
@@ -304,22 +357,35 @@ class Session:
     def statistics(self) -> StatisticsManager | None:
         """The session's statistics (``None`` until first build for
         statistics-backed estimators; always ``None``-safe to read)."""
-        return self._statistics
+        return self._state.manager
 
     def statistics_version(self) -> int:
         """The current statistics version (0 before any build)."""
-        statistics = self._statistics
-        return statistics.version if statistics is not None else 0
+        return self._state.version
 
-    def _ensure_statistics(self) -> StatisticsManager | None:
-        if self.config.estimator == "exact":
-            return self._statistics
+    def _ensure_state(self) -> _StatsState:
+        """The current statistics state, built if need be.
+
+        This is the one read point every planning path goes through:
+        callers hold the returned snapshot for the whole prepare, so
+        the version they key the cache with and the estimator they plan
+        with always come from the same statistics. Ready states are
+        returned lock-free; unbuilt ones funnel through the session
+        lock until exactly one thread finishes the build.
+        """
+        state = self._state
+        if self.config.estimator == "exact" or state.ready:
+            return state
         with self._statistics_lock:
-            if self._statistics is None:
-                self._statistics = StatisticsManager(self.database)
-            if self._statistics.version == 0:
+            state = self._state
+            if state.ready:
+                return state
+            manager = state.manager
+            if manager is None:
+                manager = StatisticsManager(self.database)
+            if manager.version == 0:
                 started = time.perf_counter()
-                self._statistics.update_statistics(
+                manager.update_statistics(
                     sample_size=self.config.sample_size,
                     histogram_buckets=self.config.histogram_buckets,
                     seed=self.config.statistics_seed,
@@ -328,7 +394,9 @@ class Session:
                     "repro_session_statistics_build_seconds",
                     "Wall time of the last statistics build.",
                 ).set(time.perf_counter() - started)
-            return self._statistics
+            state = _StatsState(manager, ready=True)
+            self._state = state
+            return state
 
     def refresh_statistics(
         self, seed=None, sample_size: int | None = None
@@ -338,16 +406,21 @@ class Session:
         Returns the new statistics version. The plan cache needs no
         explicit flush: keys embed the version, so old entries can
         never be served again and age out of the LRU.
+
+        The rebuild is copy-on-refresh: it builds a *new* manager and
+        swaps it in atomically, so a prepare racing the refresh plans
+        against a consistent old snapshot instead of half-rebuilt
+        statistics. Callers sharing the previous manager object keep
+        their (now frozen) copy.
         """
         if self.config.estimator == "exact":
             raise SessionError("exact sessions have no statistics to refresh")
         if sample_size is not None:
             self.config = replace(self.config, sample_size=sample_size)
         with self._statistics_lock:
-            if self._statistics is None:
-                self._statistics = StatisticsManager(self.database)
+            fresh = StatisticsManager(self.database)
             started = time.perf_counter()
-            self._statistics.update_statistics(
+            fresh.update_statistics(
                 sample_size=self.config.sample_size,
                 histogram_buckets=self.config.histogram_buckets,
                 seed=self.config.statistics_seed if seed is None else seed,
@@ -360,8 +433,9 @@ class Session:
                 "repro_session_statistics_refreshes_total",
                 "Statistics rebuilds requested on the session.",
             ).inc()
+            self._state = _StatsState(fresh, ready=True)
             self._set_health(HEALTHY)
-            return self._statistics.version
+            return fresh.version
 
     def attach_statistics(
         self,
@@ -402,8 +476,12 @@ class Session:
                 return self.statistics_version()
         issues = manager.health_issues()
         with self._statistics_lock:
-            self._statistics = manager
-            self._estimator = None  # rebind lazily to the new manager
+            # One assignment swaps manager + estimator together: racing
+            # prepares keep their old snapshot or get this one, never a
+            # mix (the estimator rebinds lazily *on the new state*).
+            # An unbuilt manager stays unready so the next prepare
+            # builds it under the session lock, as on first use.
+            self._state = _StatsState(manager, ready=manager.version > 0)
         if issues:
             self._record_degradation(
                 "statistics-health",
@@ -458,13 +536,16 @@ class Session:
     # ------------------------------------------------------------------
     # Estimator / optimizer wiring
     # ------------------------------------------------------------------
-    def _build_estimator(self, tracer: Tracer | None = None):
-        """A fresh estimator honoring the session config."""
+    def _build_estimator(
+        self, state: _StatsState, tracer: Tracer | None = None
+    ):
+        """A fresh estimator honoring the session config, bound to the
+        statistics snapshot in ``state``."""
         kind = self.config.estimator
         if kind == "exact":
             estimator = ExactCardinalityEstimator(self.database)
         else:
-            statistics = self._ensure_statistics()
+            statistics = state.manager
             if kind == "robust":
                 estimator = RobustCardinalityEstimator(
                     statistics,
@@ -507,19 +588,23 @@ class Session:
         estimator.fallback_listener = self._note_fallback_estimate
         return estimator
 
-    def _shared_estimator(self) -> CardinalityEstimator:
+    def _shared_estimator(self, state: _StatsState) -> CardinalityEstimator:
         # Benign race: two threads may both build; last write wins and
         # either instance answers identically (estimators are pure
-        # functions of statistics + config).
-        if self._estimator is None:
-            self._estimator = self._build_estimator()
-        return self._estimator
+        # functions of statistics + config). The memo lives on the
+        # state, so a statistics swap can never pair an old estimator
+        # with a new version.
+        if state.estimator is None:
+            state.estimator = self._build_estimator(state)
+        return state.estimator
 
-    def _optimizer(self, tracer: Tracer | None = None) -> Optimizer:
+    def _optimizer(
+        self, state: _StatsState, tracer: Tracer | None = None
+    ) -> Optimizer:
         estimator = (
-            self._build_estimator(tracer)
+            self._build_estimator(state, tracer)
             if tracer is not None
-            else self._shared_estimator()
+            else self._shared_estimator(state)
         )
         return Optimizer(
             self.database,
@@ -578,8 +663,11 @@ class Session:
         self._check_open()
         parsed = self._coerce_query(query)
         effective = self._effective_threshold(parsed, threshold)
-        self._ensure_statistics()
-        version = self.statistics_version()
+        # One snapshot serves the whole prepare: the cache-key version
+        # and the planning estimator both come from it, so a hot-swap
+        # landing mid-prepare can't mix statistics generations.
+        state = self._ensure_state()
+        version = state.version
         fingerprint = query_fingerprint(parsed)
         key = self._cache_key(fingerprint, effective, version)
 
@@ -588,7 +676,7 @@ class Session:
             if self.config.estimator == "robust":
                 target = replace(parsed, hint=effective)
             started = time.perf_counter()
-            planned = self._optimizer().optimize(target)
+            planned = self._optimizer(state).optimize(target)
             self.metrics.gauge(
                 "repro_session_last_plan_seconds",
                 "Wall time of the most recent planning pass.",
@@ -659,8 +747,8 @@ class Session:
             raise SessionError("prepare_many needs at least one threshold")
         parsed = self._coerce_query(query)
         grid = [resolve_threshold(t) for t in thresholds]
-        self._ensure_statistics()
-        version = self.statistics_version()
+        state = self._ensure_state()
+        version = state.version
         fingerprint = query_fingerprint(parsed)
 
         keyed = [
@@ -677,7 +765,7 @@ class Session:
         if missing:
             hintless = replace(parsed, hint=None)
             try:
-                planned_grid = self._optimizer().optimize_many(
+                planned_grid = self._optimizer(state).optimize_many(
                     hintless, tuple(missing)
                 )
             except (EstimationError, StatisticsError):
@@ -777,7 +865,7 @@ class Session:
         parsed = self._coerce_query(query)
         effective = self._effective_threshold(parsed, threshold)
         tracer = Tracer()
-        optimizer = self._optimizer(tracer)
+        optimizer = self._optimizer(self._ensure_state(), tracer)
         target = parsed
         if self.config.estimator == "robust":
             target = replace(parsed, hint=effective)

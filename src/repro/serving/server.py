@@ -1,0 +1,480 @@
+"""A thread-safe multi-tenant query server over the Session facade.
+
+One :class:`QueryServer` fronts N tenants. Each tenant owns an
+isolated :class:`~repro.service.Session` — its own database binding,
+statistics, plan cache, and metrics registry — so nothing planned for
+one tenant can ever be served to another: plan-cache keys embed the
+tenant session's statistics version, and statistics versions are
+allocated from a process-wide epoch, which makes the version sets of
+two tenants provably disjoint. The server *verifies* that invariant at
+runtime anyway: it records every statistics version it serves per
+tenant, and :meth:`QueryServer.isolation_report` cross-intersects
+them (the intersection must be empty).
+
+Request flow: ``submit`` passes admission control
+(:class:`~repro.serving.admission.AdmissionController` — bounded
+per-tenant queue + global limit), then lands on a shared worker pool
+that drives prepare/execute through the tenant session's lock-striped
+plan cache. Shed requests raise :class:`ServerOverloaded` immediately;
+``serve`` wraps submit with deterministic exponential backoff so
+callers that prefer blocking semantics retry instead of failing.
+
+Statistics hot-swap: :meth:`QueryServer.swap_statistics` attaches a
+new archive to a tenant's session *while that tenant is serving
+traffic*. The session's atomic ``_StatsState`` swap guarantees no
+in-flight prepare mixes statistics generations; the server additionally
+tracks a per-tenant version floor at submit time and counts any
+operation served below its floor in
+``repro_serving_stale_served_total`` (which must stay 0 — the
+swap-under-load test asserts exactly that).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.catalog import Database
+from repro.errors import ReproError
+from repro.obs import MetricsRegistry
+from repro.service import Session, SessionConfig
+from repro.serving.admission import (
+    AdmissionConfig,
+    AdmissionController,
+)
+from repro.stats import StatisticsManager
+
+#: Buckets tuned for serving latency (sub-millisecond plan-cache hits
+#: up to multi-second cold plans under load).
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class ServingError(ReproError):
+    """The server was configured or used inconsistently."""
+
+
+class ServerOverloaded(ServingError):
+    """Admission control shed the request; retry with backoff."""
+
+    def __init__(self, tenant: str, reason: str) -> None:
+        super().__init__(
+            f"request for tenant {tenant!r} shed by admission control "
+            f"({reason})"
+        )
+        self.tenant = tenant
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's serving configuration.
+
+    ``statistics`` may be a prebuilt manager or a saved-archive path;
+    when omitted the tenant's session builds statistics lazily on its
+    first prepare (under the session statistics lock).
+    """
+
+    name: str
+    database: Database
+    config: SessionConfig | None = None
+    statistics: StatisticsManager | str | None = None
+
+
+@dataclass
+class ServedQuery:
+    """One completed operation: result provenance + serving metadata."""
+
+    tenant: str
+    #: Submit-to-completion wall time (queueing + planning + execution
+    #: + pacing), i.e. what a client of the server would observe.
+    latency_seconds: float
+    plan_cached: bool
+    statistics_version: int
+    degraded_reason: str | None
+    #: ``None`` for prepare-only operations.
+    rows: int | None
+    simulated_seconds: float
+    #: True when the operation was served below its tenant's statistics
+    #: version floor at submit time. Must never happen; counted in
+    #: ``repro_serving_stale_served_total``.
+    stale: bool = False
+
+
+class _Tenant:
+    """Server-side per-tenant state (session + isolation ledger)."""
+
+    __slots__ = (
+        "name", "session", "lock", "current_version", "served_versions",
+    )
+
+    def __init__(self, name: str, session: Session) -> None:
+        self.name = name
+        self.session = session
+        self.lock = threading.Lock()
+        #: The statistics version in force (the stale floor for newly
+        #: submitted operations). 0 until the first build/attach.
+        self.current_version = session.statistics_version()
+        #: Every statistics version this tenant has *served* a query
+        #: under — the isolation ledger cross-checked across tenants.
+        self.served_versions: set[int] = set()
+
+
+@dataclass
+class _Operation:
+    """One admitted unit of work, queued for the worker pool."""
+
+    tenant: _Tenant
+    query: str
+    threshold: float | str | None
+    execute: bool
+    submitted_at: float
+    version_floor: int
+    future: Future = field(default_factory=Future)
+
+
+class QueryServer:
+    """Admission-controlled, worker-pooled serving over N tenants.
+
+    Parameters
+    ----------
+    tenants:
+        :class:`TenantSpec` per tenant (at least one; names unique).
+    worker_threads:
+        Size of the shared executor pool driving prepare/execute.
+    admission:
+        An :class:`AdmissionConfig` (a controller is built over the
+        server registry) or a prebuilt :class:`AdmissionController`.
+    metrics:
+        Server-level registry (admission decisions, latency, staleness).
+        Tenant *sessions* keep private registries — server metrics are
+        about serving, session metrics are about planning.
+    service_time_floor / service_time_scale / service_time_cap:
+        When either knob is positive the worker sleeps
+        ``min(floor + simulated_seconds * scale, cap)`` after serving,
+        modeling the off-CPU service time a real engine spends waiting
+        on I/O (``floor`` is the constant per-operation share — result
+        streaming, round trips; ``scale`` converts the cost model's
+        simulated seconds into a data-dependent share). The sleep
+        releases the GIL, which is what lets the worker pool overlap
+        operations on a single core the way a real engine overlaps
+        I/O waits. Both default to 0 (no pacing).
+    """
+
+    def __init__(
+        self,
+        tenants,
+        *,
+        worker_threads: int = 4,
+        admission: AdmissionConfig | AdmissionController | None = None,
+        metrics: MetricsRegistry | None = None,
+        service_time_floor: float = 0.0,
+        service_time_scale: float = 0.0,
+        service_time_cap: float = 0.05,
+    ) -> None:
+        specs = list(tenants)
+        if not specs:
+            raise ServingError("a QueryServer needs at least one tenant")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ServingError(f"duplicate tenant names in {names}")
+        if worker_threads < 1:
+            raise ServingError(
+                f"worker_threads must be >= 1, got {worker_threads}"
+            )
+        self.metrics = metrics or MetricsRegistry()
+        if isinstance(admission, AdmissionController):
+            self.admission = admission
+        else:
+            self.admission = AdmissionController(
+                admission or AdmissionConfig(), self.metrics
+            )
+        self.worker_threads = worker_threads
+        self.service_time_floor = service_time_floor
+        self.service_time_scale = service_time_scale
+        self.service_time_cap = service_time_cap
+        self._tenants: dict[str, _Tenant] = {}
+        for spec in specs:
+            session = Session(
+                spec.database,
+                config=spec.config or SessionConfig(),
+            )
+            tenant = _Tenant(spec.name, session)
+            if spec.statistics is not None:
+                version = session.attach_statistics(spec.statistics)
+                tenant.current_version = version
+            self._tenants[spec.name] = tenant
+        self._pool = ThreadPoolExecutor(
+            max_workers=worker_threads,
+            thread_name_prefix="repro-serving",
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def _tenant(self, name: str) -> _Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise ServingError(
+                f"unknown tenant {name!r}; serving "
+                f"{sorted(self._tenants)}"
+            )
+        return tenant
+
+    def submit(
+        self,
+        tenant: str,
+        query: str,
+        *,
+        threshold: float | str | None = None,
+        execute: bool = True,
+    ) -> Future:
+        """Admit and enqueue one operation; a future of
+        :class:`ServedQuery`.
+
+        Raises :class:`ServerOverloaded` immediately when admission
+        control sheds the request (per-tenant queue full or global
+        limit reached) — nothing is queued in that case. Use
+        :meth:`serve` for blocking shed-and-retry semantics.
+        """
+        if self._closed:
+            raise ServingError("server is closed")
+        state = self._tenant(tenant)
+        reason = self.admission.try_admit(tenant)
+        if reason is not None:
+            raise ServerOverloaded(tenant, reason)
+        op = _Operation(
+            tenant=state,
+            query=query,
+            threshold=threshold,
+            execute=execute,
+            submitted_at=time.perf_counter(),
+            version_floor=state.current_version,
+        )
+        try:
+            self._pool.submit(self._run, op)
+        except BaseException:
+            self.admission.release(tenant)
+            raise
+        return op.future
+
+    def serve(
+        self,
+        tenant: str,
+        query: str,
+        *,
+        threshold: float | str | None = None,
+        execute: bool = True,
+        max_retries: int = 50,
+        backoff_seconds: float = 0.001,
+        backoff_cap: float = 0.05,
+        timeout: float | None = None,
+    ) -> ServedQuery:
+        """Blocking submit with shed-and-retry semantics.
+
+        On :class:`ServerOverloaded`, backs off deterministically
+        (exponential, capped at ``backoff_cap``) and resubmits, up to
+        ``max_retries`` times; the final shed propagates. Retries are
+        counted in ``repro_serving_retries_total``.
+        """
+        attempt = 0
+        while True:
+            try:
+                future = self.submit(
+                    tenant, query, threshold=threshold, execute=execute
+                )
+            except ServerOverloaded:
+                if attempt >= max_retries:
+                    raise
+                self.metrics.counter(
+                    "repro_serving_retries_total",
+                    "Resubmissions after an admission shed, by tenant.",
+                ).inc(tenant=tenant)
+                time.sleep(min(backoff_seconds * (2 ** attempt), backoff_cap))
+                attempt += 1
+                continue
+            return future.result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _run(self, op: _Operation) -> None:
+        tenant = op.tenant
+        try:
+            prepared = tenant.session.prepare(op.query, op.threshold)
+            if op.execute:
+                result = prepared.execute()
+                rows = result.num_rows
+                simulated = result.simulated_seconds
+                plan_cached = result.plan_cached
+                served_version = result.prepared.statistics_version
+                degraded = result.prepared.degraded_reason
+            else:
+                rows = None
+                simulated = 0.0
+                plan_cached = prepared.from_cache
+                served_version = prepared.statistics_version
+                degraded = prepared.degraded_reason
+            pace = (
+                self.service_time_floor
+                + simulated * self.service_time_scale
+            )
+            if pace > 0.0:
+                # Model the off-CPU (I/O) share of service time; sleep
+                # releases the GIL, so the pool overlaps operations the
+                # way a real engine overlaps I/O waits.
+                time.sleep(min(pace, self.service_time_cap))
+            stale = served_version < op.version_floor
+            with tenant.lock:
+                tenant.served_versions.add(served_version)
+            if stale:
+                self.metrics.counter(
+                    "repro_serving_stale_served_total",
+                    "Operations served below their tenant's statistics "
+                    "version floor (must stay 0).",
+                ).inc(tenant=tenant.name)
+            latency = time.perf_counter() - op.submitted_at
+            self.metrics.histogram(
+                "repro_serving_latency_seconds",
+                "Submit-to-completion latency of served operations.",
+                buckets=LATENCY_BUCKETS,
+            ).observe(latency, tenant=tenant.name)
+            self.metrics.counter(
+                "repro_serving_completed_total",
+                "Operations completed, by tenant and plan-cache outcome.",
+            ).inc(
+                tenant=tenant.name,
+                cache="hit" if plan_cached else "miss",
+            )
+            op.future.set_result(
+                ServedQuery(
+                    tenant=tenant.name,
+                    latency_seconds=latency,
+                    plan_cached=plan_cached,
+                    statistics_version=served_version,
+                    degraded_reason=degraded,
+                    rows=rows,
+                    simulated_seconds=simulated,
+                    stale=stale,
+                )
+            )
+        except BaseException as exc:
+            self.metrics.counter(
+                "repro_serving_errors_total",
+                "Operations that raised inside the worker, by tenant.",
+            ).inc(tenant=tenant.name)
+            op.future.set_exception(exc)
+        finally:
+            self.admission.release(tenant.name)
+
+    # ------------------------------------------------------------------
+    # Statistics lifecycle
+    # ------------------------------------------------------------------
+    def swap_statistics(
+        self, tenant: str, source: StatisticsManager | str
+    ) -> int:
+        """Hot-swap one tenant's statistics while it serves traffic.
+
+        Delegates to the session's atomic attach, then raises the
+        tenant's version floor: operations submitted *after* the swap
+        must be served at (at least) the new version, and the worker
+        counts any violation in ``repro_serving_stale_served_total``.
+        Operations already in flight legitimately finish under the old
+        snapshot — their floor was captured at submit time.
+        """
+        state = self._tenant(tenant)
+        with state.lock:
+            version = state.session.attach_statistics(source)
+            state.current_version = version
+        self.metrics.counter(
+            "repro_serving_statistics_swaps_total",
+            "Statistics archives hot-swapped, by tenant.",
+        ).inc(tenant=tenant)
+        return version
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tenant_names(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def session(self, tenant: str) -> Session:
+        """The tenant's underlying session (tests and diagnostics)."""
+        return self._tenant(tenant).session
+
+    def isolation_report(self) -> dict:
+        """Cross-tenant isolation evidence, JSON-ready.
+
+        ``violations`` lists every statistics version served under more
+        than one tenant. Because versions come from a process-wide
+        epoch, any overlap means a plan crossed a tenant boundary — the
+        report must always come back empty.
+        """
+        served: dict[str, set[int]] = {}
+        for name, tenant in self._tenants.items():
+            with tenant.lock:
+                served[name] = set(tenant.served_versions)
+        owners: dict[int, list[str]] = {}
+        for name, versions in served.items():
+            for version in versions:
+                owners.setdefault(version, []).append(name)
+        violations = {
+            version: sorted(names)
+            for version, names in owners.items()
+            if len(names) > 1
+        }
+        return {
+            "tenants": {
+                name: sorted(versions) for name, versions in served.items()
+            },
+            "violations": violations,
+            "isolated": not violations,
+        }
+
+    def stats(self) -> dict:
+        """Serving + per-tenant planning counters, JSON-ready."""
+        tenants = {}
+        for name, tenant in self._tenants.items():
+            tenants[name] = {
+                "statistics_version": tenant.session.statistics_version(),
+                "plan_cache": tenant.session.cache_stats(),
+                "health": tenant.session.health,
+            }
+        stale = self.metrics.counter(
+            "repro_serving_stale_served_total",
+            "Operations served below their tenant's statistics "
+            "version floor (must stay 0).",
+        )
+        return {
+            "worker_threads": self.worker_threads,
+            "admission": self.admission.snapshot(),
+            "stale_served": sum(
+                stale.value(tenant=name) for name in self._tenants
+            ),
+            "isolation": self.isolation_report(),
+            "tenants": tenants,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain the pool and close every tenant session."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        for tenant in self._tenants.values():
+            tenant.session.close()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

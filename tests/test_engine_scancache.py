@@ -1,0 +1,165 @@
+"""Concurrency tests for the shared scan cache.
+
+Regression suite for the serving-layer hardening: the pre-fix
+``ScanCache`` used unguarded dict writes and counters, so two executor
+threads scanning the same leaf both materialized it (violating
+compute-once), hit/miss counts drifted under contention, and two
+databases could race the first-seen pin. These tests fail on that
+code.
+"""
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.engine import ScanCache
+
+from tests.conftest import make_two_table_db
+
+
+class TestComputeOnce:
+    def test_concurrent_same_key_materializes_once(self):
+        """Two threads scanning the same leaf must share one compute."""
+        cache = ScanCache()
+        calls = []
+        barrier = threading.Barrier(6)
+        results = []
+
+        def slow_scan():
+            calls.append(1)
+            time.sleep(0.05)  # wide race window: pre-fix, all 6 compute
+            return object()
+
+        def worker():
+            barrier.wait()
+            results.append(
+                cache.get_or_compute(("seqscan", "lineitem", "q>45"), slow_scan)
+            )
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(calls) == 1, "followers must wait, not re-materialize"
+        assert all(r is results[0] for r in results)
+        assert cache.stats() == {"hits": 5, "misses": 1, "entries": 1}
+
+    def test_distinct_keys_do_not_serialize(self):
+        cache = ScanCache()
+        started = threading.Barrier(2)
+        release = threading.Event()
+
+        def blocking_scan():
+            started.wait(timeout=5)
+            release.wait(timeout=5)
+            return "slow"
+
+        slow = threading.Thread(
+            target=lambda: cache.get_or_compute(("a",), blocking_scan)
+        )
+        slow.start()
+        started.wait(timeout=5)
+        # While ("a",) is mid-materialization, another key must not block.
+        assert cache.get_or_compute(("b",), lambda: "fast") == "fast"
+        release.set()
+        slow.join(timeout=5)
+        assert not slow.is_alive()
+        assert len(cache) == 2
+
+    def test_leader_failure_propagates_and_followers_retry(self):
+        cache = ScanCache()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("scan failed")
+            return "ok"
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute(("k",), flaky)
+        assert cache.get_or_compute(("k",), flaky) == "ok"
+        assert len(attempts) == 2
+
+
+class TestCounterAccuracy:
+    def test_hit_miss_counters_exact_under_contention(self):
+        cache = ScanCache()
+        n_threads, iters = 4, 2000
+        barrier = threading.Barrier(n_threads)
+
+        def worker(idx):
+            barrier.wait()
+            for i in range(iters):
+                cache.get_or_compute(("leaf", i % 16), lambda: i)
+
+        previous = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            sys.setswitchinterval(previous)
+
+        stats = cache.stats()
+        assert stats["entries"] == 16
+        assert stats["misses"] == 16
+        assert stats["hits"] == n_threads * iters - 16
+
+
+class TestDatabasePinning:
+    def test_first_database_pins_and_others_bypass(self):
+        db_a = make_two_table_db()
+        db_b = make_two_table_db()
+        cache = ScanCache()
+        assert cache.valid_for(db_a)
+        assert not cache.valid_for(db_b)
+        assert cache.valid_for(db_a)
+
+    def test_pin_race_admits_exactly_one_database(self):
+        """Two databases racing the first-touch pin: one wins, ever."""
+        db_a = make_two_table_db()
+        db_b = make_two_table_db()
+        for _ in range(50):
+            cache = ScanCache()
+            barrier = threading.Barrier(2)
+            outcomes = {}
+
+            def pin(tag, db):
+                barrier.wait()
+                outcomes[tag] = cache.valid_for(db)
+
+            threads = [
+                threading.Thread(target=pin, args=("a", db_a)),
+                threading.Thread(target=pin, args=("b", db_b)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert sorted(outcomes.values()) == [False, True], (
+                "exactly one database may win the pin"
+            )
+            # The winner's claim must be stable afterwards.
+            winner = db_a if outcomes["a"] else db_b
+            loser = db_b if outcomes["a"] else db_a
+            assert cache.valid_for(winner)
+            assert not cache.valid_for(loser)
+
+    def test_clear_unpins(self):
+        db_a = make_two_table_db()
+        db_b = make_two_table_db()
+        cache = ScanCache()
+        assert cache.valid_for(db_a)
+        cache.clear()
+        assert cache.valid_for(db_b)

@@ -1,5 +1,9 @@
 """Tests for the metrics registry (counters, gauges, histograms)."""
 
+import sys
+import threading
+from contextlib import contextmanager
+
 import pytest
 
 from repro.experiments.perf import PerfStats
@@ -114,6 +118,126 @@ class TestRegistry:
         reg = MetricsRegistry()
         assert reg.to_prometheus() == ""
         assert reg.to_json() == {}
+
+
+@contextmanager
+def _aggressive_preemption():
+    """Force thread switches between adjacent bytecodes.
+
+    The pre-fix registry mutated series dicts with unguarded
+    read-modify-write sequences; shrinking the switch interval makes
+    the interleaving that loses updates near-certain within a few
+    thousand iterations instead of one-in-a-million.
+    """
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)
+
+
+def _hammer(n_threads: int, fn) -> None:
+    barrier = threading.Barrier(n_threads)
+
+    def run(idx: int) -> None:
+        barrier.wait()
+        fn(idx)
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestConcurrency:
+    """Regression tests: these fail on the pre-fix unguarded registry."""
+
+    ITERS = 4000
+    THREADS = 4
+
+    def test_counter_increments_are_not_lost(self):
+        c = Counter("contended_total")
+        with _aggressive_preemption():
+            _hammer(
+                self.THREADS,
+                lambda idx: [c.inc() for _ in range(self.ITERS)],
+            )
+        assert c.value() == self.THREADS * self.ITERS
+
+    def test_labeled_child_creation_is_not_lost(self):
+        # Every thread touches a mix of shared and private label sets;
+        # pre-fix, racing first-touch creations dropped whole series.
+        c = Counter("labeled_total")
+        with _aggressive_preemption():
+            _hammer(
+                self.THREADS,
+                lambda idx: [
+                    c.inc(shard=str(i % 8)) for i in range(self.ITERS)
+                ],
+            )
+        total = sum(c.value(shard=str(s)) for s in range(8))
+        assert total == self.THREADS * self.ITERS
+
+    def test_histogram_observations_are_not_lost(self):
+        h = Histogram("contended_latency", buckets=(0.5, 1.0))
+        with _aggressive_preemption():
+            _hammer(
+                self.THREADS,
+                lambda idx: [h.observe(0.25) for _ in range(self.ITERS)],
+            )
+        snap = h.snapshot()[""]
+        assert snap["count"] == self.THREADS * self.ITERS
+        assert snap["buckets"]["0.5"] == self.THREADS * self.ITERS
+
+    def test_gauge_inc_is_not_lost(self):
+        g = Gauge("contended_gauge")
+        with _aggressive_preemption():
+            _hammer(
+                self.THREADS,
+                lambda idx: [g.inc(1.0) for _ in range(self.ITERS)],
+            )
+        assert g.value() == self.THREADS * self.ITERS
+
+    def test_registry_registration_race_yields_one_metric(self):
+        reg = MetricsRegistry()
+        seen = []
+        with _aggressive_preemption():
+            _hammer(
+                8,
+                lambda idx: seen.append(reg.counter("raced_total")),
+            )
+        assert all(m is seen[0] for m in seen)
+        seen[0].inc()
+        assert reg.to_json()["raced_total"]["series"] == {"": 1}
+
+    def test_export_is_consistent_under_concurrent_writes(self):
+        # A snapshot taken mid-traffic parses cleanly and never shows
+        # a torn histogram slot (count behind the +Inf bucket line).
+        reg = MetricsRegistry()
+        h = reg.histogram("live_latency", buckets=(1.0,))
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                h.observe(0.5, tenant="a")
+                reg.counter("live_total").inc(tenant="a")
+
+        t = threading.Thread(target=writer)
+        t.start()
+        try:
+            for _ in range(200):
+                text = reg.to_prometheus()
+                assert text.endswith("\n")
+                snap = reg.to_json()
+                for series in snap["live_latency"]["series"].values():
+                    assert series["buckets"]["1"] == series["count"]
+        finally:
+            stop.set()
+            t.join()
 
 
 class TestPerfStatsReporting:

@@ -24,6 +24,13 @@ PUBLIC_API = sorted(
         "QueryResult",
         "PlanCache",
         "query_fingerprint",
+        # multi-tenant serving
+        "AdmissionConfig",
+        "LoadConfig",
+        "QueryServer",
+        "ServedQuery",
+        "TenantSpec",
+        "run_load",
         # catalog
         "Column",
         "ColumnType",
@@ -186,6 +193,68 @@ class TestSessionSignatures:
             "plan_cache_size",
             "cache_stripes",
             "enable_star_plans",
+        ]
+
+
+class TestServingSignatures:
+    """The serving layer's call shapes, pinned like the facade's."""
+
+    def test_query_server_init(self):
+        assert _params(repro.QueryServer.__init__) == [
+            ("tenants", "POSITIONAL_OR_KEYWORD", False),
+            ("worker_threads", "KEYWORD_ONLY", True),
+            ("admission", "KEYWORD_ONLY", True),
+            ("metrics", "KEYWORD_ONLY", True),
+            ("service_time_floor", "KEYWORD_ONLY", True),
+            ("service_time_scale", "KEYWORD_ONLY", True),
+            ("service_time_cap", "KEYWORD_ONLY", True),
+        ]
+
+    def test_submit(self):
+        assert _params(repro.QueryServer.submit) == [
+            ("tenant", "POSITIONAL_OR_KEYWORD", False),
+            ("query", "POSITIONAL_OR_KEYWORD", False),
+            ("threshold", "KEYWORD_ONLY", True),
+            ("execute", "KEYWORD_ONLY", True),
+        ]
+
+    def test_serve(self):
+        assert _params(repro.QueryServer.serve) == [
+            ("tenant", "POSITIONAL_OR_KEYWORD", False),
+            ("query", "POSITIONAL_OR_KEYWORD", False),
+            ("threshold", "KEYWORD_ONLY", True),
+            ("execute", "KEYWORD_ONLY", True),
+            ("max_retries", "KEYWORD_ONLY", True),
+            ("backoff_seconds", "KEYWORD_ONLY", True),
+            ("backoff_cap", "KEYWORD_ONLY", True),
+            ("timeout", "KEYWORD_ONLY", True),
+        ]
+
+    def test_swap_statistics(self):
+        assert _params(repro.QueryServer.swap_statistics) == [
+            ("tenant", "POSITIONAL_OR_KEYWORD", False),
+            ("source", "POSITIONAL_OR_KEYWORD", False),
+        ]
+
+    def test_admission_config_fields(self):
+        import dataclasses
+
+        fields = [f.name for f in dataclasses.fields(repro.AdmissionConfig)]
+        assert fields == ["global_limit", "tenant_queue_depth"]
+
+    def test_served_query_fields(self):
+        import dataclasses
+
+        fields = [f.name for f in dataclasses.fields(repro.ServedQuery)]
+        assert fields == [
+            "tenant",
+            "latency_seconds",
+            "plan_cached",
+            "statistics_version",
+            "degraded_reason",
+            "rows",
+            "simulated_seconds",
+            "stale",
         ]
 
 

@@ -223,7 +223,7 @@ class TestDegradedPlanning:
 
 class TestFallbackAttribution:
     def test_fallback_estimates_counted(self, session):
-        statistics = session._ensure_statistics()
+        statistics = session._ensure_state().manager
         statistics.drop_synopsis("lineitem")
         statistics.drop_sample("lineitem")
         statistics.drop_histograms("lineitem")

@@ -1,0 +1,451 @@
+"""Tests for the multi-tenant serving layer.
+
+Covers admission control (both limits, shed reasons, release pairing),
+the worker-pool server (submit/serve semantics, metrics, retry
+backoff), the seeded load generator (deterministic schedules,
+percentile accounting), and the headline concurrency claim: archives
+hot-swapped into tenants *under live load* never produce a stale
+serving or a cross-tenant plan — asserted from the server's own
+runtime evidence (version ledgers + stale counter), not from code
+inspection.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import SessionConfig
+from repro.serving import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionError,
+    LoadConfig,
+    QueryServer,
+    SHED_GLOBAL,
+    SHED_TENANT,
+    ServerOverloaded,
+    ServingError,
+    TenantSpec,
+    build_schedule,
+    run_load,
+)
+from repro.stats import StatisticsManager
+from repro.workloads import QUERY_BATTERY, TpchConfig, build_tpch_database
+
+QUERY = "SELECT COUNT(*) FROM lineitem WHERE lineitem.l_quantity > 45"
+
+
+@pytest.fixture(scope="module")
+def tenant_dbs():
+    return [
+        build_tpch_database(TpchConfig(num_lineitem=1500, seed=20 + i))
+        for i in range(2)
+    ]
+
+
+@pytest.fixture(scope="module")
+def tenant_specs(tenant_dbs):
+    return [
+        TenantSpec(
+            name=f"tenant-{i}",
+            database=db,
+            config=SessionConfig(sample_size=48, statistics_seed=20 + i),
+        )
+        for i, db in enumerate(tenant_dbs)
+    ]
+
+
+def make_server(tenant_specs, **kwargs):
+    kwargs.setdefault("worker_threads", 2)
+    return QueryServer(tenant_specs, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_config_validated(self):
+        with pytest.raises(AdmissionError, match="global_limit"):
+            AdmissionConfig(global_limit=0)
+        with pytest.raises(AdmissionError, match="tenant_queue_depth"):
+            AdmissionConfig(tenant_queue_depth=-1)
+
+    def test_tenant_queue_binds_first(self):
+        ctl = AdmissionController(
+            AdmissionConfig(global_limit=10, tenant_queue_depth=2)
+        )
+        assert ctl.try_admit("a") is None
+        assert ctl.try_admit("a") is None
+        assert ctl.try_admit("a") == SHED_TENANT
+        # Another tenant still has room: the bound is per tenant.
+        assert ctl.try_admit("b") is None
+
+    def test_global_limit_binds_across_tenants(self):
+        ctl = AdmissionController(
+            AdmissionConfig(global_limit=3, tenant_queue_depth=10)
+        )
+        assert ctl.try_admit("a") is None
+        assert ctl.try_admit("b") is None
+        assert ctl.try_admit("c") is None
+        assert ctl.try_admit("d") == SHED_GLOBAL
+
+    def test_release_reopens_capacity(self):
+        ctl = AdmissionController(
+            AdmissionConfig(global_limit=1, tenant_queue_depth=1)
+        )
+        assert ctl.try_admit("a") is None
+        assert ctl.try_admit("a") == SHED_TENANT
+        ctl.release("a")
+        assert ctl.try_admit("a") is None
+
+    def test_unpaired_release_raises(self):
+        ctl = AdmissionController()
+        with pytest.raises(AdmissionError, match="without matching admit"):
+            ctl.release("ghost")
+
+    def test_metrics_and_snapshot(self):
+        ctl = AdmissionController(
+            AdmissionConfig(global_limit=4, tenant_queue_depth=1)
+        )
+        assert ctl.try_admit("a") is None
+        assert ctl.try_admit("a") == SHED_TENANT
+        assert ctl.try_admit("b") is None
+        snap = ctl.snapshot()
+        assert snap["admitted"] == 2
+        assert snap["shed"] == 1
+        assert snap["shed_by_reason"][SHED_TENANT] == 1
+        assert snap["shed_by_reason"][SHED_GLOBAL] == 0
+        assert snap["tenants"]["a"] == {
+            "admitted": 1, "shed": 1, "outstanding": 1,
+        }
+        assert snap["outstanding"] == 2
+
+    def test_decisions_atomic_under_contention(self):
+        """Concurrent admits never exceed either limit."""
+        ctl = AdmissionController(
+            AdmissionConfig(global_limit=8, tenant_queue_depth=3)
+        )
+        peak = []
+        peak_lock = threading.Lock()
+
+        def worker(tenant):
+            for _ in range(300):
+                if ctl.try_admit(tenant) is None:
+                    occ = ctl.occupancy()
+                    with peak_lock:
+                        peak.append(
+                            (occ["global"], occ["tenants"][tenant])
+                        )
+                    ctl.release(tenant)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i % 3}",))
+            for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert peak
+        assert max(g for g, _ in peak) <= 8
+        assert max(t for _, t in peak) <= 3
+        assert ctl.occupancy()["global"] == 0
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+class TestQueryServer:
+    def test_rejects_bad_config(self, tenant_specs):
+        with pytest.raises(ServingError, match="at least one tenant"):
+            QueryServer([])
+        with pytest.raises(ServingError, match="duplicate"):
+            QueryServer([tenant_specs[0], tenant_specs[0]])
+        with pytest.raises(ServingError, match="worker_threads"):
+            QueryServer(tenant_specs, worker_threads=0)
+
+    def test_unknown_tenant(self, tenant_specs):
+        with make_server(tenant_specs) as server:
+            with pytest.raises(ServingError, match="unknown tenant"):
+                server.submit("nobody", QUERY)
+
+    def test_execute_round_trip(self, tenant_specs):
+        with make_server(tenant_specs) as server:
+            served = server.serve("tenant-0", QUERY)
+            assert served.tenant == "tenant-0"
+            assert served.rows == 1
+            assert served.statistics_version > 0
+            assert not served.stale
+            assert served.latency_seconds > 0
+            # Second serving of the same statement is a plan-cache hit.
+            again = server.serve("tenant-0", QUERY)
+            assert again.plan_cached
+
+    def test_prepare_only(self, tenant_specs):
+        with make_server(tenant_specs) as server:
+            served = server.serve("tenant-0", QUERY, execute=False)
+            assert served.rows is None
+            assert served.simulated_seconds == 0.0
+
+    def test_per_tenant_sessions_are_isolated_objects(self, tenant_specs):
+        with make_server(tenant_specs) as server:
+            s0 = server.session("tenant-0")
+            s1 = server.session("tenant-1")
+            assert s0 is not s1
+            assert s0.plan_cache is not s1.plan_cache
+            assert s0.metrics is not s1.metrics
+
+    def test_submit_sheds_when_saturated(self, tenant_specs):
+        server = make_server(
+            tenant_specs,
+            worker_threads=1,
+            admission=AdmissionConfig(global_limit=2, tenant_queue_depth=2),
+            service_time_floor=0.05,
+        )
+        with server:
+            first = server.submit("tenant-0", QUERY, execute=False)
+            second = server.submit("tenant-0", QUERY, execute=False)
+            with pytest.raises(ServerOverloaded) as excinfo:
+                server.submit("tenant-0", QUERY, execute=False)
+            assert excinfo.value.tenant == "tenant-0"
+            assert excinfo.value.reason == SHED_TENANT
+            shed = server.metrics.counter(
+                "repro_serving_shed_total",
+                "Operations shed by admission control, "
+                "by tenant and binding limit.",
+            )
+            assert shed.value(tenant="tenant-0", reason=SHED_TENANT) == 1
+            assert first.result(timeout=5).tenant == "tenant-0"
+            assert second.result(timeout=5).tenant == "tenant-0"
+
+    def test_serve_retries_through_sheds(self, tenant_specs):
+        server = make_server(
+            tenant_specs,
+            worker_threads=1,
+            admission=AdmissionConfig(global_limit=1, tenant_queue_depth=1),
+            service_time_floor=0.005,
+        )
+        with server:
+            results = []
+            errors = []
+
+            def client():
+                try:
+                    results.append(
+                        server.serve("tenant-0", QUERY, execute=False)
+                    )
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert len(results) == 6
+            retries = server.metrics.counter(
+                "repro_serving_retries_total",
+                "Resubmissions after an admission shed, by tenant.",
+            )
+            # With limit 1 and 6 concurrent clients, some must have
+            # been shed and retried rather than failed.
+            assert retries.value(tenant="tenant-0") > 0
+
+    def test_worker_errors_propagate_and_release(self, tenant_specs):
+        with make_server(tenant_specs) as server:
+            future = server.submit("tenant-0", "SELECT nope FROM nowhere")
+            with pytest.raises(Exception):
+                future.result(timeout=5)
+            errors = server.metrics.counter(
+                "repro_serving_errors_total",
+                "Operations that raised inside the worker, by tenant.",
+            )
+            assert errors.value(tenant="tenant-0") == 1
+            # The slot was released: the server still serves.
+            assert server.admission.occupancy()["global"] == 0
+            assert server.serve("tenant-0", QUERY).rows == 1
+
+    def test_closed_server_refuses(self, tenant_specs):
+        server = make_server(tenant_specs)
+        server.close()
+        with pytest.raises(ServingError, match="closed"):
+            server.submit("tenant-0", QUERY)
+
+    def test_stats_schema(self, tenant_specs):
+        with make_server(tenant_specs) as server:
+            server.serve("tenant-0", QUERY)
+            stats = server.stats()
+            assert stats["stale_served"] == 0
+            assert stats["isolation"]["isolated"]
+            assert stats["admission"]["admitted"] == 1
+            assert set(stats["tenants"]) == {"tenant-0", "tenant-1"}
+            tenant = stats["tenants"]["tenant-0"]
+            assert tenant["statistics_version"] > 0
+            assert tenant["health"] == "healthy"
+            assert "hit_rate" in tenant["plan_cache"]
+
+
+# ----------------------------------------------------------------------
+# Statistics hot-swap under load (the headline invariant)
+# ----------------------------------------------------------------------
+class TestSwapUnderLoad:
+    def test_swap_bumps_floor_and_serves_fresh(self, tenant_dbs,
+                                               tenant_specs):
+        with make_server(tenant_specs) as server:
+            before = server.serve("tenant-0", QUERY)
+            fresh = StatisticsManager(tenant_dbs[0])
+            fresh.update_statistics(sample_size=48, seed=999)
+            version = server.swap_statistics("tenant-0", fresh)
+            assert version > before.statistics_version
+            after = server.serve("tenant-0", QUERY)
+            assert after.statistics_version == version
+            assert not after.plan_cached  # new version, structurally new key
+            assert not after.stale
+
+    def test_no_stale_or_cross_tenant_servings_under_swap_load(
+        self, tenant_dbs, tenant_specs
+    ):
+        """Hot-swap archives into both tenants while 4 client threads
+        hammer them: zero stale servings, zero cross-tenant versions.
+        """
+        server = make_server(
+            tenant_specs,
+            worker_threads=4,
+            admission=AdmissionConfig(global_limit=32,
+                                      tenant_queue_depth=16),
+        )
+        with server:
+            stop = threading.Event()
+            served = []
+            errors = []
+            ledger = threading.Lock()
+            queries = list(QUERY_BATTERY.values())
+
+            def client(index):
+                tenant = f"tenant-{index % 2}"
+                i = 0
+                while not stop.is_set():
+                    sql = queries[(index + i) % len(queries)]
+                    try:
+                        result = server.serve(
+                            tenant, sql, execute=bool(i % 2)
+                        )
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+                        return
+                    with ledger:
+                        served.append(result)
+                    i += 1
+
+            threads = [
+                threading.Thread(target=client, args=(i,), daemon=True)
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            swapped = {"tenant-0": [], "tenant-1": []}
+            for round_index in range(3):
+                for index, db in enumerate(tenant_dbs):
+                    tenant = f"tenant-{index}"
+                    fresh = StatisticsManager(db)
+                    fresh.update_statistics(
+                        sample_size=48, seed=1000 + 10 * round_index + index
+                    )
+                    swapped[tenant].append(
+                        server.swap_statistics(tenant, fresh)
+                    )
+                    time.sleep(0.02)
+            stop.set()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert len(served) > 20
+
+            # 1. Zero stale servings: no op completed below the version
+            # floor in force when it was submitted.
+            assert all(not op.stale for op in served)
+            stale = server.metrics.counter(
+                "repro_serving_stale_served_total",
+                "Operations served below their tenant's statistics "
+                "version floor (must stay 0).",
+            )
+            assert sum(
+                stale.value(tenant=t) for t in server.tenant_names
+            ) == 0
+
+            # 2. Zero cross-tenant servings: the version sets are
+            # disjoint, so no plan-cache entry crossed a tenant.
+            report = server.isolation_report()
+            assert report["isolated"], report["violations"]
+            assert report["violations"] == {}
+
+            # 3. Every swapped-in version actually went live, and the
+            # final servings ran at each tenant's last version.
+            for tenant, versions in swapped.items():
+                tail = [
+                    op.statistics_version
+                    for op in served if op.tenant == tenant
+                ]
+                assert tail, f"no servings recorded for {tenant}"
+                assert max(tail) == versions[-1]
+
+            # 4. Swap traffic was really concurrent with serving: some
+            # operations were served under pre-swap versions too.
+            for tenant, versions in swapped.items():
+                tenant_versions = {
+                    op.statistics_version
+                    for op in served if op.tenant == tenant
+                }
+                assert len(tenant_versions) >= 2
+
+
+# ----------------------------------------------------------------------
+# Load generator
+# ----------------------------------------------------------------------
+class TestLoadGenerator:
+    def test_schedule_is_deterministic(self):
+        config = LoadConfig(tenants=3, operations=200)
+        names = ["a", "b", "c"]
+        first = build_schedule(config, names)
+        second = build_schedule(config, names)
+        assert first == second
+        assert len(first) == 200
+        assert {t for t, _, _ in first} == set(names)
+
+    def test_schedule_is_skewed(self):
+        config = LoadConfig(tenants=4, operations=2000, skew=1.2)
+        names = ["a", "b", "c", "d"]
+        schedule = build_schedule(config, names)
+        counts = {n: 0 for n in names}
+        for tenant, _, _ in schedule:
+            counts[tenant] += 1
+        assert counts["a"] > counts["d"] * 2  # hot tenant dominates
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError, match="tenants"):
+            LoadConfig(tenants=0)
+        with pytest.raises(ValueError, match="operations"):
+            LoadConfig(operations=0)
+
+    def test_small_run_end_to_end(self):
+        config = LoadConfig(
+            tenants=2, operations=40, load_threads=4, worker_threads=2,
+            num_lineitem=1200, sample_size=48, swaps=1,
+        )
+        result = run_load(config)
+        report = result.to_dict()
+        ops = report["operations"]
+        assert ops["completed"] + ops["shed_exhausted"] == 40
+        assert ops["failed"] == 0
+        assert report["stale_served"] == 0
+        assert report["swaps_performed"] == 1
+        assert report["server"]["isolation"]["isolated"]
+        latency = report["latency"]
+        assert 0 < latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+        assert report["throughput_ops_per_s"] > 0
+        per_tenant = report["per_tenant"]
+        assert per_tenant
+        for slot in per_tenant.values():
+            assert 0.0 <= slot["cache_hit_rate"] <= 1.0
