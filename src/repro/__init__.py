@@ -30,6 +30,9 @@ Quick tour
 - :mod:`repro.stats` — samples, join synopses, histograms
 - :mod:`repro.core` — the robust Bayesian estimator (the contribution)
 - :mod:`repro.optimizer` — System-R DP optimizer, estimator-pluggable
+- :mod:`repro.feedback` — the estimation observatory: observed
+  cardinalities folded back into posteriors, drift-aware threshold
+  routing
 - :mod:`repro.obs` — query traces, metrics registry, explain
 - :mod:`repro.analysis` — the paper's Section 5 analytical model
 - :mod:`repro.workloads` — TPC-H-shaped and star-schema generators
@@ -62,6 +65,7 @@ from repro.core import (
 from repro.cost import CostModel
 from repro.experiments import EstimatorConfig, ExperimentRunner
 from repro.expressions import col, lit
+from repro.feedback import FeedbackConfig, FeedbackStore, SessionFeedback
 from repro.obs import MetricsRegistry, Tracer
 from repro.optimizer import (
     LeastExpectedCostOptimizer,
@@ -136,6 +140,10 @@ __all__ = [
     "StatisticsManager",
     "load_statistics",
     "save_statistics",
+    # estimation feedback loop
+    "FeedbackConfig",
+    "FeedbackStore",
+    "SessionFeedback",
     # experiments & observability
     "EstimatorConfig",
     "ExperimentRunner",

@@ -30,6 +30,12 @@ Three subcommands::
         throughput, and optionally write the full JSON report; see
         :mod:`repro.serving`.
 
+    python -m repro feedback report store.json
+        Summarize a persisted feedback store (per-namespace key
+        counts, observed cardinalities, q-error aggregates); ``reset``
+        drops one namespace (or everything) and saves the store back
+        atomically; see :mod:`repro.feedback`.
+
 ``experiment`` and ``sql`` share one observability flag set:
 ``--trace`` / ``--trace-out FILE`` record end-to-end query traces
 (estimation evidence → optimizer decision → execution provenance) and
@@ -283,6 +289,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execution kernel backend (auto picks numba when installed)",
     )
     serve.set_defaults(handler=_cmd_serve_bench)
+
+    feedback = subparsers.add_parser(
+        "feedback", help="inspect or reset a persisted feedback store"
+    )
+    feedback.add_argument(
+        "action", choices=["report", "reset"],
+        help="summarize the store, or drop namespaces and save it back",
+    )
+    feedback.add_argument("store", help="feedback store JSON file")
+    feedback.add_argument(
+        "--namespace",
+        default=None,
+        help="limit the report (or the reset) to one namespace",
+    )
+    feedback.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    feedback.set_defaults(handler=_cmd_feedback)
 
     return parser
 
@@ -611,6 +635,59 @@ def _cmd_serve_bench(args) -> int:
         print(f"report written to {args.json_out}")
     print("PASS" if ok else "FAIL")
     return 0 if ok else 1
+
+
+def _cmd_feedback(args) -> int:
+    import json
+
+    from repro.feedback import FeedbackError, FeedbackStore
+
+    try:
+        store = FeedbackStore.load(args.store)
+    except FeedbackError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.action == "reset":
+        dropped = store.reset(args.namespace)
+        store.save(args.store)
+        scope = (
+            f"namespace {args.namespace!r}"
+            if args.namespace is not None
+            else "all namespaces"
+        )
+        print(f"dropped {dropped} keys from {scope}; store saved")
+        return 0
+
+    report = store.report()
+    if args.namespace is not None:
+        if args.namespace not in report:
+            print(
+                f"error: namespace {args.namespace!r} not in store "
+                f"(has {sorted(report)})",
+                file=sys.stderr,
+            )
+            return 1
+        report = {args.namespace: report[args.namespace]}
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    if not report:
+        print("feedback store is empty")
+        return 0
+    for namespace, slot in report.items():
+        print(
+            f"{namespace}: {slot['keys']} keys, "
+            f"{slot['observations']} observations"
+        )
+        for key, record in slot["records"].items():
+            print(
+                f"  {key}: n={record['observations']} "
+                f"mean_rows={record['mean_rows']:.1f} "
+                f"geomean_q={record['geomean_q_error']:.2f} "
+                f"max_q={record['max_q_error']:.2f}"
+            )
+    return 0
 
 
 def _cmd_trace(args) -> int:

@@ -24,18 +24,25 @@ class EstimateCacheMixin:
     def _init_estimate_cache(self, memoize_estimates: bool) -> None:
         self.memoize_estimates = memoize_estimates
         self._estimate_cache: dict = {}
-        self._estimate_cache_version: int = getattr(
-            self.statistics, "version", 0
-        )
+        self._estimate_cache_version = self._estimate_cache_token()
         self.estimate_cache_hits = 0
         self.estimate_cache_misses = 0
 
+    def _estimate_cache_token(self):
+        """The invalidation token the cache is keyed behind.
+
+        The statistics version by default; hosts with additional
+        freshness dimensions (the robust estimator's feedback
+        generation) override this to extend the token.
+        """
+        return getattr(self.statistics, "version", 0)
+
     def _estimate_cache_get(self, key) -> Any | None:
         """The cached value for ``key``, dropping stale generations."""
-        version = getattr(self.statistics, "version", 0)
-        if version != self._estimate_cache_version:
+        token = self._estimate_cache_token()
+        if token != self._estimate_cache_version:
             self._estimate_cache.clear()
-            self._estimate_cache_version = version
+            self._estimate_cache_version = token
         cached = self._estimate_cache.get(key)
         if cached is not None:
             self.estimate_cache_hits += 1

@@ -110,6 +110,22 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
         #: every fallback pass; the session wires this into its
         #: metrics registry so degradations are attributed live.
         self.fallback_listener = None
+        #: Optional :class:`~repro.feedback.store.FeedbackProvider`.
+        #: When set, stored observed cardinalities matching a lookup's
+        #: ``(tables, expr_key)`` fold into the Beta posterior as
+        #: extra pseudo-counts; such estimates carry
+        #: ``source="feedback"`` and their spans record the
+        #: unadjusted prior quantile beside the corrected one.
+        self.feedback = None
+
+    def _estimate_cache_token(self):
+        # getattr: the mixin initializes (and probes) the token during
+        # __init__, before the feedback attribute exists.
+        version = getattr(self.statistics, "version", 0)
+        feedback = getattr(self, "feedback", None)
+        if feedback is None:
+            return version
+        return (version, feedback.generation)
 
     # ------------------------------------------------------------------
     def estimate(
@@ -165,6 +181,39 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
         )
 
     # ------------------------------------------------------------------
+    def _feedback_fold(self, names: set[str], predicate: Expr | None, total):
+        """``(adjusted prior, attribution)`` for a lookup, or ``None``.
+
+        Consults the bound :class:`FeedbackProvider` for stored
+        observations of exactly this ``(tables, expr_key)`` pair and
+        folds them into the prior as pseudo-counts — the posterior
+        math downstream (scalar ``ppf`` and the vectorized quantile
+        table alike) is unchanged.
+        """
+        if self.feedback is None:
+            return None
+        folded = self.feedback.pseudo_counts(
+            names, expr_key(predicate), total
+        )
+        if folded is None:
+            return None
+        extra_alpha, extra_beta, attribution = folded
+        return (
+            self.feedback.adjusted_prior(
+                self.prior, (extra_alpha, extra_beta)
+            ),
+            attribution,
+        )
+
+    def _feedback_attribution(
+        self, attribution: dict, prior_quantile: float, total
+    ) -> dict:
+        """The span's feedback dict: provenance + the uncorrected path."""
+        out = dict(attribution)
+        out["prior_quantile"] = float(prior_quantile)
+        out["prior_point_estimate"] = float(prior_quantile) * total
+        return out
+
     def _estimate_impl(
         self, names: set[str], predicate: Expr | None, threshold: float
     ) -> CardinalityEstimate:
@@ -174,19 +223,29 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
         synopsis = self.statistics.synopsis_covering(names)
         if synopsis is not None:
             k = self._count_satisfying(synopsis, predicate)
-            posterior = SelectivityPosterior(k, synopsis.size, self.prior)
+            fold = self._feedback_fold(names, predicate, total)
+            prior = self.prior if fold is None else fold[0]
+            posterior = SelectivityPosterior(k, synopsis.size, prior)
             selectivity = posterior.ppf(threshold)
+            source = "synopsis" if fold is None else "feedback"
             if self.tracer is not None:
+                feedback_info = None
+                if fold is not None:
+                    base = SelectivityPosterior(k, synopsis.size, self.prior)
+                    feedback_info = self._feedback_attribution(
+                        fold[1], base.ppf(threshold), total
+                    )
                 self._trace_lookup(
-                    names, "synopsis", k, synopsis.size, threshold,
+                    names, source, k, synopsis.size, threshold,
                     selectivity, selectivity * total, False, predicate,
+                    prior_name=prior.name, feedback=feedback_info,
                 )
             return CardinalityEstimate(
                 tables=frozenset(names),
                 selectivity=selectivity,
                 cardinality=selectivity * total,
                 root_table=root,
-                source="synopsis",
+                source=source,
                 posterior=posterior,
                 threshold=threshold,
             )
@@ -202,17 +261,33 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
         synopsis = self.statistics.synopsis_covering(names)
         if synopsis is not None:
             k = self._count_satisfying(synopsis, predicate)
-            posterior = SelectivityPosterior(k, synopsis.size, self.prior)
+            fold = self._feedback_fold(names, predicate, total)
+            prior = self.prior if fold is None else fold[0]
+            posterior = SelectivityPosterior(k, synopsis.size, prior)
             selectivities = quantile_table(
-                synopsis.size, self.prior, grid
+                synopsis.size, prior, grid
             ).row(k)
             self.lut_hits += 1
+            source = "synopsis" if fold is None else "feedback"
             if self.tracer is not None:
+                feedback_info = None
+                if fold is not None:
+                    base = quantile_table(
+                        synopsis.size, self.prior, grid
+                    ).row(k)
+                    feedback_info = dict(fold[1])
+                    feedback_info["prior_quantile"] = [
+                        float(q) for q in base
+                    ]
+                    feedback_info["prior_point_estimate"] = [
+                        float(q) * total for q in base
+                    ]
                 self._trace_lookup(
-                    names, "synopsis", k, synopsis.size, grid,
+                    names, source, k, synopsis.size, grid,
                     tuple(float(s) for s in selectivities),
                     tuple(float(s) * total for s in selectivities),
                     True, predicate,
+                    prior_name=prior.name, feedback=feedback_info,
                 )
             return tuple(
                 CardinalityEstimate(
@@ -220,7 +295,7 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
                     selectivity=float(s),
                     cardinality=float(s) * total,
                     root_table=root,
-                    source="synopsis",
+                    source=source,
                     posterior=posterior,
                     threshold=t,
                 )
@@ -241,20 +316,26 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
         point_estimate,
         lut_hit: bool,
         predicate: Expr | None,
+        *,
+        prior_name: str | None = None,
+        feedback: dict | None = None,
     ) -> None:
         """Record one estimation-evidence span (tracing path only)."""
+        if prior_name is None and source in ("synopsis", "sample"):
+            prior_name = self.prior.name
         self.tracer.record_estimation(
             EstimationSpan(
                 tables=tuple(sorted(tables)),
                 source=source,
                 k=None if k is None else int(k),
                 n=None if n is None else int(n),
-                prior=self.prior.name if source in ("synopsis", "sample") else None,
+                prior=prior_name,
                 threshold=threshold,
                 quantile=quantile,
                 point_estimate=point_estimate,
                 lut_hit=lut_hit,
                 predicate=None if predicate is None else str(predicate),
+                feedback=feedback,
             )
         )
 
@@ -306,7 +387,41 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
         so the combined cardinality is ``|root| × ∏ per-table
         selectivities`` — the error is confined to tables without
         samples and to the AVI combination itself.
+
+        Stored feedback for exactly this ``(tables, expr_key)`` pair
+        replaces the AVI combination outright: the observed joint
+        cardinality is strictly better evidence than independence
+        across marginals, so the posterior is built from the feedback
+        pseudo-counts alone (``Beta(a + m·s, b + m·(1−s))``).
         """
+        fold = self._feedback_fold(names, predicate, total)
+        if fold is not None:
+            # n=1/k=0 is the smallest posterior the math accepts; the
+            # single pseudo-failure is negligible against the feedback
+            # mass folded into the prior.
+            prior, attribution = fold
+            posterior = SelectivityPosterior(0, 1, prior)
+            selectivity = posterior.ppf(threshold)
+            if self.tracer is not None:
+                base = SelectivityPosterior(0, 1, self.prior)
+                self._trace_lookup(
+                    names, "feedback", None, None, threshold,
+                    selectivity, selectivity * total, False, predicate,
+                    prior_name=prior.name,
+                    feedback=self._feedback_attribution(
+                        attribution, base.ppf(threshold), total
+                    ),
+                )
+            return CardinalityEstimate(
+                tables=frozenset(names),
+                selectivity=selectivity,
+                cardinality=selectivity * total,
+                root_table=root,
+                source="feedback",
+                posterior=posterior,
+                threshold=threshold,
+            )
+
         per_table = predicates_by_table(predicate)
         unrouted = per_table.pop("", None)
 
@@ -374,8 +489,43 @@ class RobustCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
         Each per-table sample is counted once; its ``n + 1``-row
         quantile table supplies the selectivity at every threshold.
         The multiplication order matches :meth:`_estimate_fallback`
-        exactly, so each vector lane reproduces the scalar result.
+        exactly, so each vector lane reproduces the scalar result —
+        including the feedback short-circuit, evaluated lane-wise
+        through the quantile table of the folded prior.
         """
+        fold = self._feedback_fold(names, predicate, total)
+        if fold is not None:
+            prior, attribution = fold
+            posterior = SelectivityPosterior(0, 1, prior)
+            selectivities = quantile_table(1, prior, grid).row(0)
+            self.lut_hits += 1
+            if self.tracer is not None:
+                base = quantile_table(1, self.prior, grid).row(0)
+                feedback_info = dict(attribution)
+                feedback_info["prior_quantile"] = [float(q) for q in base]
+                feedback_info["prior_point_estimate"] = [
+                    float(q) * total for q in base
+                ]
+                self._trace_lookup(
+                    names, "feedback", None, None, grid,
+                    tuple(float(s) for s in selectivities),
+                    tuple(float(s) * total for s in selectivities),
+                    True, predicate,
+                    prior_name=prior.name, feedback=feedback_info,
+                )
+            return tuple(
+                CardinalityEstimate(
+                    tables=frozenset(names),
+                    selectivity=float(s),
+                    cardinality=float(s) * total,
+                    root_table=root,
+                    source="feedback",
+                    posterior=posterior,
+                    threshold=t,
+                )
+                for s, t in zip(selectivities, grid)
+            )
+
         per_table = predicates_by_table(predicate)
         unrouted = per_table.pop("", None)
 

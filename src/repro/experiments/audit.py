@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.catalog import Database
 from repro.engine import ExecutionContext, PhysicalOperator
+from repro.obs.trace import QERROR_FLOOR
 from repro.optimizer import PlannedQuery
 
 
@@ -30,8 +31,8 @@ class AuditEntry:
         """Symmetric ratio error (≥ 1); ``None`` without an estimate."""
         if self.estimated_rows is None:
             return None
-        estimated = max(self.estimated_rows, 0.5)
-        actual = max(float(self.actual_rows), 0.5)
+        estimated = max(self.estimated_rows, QERROR_FLOOR)
+        actual = max(float(self.actual_rows), QERROR_FLOOR)
         return max(estimated / actual, actual / estimated)
 
 

@@ -1,0 +1,180 @@
+"""The session-facing feedback controller.
+
+:class:`SessionFeedback` bundles the four moving parts of the
+observatory — store, accuracy ledger, threshold router, and the
+per-statistics-version :class:`FeedbackProvider` bindings — behind
+the narrow interface the :class:`~repro.service.session.Session`
+drives:
+
+* ``provider_for(version)`` when (re)building its robust estimator,
+  so folds are fenced to the live statistics epoch;
+* ``route(query)`` when resolving an effective threshold (only when
+  neither a per-call threshold nor a query hint was given);
+* ``observe(...)`` after each execution, harvesting the plan's
+  observed cardinalities into the epoch's namespace and feeding the
+  plan-level q-error to the ledger (which may raise an
+  ``estimation-drift`` degradation event through ``on_degradation``).
+
+Namespacing is the stale-feedback fence: observations harvested under
+statistics version ``v`` land in namespace ``epoch=v`` and only the
+provider bound to ``epoch=v`` can fold them. A hot-swap moves the
+session to a new version, so old feedback becomes structurally
+unreachable — no invalidation pass required, and the refusal is
+counted (``stale_refused``) rather than silent.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.feedback.harvest import harvest_plan
+from repro.feedback.router import DEFAULT_BAND_THRESHOLDS, ThresholdRouter
+from repro.feedback.store import FeedbackProvider, FeedbackStore
+from repro.obs.ledger import AccuracyLedger
+from repro.obs.trace import q_error
+
+
+def default_query_class(query) -> str:
+    """The default class identity: the query's sorted table set.
+
+    Parameterized instances of one join template share a class — the
+    granularity severity routing wants — while structurally different
+    queries never alias.
+    """
+    return "+".join(sorted(query.tables))
+
+
+@dataclass
+class FeedbackConfig:
+    """Tuning knobs for the feedback loop."""
+
+    #: Pseudo-count mass folded per stored observation.
+    weight: float = 64.0
+    #: Observation count cap when scaling the folded mass.
+    max_observations: int = 8
+    #: Accuracy-ledger recent-window length per query class.
+    window: int = 64
+    #: Observations frozen as each class's drift baseline.
+    baseline: int = 16
+    #: Severity band → threshold map for the router.
+    band_thresholds: dict = field(
+        default_factory=lambda: dict(DEFAULT_BAND_THRESHOLDS)
+    )
+    #: Query → class-name function (defaults to the sorted table set).
+    classifier: Callable | None = None
+    #: The namespace fence. Leave on; ``False`` exists only to
+    #: demonstrate the stale-feedback corruption in regression tests.
+    enforce_namespace: bool = True
+
+
+class SessionFeedback:
+    """Store + ledger + router, bound to one session."""
+
+    def __init__(
+        self,
+        store: FeedbackStore | None = None,
+        config: FeedbackConfig | None = None,
+        *,
+        registry=None,
+        on_degradation=None,
+    ) -> None:
+        self.config = config or FeedbackConfig()
+        self.store = store if store is not None else FeedbackStore()
+        self.ledger = AccuracyLedger(
+            registry=registry,
+            window=self.config.window,
+            baseline=self.config.baseline,
+            on_degradation=on_degradation,
+        )
+        self.router = ThresholdRouter(
+            self.ledger, self.config.band_thresholds
+        )
+        self._classifier = self.config.classifier or default_query_class
+        self._lock = threading.Lock()
+        self._providers: dict[str, FeedbackProvider] = {}
+        #: Executions observed (harvest passes).
+        self.observations = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def namespace_for_version(version: int) -> str:
+        return f"epoch={version}"
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter folded into plan-cache/memo keys."""
+        return self.store.generation
+
+    def provider_for(self, version: int) -> FeedbackProvider:
+        """The (cached) provider fenced to one statistics version."""
+        namespace = self.namespace_for_version(version)
+        with self._lock:
+            provider = self._providers.get(namespace)
+            if provider is None:
+                provider = FeedbackProvider(
+                    self.store,
+                    namespace,
+                    weight=self.config.weight,
+                    max_observations=self.config.max_observations,
+                    enforce_namespace=self.config.enforce_namespace,
+                )
+                self._providers[namespace] = provider
+            return provider
+
+    # ------------------------------------------------------------------
+    def query_class(self, query) -> str:
+        return self._classifier(query)
+
+    def route(self, query) -> float | None:
+        """The routed threshold for a query's class (``None`` = cold)."""
+        return self.router.route(self.query_class(query))
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        query,
+        plan,
+        database,
+        *,
+        estimated_rows: float | None,
+        actual_rows: int,
+        statistics_version: int,
+    ) -> None:
+        """Harvest one executed plan and ledger its plan-level q-error."""
+        namespace = self.namespace_for_version(statistics_version)
+        harvest_plan(self.store, namespace, query, plan, database)
+        self.observations += 1
+        error = q_error(estimated_rows, actual_rows)
+        if error is not None:
+            self.ledger.ingest(
+                self.query_class(query),
+                error,
+                statistics_version=statistics_version,
+            )
+
+    # ------------------------------------------------------------------
+    def provider_counters(self) -> dict:
+        with self._lock:
+            return {
+                namespace: provider.counters()
+                for namespace, provider in sorted(self._providers.items())
+            }
+
+    def stale_hits(self) -> int:
+        """Total folds served from a foreign namespace (must stay 0)."""
+        return sum(
+            c["stale_hits"] for c in self.provider_counters().values()
+        )
+
+    def report(self) -> dict:
+        """JSON-ready snapshot of the whole loop's state."""
+        return {
+            "observations": self.observations,
+            "store": self.store.report(),
+            "ledger": self.ledger.report(),
+            "routing": self.router.routing_table(),
+            "routed_counts": dict(self.router.routed_counts),
+            "providers": self.provider_counters(),
+        }

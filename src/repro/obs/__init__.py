@@ -23,6 +23,7 @@ decision a first-class, inspectable artifact:
 """
 
 from repro.obs.trace import (
+    QERROR_FLOOR,
     TRACE_SCHEMA_VERSION,
     EstimationSpan,
     QueryTrace,
@@ -38,17 +39,26 @@ from repro.obs.sink import (
     NullTraceSink,
     TraceError,
     TraceSink,
+    iter_traces,
     read_traces,
     write_traces,
 )
-from repro.obs.execution import execution_span, operator_spans
+from repro.obs.execution import execution_span, operator_spans, operator_tables
 from repro.obs.health import DEGRADATION_REASONS, DegradationEvent
+from repro.obs.ledger import (
+    SEVERITY_BANDS,
+    AccuracyLedger,
+    classify_q_error,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.summarize import explain_trace, summarize_traces
 
 __all__ = [
+    "AccuracyLedger",
     "DEGRADATION_REASONS",
     "DegradationEvent",
+    "QERROR_FLOOR",
+    "SEVERITY_BANDS",
     "TRACE_SCHEMA_VERSION",
     "EstimationSpan",
     "InMemoryTraceSink",
@@ -60,9 +70,12 @@ __all__ = [
     "TraceSink",
     "Tracer",
     "canonical_json",
+    "classify_q_error",
     "execution_span",
     "explain_trace",
+    "iter_traces",
     "operator_spans",
+    "operator_tables",
     "plan_shape",
     "q_error",
     "read_traces",

@@ -37,16 +37,39 @@ def _scalar(value) -> float | None:
     return float(value)
 
 
+def operator_tables(op: PhysicalOperator) -> frozenset[str]:
+    """Base tables covered by an operator's subtree.
+
+    Scans and seeks carry ``table_name``; a star semi-join contributes
+    its fact table and every dimension spec. This is the attribution
+    the feedback harvester keys observed cardinalities on.
+    """
+    tables: set[str] = set()
+    for node in op.walk():
+        name = getattr(node, "table_name", None)
+        if name is not None:
+            tables.add(name)
+        fact = getattr(node, "fact_table", None)
+        if fact is not None:
+            tables.add(fact)
+            for spec in list(getattr(node, "semi_dims", ())) + list(
+                getattr(node, "hash_dims", ())
+            ):
+                tables.add(spec.dim_table)
+    return frozenset(tables)
+
+
 def operator_spans(
     plan: PhysicalOperator, database: Database
 ) -> tuple[list[dict], WorkCounters, int]:
     """Per-operator provenance for one plan, in pre-order.
 
     Returns ``(spans, root_counters, root_rows)``. Each span carries
-    the operator's label, depth, estimated vs. actual rows with
-    per-operator Q-error, and its **own** work — the counters of its
-    subtree minus its children's subtrees, so summing ``counters``
-    over all spans reproduces the plan's total work.
+    the operator's label, depth, the base tables its subtree covers,
+    estimated vs. actual rows with per-operator Q-error, and its
+    **own** work — the counters of its subtree minus its children's
+    subtrees, so summing ``counters`` over all spans reproduces the
+    plan's total work.
     """
     spans: list[dict] = []
 
@@ -58,6 +81,7 @@ def operator_spans(
         span = {
             "operator": op.label(),
             "depth": depth,
+            "tables": sorted(operator_tables(op)),
             "estimated_rows": estimated,
             "actual_rows": rows,
             "q_error": q_error(estimated, rows),

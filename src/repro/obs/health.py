@@ -20,11 +20,15 @@ from dataclasses import dataclass
 
 
 #: Machine-readable degradation reasons the session may record.
+#: ``estimation-drift`` is raised by the feedback accuracy ledger when
+#: a query class's observed q-error crosses into a worse severity band
+#: — the signature of statistics gone stale under a shifted workload.
 DEGRADATION_REASONS = (
     "statistics-load-failed",
     "statistics-health",
     "estimator-failure",
     "statistics-missing",
+    "estimation-drift",
 )
 
 

@@ -36,10 +36,23 @@ def _label_key(labels: dict) -> tuple:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition spec.
+
+    Backslash, double quote, and newline are the three characters the
+    format reserves inside quoted label values.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(key: tuple) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in key
+    )
     return "{" + inner + "}"
 
 

@@ -12,13 +12,18 @@ is identical for any worker count.
 :func:`read_traces` is the strict readback: it validates the schema
 version of every line and raises :class:`TraceError` on drift, which
 is what the CI trace-smoke job and ``repro trace summarize`` rely on.
+:func:`iter_traces` is the streaming variant — same validation, one
+record at a time — for the multi-hundred-MB files the 100x sweeps
+produce.  Paths ending in ``.gz`` are read and written through
+``gzip`` transparently by both.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.errors import ReproError
 from repro.obs.trace import TRACE_SCHEMA_VERSION, canonical_json
@@ -26,6 +31,16 @@ from repro.obs.trace import TRACE_SCHEMA_VERSION, canonical_json
 
 class TraceError(ReproError):
     """A trace file is malformed or has an unsupported schema version."""
+
+
+def _open_trace_file(path: Path, mode: str):
+    """Open a trace file, routing ``.gz`` paths through gzip.
+
+    ``mode`` is ``"w"`` or ``"r"``; text encoding is always UTF-8.
+    """
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
 
 
 class TraceSink:
@@ -66,7 +81,12 @@ class InMemoryTraceSink(TraceSink):
 
 
 class JsonlTraceSink(TraceSink):
-    """Writes canonical JSONL, one record per line."""
+    """Writes canonical JSONL, one record per line.
+
+    A ``.jsonl.gz`` path compresses transparently — the line format
+    (and therefore the post-decompression bytes) is identical to the
+    uncompressed sink's.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
@@ -75,7 +95,7 @@ class JsonlTraceSink(TraceSink):
 
     def emit(self, record: dict) -> None:
         if self._handle is None:
-            self._handle = self.path.open("w", encoding="utf-8")
+            self._handle = _open_trace_file(self.path, "w")
         self._handle.write(canonical_json(record) + "\n")
         self.emitted += 1
 
@@ -92,16 +112,18 @@ def write_traces(path: str | Path, records: Iterable[dict]) -> int:
         return sink.emitted
 
 
-def read_traces(path: str | Path) -> list[dict]:
-    """Load and validate a JSONL trace file.
+def iter_traces(path: str | Path) -> Iterator[dict]:
+    """Stream validated records from a JSONL trace file one at a time.
 
-    Every line must parse as a JSON object carrying the supported
-    ``schema`` version; anything else raises :class:`TraceError` with
-    the offending line number.
+    The generator holds one record in memory at a time, which is what
+    makes the multi-hundred-MB files from 100x-scale sweeps tractable;
+    ``.gz`` paths decompress on the fly.  Validation is identical to
+    :func:`read_traces`: every line must parse as a JSON object with
+    the supported ``schema`` version or :class:`TraceError` is raised
+    with the offending line number.
     """
     path = Path(path)
-    records: list[dict] = []
-    with path.open("r", encoding="utf-8") as handle:
+    with _open_trace_file(path, "r") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
@@ -122,5 +144,13 @@ def read_traces(path: str | Path) -> list[dict]:
                     f"{path}:{lineno}: schema version {version!r} "
                     f"unsupported (expected {TRACE_SCHEMA_VERSION})"
                 )
-            records.append(record)
-    return records
+            yield record
+
+
+def read_traces(path: str | Path) -> list[dict]:
+    """Load and validate a JSONL trace file into a list.
+
+    Materializing convenience wrapper over :func:`iter_traces`; prefer
+    the generator for large files.
+    """
+    return list(iter_traces(path))

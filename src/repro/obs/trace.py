@@ -32,6 +32,12 @@ from typing import Any
 #: Version stamped on (and required of) every trace record.
 TRACE_SCHEMA_VERSION = 1
 
+#: Row floor applied to both sides of a Q-error ratio.  Shared with
+#: :mod:`repro.experiments.audit` and the feedback accuracy ledger so
+#: the "how wrong was the estimate" arithmetic cannot drift between
+#: the audit, tracing, and feedback paths.
+QERROR_FLOOR = 0.5
+
 
 def canonical_json(record: dict) -> str:
     """The canonical single-line serialization of one trace record.
@@ -64,14 +70,14 @@ def strip_timing(value: Any) -> Any:
 def q_error(estimated: float | None, actual: float) -> float | None:
     """Symmetric ratio error ``max(est/actual, actual/est)`` (≥ 1).
 
-    Both sides are floored at 0.5 rows (the convention of
-    :mod:`repro.experiments.audit`) so empty results don't divide by
-    zero; ``None`` estimates yield ``None``.
+    Both sides are floored at :data:`QERROR_FLOOR` rows (the
+    convention of :mod:`repro.experiments.audit`) so empty results
+    don't divide by zero; ``None`` estimates yield ``None``.
     """
     if estimated is None:
         return None
-    est = max(float(estimated), 0.5)
-    act = max(float(actual), 0.5)
+    est = max(float(estimated), QERROR_FLOOR)
+    act = max(float(actual), QERROR_FLOOR)
     return max(est / act, act / est)
 
 
@@ -122,6 +128,10 @@ class EstimationSpan:
     lut_hit: bool = False
     #: Rendered predicate the evidence was counted against.
     predicate: str | None = None
+    #: Feedback attribution when stored observations were folded into
+    #: the posterior as pseudo-counts: the unadjusted prior quantile,
+    #: the pseudo-count mass, and the observed selectivity behind it.
+    feedback: dict | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -135,6 +145,7 @@ class EstimationSpan:
             "point_estimate": _threshold_field(self.point_estimate),
             "lut_hit": bool(self.lut_hit),
             "predicate": self.predicate,
+            "feedback": dict(self.feedback) if self.feedback else None,
         }
 
 

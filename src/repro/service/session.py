@@ -57,6 +57,7 @@ from repro.cost import CostModel
 from repro.engine import ExecOptions, ExecutionContext, ScanCache
 from repro.errors import EstimationError, ReproError, StatisticsError
 from repro.expressions import Frame
+from repro.feedback import FeedbackConfig, FeedbackStore, SessionFeedback
 from repro.obs import (
     DegradationEvent,
     MetricsRegistry,
@@ -330,6 +331,8 @@ class Session:
         self._health = HEALTHY
         self._degradations: list[DegradationEvent] = []
         self._estimator_decorator = None
+        # The estimation-feedback loop (off until enable_feedback()).
+        self._feedback: SessionFeedback | None = None
 
     @property
     def estimator_decorator(self):
@@ -534,6 +537,72 @@ class Session:
         return event
 
     # ------------------------------------------------------------------
+    # Estimation feedback loop
+    # ------------------------------------------------------------------
+    @property
+    def feedback(self) -> SessionFeedback | None:
+        """The session's feedback controller (``None`` until enabled)."""
+        return self._feedback
+
+    def enable_feedback(
+        self,
+        store: FeedbackStore | None = None,
+        config: FeedbackConfig | None = None,
+    ) -> SessionFeedback:
+        """Turn on the estimation observatory for this session.
+
+        From this point every execution harvests its plan's observed
+        cardinalities into the session's :class:`FeedbackStore`
+        (namespaced by the statistics epoch the plan ran under) and
+        feeds the plan-level q-error to the accuracy ledger. The next
+        prepare folds matching observations into the Beta posterior as
+        extra pseudo-counts, and — when neither a hint nor a per-call
+        threshold was given — routes the confidence threshold by the
+        query class's observed q-error severity. Drift events surface
+        through the session degradation log (reason
+        ``"estimation-drift"``) without changing serving behaviour
+        beyond the routed threshold.
+
+        Pass a ``store`` to share (or persist) feedback across
+        sessions; by default the controller owns a private in-memory
+        store. Idempotent: a second call returns the existing
+        controller (arguments must then be omitted).
+        """
+        self._check_open()
+        if self.config.estimator != "robust":
+            raise SessionError(
+                "the feedback loop needs a robust session (posterior "
+                f"folding has no target on {self.config.estimator!r})"
+            )
+        if self._feedback is not None:
+            if store is not None or config is not None:
+                raise SessionError(
+                    "feedback is already enabled on this session"
+                )
+            return self._feedback
+        self._feedback = SessionFeedback(
+            store=store,
+            config=config,
+            registry=self.metrics,
+            on_degradation=self._note_estimation_drift,
+        )
+        with self._statistics_lock:
+            # Fresh state (sharing the manager) so the memoized
+            # estimator is rebuilt with the feedback provider bound.
+            state = self._state
+            self._state = _StatsState(state.manager, ready=state.ready)
+        return self._feedback
+
+    def _note_estimation_drift(self, event: DegradationEvent) -> None:
+        """Ledger drift events land in the session degradation log."""
+        self._degradations.append(event)
+        self.metrics.counter(
+            "repro_session_degradations_total",
+            "Graceful degradations, by attributed reason.",
+        ).inc(reason=event.reason)
+        self._set_health(DEGRADED)
+
+    # ------------------------------------------------------------------
     # Estimator / optimizer wiring
     # ------------------------------------------------------------------
     def _build_estimator(
@@ -553,6 +622,13 @@ class Session:
                     policy=self.config.resolved_threshold,
                 )
                 estimator.fallback_listener = self._note_fallback_estimate
+                if self._feedback is not None:
+                    # Fenced to this snapshot's epoch: the provider
+                    # refuses observations harvested under any other
+                    # statistics version.
+                    estimator.feedback = self._feedback.provider_for(
+                        state.version
+                    )
             else:
                 estimator = HistogramCardinalityEstimator(statistics)
         if tracer is not None:
@@ -634,20 +710,36 @@ class Session:
     def _effective_threshold(
         self, query: SPJQuery, threshold: float | str | None
     ) -> float | None:
-        """Hint > per-call override > session default; ``None`` for
-        threshold-blind estimators."""
+        """Hint > per-call override > routed > session default;
+        ``None`` for threshold-blind estimators."""
         if self.config.estimator != "robust":
             return None
         if query.hint is not None:
             return resolve_threshold(query.hint)
         if threshold is not None:
             return resolve_threshold(threshold)
+        if self._feedback is not None:
+            routed = self._feedback.route(query)
+            if routed is not None:
+                return routed
         return self.config.resolved_threshold
 
     def _cache_key(
         self, fingerprint: str, threshold: float | None, version: int
     ) -> tuple:
-        return (fingerprint, self.config.cache_key(), threshold, version)
+        # The feedback generation keys the cache alongside the
+        # statistics version: a new observation invalidates exactly the
+        # plans whose posteriors it would now fold into.
+        generation = (
+            self._feedback.generation if self._feedback is not None else None
+        )
+        return (
+            fingerprint,
+            self.config.cache_key(),
+            threshold,
+            version,
+            generation,
+        )
 
     def prepare(
         self, query: str | SPJQuery, threshold: float | str | None = None
@@ -827,6 +919,19 @@ class Session:
         frame = prepared.plan.execute(ctx)
         wall = time.perf_counter() - started
         simulated = self.cost_model.time_from_counters(ctx.counters)
+        if self._feedback is not None and prepared.degraded_reason is None:
+            # Harvest observed cardinalities into the epoch this plan
+            # was produced under and ledger its plan-level q-error.
+            # Degraded (magic-only) plans are skipped: their estimates
+            # say nothing about the configured estimator's accuracy.
+            self._feedback.observe(
+                prepared.query,
+                prepared.plan,
+                self.database,
+                estimated_rows=prepared.estimated_rows,
+                actual_rows=frame.num_rows,
+                statistics_version=prepared.statistics_version,
+            )
         self.metrics.counter(
             "repro_session_executes_total", "Statements executed."
         ).inc()
@@ -980,6 +1085,8 @@ class Session:
         """One-line session summary for logs and reports."""
         threshold = self.config.resolved_threshold
         knob = f", T={threshold:.0%}" if threshold is not None else ""
+        if self._feedback is not None:
+            knob += ", feedback"
         flag = ", DEGRADED" if self._health == DEGRADED else ""
         return (
             f"Session({self.config.estimator}{knob}, "

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 from repro.catalog import Database
 from repro.errors import ReproError
+from repro.feedback import FeedbackConfig
 from repro.obs import MetricsRegistry
 from repro.service import Session, SessionConfig
 from repro.serving.admission import (
@@ -77,12 +78,21 @@ class TenantSpec:
     ``statistics`` may be a prebuilt manager or a saved-archive path;
     when omitted the tenant's session builds statistics lazily on its
     first prepare (under the session statistics lock).
+
+    ``feedback`` turns on the estimation-feedback loop for this tenant
+    (``True`` for defaults, or a
+    :class:`~repro.feedback.FeedbackConfig`). Each tenant gets its own
+    private :class:`~repro.feedback.FeedbackStore` through its own
+    session, so one tenant's observed cardinalities can never fold
+    into another tenant's posteriors — the same isolation contract the
+    plan cache gets from disjoint statistics versions.
     """
 
     name: str
     database: Database
     config: SessionConfig | None = None
     statistics: StatisticsManager | str | None = None
+    feedback: bool | FeedbackConfig = False
 
 
 @dataclass
@@ -203,6 +213,12 @@ class QueryServer:
                 spec.database,
                 config=spec.config or SessionConfig(),
             )
+            if spec.feedback:
+                session.enable_feedback(
+                    config=spec.feedback
+                    if isinstance(spec.feedback, FeedbackConfig)
+                    else None
+                )
             tenant = _Tenant(spec.name, session)
             if spec.statistics is not None:
                 version = session.attach_statistics(spec.statistics)
@@ -408,6 +424,35 @@ class QueryServer:
         """The tenant's underlying session (tests and diagnostics)."""
         return self._tenant(tenant).session
 
+    def feedback_report(self, tenant: str) -> dict | None:
+        """One tenant's feedback-loop snapshot (``None`` if disabled)."""
+        feedback = self._tenant(tenant).session.feedback
+        return feedback.report() if feedback is not None else None
+
+    def feedback_isolation_report(self) -> dict:
+        """Cross-tenant feedback isolation evidence, JSON-ready.
+
+        Two invariants, both load-bearing for the hot-swap story:
+        every tenant's ``stale_hits`` must be 0 (no fold was ever
+        served from a foreign statistics epoch), and no two tenants
+        may share a feedback store object (which would let one
+        tenant's observations reach another's posteriors).
+        """
+        stale: dict[str, int] = {}
+        stores: dict[int, list[str]] = {}
+        for name, tenant in self._tenants.items():
+            feedback = tenant.session.feedback
+            if feedback is None:
+                continue
+            stale[name] = feedback.stale_hits()
+            stores.setdefault(id(feedback.store), []).append(name)
+        shared = [sorted(names) for names in stores.values() if len(names) > 1]
+        return {
+            "stale_hits": stale,
+            "shared_stores": shared,
+            "isolated": not shared and not any(stale.values()),
+        }
+
     def isolation_report(self) -> dict:
         """Cross-tenant isolation evidence, JSON-ready.
 
@@ -441,10 +486,18 @@ class QueryServer:
         """Serving + per-tenant planning counters, JSON-ready."""
         tenants = {}
         for name, tenant in self._tenants.items():
+            feedback = tenant.session.feedback
             tenants[name] = {
                 "statistics_version": tenant.session.statistics_version(),
                 "plan_cache": tenant.session.cache_stats(),
                 "health": tenant.session.health,
+                "feedback": {
+                    "observations": feedback.observations,
+                    "store_keys": feedback.store.size(),
+                    "stale_hits": feedback.stale_hits(),
+                }
+                if feedback is not None
+                else None,
             }
         stale = self.metrics.counter(
             "repro_serving_stale_served_total",
@@ -458,6 +511,7 @@ class QueryServer:
                 stale.value(tenant=name) for name in self._tenants
             ),
             "isolation": self.isolation_report(),
+            "feedback_isolation": self.feedback_isolation_report(),
             "tenants": tenants,
         }
 

@@ -275,3 +275,39 @@ class TestPerfStatsReporting:
         assert rates.value(cache="execution") == pytest.approx(0.75)
         assert reg.gauge("repro_phase_seconds").value(phase="wall") == 1.5
         assert reg.gauge("repro_workers").value() == 2
+
+
+class TestLabelEscaping:
+    """Adversarial label values must stay one valid exposition line."""
+
+    def test_backslash_quote_and_newline_escaped(self):
+        c = Counter("adversarial_total")
+        c.inc(path='C:\\tmp\\"x"\nend')
+        (line,) = c.prometheus_lines()
+        assert "\n" not in line
+        assert 'path="C:\\\\tmp\\\\\\"x\\"\\nend"' in line
+
+    def test_newline_value_cannot_forge_extra_series(self):
+        # A hostile value that would inject a whole fake series if the
+        # newline survived; the exposition must stay line-per-series.
+        registry = MetricsRegistry()
+        registry.counter("forgery_total", "help").inc(
+            q='a"} 999\nforged_total{q="b'
+        )
+        lines = registry.to_prometheus().strip().split("\n")
+        series = [line for line in lines if not line.startswith("#")]
+        assert len(series) == 1
+        assert "\\n" in series[0]
+        assert not any(line.startswith("forged_total") for line in lines)
+
+    def test_plain_values_unchanged(self):
+        c = Counter("plain_total")
+        c.inc(config="T=95%")
+        (line,) = c.prometheus_lines()
+        assert 'config="T=95%"' in line
+
+    def test_escaped_labels_roundtrip_value_lookup(self):
+        g = Gauge("adversarial_gauge")
+        hostile = 'multi\nline"quoted"\\backslash'
+        g.set(4.2, name=hostile)
+        assert g.value(name=hostile) == 4.2

@@ -212,3 +212,61 @@ class TestWriteReadTraces:
         record = QueryTrace(template="t", config="c", seed=0).as_dict()
         path.write_text(canonical_json(record) + "\n\n")
         assert read_traces(path) == [record]
+
+
+class TestIterTracesAndGzip:
+    def records(self, n=3):
+        return [
+            QueryTrace(template="t", config="c", seed=i).as_dict()
+            for i in range(n)
+        ]
+
+    def test_iter_traces_is_lazy_and_complete(self, tmp_path):
+        from repro.obs import iter_traces
+
+        path = tmp_path / "traces.jsonl"
+        records = self.records()
+        write_traces(path, records)
+        iterator = iter_traces(path)
+        assert next(iterator) == records[0]
+        assert list(iterator) == records[1:]
+
+    def test_iter_traces_validates_like_read(self, tmp_path):
+        from repro.obs import iter_traces
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(TraceError, match="line 1"):
+            list(iter_traces(path))
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "traces.jsonl.gz"
+        records = self.records()
+        assert write_traces(path, records) == len(records)
+        assert read_traces(path) == records
+
+    def test_gzip_file_is_actually_compressed(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "traces.jsonl.gz"
+        write_traces(path, self.records())
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert len(handle.read().strip().split("\n")) == 3
+
+    def test_gzip_sink_append_and_read(self, tmp_path):
+        path = tmp_path / "traces.jsonl.gz"
+        records = self.records(2)
+        with JsonlTraceSink(path) as sink:
+            sink.emit(records[0])
+            sink.emit(records[1])
+        assert read_traces(path) == records
+
+    def test_plain_and_gzip_contents_match(self, tmp_path):
+        records = self.records()
+        plain = tmp_path / "a.jsonl"
+        packed = tmp_path / "a.jsonl.gz"
+        write_traces(plain, records)
+        write_traces(packed, records)
+        assert read_traces(plain) == read_traces(packed)

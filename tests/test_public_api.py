@@ -62,6 +62,10 @@ PUBLIC_API = sorted(
         "StatisticsManager",
         "load_statistics",
         "save_statistics",
+        # estimation feedback loop
+        "FeedbackConfig",
+        "FeedbackStore",
+        "SessionFeedback",
         # experiments & observability
         "EstimatorConfig",
         "ExperimentRunner",
