@@ -73,6 +73,13 @@ from repro.optimizer import (
     PlannedQuery,
     SPJQuery,
 )
+from repro.selection import (
+    HistogramPolicy,
+    PenaltyPolicy,
+    SelectionPolicy,
+    ThresholdPolicy,
+    resolve_policy,
+)
 from repro.service import (
     PlanCache,
     PreparedQuery,
@@ -126,6 +133,12 @@ __all__ = [
     "Prior",
     "RobustCardinalityEstimator",
     "resolve_threshold",
+    # plan selection policies
+    "SelectionPolicy",
+    "ThresholdPolicy",
+    "PenaltyPolicy",
+    "HistogramPolicy",
+    "resolve_policy",
     # optimization & costing
     "CostModel",
     "LeastExpectedCostOptimizer",

@@ -64,6 +64,7 @@ from repro.experiments import (
     format_selectivity_table,
     format_tradeoff_table,
 )
+from repro.selection import PolicyError
 from repro.service import Session
 from repro.workloads import (
     PartCorrelationTemplate,
@@ -138,6 +139,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execution kernel backend (auto picks numba when installed)",
     )
     experiment.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="add a selection-policy arm (e.g. expected:24, cvar:0.9:24,"
+        " threshold:0.8) to the default grid; repeatable",
+    )
+    experiment.add_argument(
         "--perf", action="store_true", help="print cache/timer statistics"
     )
     _add_observability_flags(experiment, what="per-query traces")
@@ -180,6 +189,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--threshold",
         default="80",
         help="confidence threshold (percentage or named level)",
+    )
+    sql.add_argument(
+        "--policy",
+        default=None,
+        metavar="SPEC",
+        help="selection policy (e.g. threshold:0.8, expected:24,"
+        " cvar:0.9, histogram); overrides --estimator/--threshold",
     )
     sql.add_argument(
         "--explain-only", action="store_true", help="print the plan, don't run"
@@ -264,6 +280,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="lineitem rows per tenant database",
     )
     serve.add_argument("--sample-size", type=int, default=96)
+    serve.add_argument(
+        "--policy",
+        default=None,
+        metavar="SPEC",
+        help="selection policy every tenant session plans under"
+        " (e.g. cvar:0.9:16); default keeps the threshold default",
+    )
     serve.add_argument(
         "--swaps", type=int, default=2,
         help="statistics archives hot-swapped into tenants mid-run",
@@ -427,11 +450,25 @@ def _cmd_experiment(args) -> int:
             (int(s), template.true_selectivity(database, int(s))) for s in shifts
         ]
 
+    configs = None
+    if args.policy:
+        from repro.experiments import default_configs, policy_arm
+
+        configs = default_configs()
+        names = {config.name for config in configs}
+        try:
+            arms = [policy_arm(spec) for spec in args.policy]
+        except PolicyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        configs.extend(arm for arm in arms if arm.name not in names)
+
     tracing = args.trace or args.trace_out is not None
     session = Session(database, sample_size=args.sample_size)
     result = session.run_experiment(
         template,
         params,
+        configs,
         seeds=range(args.seeds),
         workers=args.workers,
         execution_cache=not args.no_exec_cache,
@@ -481,13 +518,21 @@ def _cmd_sql(args) -> int:
             StarConfig(num_fact=max(args.scale, 1000), seed=7)
         )
 
-    session = Session(
-        database,
-        estimator=args.estimator,
-        threshold=args.threshold,
-        sample_size=args.sample_size,
-        statistics_seed=args.seed,
+    selection = (
+        {"policy": args.policy}
+        if args.policy is not None
+        else {"estimator": args.estimator, "threshold": args.threshold}
     )
+    try:
+        session = Session(
+            database,
+            sample_size=args.sample_size,
+            statistics_seed=args.seed,
+            **selection,
+        )
+    except PolicyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     prepared = session.prepare(args.query)
     print(prepared.explain())
 
@@ -572,19 +617,24 @@ def _cmd_serve_bench(args) -> int:
     from repro.serving import LoadConfig, cached_prepare_scaling, run_load
 
     kernels.set_backend(args.kernels)
-    config = LoadConfig(
-        tenants=args.tenants,
-        operations=args.operations,
-        load_threads=args.load_threads,
-        worker_threads=args.worker_threads,
-        seed=args.seed,
-        num_lineitem=args.scale,
-        sample_size=args.sample_size,
-        execute_fraction=args.execute_fraction,
-        swaps=args.swaps,
-        global_limit=args.global_limit,
-        tenant_queue_depth=args.tenant_queue_depth,
-    )
+    try:
+        config = LoadConfig(
+            tenants=args.tenants,
+            operations=args.operations,
+            load_threads=args.load_threads,
+            worker_threads=args.worker_threads,
+            seed=args.seed,
+            num_lineitem=args.scale,
+            sample_size=args.sample_size,
+            policy=args.policy,
+            execute_fraction=args.execute_fraction,
+            swaps=args.swaps,
+            global_limit=args.global_limit,
+            tenant_queue_depth=args.tenant_queue_depth,
+        )
+    except PolicyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = run_load(config)
     report = result.to_dict()
 

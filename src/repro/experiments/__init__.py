@@ -14,6 +14,8 @@ from repro.experiments.runner import (
     ExperimentRunner,
     RunRecord,
     default_configs,
+    penalty_configs,
+    policy_arm,
 )
 from repro.experiments.report import (
     format_selectivity_table,
@@ -73,6 +75,8 @@ __all__ = [
     "PlanExecutionCache",
     "RunRecord",
     "default_configs",
+    "penalty_configs",
+    "policy_arm",
     "format_selectivity_table",
     "format_tradeoff_table",
 ]

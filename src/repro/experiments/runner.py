@@ -45,6 +45,14 @@ from repro.obs.execution import execution_span
 from repro.obs.trace import QueryTrace, plan_shape
 from repro.obs.tracer import Tracer
 from repro.optimizer import Optimizer
+from repro.selection import (
+    PenaltyPolicy,
+    SelectionPolicy,
+    ThresholdPolicy,
+    resolve_policy,
+    sample_quantiles,
+)
+from repro.service.fingerprint import query_fingerprint
 from repro.stats import StatisticsManager
 from repro.workloads.templates import QueryTemplate
 
@@ -61,12 +69,21 @@ class EstimatorConfig:
     ``threshold`` set) are planned together by one threshold-vectorized
     ``optimize_many`` pass instead of one ``optimize`` per config.
     Either field left ``None`` keeps the scalar per-config path.
+
+    ``policy`` switches the config to policy-driven selection: a
+    :class:`~repro.selection.PenaltyPolicy` plans every query through
+    ``optimize_penalty`` with its deterministic posterior samples
+    (seeded per query from the statistics build, so records are
+    bit-identical across worker counts). Penalty configs are never
+    threshold-grouped — the penalty pass is already vectorized over its
+    own sample grid.
     """
 
     name: str
     build: Callable[[StatisticsManager], CardinalityEstimator]
     threshold: float | None = None
     group: str | None = None
+    policy: SelectionPolicy | None = None
 
 
 def _build_robust(
@@ -102,6 +119,56 @@ def default_configs(
             EstimatorConfig(name="Histograms", build=_build_histogram)
         )
     return configs
+
+
+def penalty_configs(
+    samples: int = 24, cvar_alpha: float = 0.9
+) -> list[EstimatorConfig]:
+    """The PARQO-style penalty-selection arms.
+
+    One expected-penalty arm and one CVaR-α arm, both drawing
+    ``samples`` deterministic posterior samples per query. The robust
+    estimator is built at the median (the reference lane's quantile);
+    the policy, not the estimator default, decides the plan.
+    """
+    policies = (
+        PenaltyPolicy(samples=samples),
+        PenaltyPolicy(samples=samples, risk="cvar", alpha=cvar_alpha),
+    )
+    return [
+        EstimatorConfig(
+            name=policy.describe(),
+            build=functools.partial(_build_robust, threshold=0.5),
+            policy=policy,
+        )
+        for policy in policies
+    ]
+
+
+def policy_arm(policy) -> EstimatorConfig:
+    """One experiment arm for an arbitrary selection policy.
+
+    Accepts anything :func:`~repro.selection.resolve_policy` does — a
+    :class:`~repro.selection.SelectionPolicy`, a bare threshold, or a
+    spec string like ``"cvar:0.9:24"``. Threshold arms join the
+    ``"robust"`` group so they ride the vectorized multi-threshold
+    pass alongside :func:`default_configs`.
+    """
+    policy = resolve_policy(policy)
+    if isinstance(policy, PenaltyPolicy):
+        return EstimatorConfig(
+            name=policy.describe(),
+            build=functools.partial(_build_robust, threshold=0.5),
+            policy=policy,
+        )
+    if isinstance(policy, ThresholdPolicy):
+        return EstimatorConfig(
+            name=f"T={policy.q:.0%}",
+            build=functools.partial(_build_robust, threshold=policy.q),
+            threshold=policy.q,
+            group="robust",
+        )
+    return EstimatorConfig(name="Histograms", build=_build_histogram)
 
 
 @dataclass(frozen=True)
@@ -362,7 +429,20 @@ def _run_seed(
             else:
                 query = template.instantiate(param)
                 started = time.perf_counter()
-                planned = optimizer.optimize(query)
+                if isinstance(config.policy, PenaltyPolicy):
+                    quantiles = sample_quantiles(
+                        config.policy,
+                        query_key=query_fingerprint(query),
+                        statistics_token=statistics.sampling_token(),
+                    )
+                    planned = optimizer.optimize_penalty(
+                        query,
+                        quantiles,
+                        risk=config.policy.risk,
+                        alpha=config.policy.alpha,
+                    )
+                else:
+                    planned = optimizer.optimize(query)
                 elapsed = time.perf_counter() - started
                 perf.optimize_seconds += elapsed
                 plan = planned.plan

@@ -127,8 +127,9 @@ class SessionFeedback:
     def query_class(self, query) -> str:
         return self._classifier(query)
 
-    def route(self, query) -> float | None:
-        """The routed threshold for a query's class (``None`` = cold)."""
+    def route(self, query):
+        """The routed :class:`~repro.selection.SelectionPolicy` for a
+        query's class (``None`` = cold)."""
         return self.router.route(self.query_class(query))
 
     # ------------------------------------------------------------------

@@ -14,10 +14,13 @@ from __future__ import annotations
 
 from repro.core.confidence import AGGRESSIVE, CONSERVATIVE, MODERATE
 from repro.obs.ledger import AccuracyLedger, SEVERITY_ORDER
+from repro.selection import SelectionPolicy, ThresholdPolicy, resolve_policy
 
 #: Severity band → confidence threshold. Accurate classes plan at the
 #: aggressive (near-median) end; anything at major severity or worse
-#: pays for headroom.
+#: pays for headroom. Values may be bare thresholds or any
+#: :func:`~repro.selection.resolve_policy` spelling (e.g. route
+#: catastrophic classes to ``"cvar:0.9"``).
 DEFAULT_BAND_THRESHOLDS = {
     "accurate": AGGRESSIVE,
     "moderate": MODERATE,
@@ -27,18 +30,21 @@ DEFAULT_BAND_THRESHOLDS = {
 
 
 class ThresholdRouter:
-    """Maps a query class to a confidence threshold via its ledger.
+    """Maps a query class to a selection policy via its ledger.
 
     ``route`` returns ``None`` until the ledger has evidence for the
-    class, so the session's normal default threshold applies to cold
-    classes; explicit per-call thresholds and query hints always win
-    over the router (precedence is enforced by the session).
+    class, so the session's normal default policy applies to cold
+    classes; explicit per-call policies/thresholds and query hints
+    always win over the router (precedence is enforced by the
+    session). Band values are normalized through
+    :func:`~repro.selection.resolve_policy`, so a bare float routes as
+    the equivalent :class:`~repro.selection.ThresholdPolicy`.
     """
 
     def __init__(
         self,
         ledger: AccuracyLedger,
-        band_thresholds: dict[str, float] | None = None,
+        band_thresholds: dict | None = None,
     ) -> None:
         bands = dict(
             DEFAULT_BAND_THRESHOLDS
@@ -51,29 +57,46 @@ class ThresholdRouter:
                 f"band_thresholds missing severity bands: {sorted(missing)}"
             )
         self.ledger = ledger
+        #: Raw band values as configured (back-compat view).
         self.band_thresholds = bands
+        #: Band → :class:`~repro.selection.SelectionPolicy` actually
+        #: emitted by :meth:`route`.
+        self.band_policies = {
+            band: resolve_policy(value) for band, value in bands.items()
+        }
         #: Routing decisions taken, keyed by band.
         self.routed_counts: dict[str, int] = {}
 
-    def route(self, query_class: str) -> float | None:
-        """The threshold for ``query_class``, or ``None`` if cold."""
+    def route(self, query_class: str) -> SelectionPolicy | None:
+        """The policy for ``query_class``, or ``None`` if cold."""
         severity = self.ledger.severity(query_class)
         if severity is None:
             return None
         self.routed_counts[severity] = (
             self.routed_counts.get(severity, 0) + 1
         )
-        return float(self.band_thresholds[severity])
+        return self.band_policies[severity]
 
     def routing_table(self) -> dict:
-        """Current class → (severity, threshold) view for reports."""
+        """Current class → (severity, policy) view for reports.
+
+        ``threshold`` is kept beside ``policy`` for threshold bands
+        (``None`` for penalty/histogram bands) so report consumers
+        predating the policy API keep reading.
+        """
         table = {}
         for query_class in self.ledger.classes():
             severity = self.ledger.severity(query_class)
             if severity is None:
                 continue
+            routed = self.band_policies[severity]
             table[query_class] = {
                 "severity": severity,
-                "threshold": float(self.band_thresholds[severity]),
+                "policy": routed.spec(),
+                "threshold": (
+                    routed.q
+                    if isinstance(routed, ThresholdPolicy)
+                    else None
+                ),
             }
         return table

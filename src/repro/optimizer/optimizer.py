@@ -41,6 +41,12 @@ from repro.optimizer.candidates import (
 from repro.optimizer.joins import join_candidates
 from repro.optimizer.query import SPJQuery
 from repro.optimizer.star import detect_star, star_candidates
+from repro.selection.penalty import (
+    penalty_matrix,
+    penalty_summary,
+    risk_scores,
+    select_index,
+)
 
 
 def _lane(value, index: int) -> float:
@@ -188,6 +194,12 @@ class PlannedQuery:
     #: recorded when the optimizer was built with a tracer; ``None``
     #: otherwise. JSON-ready for :class:`repro.obs.QueryTrace`.
     trace: dict | None = None
+    #: Penalty-selection provenance (risk functional, sampled
+    #: quantiles, per-plan penalty distributions) when the plan was
+    #: chosen by :meth:`Optimizer.optimize_penalty`; ``None`` for
+    #: threshold and histogram selection. Always populated by the
+    #: penalty path — unlike ``trace`` it does not require a tracer.
+    selection: dict | None = None
 
     def explain(self) -> str:
         """Human-readable plan tree with estimates."""
@@ -307,58 +319,17 @@ class Optimizer:
         dp_stats: list[dict] | None = [] if tracing else None
         started = time.perf_counter() if tracing else 0.0
 
-        full_set = frozenset(query.tables)
-        best_per_subset = self._enumerate_joins(
-            ctx,
-            query,
-            prune=lambda cands: keep_best_vector(cands, width),
-            dp_stats=dp_stats,
-        )
-        finalists = list(iter_candidates(best_per_subset[full_set]))
-
-        if self.enable_star_plans:
-            specs = detect_star(ctx, query)
-            if specs is not None:
-                out_rows = ctx.card(full_set, ctx.pred_for(full_set)).cardinality
-                finalists.extend(star_candidates(ctx, query, specs, out_rows))
-
-        finalists = self._dedupe(finalists)
-        if not finalists:
-            raise OptimizationError(f"no plan found for {query}")
+        finalists = self._vector_finalists(ctx, query, width, dp_stats)
 
         costs = lane_costs(finalists, width)
         rows_matrix = lane_matrix((c.rows for c in finalists), width)
         winners = np.argmin(costs, axis=0)
 
-        # The vector pass annotated operators with threshold-axis
-        # arrays. Snapshot them as per-lane lists so each threshold's
-        # finalization can stamp its own scalar lane back onto the
-        # (shared) subtrees; after the loop, shared nodes carry the
-        # last threshold's annotations — cosmetic only, since
-        # ``signature()`` ignores annotations and execution never
-        # reads them.
-        vector_notes: dict[int, tuple] = {}
-        for candidate in finalists:
-            for node in candidate.operator.walk():
-                if id(node) not in vector_notes:
-                    vector_notes[id(node)] = (
-                        node,
-                        _lanes(node.est_rows, width),
-                        _lanes(node.est_cost, width),
-                    )
-        stamped = [
-            entry
-            for entry in vector_notes.values()
-            if entry[1] is not None or entry[2] is not None
-        ]
+        stamped = self._snapshot_lane_notes(finalists, width)
 
         planned: list[PlannedQuery] = []
         for index, threshold in enumerate(grid):
-            for node, est_rows, est_cost in stamped:
-                if est_rows is not None:
-                    node.est_rows = est_rows[index]
-                if est_cost is not None:
-                    node.est_cost = est_cost[index]
+            self._stamp_lane(stamped, index)
             winner = int(winners[index])
             best = finalists[winner]
             scalar_best = PlanCandidate(
@@ -425,6 +396,224 @@ class Optimizer:
                 )
             )
         return planned
+
+    # ------------------------------------------------------------------
+    def optimize_penalty(
+        self,
+        query: SPJQuery,
+        quantiles: Sequence[float],
+        *,
+        risk: str = "expected",
+        alpha: float = 1.0,
+        reference: float = 0.5,
+    ) -> PlannedQuery:
+        """Pick the plan minimizing penalty over posterior samples.
+
+        ``quantiles`` are uniforms in (0, 1) — typically drawn by
+        :func:`repro.selection.sample_quantiles` — and each one is a
+        joint posterior sample via inverse-transform: planning at
+        confidence threshold ``u`` prices every predicate at its
+        posterior's ``u``-quantile. One vectorized DP pass over the
+        grid therefore costs every candidate plan at every sample; the
+        winner minimizes the ``risk`` functional (``"expected"`` mean
+        penalty, or ``"cvar"`` α-tail mean) of its regret against the
+        per-sample optimum, with ties broken by plan signature.
+
+        Lane 0 of the grid is a *reference* lane at the posterior
+        median (``reference=0.5``): it never votes, but supplies the
+        scalar estimates the finished plan is annotated and finalized
+        with, so explain output and cached estimates stay meaningful.
+
+        The candidate pool is the union of per-lane DP winners (the
+        same Bellman pruning ``optimize_many`` uses). Every per-sample
+        optimum survives pruning, so penalties are exact; a "hedge"
+        plan that is optimal at *no* sample could in principle be
+        pruned before scoring — the standard price of reusing the
+        threshold-vectorized lattice.
+        """
+        samples = tuple(float(u) for u in quantiles)
+        if not samples:
+            raise OptimizationError(
+                "optimize_penalty needs at least one sample quantile"
+            )
+        query.validate(self.database)
+        grid = (float(reference),) + samples
+        ctx = VectorPlanningContext(
+            self.database, self.cost_model, self.estimator, query, grid
+        )
+        width = len(grid)
+        tracing = self.tracer is not None
+        dp_stats: list[dict] | None = [] if tracing else None
+        started = time.perf_counter() if tracing else 0.0
+
+        finalists = self._vector_finalists(ctx, query, width, dp_stats)
+
+        costs = lane_costs(finalists, width)
+        rows_matrix = lane_matrix((c.rows for c in finalists), width)
+
+        # Column 0 is the reference lane; penalties live on the samples.
+        penalties = penalty_matrix(costs[:, 1:])
+        scores = risk_scores(penalties, risk=risk, alpha=alpha)
+        signatures = [c.operator.signature() for c in finalists]
+        winner = select_index(scores, signatures)
+        best = finalists[winner]
+
+        # Annotate and finalize at the reference lane so the finished
+        # plan carries posterior-median estimates.
+        stamped = self._snapshot_lane_notes(finalists, width)
+        self._stamp_lane(stamped, 0)
+        scalar_best = PlanCandidate(
+            best.operator,
+            best.tables,
+            float(rows_matrix[winner, 0]),
+            float(costs[winner, 0]),
+            best.order,
+        )
+        query_at = replace(query, hint=float(reference))
+        slice_ctx = _ThresholdSlice(ctx, 0)
+        plan, cost, rows = self.finalize_candidate(slice_ctx, query_at, scalar_best)
+
+        ranking = np.argsort(scores, kind="stable")
+        summaries = penalty_summary(penalties)
+        selection = {
+            "strategy": "penalty",
+            "risk": risk,
+            "alpha": float(alpha),
+            "samples": len(samples),
+            "reference_quantile": float(reference),
+            "quantiles": [float(u) for u in samples],
+            "winner_index": int(winner),
+            "winner_score": float(scores[winner]),
+            "plans": [
+                {
+                    "plan_shape": plan_shape(finalists[i].operator),
+                    "score": float(scores[i]),
+                    "penalty": summaries[i],
+                    "reference_cost": float(costs[i, 0]),
+                }
+                for i in ranking.tolist()
+            ],
+        }
+        alternatives = [
+            PlanCandidate(
+                finalists[i].operator,
+                finalists[i].tables,
+                float(rows_matrix[i, 0]),
+                float(costs[i, 0]),
+                finalists[i].order,
+            )
+            for i in ranking.tolist()
+        ]
+        span = None
+        if tracing:
+            span = self._optimizer_span(
+                strategy="penalty",
+                threshold=float(reference),
+                estimation_calls=ctx.estimation_calls,
+                dp_stats=dp_stats,
+                finalists=finalists,
+                winner={
+                    "plan_shape": plan_shape(plan),
+                    "cost": float(cost),
+                    "rows": float(rows),
+                    "order": best.order,
+                    "score": float(scores[winner]),
+                    "cost_vector": [float(c) for c in costs[winner]],
+                },
+                alternatives=[
+                    {
+                        "plan_shape": plan_shape(finalists[i].operator),
+                        "score": float(scores[i]),
+                        "cost": float(costs[i, 0]),
+                    }
+                    for i in ranking.tolist()[:5]
+                ],
+                optimize_seconds=time.perf_counter() - started,
+            )
+            span["selection"] = selection
+        return PlannedQuery(
+            query=query_at,
+            plan=plan,
+            estimated_cost=cost,
+            estimated_rows=rows,
+            alternatives=alternatives,
+            estimation_calls=ctx.estimation_calls,
+            estimates=slice_ctx.estimates(),
+            trace=span,
+            selection=selection,
+        )
+
+    # ------------------------------------------------------------------
+    def _vector_finalists(
+        self,
+        ctx: VectorPlanningContext,
+        query: SPJQuery,
+        width: int,
+        dp_stats: list[dict] | None,
+    ) -> list[PlanCandidate]:
+        """Full-coverage candidates from one vectorized DP pass.
+
+        Shared by :meth:`optimize_many` and :meth:`optimize_penalty`:
+        Bellman enumeration with per-lane pruning, star-plan
+        augmentation, and dedupe. Raises if nothing covers the query.
+        """
+        full_set = frozenset(query.tables)
+        best_per_subset = self._enumerate_joins(
+            ctx,
+            query,
+            prune=lambda cands: keep_best_vector(cands, width),
+            dp_stats=dp_stats,
+        )
+        finalists = list(iter_candidates(best_per_subset[full_set]))
+
+        if self.enable_star_plans:
+            specs = detect_star(ctx, query)
+            if specs is not None:
+                out_rows = ctx.card(full_set, ctx.pred_for(full_set)).cardinality
+                finalists.extend(star_candidates(ctx, query, specs, out_rows))
+
+        finalists = self._dedupe(finalists)
+        if not finalists:
+            raise OptimizationError(f"no plan found for {query}")
+        return finalists
+
+    @staticmethod
+    def _snapshot_lane_notes(
+        finalists: list[PlanCandidate], width: int
+    ) -> list[tuple]:
+        """Per-lane snapshots of the vector pass's operator annotations.
+
+        The vector pass annotated operators with threshold-axis
+        arrays. Snapshot them as per-lane lists so each lane's
+        finalization can stamp its own scalar lane back onto the
+        (shared) subtrees; after stamping, shared nodes carry the last
+        stamped lane's annotations — cosmetic only, since
+        ``signature()`` ignores annotations and execution never reads
+        them.
+        """
+        vector_notes: dict[int, tuple] = {}
+        for candidate in finalists:
+            for node in candidate.operator.walk():
+                if id(node) not in vector_notes:
+                    vector_notes[id(node)] = (
+                        node,
+                        _lanes(node.est_rows, width),
+                        _lanes(node.est_cost, width),
+                    )
+        return [
+            entry
+            for entry in vector_notes.values()
+            if entry[1] is not None or entry[2] is not None
+        ]
+
+    @staticmethod
+    def _stamp_lane(stamped: list[tuple], index: int) -> None:
+        """Stamp lane ``index`` of every snapshot back onto its node."""
+        for node, est_rows, est_cost in stamped:
+            if est_rows is not None:
+                node.est_rows = est_rows[index]
+            if est_cost is not None:
+                node.est_cost = est_cost[index]
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -7,11 +7,34 @@ generator, or ``None`` (fresh entropy) and normalize via :func:`ensure_rng`.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Union
 
 import numpy as np
 
 RngLike = Union[int, np.random.Generator, None]
+
+
+def derive_seed(*components) -> int:
+    """A deterministic 64-bit seed derived from identity components.
+
+    Hashes the canonical ``repr`` of every component (strings, ints,
+    floats, tuples — anything with a stable ``repr``) with SHA-256, so
+    the same components produce the same seed in every process and on
+    every platform. This is how the penalty-selection sampler keys its
+    posterior draws to ``(query, statistics, policy)``: byte-identical
+    inputs give byte-identical samples regardless of worker count.
+    """
+    digest = hashlib.sha256()
+    for component in components:
+        digest.update(repr(component).encode("utf-8"))
+        digest.update(b"\x1f")  # unit separator: ("ab","c") != ("a","bc")
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+def derive_rng(*components) -> np.random.Generator:
+    """A deterministic generator seeded by :func:`derive_seed`."""
+    return np.random.default_rng(np.random.SeedSequence(derive_seed(*components)))
 
 
 def ensure_rng(seed: RngLike) -> np.random.Generator:

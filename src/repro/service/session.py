@@ -67,6 +67,14 @@ from repro.obs import (
 )
 from repro.obs.summarize import explain_trace
 from repro.optimizer import Optimizer, PlannedQuery, SPJQuery
+from repro.selection import (
+    HistogramPolicy,
+    PenaltyPolicy,
+    SelectionPolicy,
+    ThresholdPolicy,
+    resolve_policy,
+    sample_quantiles,
+)
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import canonical_sql, query_fingerprint
 from repro.sql import parse_query
@@ -104,8 +112,22 @@ class SessionConfig:
     plan_cache_size: int = 256
     cache_stripes: int = 8
     enable_star_plans: bool = True
+    #: Unified selection policy (:class:`~repro.selection.SelectionPolicy`
+    #: or a spec string like ``"cvar:0.9:32"``). When set it *wins*:
+    #: ``estimator`` is forced to the policy's estimator family and, for
+    #: threshold policies, ``threshold`` follows ``policy.q``. The
+    #: legacy ``estimator=``/``threshold=`` pair keeps working and is
+    #: equivalent to the matching :class:`ThresholdPolicy` /
+    #: :class:`HistogramPolicy`.
+    policy: SelectionPolicy | float | str | None = None
 
     def __post_init__(self) -> None:
+        if self.policy is not None:
+            resolved = resolve_policy(self.policy)
+            object.__setattr__(self, "policy", resolved)
+            object.__setattr__(self, "estimator", resolved.estimator_kind)
+            if isinstance(resolved, ThresholdPolicy):
+                object.__setattr__(self, "threshold", resolved.q)
         if self.estimator not in ESTIMATOR_KINDS:
             raise SessionError(
                 f"unknown estimator {self.estimator!r}; "
@@ -119,6 +141,24 @@ class SessionConfig:
         if self.estimator != "robust":
             return None
         return resolve_threshold(self.threshold)
+
+    @property
+    def resolved_policy(self) -> SelectionPolicy | None:
+        """The default selection policy this config plans under.
+
+        Derived from the legacy knobs when ``policy`` was not given:
+        robust sessions default to ``ThresholdPolicy(threshold)``,
+        histogram sessions to ``HistogramPolicy()``. Exact sessions
+        have no selection policy (``None``) — there is nothing to
+        select *by* when estimates are ground truth.
+        """
+        if self.policy is not None:
+            return self.policy
+        if self.estimator == "robust":
+            return ThresholdPolicy(self.threshold)
+        if self.estimator == "histogram":
+            return HistogramPolicy()
+        return None
 
     def cache_key(self) -> tuple:
         """The config component of every plan-cache key."""
@@ -169,7 +209,7 @@ class PreparedQuery:
         session: "Session",
         query: SPJQuery,
         planned: PlannedQuery,
-        threshold: float | None,
+        policy: SelectionPolicy | None,
         statistics_version: int,
         from_cache: bool,
         degraded_reason: str | None = None,
@@ -177,9 +217,16 @@ class PreparedQuery:
         self.session = session
         self.query = query
         self.planned = planned
+        #: Effective :class:`~repro.selection.SelectionPolicy` the plan
+        #: was selected under (``None`` for exact sessions).
+        self.policy = policy
         #: Effective confidence threshold the plan was produced under
-        #: (``None`` for threshold-blind estimators).
-        self.threshold = threshold
+        #: (``None`` for threshold-blind selection — histogram, exact,
+        #: and penalty policies). Kept for back-compat with pre-policy
+        #: callers.
+        self.threshold = (
+            policy.q if isinstance(policy, ThresholdPolicy) else None
+        )
         #: ``StatisticsManager.version`` the plan was produced against.
         self.statistics_version = statistics_version
         #: Whether this handle was served from the session plan cache.
@@ -208,6 +255,12 @@ class PreparedQuery:
     def estimated_rows(self) -> float:
         return self.planned.estimated_rows
 
+    @property
+    def selection(self) -> dict | None:
+        """Penalty-selection provenance (``None`` unless the plan was
+        chosen by a :class:`~repro.selection.PenaltyPolicy`)."""
+        return self.planned.selection
+
     def is_stale(self) -> bool:
         """True when statistics moved past the plan's version."""
         return self.session.statistics_version() != self.statistics_version
@@ -221,8 +274,9 @@ class PreparedQuery:
         return self.session._execute_prepared(self)
 
     def __repr__(self) -> str:
+        policy = self.policy.spec() if self.policy is not None else None
         return (
-            f"PreparedQuery({self.sql!r}, threshold={self.threshold}, "
+            f"PreparedQuery({self.sql!r}, policy={policy}, "
             f"stats_v{self.statistics_version})"
         )
 
@@ -707,25 +761,51 @@ class Session:
             f"expected SQL text or SPJQuery, got {type(query).__name__}"
         )
 
-    def _effective_threshold(
-        self, query: SPJQuery, threshold: float | str | None
-    ) -> float | None:
-        """Hint > per-call override > routed > session default;
-        ``None`` for threshold-blind estimators."""
+    def _effective_policy(
+        self,
+        query: SPJQuery,
+        threshold: float | str | None = None,
+        policy: SelectionPolicy | float | str | None = None,
+    ) -> SelectionPolicy | None:
+        """Hint > per-call override > routed > session default.
+
+        Returns the :class:`~repro.selection.SelectionPolicy` this
+        statement plans under (``None`` for exact sessions). A per-call
+        ``policy`` must match the session's estimator family — the
+        estimator is session state, not per-statement state. The legacy
+        per-call ``threshold`` is sugar for ``ThresholdPolicy`` and,
+        as before, is ignored by threshold-blind estimators.
+        """
+        if threshold is not None and policy is not None:
+            raise SessionError(
+                "pass either threshold= or policy=, not both "
+                "(threshold is shorthand for a ThresholdPolicy)"
+            )
+        if policy is not None:
+            resolved = resolve_policy(policy)
+            if resolved.estimator_kind != self.config.estimator:
+                raise SessionError(
+                    f"policy {resolved.spec()!r} needs a "
+                    f"{resolved.estimator_kind!r} session, this one is "
+                    f"{self.config.estimator!r}"
+                )
+            if self.config.estimator == "robust" and query.hint is not None:
+                return ThresholdPolicy(query.hint)
+            return resolved
         if self.config.estimator != "robust":
-            return None
+            return self.config.resolved_policy
         if query.hint is not None:
-            return resolve_threshold(query.hint)
+            return ThresholdPolicy(query.hint)
         if threshold is not None:
-            return resolve_threshold(threshold)
+            return ThresholdPolicy(threshold)
         if self._feedback is not None:
             routed = self._feedback.route(query)
             if routed is not None:
                 return routed
-        return self.config.resolved_threshold
+        return self.config.resolved_policy
 
     def _cache_key(
-        self, fingerprint: str, threshold: float | None, version: int
+        self, fingerprint: str, policy: SelectionPolicy | None, version: int
     ) -> tuple:
         # The feedback generation keys the cache alongside the
         # statistics version: a new observation invalidates exactly the
@@ -736,25 +816,60 @@ class Session:
         return (
             fingerprint,
             self.config.cache_key(),
-            threshold,
+            policy.cache_key() if policy is not None else None,
             version,
             generation,
         )
 
+    def _plan_with_policy(
+        self,
+        optimizer: Optimizer,
+        state: _StatsState,
+        parsed: SPJQuery,
+        policy: SelectionPolicy | None,
+        fingerprint: str,
+    ) -> PlannedQuery:
+        """One planning pass under ``policy`` (the selection-mode fork).
+
+        Threshold policies plan the hinted scalar path; penalty
+        policies draw their deterministic posterior samples and run the
+        penalty-vectorized pass; histogram/exact plan unhinted.
+        """
+        if isinstance(policy, PenaltyPolicy):
+            quantiles = sample_quantiles(
+                policy,
+                query_key=fingerprint,
+                statistics_token=state.manager.sampling_token(),
+            )
+            return optimizer.optimize_penalty(
+                replace(parsed, hint=None),
+                quantiles,
+                risk=policy.risk,
+                alpha=policy.alpha,
+            )
+        target = parsed
+        if isinstance(policy, ThresholdPolicy):
+            target = replace(parsed, hint=policy.q)
+        return optimizer.optimize(target)
+
     def prepare(
-        self, query: str | SPJQuery, threshold: float | str | None = None
+        self,
+        query: str | SPJQuery,
+        threshold: float | str | None = None,
+        *,
+        policy: SelectionPolicy | float | str | None = None,
     ) -> PreparedQuery:
         """Parse (if needed), plan, and cache one statement.
 
         Preparing the same statement twice is a cache hit — the
         returned handle carries the *same* plan object. A per-call
-        ``threshold`` (or an ``OPTION (CONFIDENCE …)`` hint in the
-        SQL) plans that statement at a different confidence level
-        under its own cache entry.
+        ``policy`` (or legacy ``threshold``, or an ``OPTION
+        (CONFIDENCE …)`` hint in the SQL) plans that statement under a
+        different selection policy with its own cache entry.
         """
         self._check_open()
         parsed = self._coerce_query(query)
-        effective = self._effective_threshold(parsed, threshold)
+        effective = self._effective_policy(parsed, threshold, policy)
         # One snapshot serves the whole prepare: the cache-key version
         # and the planning estimator both come from it, so a hot-swap
         # landing mid-prepare can't mix statistics generations.
@@ -764,11 +879,10 @@ class Session:
         key = self._cache_key(fingerprint, effective, version)
 
         def plan() -> PlannedQuery:
-            target = parsed
-            if self.config.estimator == "robust":
-                target = replace(parsed, hint=effective)
             started = time.perf_counter()
-            planned = self._optimizer(state).optimize(target)
+            planned = self._plan_with_policy(
+                self._optimizer(state), state, parsed, effective, fingerprint
+            )
             self.metrics.gauge(
                 "repro_session_last_plan_seconds",
                 "Wall time of the most recent planning pass.",
@@ -787,7 +901,7 @@ class Session:
     def _prepare_degraded(
         self,
         parsed: SPJQuery,
-        effective: float | None,
+        effective: SelectionPolicy | None,
         version: int,
         exc: ReproError,
     ) -> PreparedQuery:
@@ -796,7 +910,9 @@ class Session:
         The degradation is attributed (event + metrics), and the
         resulting plan is handed back **uncached** — the plan cache
         only ever holds plans produced by the configured estimator, so
-        a transient estimator fault can't poison it.
+        a transient estimator fault can't poison it. Penalty policies
+        degrade to the scalar magic-only plan too: without a working
+        posterior there is nothing to sample.
         """
         event = self._record_degradation(
             "estimator-failure",
@@ -804,8 +920,10 @@ class Session:
             component="planner",
         )
         target = parsed
-        if self.config.estimator == "robust":
-            target = replace(parsed, hint=effective)
+        if isinstance(effective, ThresholdPolicy):
+            target = replace(parsed, hint=effective.q)
+        elif isinstance(effective, PenaltyPolicy):
+            target = replace(parsed, hint=None)
         optimizer = Optimizer(
             self.database,
             self._fallback_estimator(),
@@ -838,44 +956,44 @@ class Session:
         if not thresholds:
             raise SessionError("prepare_many needs at least one threshold")
         parsed = self._coerce_query(query)
-        grid = [resolve_threshold(t) for t in thresholds]
+        grid = [ThresholdPolicy(t) for t in thresholds]
         state = self._ensure_state()
         version = state.version
         fingerprint = query_fingerprint(parsed)
 
         keyed = [
-            (t, self._cache_key(fingerprint, t, version)) for t in grid
+            (p, self._cache_key(fingerprint, p, version)) for p in grid
         ]
-        found: dict[float, PlannedQuery] = {}
-        hits: set[float] = set()
-        for threshold, key in keyed:
+        found: dict[ThresholdPolicy, PlannedQuery] = {}
+        hits: set[ThresholdPolicy] = set()
+        for lane_policy, key in keyed:
             cached = self.plan_cache.get(key)
             if cached is not None:
-                found[threshold] = cached
-                hits.add(threshold)
-        missing = [t for t in grid if t not in found]
+                found[lane_policy] = cached
+                hits.add(lane_policy)
+        missing = [p for p in grid if p not in found]
         if missing:
             hintless = replace(parsed, hint=None)
             try:
                 planned_grid = self._optimizer(state).optimize_many(
-                    hintless, tuple(missing)
+                    hintless, tuple(p.q for p in missing)
                 )
             except (EstimationError, StatisticsError):
                 # Degrade lane by lane through the scalar path (which
                 # attributes the failure and plans uncached via §3.5).
-                return [self.prepare(hintless, t) for t in grid]
-            for threshold, planned in zip(missing, planned_grid):
-                key = self._cache_key(fingerprint, threshold, version)
+                return [self.prepare(hintless, p.q) for p in grid]
+            for lane_policy, planned in zip(missing, planned_grid):
+                key = self._cache_key(fingerprint, lane_policy, version)
                 self.plan_cache.put(key, planned)
-                found[threshold] = planned
+                found[lane_policy] = planned
 
         prepared = []
-        for threshold in grid:
-            was_cached = threshold in hits
+        for lane_policy in grid:
+            was_cached = lane_policy in hits
             self._count_prepare(was_cached)
             prepared.append(
                 PreparedQuery(
-                    self, parsed, found[threshold], threshold, version,
+                    self, parsed, found[lane_policy], lane_policy, version,
                     was_cached,
                 )
             )
@@ -893,18 +1011,22 @@ class Session:
     def execute(
         self, query: str | SPJQuery | PreparedQuery,
         threshold: float | str | None = None,
+        *,
+        policy: SelectionPolicy | float | str | None = None,
     ) -> QueryResult:
         """Plan (through the cache) and run one statement."""
         if isinstance(query, PreparedQuery):
             return self._execute_prepared(query)
-        return self._execute_prepared(self.prepare(query, threshold))
+        return self._execute_prepared(
+            self.prepare(query, threshold, policy=policy)
+        )
 
     def _execute_prepared(self, prepared: PreparedQuery) -> QueryResult:
         self._check_open()
         if prepared.is_stale():
             # Statistics moved: transparently re-plan (a cache miss
             # under the new version) and re-bind the handle.
-            fresh = self.prepare(prepared.query, prepared.threshold)
+            fresh = self.prepare(prepared.query, policy=prepared.policy)
             prepared.planned = fresh.planned
             prepared.statistics_version = fresh.statistics_version
             prepared.from_cache = fresh.from_cache
@@ -959,23 +1081,28 @@ class Session:
         threshold: float | str | None = None,
         execute: bool = False,
         label: str | None = None,
+        *,
+        policy: SelectionPolicy | float | str | None = None,
     ) -> dict:
         """Plan (and optionally run) with full tracing, returning the
         JSON-ready :class:`~repro.obs.QueryTrace` record.
 
         Traced planning bypasses the plan cache — the point is fresh
-        estimation-evidence spans — and never pollutes it.
+        estimation-evidence spans — and never pollutes it. Under a
+        penalty policy the optimizer span carries the per-plan penalty
+        distributions (``optimizer.selection``).
         """
         self._check_open()
         parsed = self._coerce_query(query)
-        effective = self._effective_threshold(parsed, threshold)
+        effective = self._effective_policy(parsed, threshold, policy)
+        state = self._ensure_state()
+        fingerprint = query_fingerprint(parsed)
         tracer = Tracer()
-        optimizer = self._optimizer(self._ensure_state(), tracer)
-        target = parsed
-        if self.config.estimator == "robust":
-            target = replace(parsed, hint=effective)
+        optimizer = self._optimizer(state, tracer)
         started = time.perf_counter()
-        planned = optimizer.optimize(target)
+        planned = self._plan_with_policy(
+            optimizer, state, parsed, effective, fingerprint
+        )
         optimize_seconds = time.perf_counter() - started
         execution = None
         if execute:
@@ -1008,6 +1135,8 @@ class Session:
         query: str | SPJQuery,
         threshold: float | str | None = None,
         analyze: bool = False,
+        *,
+        policy: SelectionPolicy | float | str | None = None,
     ) -> str:
         """The "why this plan" explanation for one statement.
 
@@ -1016,8 +1145,10 @@ class Session:
         also executes the plan and appends the per-operator work
         breakdown, EXPLAIN-ANALYZE style.
         """
-        record = self.trace_query(query, threshold, execute=analyze)
-        prepared = self.prepare(query, threshold)
+        record = self.trace_query(
+            query, threshold, execute=analyze, policy=policy
+        )
+        prepared = self.prepare(query, threshold, policy=policy)
         plan_tree = prepared.explain()
         provenance = explain_trace([record], record["trace_id"])
         return f"{plan_tree}\n\n{provenance}"
@@ -1083,8 +1214,13 @@ class Session:
 
     def describe(self) -> str:
         """One-line session summary for logs and reports."""
-        threshold = self.config.resolved_threshold
-        knob = f", T={threshold:.0%}" if threshold is not None else ""
+        default_policy = self.config.resolved_policy
+        knob = (
+            f", {default_policy.describe()}"
+            if default_policy is not None
+            and not isinstance(default_policy, HistogramPolicy)
+            else ""
+        )
         if self._feedback is not None:
             knob += ", feedback"
         flag = ", DEGRADED" if self._health == DEGRADED else ""

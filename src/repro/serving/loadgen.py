@@ -33,6 +33,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from repro.selection import resolve_policy
 from repro.serving.admission import AdmissionConfig
 from repro.serving.server import (
     QueryServer,
@@ -77,6 +78,10 @@ class LoadConfig:
     service_time_floor: float = 0.0
     service_time_scale: float = 0.0
     service_time_cap: float = 0.05
+    #: Default selection policy for every tenant session (a
+    #: :class:`~repro.selection.SelectionPolicy` or spec string like
+    #: ``"cvar:0.9"``; ``None`` keeps the session default).
+    policy: object = None
 
     def __post_init__(self) -> None:
         if self.tenants < 1:
@@ -88,6 +93,12 @@ class LoadConfig:
         if self.load_threads < 1:
             raise ValueError(
                 f"load_threads must be >= 1, got {self.load_threads}"
+            )
+        if self.policy is not None:
+            # Normalize to the round-trippable spec string so the
+            # config stays hashable and ``asdict`` stays JSON-ready.
+            object.__setattr__(
+                self, "policy", resolve_policy(self.policy).spec()
             )
 
 
@@ -240,6 +251,7 @@ def build_tenants(
                     statistics_seed=config.seed + i,
                 ),
                 statistics=statistics,
+                policy=config.policy,
             )
         )
     return specs

@@ -34,12 +34,13 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.catalog import Database
 from repro.errors import ReproError
 from repro.feedback import FeedbackConfig
 from repro.obs import MetricsRegistry
+from repro.selection import SelectionPolicy
 from repro.service import Session, SessionConfig
 from repro.serving.admission import (
     AdmissionConfig,
@@ -86,6 +87,11 @@ class TenantSpec:
     session, so one tenant's observed cardinalities can never fold
     into another tenant's posteriors — the same isolation contract the
     plan cache gets from disjoint statistics versions.
+
+    ``policy`` sets the tenant session's default
+    :class:`~repro.selection.SelectionPolicy` (a policy object or spec
+    string like ``"cvar:0.9"``); it overlays ``config.policy`` when
+    both are given.
     """
 
     name: str
@@ -93,6 +99,7 @@ class TenantSpec:
     config: SessionConfig | None = None
     statistics: StatisticsManager | str | None = None
     feedback: bool | FeedbackConfig = False
+    policy: SelectionPolicy | float | str | None = None
 
 
 @dataclass
@@ -141,6 +148,7 @@ class _Operation:
     tenant: _Tenant
     query: str
     threshold: float | str | None
+    policy: SelectionPolicy | float | str | None
     execute: bool
     submitted_at: float
     version_floor: int
@@ -209,10 +217,10 @@ class QueryServer:
         self.service_time_cap = service_time_cap
         self._tenants: dict[str, _Tenant] = {}
         for spec in specs:
-            session = Session(
-                spec.database,
-                config=spec.config or SessionConfig(),
-            )
+            config = spec.config or SessionConfig()
+            if spec.policy is not None:
+                config = replace(config, policy=spec.policy)
+            session = Session(spec.database, config=config)
             if spec.feedback:
                 session.enable_feedback(
                     config=spec.feedback
@@ -248,14 +256,17 @@ class QueryServer:
         query: str,
         *,
         threshold: float | str | None = None,
+        policy: SelectionPolicy | float | str | None = None,
         execute: bool = True,
     ) -> Future:
         """Admit and enqueue one operation; a future of
         :class:`ServedQuery`.
 
-        Raises :class:`ServerOverloaded` immediately when admission
-        control sheds the request (per-tenant queue full or global
-        limit reached) — nothing is queued in that case. Use
+        A per-operation ``policy`` (or legacy ``threshold``) overrides
+        the tenant session's default selection policy for this
+        statement only. Raises :class:`ServerOverloaded` immediately
+        when admission control sheds the request (per-tenant queue full
+        or global limit reached) — nothing is queued in that case. Use
         :meth:`serve` for blocking shed-and-retry semantics.
         """
         if self._closed:
@@ -268,6 +279,7 @@ class QueryServer:
             tenant=state,
             query=query,
             threshold=threshold,
+            policy=policy,
             execute=execute,
             submitted_at=time.perf_counter(),
             version_floor=state.current_version,
@@ -285,6 +297,7 @@ class QueryServer:
         query: str,
         *,
         threshold: float | str | None = None,
+        policy: SelectionPolicy | float | str | None = None,
         execute: bool = True,
         max_retries: int = 50,
         backoff_seconds: float = 0.001,
@@ -302,7 +315,11 @@ class QueryServer:
         while True:
             try:
                 future = self.submit(
-                    tenant, query, threshold=threshold, execute=execute
+                    tenant,
+                    query,
+                    threshold=threshold,
+                    policy=policy,
+                    execute=execute,
                 )
             except ServerOverloaded:
                 if attempt >= max_retries:
@@ -322,7 +339,9 @@ class QueryServer:
     def _run(self, op: _Operation) -> None:
         tenant = op.tenant
         try:
-            prepared = tenant.session.prepare(op.query, op.threshold)
+            prepared = tenant.session.prepare(
+                op.query, op.threshold, policy=op.policy
+            )
             if op.execute:
                 result = prepared.execute()
                 rows = result.num_rows

@@ -9,12 +9,13 @@ Individual statistics can be dropped to exercise the paper's
 
 from __future__ import annotations
 
+import operator
 import threading
 from typing import Iterable
 
 from repro.catalog import ColumnType, Database
 from repro.errors import CatalogError, StatisticsError
-from repro.random_state import RngLike, spawn_rngs
+from repro.random_state import RngLike, derive_seed, spawn_rngs
 from repro.stats.histogram import EquiDepthHistogram
 from repro.stats.join_synopsis import JoinSynopsis, build_join_synopsis
 from repro.stats.sample import TableSample
@@ -51,6 +52,9 @@ class StatisticsManager:
         self._synopses: dict[str, JoinSynopsis] = {}
         self._histograms: dict[tuple[str, str], EquiDepthHistogram] = {}
         self.sample_size: int | None = None
+        #: Content-deterministic identity of the last build (``None``
+        #: until one happens); see :meth:`sampling_token`.
+        self._sampling_token: int | None = None
         #: Statistics version: 0 before any build, then a
         #: process-unique epoch stamped on every change (rebuild, drop,
         #: or archive load). Estimators and the session plan cache key
@@ -62,6 +66,23 @@ class StatisticsManager:
     def bump_version(self, floor: int = 0) -> int:
         """Stamp (and return) a fresh process-unique version."""
         self.version = next_statistics_epoch(max(floor, self.version))
+        return self.version
+
+    def sampling_token(self) -> int:
+        """A deterministic identity for seeding posterior sampling.
+
+        The statistics ``version`` is allocated from a process-wide
+        counter, so two workers rebuilding *identical* statistics carry
+        different versions — seeding posterior draws from it would make
+        penalty-selected plans depend on the worker count. When the
+        build seed was an integer (the reproducible path every harness
+        uses), the token is derived purely from build content
+        ``(seed, sample_size)``, so any process rebuilding the same
+        statistics draws the same samples. Seeds without stable content
+        identity (generators, OS entropy) fall back to the version.
+        """
+        if self._sampling_token is not None:
+            return self._sampling_token
         return self.version
 
     # ------------------------------------------------------------------
@@ -84,6 +105,16 @@ class StatisticsManager:
         names = list(tables) if tables is not None else self.database.table_names
         self.sample_size = sample_size
         self.bump_version()
+        try:  # ints and numpy integers; generators/None have no index
+            content_seed = operator.index(seed)
+        except TypeError:
+            content_seed = None
+        if content_seed is not None:
+            self._sampling_token = derive_seed(
+                "statistics", int(content_seed), int(sample_size)
+            )
+        else:
+            self._sampling_token = None
         rngs = spawn_rngs(seed, 2 * len(names))
         for i, name in enumerate(names):
             table = self.database.table(name)

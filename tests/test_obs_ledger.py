@@ -13,6 +13,7 @@ from repro.obs.ledger import (
     SEVERITY_ORDER,
     classify_q_error,
 )
+from repro.selection import PenaltyPolicy, ThresholdPolicy
 
 
 class TestClassification:
@@ -163,15 +164,27 @@ class TestThresholdRouter:
     def test_accurate_routes_aggressive(self):
         ledger, router = self.make()
         ledger.ingest("q", 1.2)
-        assert router.route("q") == AGGRESSIVE
+        assert router.route("q") == ThresholdPolicy(AGGRESSIVE)
         assert router.routed_counts == {"accurate": 1}
 
     def test_catastrophic_routes_conservative(self):
         ledger, router = self.make()
         for _ in range(4):
             ledger.ingest("q", 5000.0)
-        assert router.route("q") == CONSERVATIVE
+        assert router.route("q") == ThresholdPolicy(CONSERVATIVE)
         assert router.routed_counts == {"catastrophic": 1}
+
+    def test_penalty_band_routes_policy(self):
+        ledger = AccuracyLedger(window=4)
+        bands = dict(DEFAULT_BAND_THRESHOLDS, catastrophic="cvar:0.9:16")
+        router = ThresholdRouter(ledger, bands)
+        for _ in range(4):
+            ledger.ingest("q", 5000.0)
+        routed = router.route("q")
+        assert routed == PenaltyPolicy(samples=16, risk="cvar", alpha=0.9)
+        table = router.routing_table()
+        assert table["q"]["policy"] == "cvar:0.9:16"
+        assert table["q"]["threshold"] is None
 
     def test_default_map_covers_every_band(self):
         assert set(DEFAULT_BAND_THRESHOLDS) == set(SEVERITY_ORDER)
@@ -187,5 +200,9 @@ class TestThresholdRouter:
         ledger.ingest("a", 1.0)
         ledger.ingest("b", 30.0)
         table = router.routing_table()
-        assert table["a"] == {"severity": "accurate", "threshold": AGGRESSIVE}
+        assert table["a"] == {
+            "severity": "accurate",
+            "policy": f"threshold:{AGGRESSIVE:g}",
+            "threshold": AGGRESSIVE,
+        }
         assert table["b"]["severity"] == "major"

@@ -48,6 +48,12 @@ PUBLIC_API = sorted(
         "Prior",
         "RobustCardinalityEstimator",
         "resolve_threshold",
+        # plan selection policies
+        "SelectionPolicy",
+        "ThresholdPolicy",
+        "PenaltyPolicy",
+        "HistogramPolicy",
+        "resolve_policy",
         # optimization & costing
         "CostModel",
         "LeastExpectedCostOptimizer",
@@ -154,6 +160,7 @@ class TestSessionSignatures:
         assert _params(repro.Session.prepare) == [
             ("query", "POSITIONAL_OR_KEYWORD", False),
             ("threshold", "POSITIONAL_OR_KEYWORD", True),
+            ("policy", "KEYWORD_ONLY", True),
         ]
 
     def test_prepare_many(self):
@@ -166,6 +173,7 @@ class TestSessionSignatures:
         assert _params(repro.Session.execute) == [
             ("query", "POSITIONAL_OR_KEYWORD", False),
             ("threshold", "POSITIONAL_OR_KEYWORD", True),
+            ("policy", "KEYWORD_ONLY", True),
         ]
 
     def test_explain(self):
@@ -173,6 +181,7 @@ class TestSessionSignatures:
             ("query", "POSITIONAL_OR_KEYWORD", False),
             ("threshold", "POSITIONAL_OR_KEYWORD", True),
             ("analyze", "POSITIONAL_OR_KEYWORD", True),
+            ("policy", "KEYWORD_ONLY", True),
         ]
 
     def test_trace_query(self):
@@ -181,6 +190,7 @@ class TestSessionSignatures:
             ("threshold", "POSITIONAL_OR_KEYWORD", True),
             ("execute", "POSITIONAL_OR_KEYWORD", True),
             ("label", "POSITIONAL_OR_KEYWORD", True),
+            ("policy", "KEYWORD_ONLY", True),
         ]
 
     def test_session_config_fields(self):
@@ -197,6 +207,7 @@ class TestSessionSignatures:
             "plan_cache_size",
             "cache_stripes",
             "enable_star_plans",
+            "policy",
         ]
 
 
@@ -219,6 +230,7 @@ class TestServingSignatures:
             ("tenant", "POSITIONAL_OR_KEYWORD", False),
             ("query", "POSITIONAL_OR_KEYWORD", False),
             ("threshold", "KEYWORD_ONLY", True),
+            ("policy", "KEYWORD_ONLY", True),
             ("execute", "KEYWORD_ONLY", True),
         ]
 
@@ -227,6 +239,7 @@ class TestServingSignatures:
             ("tenant", "POSITIONAL_OR_KEYWORD", False),
             ("query", "POSITIONAL_OR_KEYWORD", False),
             ("threshold", "KEYWORD_ONLY", True),
+            ("policy", "KEYWORD_ONLY", True),
             ("execute", "KEYWORD_ONLY", True),
             ("max_retries", "KEYWORD_ONLY", True),
             ("backoff_seconds", "KEYWORD_ONLY", True),
@@ -238,6 +251,19 @@ class TestServingSignatures:
         assert _params(repro.QueryServer.swap_statistics) == [
             ("tenant", "POSITIONAL_OR_KEYWORD", False),
             ("source", "POSITIONAL_OR_KEYWORD", False),
+        ]
+
+    def test_tenant_spec_fields(self):
+        import dataclasses
+
+        fields = [f.name for f in dataclasses.fields(repro.TenantSpec)]
+        assert fields == [
+            "name",
+            "database",
+            "config",
+            "statistics",
+            "feedback",
+            "policy",
         ]
 
     def test_admission_config_fields(self):
@@ -269,6 +295,8 @@ class TestPreparedQuerySurface:
         "estimated_cost",
         "estimated_rows",
         "threshold",
+        "policy",
+        "selection",
         "statistics_version",
         "from_cache",
         "fingerprint",
@@ -282,6 +310,7 @@ class TestPreparedQuerySurface:
         missing = self.REQUIRED - members - {
             # instance attributes assigned in __init__
             "threshold",
+            "policy",
             "statistics_version",
             "from_cache",
             "fingerprint",

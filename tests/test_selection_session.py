@@ -1,0 +1,182 @@
+"""The SelectionPolicy surface of the Session facade.
+
+Pins the policy resolution order — hint > per-call > routed >
+session default — plus the cache-key separation between policies and
+the conflict/compatibility errors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CONSERVATIVE
+from repro.feedback import DEFAULT_BAND_THRESHOLDS, FeedbackConfig
+from repro.selection import (
+    HistogramPolicy,
+    PenaltyPolicy,
+    ThresholdPolicy,
+)
+from repro.service import Session, SessionConfig, SessionError
+
+SELECTION = (
+    "SELECT COUNT(*) FROM lineitem WHERE "
+    "lineitem.l_shipdate >= '1997-01-01' "
+    "AND lineitem.l_shipdate <= '1997-03-31' "
+    "AND lineitem.l_receiptdate >= '1997-01-01' "
+    "AND lineitem.l_receiptdate <= '1997-04-15'"
+)
+
+
+@pytest.fixture()
+def session(two_table_db):
+    with Session(two_table_db, sample_size=300, statistics_seed=3) as session:
+        yield session
+
+
+@pytest.fixture()
+def penalty_session(two_table_db):
+    with Session(
+        two_table_db,
+        policy="cvar:0.9:8",
+        sample_size=300,
+        statistics_seed=3,
+    ) as session:
+        yield session
+
+
+class TestSessionConfigPolicy:
+    def test_policy_forces_estimator_family(self, two_table_db):
+        with Session(two_table_db, policy="histogram") as session:
+            assert session.config.estimator == "histogram"
+            assert session.config.resolved_policy == HistogramPolicy()
+
+    def test_threshold_policy_backfills_threshold(self):
+        config = SessionConfig(policy=0.2)
+        assert config.estimator == "robust"
+        assert config.threshold == 0.2
+        assert config.resolved_policy == ThresholdPolicy(0.2)
+
+    def test_legacy_knobs_resolve_to_a_policy(self):
+        # Old estimator=/threshold= spellings still describe a policy.
+        assert SessionConfig(threshold=0.8).resolved_policy == ThresholdPolicy(0.8)
+        assert (
+            SessionConfig(estimator="histogram").resolved_policy
+            == HistogramPolicy()
+        )
+        assert SessionConfig(estimator="exact").resolved_policy is None
+
+
+class TestPenaltySessions:
+    def test_prepare_selects_by_penalty(self, penalty_session):
+        prepared = penalty_session.prepare(SELECTION)
+        assert prepared.policy == PenaltyPolicy(samples=8, risk="cvar", alpha=0.9)
+        assert prepared.threshold is None  # threshold-blind selection
+        selection = prepared.selection
+        assert selection["strategy"] == "penalty"
+        assert selection["samples"] == 8
+        assert len(selection["plans"]) >= 1
+
+    def test_execute_and_cache_roundtrip(self, penalty_session):
+        first = penalty_session.execute(SELECTION)
+        assert first.prepared.from_cache is False
+        second = penalty_session.execute(SELECTION)
+        assert second.prepared.from_cache is True
+        assert first.num_rows == second.num_rows
+
+    def test_per_call_penalty_on_threshold_session(self, session):
+        prepared = session.prepare(SELECTION, policy="expected:8")
+        assert prepared.policy == PenaltyPolicy(samples=8)
+        assert prepared.selection["risk"] == "expected"
+
+
+class TestConflictsAndCompatibility:
+    def test_threshold_and_policy_together_rejected(self, session):
+        with pytest.raises(SessionError, match="both"):
+            session.prepare(SELECTION, 0.5, policy="cvar:0.9")
+
+    def test_estimator_family_mismatch_rejected(self, session):
+        with pytest.raises(SessionError, match="histogram"):
+            session.prepare(SELECTION, policy="histogram")
+
+    def test_execute_surfaces_the_same_conflict(self, session):
+        with pytest.raises(SessionError):
+            session.execute(SELECTION, 0.5, policy="expected:8")
+
+
+class TestPrecedence:
+    """hint > per-call > routed > session default."""
+
+    def seed_catastrophic(self, feedback, query_class="lineitem"):
+        for _ in range(4):
+            feedback.ledger.ingest(query_class, 5000.0)
+
+    def test_hint_beats_per_call_policy(self, session):
+        prepared = session.prepare(
+            SELECTION + " OPTION (CONFIDENCE 50)", policy="cvar:0.9:8"
+        )
+        assert prepared.policy == ThresholdPolicy(0.5)
+        assert prepared.threshold == 0.5
+
+    def test_per_call_policy_beats_routing(self, session):
+        feedback = session.enable_feedback()
+        self.seed_catastrophic(feedback)
+        prepared = session.prepare(SELECTION, policy="expected:8")
+        assert prepared.policy == PenaltyPolicy(samples=8)
+
+    def test_routed_policy_beats_default(self, session):
+        bands = dict(DEFAULT_BAND_THRESHOLDS, catastrophic="cvar:0.9:8")
+        feedback = session.enable_feedback(
+            config=FeedbackConfig(band_thresholds=bands)
+        )
+        self.seed_catastrophic(feedback)
+        prepared = session.prepare(SELECTION)
+        assert prepared.policy == PenaltyPolicy(samples=8, risk="cvar", alpha=0.9)
+
+    def test_routed_threshold_still_routes(self, session):
+        feedback = session.enable_feedback()
+        self.seed_catastrophic(feedback)
+        prepared = session.prepare(SELECTION)
+        assert prepared.policy == ThresholdPolicy(CONSERVATIVE)
+
+    def test_default_policy_when_nothing_overrides(self, session):
+        prepared = session.prepare(SELECTION)
+        assert prepared.policy == ThresholdPolicy(session.config.threshold)
+
+
+class TestCacheSeparation:
+    def test_policies_never_share_cache_slots(self, session):
+        expected = session.prepare(SELECTION, policy="expected:8")
+        cvar = session.prepare(SELECTION, policy="cvar:0.9:8")
+        threshold = session.prepare(SELECTION)
+        assert expected.from_cache is False
+        assert cvar.from_cache is False
+        assert threshold.from_cache is False
+
+    def test_same_policy_hits_the_cache(self, session):
+        session.prepare(SELECTION, policy="cvar:0.9:8")
+        again = session.prepare(SELECTION, policy="cvar:0.9:8")
+        assert again.from_cache is True
+
+    def test_equal_policies_share_regardless_of_spelling(self, session):
+        session.prepare(SELECTION, policy="expected:24")
+        again = session.prepare(SELECTION, policy=PenaltyPolicy(samples=24))
+        assert again.from_cache is True
+
+
+class TestIntrospection:
+    def test_repr_names_the_policy(self, penalty_session):
+        prepared = penalty_session.prepare(SELECTION)
+        assert "cvar:0.9:8" in repr(prepared)
+
+    def test_describe_names_the_policy(self, penalty_session):
+        assert "CVaR" in penalty_session.describe()
+
+    def test_trace_query_records_selection(self, penalty_session):
+        record = penalty_session.trace_query(SELECTION)
+        span = record["optimizer"]
+        assert span["strategy"] == "penalty"
+        selection = span["selection"]
+        assert selection["strategy"] == "penalty"
+        assert selection["risk"] == "cvar"
+        # Per-plan penalty distributions ride along for the trace view.
+        assert all("penalty" in plan for plan in selection["plans"])
