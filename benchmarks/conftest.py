@@ -14,8 +14,10 @@ import pathlib
 import pytest
 
 from repro.workloads import (
+    SnowflakeConfig,
     StarConfig,
     TpchConfig,
+    build_snowflake_database,
     build_star_database,
     build_tpch_database,
 )
@@ -59,3 +61,14 @@ def bench_star_config():
 def bench_star_db(bench_star_config):
     """Star-schema data at benchmark scale."""
     return build_star_database(bench_star_config)
+
+
+@pytest.fixture(scope="session")
+def bench_snowflake_config():
+    return SnowflakeConfig(num_sales=30_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def bench_snowflake_db(bench_snowflake_config):
+    """Snowflake-schema data (multi-level chain + promotion bands)."""
+    return build_snowflake_database(bench_snowflake_config)

@@ -69,9 +69,11 @@ from repro.service import Session
 from repro.workloads import (
     PartCorrelationTemplate,
     ShippingDatesTemplate,
+    SnowflakeConfig,
     StarConfig,
     StarJoinTemplate,
     TpchConfig,
+    build_snowflake_database,
     build_star_database,
     build_tpch_database,
 )
@@ -176,13 +178,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sql = subparsers.add_parser("sql", help="optimize and run a SQL query")
     sql.add_argument("query", help="the SELECT statement")
-    sql.add_argument("--workload", choices=["tpch", "star"], default="tpch")
+    sql.add_argument(
+        "--workload", choices=["tpch", "star", "snowflake"], default="tpch"
+    )
     sql.add_argument("--scale", type=int, default=30_000)
     sql.add_argument("--sample-size", type=int, default=500)
     sql.add_argument("--seed", type=int, default=0)
     sql.add_argument(
         "--estimator",
-        choices=["robust", "histogram", "exact"],
+        choices=["robust", "histogram", "bayes", "exact"],
         default="robust",
     )
     sql.add_argument(
@@ -232,7 +236,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--plans", type=int, default=20, help="number of fault plans to sweep"
     )
     chaos.add_argument("--seed", type=int, default=0)
-    chaos.add_argument("--workload", choices=["tpch", "star"], default="tpch")
+    chaos.add_argument(
+        "--workload", choices=["tpch", "star", "snowflake"], default="tpch"
+    )
     chaos.add_argument("--scale", type=int, default=4_000)
     chaos.add_argument("--sample-size", type=int, default=150)
     chaos.add_argument(
@@ -511,12 +517,7 @@ def _cmd_report(args) -> int:
 
 def _cmd_sql(args) -> int:
     kernels.set_backend(args.kernels)
-    if args.workload == "tpch":
-        database = build_tpch_database(TpchConfig(num_lineitem=args.scale, seed=7))
-    else:
-        database = build_star_database(
-            StarConfig(num_fact=max(args.scale, 1000), seed=7)
-        )
+    database = _workload_database(args.workload, args.scale)
 
     selection = (
         {"policy": args.policy}
@@ -579,21 +580,32 @@ _CHAOS_QUERIES = {
         "SELECT COUNT(*) FROM dim1 WHERE dim1.d_attr < 100",
         "SELECT COUNT(*) FROM fact, dim1 WHERE dim1.d_attr < 100",
     ),
+    "snowflake": (
+        "SELECT COUNT(*) FROM sales WHERE sales.s_price < 200",
+        "SELECT COUNT(*) FROM sales, item WHERE sales.s_price < item.i_price",
+        "SELECT COUNT(*) FROM sales, promotion WHERE promotion.p_kind = 2"
+        " AND promotion.p_lo <= sales.s_price"
+        " AND sales.s_price < promotion.p_hi",
+    ),
 }
+
+
+def _workload_database(workload: str, scale: int):
+    """The database a --workload flag names, at --scale rows."""
+    if workload == "tpch":
+        return build_tpch_database(TpchConfig(num_lineitem=scale, seed=7))
+    if workload == "snowflake":
+        return build_snowflake_database(
+            SnowflakeConfig(num_sales=max(scale, 1000), seed=7)
+        )
+    return build_star_database(StarConfig(num_fact=max(scale, 1000), seed=7))
 
 
 def _cmd_chaos(args) -> int:
     from repro.faults import ChaosHarness, generate_fault_plans
 
     kernels.set_backend(args.kernels)
-    if args.workload == "tpch":
-        database = build_tpch_database(
-            TpchConfig(num_lineitem=args.scale, seed=7)
-        )
-    else:
-        database = build_star_database(
-            StarConfig(num_fact=max(args.scale, 1000), seed=7)
-        )
+    database = _workload_database(args.workload, args.scale)
     harness = ChaosHarness(
         database,
         _CHAOS_QUERIES[args.workload],

@@ -31,11 +31,14 @@ from repro.core.estimator import CardinalityEstimator, ExactCardinalityEstimator
 from repro.core.fixed import FixedSelectivityEstimator
 from repro.core.magic import MagicDistribution, MagicNumbers
 from repro.core.histogram_estimator import HistogramCardinalityEstimator
+from repro.core.bayesnet import BayesNetCardinalityEstimator
 from repro.core.robust import RobustCardinalityEstimator
+from repro.core.sketch import InequalitySketch, pair_fraction
 from repro.core.distinct_extension import GroupCountEstimator
 
 __all__ = [
     "AGGRESSIVE",
+    "BayesNetCardinalityEstimator",
     "BetaQuantileTable",
     "CONSERVATIVE",
     "CardinalityEstimate",
@@ -45,6 +48,7 @@ __all__ = [
     "FixedSelectivityEstimator",
     "GroupCountEstimator",
     "HistogramCardinalityEstimator",
+    "InequalitySketch",
     "JEFFREYS",
     "MODERATE",
     "MagicDistribution",
@@ -54,6 +58,7 @@ __all__ = [
     "SelectivityPosterior",
     "UNIFORM",
     "VectorCardinalityEstimate",
+    "pair_fraction",
     "quantile_table",
     "resolve_threshold",
 ]

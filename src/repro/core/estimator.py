@@ -88,6 +88,35 @@ class CardinalityEstimator:
         """Short label used in experiment reports."""
         return type(self).__name__
 
+    def condition_selectivity(self, condition) -> float:
+        """Point selectivity of one cross-table join condition.
+
+        ``condition`` is a
+        :class:`repro.expressions.analysis.JoinCondition` — a
+        column-vs-column comparison joining two tables that need not
+        share an FK edge, so it cannot be folded into the rooted-tree
+        ``estimate`` protocol. The default implementation answers from
+        the CDF sketch over the per-table samples when the estimator
+        carries a statistics manager (Repas et al.), falling back to
+        the classical magic numbers otherwise. Always a scalar: the
+        sketch is a point statistic, so confidence thresholds act only
+        on the within-component predicates.
+        """
+        statistics = getattr(self, "statistics", None)
+        if statistics is not None:
+            from repro.core.sketch import InequalitySketch
+
+            sketch = getattr(self, "_inequality_sketch", None)
+            if sketch is None or sketch.statistics is not statistics:
+                sketch = InequalitySketch(statistics)
+                self._inequality_sketch = sketch
+            selectivity = sketch.condition_selectivity(condition)
+            if selectivity is not None:
+                return selectivity
+        from repro.core.magic import MagicNumbers
+
+        return MagicNumbers().for_predicate(condition.expr)
+
 
 class ExactCardinalityEstimator(CardinalityEstimator):
     """Ground truth: evaluates the expression on the full data.
@@ -130,3 +159,15 @@ class ExactCardinalityEstimator(CardinalityEstimator):
             root_table=root,
             source="exact",
         )
+
+    def condition_selectivity(self, condition) -> float:
+        """Exact pair fraction over the two full base columns."""
+        from repro.core.sketch import pair_fraction
+
+        left = self.database.table(condition.left_table).column(
+            condition.left_column
+        )
+        right = self.database.table(condition.right_table).column(
+            condition.right_column
+        )
+        return pair_fraction(left, condition.op, right)

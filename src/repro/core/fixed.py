@@ -73,3 +73,7 @@ class FixedSelectivityEstimator(CardinalityEstimator):
 
     def describe(self) -> str:
         return f"fixed(sel={self.default:g})"
+
+    def condition_selectivity(self, condition) -> float:
+        """Join conditions get the same fixed selectivity as predicates."""
+        return self.default

@@ -18,7 +18,7 @@ from repro.core.estimator import CardinalityEstimator
 from repro.core.magic import MagicNumbers
 from repro.core.memo import EstimateCacheMixin
 from repro.errors import EstimationError
-from repro.expressions import Expr, expr_key, predicates_by_table, split_conjuncts
+from repro.expressions import Expr, classify_conjuncts, expr_key, split_conjuncts
 from repro.expressions.analysis import as_range_condition, in_list_atoms
 from repro.stats import StatisticsManager
 
@@ -75,16 +75,20 @@ class HistogramCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
         root = self.statistics.database.root_relation(names)
         total = self.statistics.table_rows(root)
 
-        per_table = predicates_by_table(predicate)
-        unrouted = per_table.pop("", None)
+        # classify_conjuncts (not predicates_by_table) so cross-table
+        # join conditions are priced as joins via the CDF sketch rather
+        # than magicked as unattributable leftover selections.
+        classes = classify_conjuncts(predicate)
 
         selectivity = 1.0
         for name in sorted(names):
-            table_predicate = per_table.get(name)
+            table_predicate = classes.per_table.get(name)
             if table_predicate is not None:
                 selectivity *= self._table_selectivity(name, table_predicate)
-        if unrouted is not None:
-            selectivity *= self._avi_product(None, unrouted)
+        for condition in classes.join_conditions:
+            selectivity *= self.condition_selectivity(condition)
+        for conjunct in classes.residual:
+            selectivity *= self._avi_product(None, conjunct)
 
         if self.tracer is not None:
             from repro.obs.trace import EstimationSpan
@@ -162,7 +166,12 @@ class HistogramCardinalityEstimator(EstimateCacheMixin, CardinalityEstimator):
         )
         if condition.is_equality:
             return histogram.selectivity_eq(low)
-        return histogram.selectivity_range(low, high)
+        return histogram.selectivity_range(
+            low,
+            high,
+            low_inclusive=condition.low_inclusive,
+            high_inclusive=condition.high_inclusive,
+        )
 
     def _column_type(self, table_name: str, column: str) -> ColumnType | None:
         database = self.statistics.database

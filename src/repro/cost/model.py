@@ -33,6 +33,7 @@ _COUNTER_COEFFICIENTS: dict[str, str] = {
     "merge_rows": "merge_row_cost",
     "sort_comparisons": "sort_comparison_cost",
     "rows_output": "output_row_cost",
+    "interval_pairs": "interval_pair_cost",
 }
 
 
@@ -78,6 +79,8 @@ class CostModel:
     sort_comparison_cost: float = 2.0e-6
     #: Per row emitted by an operator.
     output_row_cost: float = 1.0e-6
+    #: Per candidate pair expanded by an interval (non-equi) join.
+    interval_pair_cost: float = 2.0e-6
 
     # ------------------------------------------------------------------
     # Counters → simulated time
@@ -196,6 +199,30 @@ class CostModel:
         from repro.engine.sort import sort_work
 
         return sort_work(n_rows) * self.sort_comparison_cost
+
+    def nonequi_join(
+        self,
+        left_rows: float,
+        right_rows: float,
+        pair_rows: float,
+        out_rows: float,
+        has_residual: bool,
+    ) -> float:
+        """Cost of a sort/interval non-equi join.
+
+        The engine sorts the right input once, binary-probes it per
+        left row, and expands ``pair_rows`` candidate pairs from the
+        matching intervals; a residual predicate (extra band
+        conditions) filters the pairs before emission.
+        """
+        from repro.engine.sort import sort_work
+
+        cost = sort_work(right_rows) * self.sort_comparison_cost
+        cost += left_rows * self.cpu_tuple_cost
+        cost += pair_rows * self.interval_pair_cost
+        if has_residual:
+            cost += pair_rows * self.cpu_tuple_cost
+        return cost + out_rows * self.output_row_cost
 
     def indexed_nl_join(
         self,

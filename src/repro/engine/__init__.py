@@ -16,7 +16,7 @@ from repro.engine.scancache import ScanCache
 from repro.engine.base import PhysicalOperator
 from repro.engine.scans import IndexIntersect, IndexSeek, IndexUnionSeek, SeqScan
 from repro.engine.relops import Filter, Project
-from repro.engine.joins import HashJoin, IndexedNLJoin, MergeJoin
+from repro.engine.joins import HashJoin, IndexedNLJoin, MergeJoin, NonEquiJoin
 from repro.engine.sort import Limit, Sort
 from repro.engine.star import StarSemiJoin
 from repro.engine.aggregate import AggregateSpec, HashAggregate
@@ -34,6 +34,7 @@ __all__ = [
     "IndexedNLJoin",
     "Limit",
     "MergeJoin",
+    "NonEquiJoin",
     "PhysicalOperator",
     "Project",
     "ScanCache",

@@ -35,6 +35,10 @@ class WorkCounters:
     sort_comparisons: float = 0.0
     #: Rows emitted by the plan root and intermediate operators.
     rows_output: int = 0
+    #: Candidate row pairs expanded by interval (non-equi) joins.
+    #: Declared last so existing counter sums keep their historical
+    #: float accumulation order.
+    interval_pairs: int = 0
 
     def add(self, other: "WorkCounters") -> None:
         """Accumulate ``other`` into this counter set, in place."""

@@ -94,6 +94,99 @@ class MergeJoin(PhysicalOperator):
         return f"MergeJoin({self.left_key} = {self.right_key})"
 
 
+#: searchsorted sides resolving each inequality operator into the
+#: half-open interval of matching sorted positions. ``starts`` side of
+#: None means the interval starts at 0; ``ends`` side of None means it
+#: runs to the end of the sorted input.
+_INTERVAL_SIDES = {
+    "<": ("right", None),
+    "<=": ("left", None),
+    ">": (None, "left"),
+    ">=": (None, "right"),
+    "=": ("left", "right"),
+}
+
+
+class NonEquiJoin(PhysicalOperator):
+    """Inequality join via sort + vectorized interval search.
+
+    The right input is sorted once on its join column; each left row's
+    matching right rows then form one contiguous run of the sorted
+    order, located with a binary search (``searchsorted``) and expanded
+    into candidate pairs. Band joins carry their remaining conditions
+    in ``residual``, applied to the paired rows. Output order is
+    deterministic: left rows in input order, each followed by its
+    matches in ascending right-value order (ties in right input order,
+    via the stable sort).
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_column: str,
+        op: str,
+        right_column: str,
+        residual: Expr | None = None,
+    ) -> None:
+        if op not in _INTERVAL_SIDES:
+            raise ExecutionError(f"unsupported non-equi join operator {op!r}")
+        self.left = left
+        self.right = right
+        self.left_column = left_column
+        self.op = op
+        self.right_column = right_column
+        self.residual = residual
+
+    def children(self) -> list[PhysicalOperator]:
+        return [self.left, self.right]
+
+    def execute(self, ctx: ExecutionContext) -> Frame:
+        left_frame = self.left.execute(ctx)
+        right_frame = self.right.execute(ctx)
+        left_values = left_frame.column(self.left_column)
+        right_values = right_frame.column(self.right_column)
+        n_left, n_right = left_frame.num_rows, right_frame.num_rows
+
+        from repro.engine.sort import sort_work
+
+        order = np.argsort(right_values, kind="stable")
+        sorted_right = right_values[order]
+        ctx.counters.sort_comparisons += sort_work(n_right)
+        ctx.counters.cpu_rows += n_left
+
+        start_side, end_side = _INTERVAL_SIDES[self.op]
+        starts = (
+            np.zeros(n_left, dtype=np.int64)
+            if start_side is None
+            else np.searchsorted(sorted_right, left_values, side=start_side)
+        )
+        ends = (
+            np.full(n_left, n_right, dtype=np.int64)
+            if end_side is None
+            else np.searchsorted(sorted_right, left_values, side=end_side)
+        )
+        counts = np.maximum(ends - starts, 0)
+        total = int(counts.sum())
+        ctx.counters.interval_pairs += total
+
+        left_idx = np.repeat(np.arange(n_left), counts)
+        # position of each pair within its left row's run: 0..count-1
+        offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        right_idx = order[np.repeat(starts, counts) + offsets]
+
+        result = left_frame.take(left_idx).merged_with(right_frame.take(right_idx))
+        if self.residual is not None:
+            ctx.counters.cpu_rows += result.num_rows
+            result = result.mask(self.residual.evaluate(result))
+        ctx.counters.rows_output += result.num_rows
+        return result
+
+    def label(self) -> str:
+        extra = " + residual" if self.residual is not None else ""
+        return f"NonEquiJoin({self.left_column} {self.op} {self.right_column}{extra})"
+
+
 class IndexedNLJoin(PhysicalOperator):
     """For each outer row, probe a sorted index on the inner table.
 

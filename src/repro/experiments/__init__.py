@@ -16,6 +16,7 @@ from repro.experiments.runner import (
     default_configs,
     penalty_configs,
     policy_arm,
+    scenario_configs,
 )
 from repro.experiments.report import (
     format_selectivity_table,
@@ -77,6 +78,7 @@ __all__ = [
     "default_configs",
     "penalty_configs",
     "policy_arm",
+    "scenario_configs",
     "format_selectivity_table",
     "format_tradeoff_table",
 ]

@@ -34,7 +34,9 @@ import numpy as np
 from repro.analysis.tradeoff import TradeoffPoint, tradeoff_from_times
 from repro.catalog import Database
 from repro.core import (
+    BayesNetCardinalityEstimator,
     CardinalityEstimator,
+    FixedSelectivityEstimator,
     HistogramCardinalityEstimator,
     RobustCardinalityEstimator,
 )
@@ -96,6 +98,16 @@ def _build_histogram(statistics: StatisticsManager) -> CardinalityEstimator:
     return HistogramCardinalityEstimator(statistics)
 
 
+def _build_bayes(statistics: StatisticsManager) -> CardinalityEstimator:
+    return BayesNetCardinalityEstimator(statistics)
+
+
+def _build_fixed(
+    statistics: StatisticsManager, default: float
+) -> CardinalityEstimator:
+    return FixedSelectivityEstimator(statistics.database, default=default)
+
+
 def default_configs(
     thresholds: Sequence[float] = PAPER_THRESHOLDS,
     include_histogram: bool = True,
@@ -119,6 +131,34 @@ def default_configs(
             EstimatorConfig(name="Histograms", build=_build_histogram)
         )
     return configs
+
+
+def scenario_configs(
+    threshold: float = 0.8, fixed_default: float = 0.1
+) -> list[EstimatorConfig]:
+    """The four-arm estimator grid of the scenario-diversity benchmark.
+
+    One arm per estimation philosophy: the paper's robust posterior
+    quantile, the AVI histogram product, the Chow-Liu Bayesian network,
+    and the fixed-selectivity strawman. Run over the star, snowflake,
+    and inequality-join workloads this grid separates *within-table*
+    correlation (bayes beats histogram), *cross-table* correlation
+    (only robust sees it), and estimation-free planning (fixed).
+    """
+    return [
+        EstimatorConfig(
+            name=f"T={threshold:.0%}",
+            build=functools.partial(_build_robust, threshold=threshold),
+            threshold=threshold,
+            group="robust",
+        ),
+        EstimatorConfig(name="Histograms", build=_build_histogram),
+        EstimatorConfig(name="BayesNet", build=_build_bayes),
+        EstimatorConfig(
+            name="Fixed",
+            build=functools.partial(_build_fixed, default=fixed_default),
+        ),
+    ]
 
 
 def penalty_configs(

@@ -11,8 +11,12 @@ expressions, substring matches, etc." (Section 3.2).
 
 from repro.expressions.frame import Frame
 from repro.expressions.analysis import (
+    JoinCondition,
+    PredicateClasses,
     RangeCondition,
+    as_join_condition,
     as_range_condition,
+    classify_conjuncts,
     merge_range_conditions,
     predicates_by_table,
     split_conjuncts,
@@ -50,8 +54,12 @@ __all__ = [
     "Literal",
     "Not",
     "Or",
+    "JoinCondition",
+    "PredicateClasses",
     "RangeCondition",
+    "as_join_condition",
     "as_range_condition",
+    "classify_conjuncts",
     "merge_range_conditions",
     "predicates_by_table",
     "split_conjuncts",

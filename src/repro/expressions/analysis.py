@@ -35,8 +35,11 @@ def predicates_by_table(predicate: Expr | None) -> dict[str, Expr]:
     """Group conjuncts by the single table each references.
 
     Conjuncts referencing zero or multiple tables are collected under
-    the key ``""`` (the caller decides how to treat them; for the SPJ
-    queries of the paper every selection references one table).
+    the key ``""``. Callers that must distinguish *join conditions*
+    (column-vs-column comparisons across two tables) from other
+    multi-table conjuncts should use :func:`classify_conjuncts`
+    instead — treating a join condition as an opaque leftover selection
+    both misprices it and, historically, dropped it from estimation.
     """
     grouped: dict[str, list[Expr]] = {}
     for conjunct in split_conjuncts(predicate):
@@ -48,6 +51,122 @@ def predicates_by_table(predicate: Expr | None) -> dict[str, Expr]:
         for table, conjuncts in grouped.items()
         if (combined := conjunction(conjuncts)) is not None
     }
+
+
+#: Comparison operators a join condition may carry, with their
+#: operand-swapped mirror (``a < b`` ≡ ``b > a``).
+_SWAPPED_OPS = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+
+@dataclass(frozen=True, eq=False)
+class JoinCondition:
+    """A column-vs-column comparison joining two different tables.
+
+    ``left``/``right`` are the qualified column names as written; the
+    comparison reads ``left <op> right``. ``expr`` is the original
+    conjunct (evaluable on any frame carrying both columns). ``eq`` is
+    disabled because :class:`Expr` overloads ``==`` to build trees.
+    """
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+    op: str
+    expr: Expr
+
+    @property
+    def left(self) -> str:
+        return f"{self.left_table}.{self.left_column}"
+
+    @property
+    def right(self) -> str:
+        return f"{self.right_table}.{self.right_column}"
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return frozenset((self.left_table, self.right_table))
+
+    @property
+    def is_equality(self) -> bool:
+        return self.op == "="
+
+    def oriented(self, left_tables: set[str]) -> tuple[str, str, str]:
+        """``(left_column, op, right_column)`` with the left operand
+        drawn from ``left_tables`` (operands swapped and the operator
+        mirrored when the condition was written the other way round)."""
+        if self.left_table in left_tables:
+            return self.left, self.op, self.right
+        return self.right, _SWAPPED_OPS[self.op], self.left
+
+    def crosses(self, left_tables: set[str], right_tables: set[str]) -> bool:
+        """True when the two referenced tables straddle the partition."""
+        return (
+            self.left_table in left_tables and self.right_table in right_tables
+        ) or (
+            self.left_table in right_tables and self.right_table in left_tables
+        )
+
+
+def as_join_condition(conjunct: Expr) -> JoinCondition | None:
+    """Recognize ``t1.a <op> t2.b`` (two distinct tables) as a join
+    condition. Returns ``None`` for anything else — including
+    column-vs-column comparisons within one table, which remain
+    ordinary single-table selections."""
+    if not isinstance(conjunct, Comparison):
+        return None
+    left, right = conjunct.left, conjunct.right
+    if not (isinstance(left, ColumnRef) and isinstance(right, ColumnRef)):
+        return None
+    if conjunct.op not in _SWAPPED_OPS:
+        return None  # != joins are not supported as join conditions
+    if left.table is None or right.table is None or left.table == right.table:
+        return None
+    return JoinCondition(
+        left.table, left.name, right.table, right.name, conjunct.op, conjunct
+    )
+
+
+@dataclass(eq=False)
+class PredicateClasses:
+    """The three conjunct classes :func:`classify_conjuncts` separates."""
+
+    #: Single-table selections, combined per table.
+    per_table: dict[str, Expr]
+    #: Column-vs-column comparisons across two tables.
+    join_conditions: list[JoinCondition]
+    #: Everything else referencing zero or several tables.
+    residual: list[Expr]
+
+
+def classify_conjuncts(predicate: Expr | None) -> PredicateClasses:
+    """Split a predicate into selections, join conditions, and residual.
+
+    The fixed replacement for routing everything multi-table through
+    :func:`predicates_by_table`'s ``""`` bucket: join conditions come
+    back as structured :class:`JoinCondition` objects (in conjunct
+    order) so estimators and the optimizer can treat them as joins
+    rather than as unattributable leftover selections.
+    """
+    per_table: dict[str, list[Expr]] = {}
+    join_conditions: list[JoinCondition] = []
+    residual: list[Expr] = []
+    for conjunct in split_conjuncts(predicate):
+        tables = conjunct.tables()
+        if len(tables) == 1:
+            per_table.setdefault(tables.pop(), []).append(conjunct)
+            continue
+        condition = as_join_condition(conjunct)
+        if condition is not None:
+            join_conditions.append(condition)
+        else:
+            residual.append(conjunct)
+    combined = {
+        table: combined_expr
+        for table, conjuncts in per_table.items()
+        if (combined_expr := conjunction(conjuncts)) is not None
+    }
+    return PredicateClasses(combined, join_conditions, residual)
 
 
 @dataclass(frozen=True)
@@ -114,11 +233,19 @@ def as_range_condition(conjunct: Expr) -> RangeCondition | None:
 
 def merge_range_conditions(
     conditions: list[RangeCondition],
+    unmergeable: list[RangeCondition] | None = None,
 ) -> dict[tuple[str | None, str], RangeCondition]:
     """Combine same-column ranges by intersection.
 
     ``a >= 5 AND a < 9`` becomes one range ``[5, 9)``. Contradictory
     ranges are kept as-is (an empty range is a valid, cheap plan).
+
+    Ranges over the same column whose literals do not compare (a date
+    string against a number, say) cannot be intersected; instead of
+    raising a bare ``TypeError`` mid-planning, the offending condition
+    is appended to ``unmergeable`` for the caller to route back into
+    the residual predicate (the first-seen range keeps the merged
+    slot), so no conjunct is ever silently dropped.
     """
     merged: dict[tuple[str | None, str], RangeCondition] = {}
     for condition in conditions:
@@ -127,16 +254,24 @@ def merge_range_conditions(
             merged[key] = condition
             continue
         current = merged[key]
-        low, low_inc = current.low, current.low_inclusive
-        if condition.low is not None and (low is None or condition.low > low):
-            low, low_inc = condition.low, condition.low_inclusive
-        elif condition.low is not None and condition.low == low:
-            low_inc = low_inc and condition.low_inclusive
-        high, high_inc = current.high, current.high_inclusive
-        if condition.high is not None and (high is None or condition.high < high):
-            high, high_inc = condition.high, condition.high_inclusive
-        elif condition.high is not None and condition.high == high:
-            high_inc = high_inc and condition.high_inclusive
+        try:
+            low, low_inc = current.low, current.low_inclusive
+            if condition.low is not None and (low is None or condition.low > low):
+                low, low_inc = condition.low, condition.low_inclusive
+            elif condition.low is not None and condition.low == low:
+                low_inc = low_inc and condition.low_inclusive
+            high, high_inc = current.high, current.high_inclusive
+            if condition.high is not None and (high is None or condition.high < high):
+                high, high_inc = condition.high, condition.high_inclusive
+            elif condition.high is not None and condition.high == high:
+                high_inc = high_inc and condition.high_inclusive
+        except TypeError:
+            # Heterogeneous literal types (e.g. '1995-01-01' vs 42):
+            # not intersectable — hand the condition back instead of
+            # crashing the planner.
+            if unmergeable is not None:
+                unmergeable.append(condition)
+            continue
         merged[key] = RangeCondition(
             condition.table, condition.column, low, high, low_inc, high_inc
         )

@@ -163,7 +163,18 @@ def access_paths(
         # Ranges we cannot attribute to this table (e.g. unqualified
         # columns) stay in the residual so no predicate is lost.
         residual = conjunction(foreign + ([residual] if residual is not None else []))
-    merged = merge_range_conditions([r for r in ranges if r.table == table_name])
+    unmergeable: list = []
+    merged = merge_range_conditions(
+        [r for r in ranges if r.table == table_name], unmergeable
+    )
+    if unmergeable:
+        # Same-column ranges whose literals do not compare (mixed
+        # types) could not be intersected — apply them as residual
+        # filters so the plan still honors every conjunct.
+        residual = conjunction(
+            [range_to_expr(r) for r in unmergeable]
+            + ([residual] if residual is not None else [])
+        )
     indexed = {
         key: condition
         for key, condition in merged.items()

@@ -6,7 +6,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.engine import HashJoin, IndexedNLJoin, MergeJoin, Sort
+from repro.engine import HashJoin, IndexedNLJoin, MergeJoin, NonEquiJoin, Sort
+from repro.expressions import conjunction
 from repro.optimizer.candidates import PlanCandidate
 from repro.optimizer.query import JoinEdge
 
@@ -105,6 +106,46 @@ def join_candidates(
     # table if it has an index on its join column.
     candidates.extend(_indexed_nl(ctx, left, right, left_key, right_key, out_rows))
     candidates.extend(_indexed_nl(ctx, right, left, right_key, left_key, out_rows))
+    return candidates
+
+
+def nonequi_candidates(
+    ctx: "PlanningContext",
+    left: PlanCandidate,
+    right: PlanCandidate,
+    conditions: list,
+    out_rows: float,
+) -> list[PlanCandidate]:
+    """NonEquiJoin candidates combining two condition-connected subsets.
+
+    The first condition (conjunct order) drives the interval search;
+    any further conditions crossing the same partition (band joins)
+    ride along as the operator's residual. Both orientations are
+    emitted — sorting the right side and probing per left row is
+    asymmetric work — and pruning keeps the cheaper one.
+    """
+    primary = conditions[0]
+    residual = conjunction([c.expr for c in conditions[1:]])
+    selectivity = ctx.condition_selectivity(primary)
+    candidates: list[PlanCandidate] = []
+    for outer, inner in ((left, right), (right, left)):
+        left_column, op, right_column = primary.oriented(outer.tables)
+        pairs = outer.rows * inner.rows * selectivity
+        cost = (
+            outer.cost
+            + inner.cost
+            + ctx.model.nonequi_join(
+                outer.rows, inner.rows, pairs, out_rows, residual is not None
+            )
+        )
+        operator = NonEquiJoin(
+            outer.operator, inner.operator, left_column, op, right_column, residual
+        )
+        candidates.append(
+            PlanCandidate(
+                operator, outer.tables | inner.tables, out_rows, cost, outer.order
+            ).annotated()
+        )
     return candidates
 
 

@@ -24,10 +24,18 @@ from repro.core import (
     VectorCardinalityEstimate,
 )
 from repro.cost import CostModel
+from repro.core.magic import MagicNumbers
 from repro.engine import HashAggregate, Limit, PhysicalOperator, Project, Sort
 from repro.engine.relops import Filter
 from repro.errors import OptimizationError
-from repro.expressions import Expr, conjunction, expr_key
+from repro.expressions import (
+    Expr,
+    as_join_condition,
+    classify_conjuncts,
+    conjunction,
+    expr_key,
+    split_conjuncts,
+)
 from repro.obs.trace import plan_shape
 from repro.optimizer.access import access_paths
 from repro.optimizer.candidates import (
@@ -38,8 +46,8 @@ from repro.optimizer.candidates import (
     lane_costs,
     lane_matrix,
 )
-from repro.optimizer.joins import join_candidates
-from repro.optimizer.query import SPJQuery
+from repro.optimizer.joins import join_candidates, nonequi_candidates
+from repro.optimizer.query import SPJQuery, fk_components
 from repro.optimizer.star import detect_star, star_candidates
 from repro.selection.penalty import (
     penalty_matrix,
@@ -94,6 +102,46 @@ class PlanningContext:
         self._cache: dict[tuple[frozenset, str], CardinalityEstimate] = {}
         self.estimation_calls = 0
 
+        # Join-condition support. Conditions between tables of one FK
+        # component stay inside ``cross_predicate`` (the estimator can
+        # price them as part of the whole predicate and the top-level
+        # Filter applies them); conditions *between* FK components
+        # become DP join edges driving NonEquiJoin plans. When the
+        # query has no cross-component conditions every path below
+        # reduces exactly to the historical code.
+        edges = query.join_edges(database)
+        self._fk_adjacency: dict[str, set[str]] = {
+            name: set() for name in query.tables
+        }
+        for edge in edges:
+            self._fk_adjacency[edge.child].add(edge.parent)
+            self._fk_adjacency[edge.parent].add(edge.child)
+        components = fk_components(query.tables, edges)
+        component_of = {
+            name: index
+            for index, component in enumerate(components)
+            for name in component
+        }
+        self.dp_conditions = [
+            condition
+            for condition in classify_conjuncts(query.predicate).join_conditions
+            if component_of[condition.left_table]
+            != component_of[condition.right_table]
+        ]
+        if self.dp_conditions:
+            # Rebuild the cross predicate without the DP conditions —
+            # they are executed by the join operators, not the final
+            # Filter — preserving the original conjunct order.
+            dp_exprs = {id(c.expr) for c in self.dp_conditions}
+            leftover = [
+                conjunct
+                for conjunct in split_conjuncts(query.predicate)
+                if len(conjunct.tables()) != 1 and id(conjunct) not in dp_exprs
+            ]
+            self.cross_predicate = conjunction(leftover)
+        self._condition_sels: dict[str, float] = {}
+        self._magic = MagicNumbers()
+
     def pred_for(self, tables: frozenset) -> Expr | None:
         """Conjunction of the per-table predicates of ``tables``."""
         return conjunction([self.per_table.get(name) for name in sorted(tables)])
@@ -107,6 +155,77 @@ class PlanningContext:
                 tables, predicate, hint=self.query.hint
             )
         return self._cache[key]
+
+    def condition_selectivity(self, condition) -> float:
+        """Memoized point selectivity of one join condition.
+
+        Clamped away from zero so dividing estimated rows by a
+        condition's selectivity (the FK-edge-plus-conditions partition
+        case) never produces infinities.
+        """
+        key = expr_key(condition.expr)
+        if key not in self._condition_sels:
+            self.estimation_calls += 1
+            self._condition_sels[key] = max(
+                float(self.estimator.condition_selectivity(condition)), 1e-9
+            )
+        return self._condition_sels[key]
+
+    def rows(self, tables: frozenset):
+        """Estimated output rows of the joins covering ``tables``.
+
+        Single FK component (every query before join conditions
+        existed): exactly the estimator's cardinality, as always.
+        Several components: the estimators' rooted-tree protocol
+        cannot span them, so the estimate is the product of per
+        FK-component cardinalities times the selectivity of every
+        condition internal to ``tables`` — the independence assumption
+        for condition joins.
+        """
+        if not self.dp_conditions:
+            return self.card(tables, self.pred_for(tables)).cardinality
+        components = self._components_within(tables)
+        if len(components) == 1:
+            return self.card(tables, self.pred_for(tables)).cardinality
+        rows = 1.0
+        for component in components:
+            rows = rows * self.card(component, self.pred_for(component)).cardinality
+        for condition in self.dp_conditions:
+            if condition.left_table in tables and condition.right_table in tables:
+                rows = rows * self.condition_selectivity(condition)
+        return rows
+
+    def cross_filtered_rows(self, rows):
+        """Rows surviving the final cross-table Filter, multi-component
+        queries only (no synopsis spans condition-connected components,
+        so the whole-query estimate is assembled per conjunct)."""
+        selectivity = 1.0
+        for conjunct in split_conjuncts(self.cross_predicate):
+            condition = as_join_condition(conjunct)
+            if condition is not None:
+                selectivity *= self.condition_selectivity(condition)
+            else:
+                selectivity *= self._magic.for_predicate(conjunct)
+        return rows * selectivity
+
+    def _components_within(self, tables: frozenset) -> list[frozenset]:
+        """FK-connected components of ``tables``, smallest member first."""
+        components: list[frozenset] = []
+        seen: set[str] = set()
+        for seed in sorted(tables):
+            if seed in seen:
+                continue
+            component: set[str] = set()
+            frontier = [seed]
+            while frontier:
+                name = frontier.pop()
+                if name in component:
+                    continue
+                component.add(name)
+                frontier.extend((self._fk_adjacency[name] & tables) - component)
+            seen |= component
+            components.append(frozenset(component))
+        return components
 
 
 class VectorPlanningContext(PlanningContext):
@@ -160,12 +279,19 @@ class _ThresholdSlice:
         self.query = ctx.query
         self.cross_predicate = ctx.cross_predicate
         self.per_table = ctx.per_table
+        self.dp_conditions = ctx.dp_conditions
 
     def pred_for(self, tables: frozenset) -> Expr | None:
         return self._ctx.pred_for(tables)
 
     def card(self, tables: frozenset, predicate: Expr | None) -> CardinalityEstimate:
         return self._ctx.card(tables, predicate).at(self._index)
+
+    def condition_selectivity(self, condition) -> float:
+        return self._ctx.condition_selectivity(condition)
+
+    def cross_filtered_rows(self, rows):
+        return self._ctx.cross_filtered_rows(rows)
 
     def estimates(self) -> dict:
         """The vector cache sliced down to this threshold."""
@@ -250,7 +376,9 @@ class Optimizer:
         best_per_subset = self._enumerate_joins(ctx, query, dp_stats=dp_stats)
         finalists = list(iter_candidates(best_per_subset[full_set]))
 
-        if self.enable_star_plans:
+        if self.enable_star_plans and not ctx.dp_conditions:
+            # (star detection assumes one FK component rooted at a fact
+            # table; condition-connected components are not star-shaped)
             specs = detect_star(ctx, query)
             if specs is not None:
                 out_rows = ctx.card(full_set, ctx.pred_for(full_set)).cardinality
@@ -566,7 +694,9 @@ class Optimizer:
         )
         finalists = list(iter_candidates(best_per_subset[full_set]))
 
-        if self.enable_star_plans:
+        if self.enable_star_plans and not ctx.dp_conditions:
+            # (star detection assumes one FK component rooted at a fact
+            # table; condition-connected components are not star-shaped)
             specs = detect_star(ctx, query)
             if specs is not None:
                 out_rows = ctx.card(full_set, ctx.pred_for(full_set)).cardinality
@@ -671,10 +801,14 @@ class Optimizer:
         (tracing only — the enumeration itself is unchanged)."""
         tables = list(query.tables)
         edges = query.join_edges(self.database)
+        conditions = ctx.dp_conditions
         adjacency: dict[str, set[str]] = {name: set() for name in tables}
         for edge in edges:
             adjacency[edge.child].add(edge.parent)
             adjacency[edge.parent].add(edge.child)
+        for condition in conditions:
+            adjacency[condition.left_table].add(condition.right_table)
+            adjacency[condition.right_table].add(condition.left_table)
 
         level_started = time.perf_counter() if dp_stats is not None else 0.0
         generated = kept = subsets = 0
@@ -712,7 +846,7 @@ class Optimizer:
                 subset = frozenset(subset_tuple)
                 if not self._connected(subset, adjacency):
                     continue
-                out_rows = ctx.card(subset, ctx.pred_for(subset)).cardinality
+                out_rows = ctx.rows(subset)
                 candidates: list[PlanCandidate] = []
                 for left_set, right_set in self._partitions(subset):
                     if left_set not in plans or right_set not in plans:
@@ -723,9 +857,57 @@ class Optimizer:
                         if (e.child in left_set and e.parent in right_set)
                         or (e.child in right_set and e.parent in left_set)
                     ]
-                    if len(crossing) != 1:
-                        continue  # tree partitions cross exactly one edge
+                    crossing_conditions = [
+                        c for c in conditions if c.crosses(left_set, right_set)
+                    ]
+                    if len(crossing) > 1:
+                        continue  # tree partitions cross at most one FK edge
+                    if not crossing and not crossing_conditions:
+                        continue  # nothing joins the halves
+                    if not crossing:
+                        # Pure condition join across FK components.
+                        for left in iter_candidates(plans[left_set]):
+                            for right in iter_candidates(plans[right_set]):
+                                candidates.extend(
+                                    nonequi_candidates(
+                                        ctx,
+                                        left,
+                                        right,
+                                        crossing_conditions,
+                                        out_rows,
+                                    )
+                                )
+                        continue
                     edge = crossing[0]
+                    if crossing_conditions:
+                        # The partition crosses one FK edge *and* some
+                        # conditions: join along the FK edge, then
+                        # filter the crossing conditions. The FK join's
+                        # own output (before that filter) is the
+                        # subset's rows with the conditions undone.
+                        selectivity = 1.0
+                        for c in crossing_conditions:
+                            selectivity *= ctx.condition_selectivity(c)
+                        pre_rows = out_rows / selectivity
+                        residual = conjunction(
+                            [c.expr for c in crossing_conditions]
+                        )
+                        filter_cost = self.cost_model.filter(pre_rows, out_rows)
+                        for left in iter_candidates(plans[left_set]):
+                            for right in iter_candidates(plans[right_set]):
+                                for cand in join_candidates(
+                                    ctx, left, right, edge, pre_rows
+                                ):
+                                    candidates.append(
+                                        PlanCandidate(
+                                            Filter(cand.operator, residual),
+                                            subset,
+                                            out_rows,
+                                            cand.cost + filter_cost,
+                                            cand.order,
+                                        ).annotated()
+                                    )
+                        continue
                     for left in iter_candidates(plans[left_set]):
                         for right in iter_candidates(plans[right_set]):
                             candidates.extend(
@@ -803,7 +985,13 @@ class Optimizer:
         full_set = frozenset(query.tables)
 
         if ctx.cross_predicate is not None:
-            filtered = ctx.card(full_set, query.predicate).cardinality
+            if ctx.dp_conditions:
+                # Multi-component query: no estimator protocol spans the
+                # condition-connected components, so price the residual
+                # cross predicate conjunct by conjunct.
+                filtered = ctx.cross_filtered_rows(rows)
+            else:
+                filtered = ctx.card(full_set, query.predicate).cardinality
             cost += self.cost_model.filter(rows, filtered)
             plan = Filter(plan, ctx.cross_predicate)
             rows = filtered

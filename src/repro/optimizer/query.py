@@ -15,7 +15,37 @@ from typing import Sequence
 from repro.catalog import Database, ForeignKey
 from repro.engine import AggregateSpec
 from repro.errors import OptimizationError
-from repro.expressions import Expr, predicates_by_table
+from repro.expressions import Expr, classify_conjuncts, predicates_by_table
+
+
+def fk_components(tables, edges) -> list[frozenset]:
+    """Connected components of ``tables`` under the FK ``edges``.
+
+    Deterministic: components are discovered by seeding from the
+    tables in sorted order, so the returned list is ordered by each
+    component's smallest member.
+    """
+    adjacency: dict[str, set[str]] = {name: set() for name in tables}
+    for edge in edges:
+        if edge.child in adjacency and edge.parent in adjacency:
+            adjacency[edge.child].add(edge.parent)
+            adjacency[edge.parent].add(edge.child)
+    components: list[frozenset] = []
+    seen: set[str] = set()
+    for seed in sorted(adjacency):
+        if seed in seen:
+            continue
+        component: set[str] = set()
+        frontier = [seed]
+        while frontier:
+            name = frontier.pop()
+            if name in component:
+                continue
+            component.add(name)
+            frontier.extend(adjacency[name] - component)
+        seen |= component
+        components.append(frozenset(component))
+    return components
 
 
 @dataclass(frozen=True)
@@ -113,16 +143,27 @@ class SPJQuery:
     def validate(self, database: Database) -> None:
         """Check the query is well-formed against the schema.
 
-        Every table must exist, the table set must form a connected,
-        rooted FK tree, and every predicate column must belong to one
-        of the query's tables.
+        Every table must exist and every predicate column must belong
+        to one of the query's tables. Without join conditions in the
+        predicate, the table set must form one connected, rooted FK
+        tree (the classical shape). With join conditions (``t1.a <op>
+        t2.b`` conjuncts), each FK component must be a rooted tree and
+        the FK edges plus the conditions together must connect all
+        tables — band joins between FK-unrelated tables are legal.
         """
         for name in self.tables:
             database.table(name)
         if len(self.tables) > 1:
-            database.root_relation(self.tables)  # raises if not a rooted tree
             edges = self.join_edges(database)
-            self._check_connected(edges)
+            conditions = classify_conjuncts(self.predicate).join_conditions
+            if not conditions:
+                database.root_relation(self.tables)  # raises if not a rooted tree
+                self._check_connected(edges)
+            else:
+                for component in fk_components(self.tables, edges):
+                    if len(component) > 1:
+                        database.root_relation(component)
+                self._check_connected(edges, conditions)
         if self.predicate is not None:
             referenced = self.predicate.tables()
             unknown = referenced - set(self.tables)
@@ -139,12 +180,18 @@ class SPJQuery:
                 if column not in database.table(table):
                     raise OptimizationError(f"no column {table}.{column}")
 
-    def _check_connected(self, edges: list[JoinEdge]) -> None:
+    def _check_connected(self, edges: list[JoinEdge], conditions=()) -> None:
         names = set(self.tables)
         adjacency: dict[str, set[str]] = {name: set() for name in names}
         for edge in edges:
             adjacency[edge.child].add(edge.parent)
             adjacency[edge.parent].add(edge.child)
+        for condition in conditions:
+            # conditions naming unknown tables are reported by the
+            # predicate column checks, not as a connectivity failure
+            if condition.left_table in adjacency and condition.right_table in adjacency:
+                adjacency[condition.left_table].add(condition.right_table)
+                adjacency[condition.right_table].add(condition.left_table)
         seen: set[str] = set()
         frontier = [next(iter(names))]
         while frontier:
@@ -154,8 +201,9 @@ class SPJQuery:
             seen.add(name)
             frontier.extend(adjacency[name] - seen)
         if seen != names:
+            kinds = "FK joins or join conditions" if conditions else "FK joins"
             raise OptimizationError(
-                f"query tables are not connected by FK joins: "
+                f"query tables are not connected by {kinds}: "
                 f"{sorted(names - seen)} unreachable"
             )
 

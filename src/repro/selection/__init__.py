@@ -19,6 +19,7 @@ from repro.selection.penalty import (
     select_index,
 )
 from repro.selection.policy import (
+    BayesNetPolicy,
     HistogramPolicy,
     PenaltyPolicy,
     PolicyError,
@@ -33,6 +34,7 @@ __all__ = [
     "ThresholdPolicy",
     "PenaltyPolicy",
     "HistogramPolicy",
+    "BayesNetPolicy",
     "PolicyError",
     "resolve_policy",
     "sample_quantiles",

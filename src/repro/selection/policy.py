@@ -180,6 +180,26 @@ class HistogramPolicy(SelectionPolicy):
         return "histogram"
 
 
+@dataclass(frozen=True)
+class BayesNetPolicy(SelectionPolicy):
+    """Plan from Chow–Liu tree point estimates (no posterior, no
+    threshold) — the Bayesian-network baseline arm."""
+
+    @property
+    def kind(self) -> str:
+        return "bayes"
+
+    @property
+    def estimator_kind(self) -> str:
+        return "bayes"
+
+    def cache_key(self) -> tuple:
+        return ("bayes",)
+
+    def spec(self) -> str:
+        return "bayes"
+
+
 def resolve_policy(
     value: SelectionPolicy | float | str,
 ) -> SelectionPolicy:
@@ -192,6 +212,7 @@ def resolve_policy(
       ``"moderate"``) → :class:`ThresholdPolicy`;
     * ``"threshold[:Q]"`` → :class:`ThresholdPolicy`;
     * ``"histogram"`` → :class:`HistogramPolicy`;
+    * ``"bayes"`` → :class:`BayesNetPolicy`;
     * ``"penalty"`` / ``"expected[:SAMPLES]"`` →
       :class:`PenaltyPolicy` with ``risk="expected"``;
     * ``"cvar:ALPHA[:SAMPLES]"`` → :class:`PenaltyPolicy` with
@@ -214,6 +235,10 @@ def resolve_policy(
             if tail:
                 raise PolicyError(f"histogram takes no arguments: {text!r}")
             return HistogramPolicy()
+        if head == "bayes":
+            if tail:
+                raise PolicyError(f"bayes takes no arguments: {text!r}")
+            return BayesNetPolicy()
         if head == "threshold":
             return ThresholdPolicy(tail) if tail else ThresholdPolicy()
         if head in ("penalty", "expected"):

@@ -44,6 +44,7 @@ from typing import Sequence
 
 from repro.catalog import Database
 from repro.core import (
+    BayesNetCardinalityEstimator,
     CardinalityEstimator,
     ExactCardinalityEstimator,
     HistogramCardinalityEstimator,
@@ -68,6 +69,7 @@ from repro.obs import (
 from repro.obs.summarize import explain_trace
 from repro.optimizer import Optimizer, PlannedQuery, SPJQuery
 from repro.selection import (
+    BayesNetPolicy,
     HistogramPolicy,
     PenaltyPolicy,
     SelectionPolicy,
@@ -86,7 +88,7 @@ class SessionError(ReproError):
 
 
 #: Estimator kinds a session can be configured with.
-ESTIMATOR_KINDS = ("robust", "histogram", "exact")
+ESTIMATOR_KINDS = ("robust", "histogram", "bayes", "exact")
 
 #: Session health states (the degraded-mode state machine).
 HEALTHY = "healthy"
@@ -158,6 +160,8 @@ class SessionConfig:
             return ThresholdPolicy(self.threshold)
         if self.estimator == "histogram":
             return HistogramPolicy()
+        if self.estimator == "bayes":
+            return BayesNetPolicy()
         return None
 
     def cache_key(self) -> tuple:
@@ -683,6 +687,8 @@ class Session:
                     estimator.feedback = self._feedback.provider_for(
                         state.version
                     )
+            elif kind == "bayes":
+                estimator = BayesNetCardinalityEstimator(statistics)
             else:
                 estimator = HistogramCardinalityEstimator(statistics)
         if tracer is not None:
@@ -1218,7 +1224,7 @@ class Session:
         knob = (
             f", {default_policy.describe()}"
             if default_policy is not None
-            and not isinstance(default_policy, HistogramPolicy)
+            and not isinstance(default_policy, (HistogramPolicy, BayesNetPolicy))
             else ""
         )
         if self._feedback is not None:

@@ -102,20 +102,34 @@ class EquiDepthHistogram:
         return interior_rows / (interior_distinct * self.total_rows)
 
     def selectivity_range(
-        self, low: float | None, high: float | None
+        self,
+        low: float | None,
+        high: float | None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
     ) -> float:
-        """Estimated fraction of rows with ``low <= value <= high``.
+        """Estimated fraction of rows inside the ``low``/``high`` range.
 
-        Bounds of ``None`` are unbounded. Each bucket contributes its
-        boundary value's exact frequency as a point mass at the upper
-        bound plus the remaining rows spread uniformly over the
-        bucket's interior (continuous interpolation) — the same
-        decomposition SQL Server's EQ_ROWS/RANGE_ROWS steps use, which
-        keeps narrow ranges over discrete data from vanishing.
+        Bounds of ``None`` are unbounded; the inclusivity flags select
+        between ``<``/``<=`` (and ``>``/``>=``) semantics at each bound.
+        Each bucket contributes its boundary value's exact frequency as
+        a point mass at the upper bound plus the remaining rows spread
+        uniformly over the bucket's interior (continuous interpolation)
+        — the same decomposition SQL Server's EQ_ROWS/RANGE_ROWS steps
+        use, which keeps narrow ranges over discrete data from
+        vanishing. The point mass is counted only when the boundary
+        value actually satisfies the (possibly strict) bound, so
+        ``x < boundary`` and ``x <= boundary`` estimate differently.
         """
-        lo = self.minimum if low is None else float(low)
-        hi = self.uppers[-1] if high is None else float(high)
-        if hi < lo:
+        if low is None:
+            lo, low_inclusive = self.minimum, True
+        else:
+            lo = float(low)
+        if high is None:
+            hi, high_inclusive = float(self.uppers[-1]), True
+        else:
+            hi = float(high)
+        if hi < lo or (hi == lo and not (low_inclusive and high_inclusive)):
             return 0.0
         lowers = self._bucket_lowers()
         total = 0.0
@@ -124,8 +138,11 @@ class EquiDepthHistogram:
             b_hi = self.uppers[i]
             boundary = float(self.boundary_counts[i])
             interior = float(self.counts[i]) - boundary
-            # point mass at the bucket's upper-boundary value
-            if lo <= b_hi <= hi:
+            # point mass at the bucket's upper-boundary value, counted
+            # only when that value satisfies both (strict?) bounds
+            above_lo = b_hi > lo or (b_hi == lo and low_inclusive)
+            below_hi = b_hi < hi or (b_hi == hi and high_inclusive)
+            if above_lo and below_hi:
                 total += boundary
             # interior mass, uniform over (b_lo, b_hi)
             if interior > 0 and b_hi > b_lo:

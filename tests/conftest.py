@@ -12,8 +12,10 @@ import pytest
 from repro.catalog import Column, ColumnType, Database, ForeignKey, Schema, Table
 from repro.stats import StatisticsManager
 from repro.workloads import (
+    SnowflakeConfig,
     StarConfig,
     TpchConfig,
+    build_snowflake_database,
     build_star_database,
     build_tpch_database,
 )
@@ -92,6 +94,19 @@ def star_config() -> StarConfig:
 def star_db(star_config) -> Database:
     """A small star-schema database (treat as immutable)."""
     return build_star_database(star_config)
+
+
+@pytest.fixture(scope="session")
+def snowflake_db() -> Database:
+    """A small snowflake-schema database (treat as immutable)."""
+    return build_snowflake_database(SnowflakeConfig(num_sales=6_000, seed=9))
+
+
+@pytest.fixture(scope="session")
+def snowflake_stats(snowflake_db) -> StatisticsManager:
+    manager = StatisticsManager(snowflake_db)
+    manager.update_statistics(sample_size=300, seed=11)
+    return manager
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,93 @@
+"""CDF-sketch selectivity for inequality join conditions."""
+
+import numpy as np
+import pytest
+
+from repro.core import InequalitySketch, pair_fraction
+from repro.errors import EstimationError
+from repro.expressions import col
+from repro.expressions.analysis import as_join_condition
+from repro.stats import StatisticsManager
+
+from tests.conftest import make_two_table_db
+
+
+class TestPairFraction:
+    @pytest.fixture(scope="class")
+    def values(self):
+        rng = np.random.default_rng(17)
+        return rng.integers(0, 30, 200), rng.integers(0, 30, 120)
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "="])
+    def test_exact_against_pairwise_walk(self, values, op):
+        left, right = values
+        a, b = left[:, None], right[None, :]
+        truth = {
+            "<": a < b,
+            "<=": a <= b,
+            ">": a > b,
+            ">=": a >= b,
+            "=": a == b,
+        }[op].mean()
+        assert pair_fraction(left, op, right) == pytest.approx(float(truth))
+
+    def test_float_values(self):
+        rng = np.random.default_rng(3)
+        left, right = rng.uniform(0, 1, 150), rng.uniform(0, 1, 150)
+        fraction = pair_fraction(left, "<", right)
+        assert fraction == pytest.approx(float((left[:, None] < right).mean()))
+
+    def test_disjoint_ranges(self):
+        assert pair_fraction([1, 2, 3], "<", [10, 20]) == 1.0
+        assert pair_fraction([1, 2, 3], ">", [10, 20]) == 0.0
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(EstimationError):
+            pair_fraction([], "<", [1, 2])
+        with pytest.raises(EstimationError):
+            pair_fraction([1, 2], "<", [])
+
+    def test_unsupported_operator_rejected(self):
+        with pytest.raises(EstimationError):
+            pair_fraction([1], "!=", [2])
+
+
+MARKUP = as_join_condition(col("sales.s_price") < col("item.i_price"))
+
+
+class TestInequalitySketch:
+    def test_matches_pair_fraction_over_samples(self, snowflake_stats):
+        sketch = InequalitySketch(snowflake_stats)
+        selectivity = sketch.condition_selectivity(MARKUP)
+        left = snowflake_stats.sample_for("sales").frame.column("sales.s_price")
+        right = snowflake_stats.sample_for("item").frame.column("item.i_price")
+        assert selectivity == pair_fraction(left, "<", right)
+        assert 0.0 < selectivity < 1.0
+
+    def test_cached_within_a_version(self, snowflake_stats):
+        sketch = InequalitySketch(snowflake_stats)
+        first = sketch.condition_selectivity(MARKUP)
+        assert len(sketch._cache) == 1
+        assert sketch.condition_selectivity(MARKUP) == first
+        assert len(sketch._cache) == 1
+
+    def test_missing_column_returns_none(self, snowflake_stats):
+        sketch = InequalitySketch(snowflake_stats)
+        condition = as_join_condition(col("sales.s_nope") < col("item.i_price"))
+        assert sketch.condition_selectivity(condition) is None
+
+    def test_version_bump_invalidates(self):
+        manager = StatisticsManager(make_two_table_db())
+        manager.update_statistics(sample_size=200, seed=1)
+        sketch = InequalitySketch(manager)
+        condition = as_join_condition(
+            col("lineitem.l_shipdate") < col("part.p_size")
+        )
+        sketch.condition_selectivity(condition)
+        assert sketch._version == manager.version
+        manager.update_statistics(sample_size=300, seed=2)
+        refreshed = sketch.condition_selectivity(condition)
+        assert sketch._version == manager.version
+        left = manager.sample_for("lineitem").frame.column("lineitem.l_shipdate")
+        right = manager.sample_for("part").frame.column("part.p_size")
+        assert refreshed == pair_fraction(left, "<", right)

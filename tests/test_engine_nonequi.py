@@ -1,0 +1,166 @@
+"""NonEquiJoin: sort/interval inequality join against numpy ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import Column, ColumnType, Database, Schema, Table
+from repro.engine import ExecutionContext, NonEquiJoin, SeqScan
+from repro.errors import ExecutionError
+from repro.expressions import col
+
+N_LEFT, N_RIGHT = 180, 45
+
+
+def _band_db(seed: int = 5) -> Database:
+    """Two FK-unrelated tables with overlapping integer value ranges
+    (small domain, so ties exercise the ``=`` and ``<=`` paths)."""
+    rng = np.random.default_rng(seed)
+    left = Table(
+        "a",
+        Schema(
+            [Column("a_id", ColumnType.INT64), Column("a_val", ColumnType.INT64)],
+            primary_key="a_id",
+        ),
+        {
+            "a_id": np.arange(N_LEFT),
+            "a_val": rng.integers(0, 25, N_LEFT),
+        },
+    )
+    right = Table(
+        "b",
+        Schema(
+            [Column("b_id", ColumnType.INT64), Column("b_val", ColumnType.INT64)],
+            primary_key="b_id",
+        ),
+        {
+            "b_id": np.arange(N_RIGHT),
+            "b_val": rng.integers(0, 25, N_RIGHT),
+        },
+    )
+    database = Database([left, right])
+    database.validate()
+    return database
+
+
+@pytest.fixture(scope="module")
+def database():
+    return _band_db()
+
+
+def _truth_pairs(database, op):
+    a = database.table("a").column("a_val")[:, None]
+    b = database.table("b").column("b_val")[None, :]
+    compare = {
+        "<": a < b,
+        "<=": a <= b,
+        ">": a > b,
+        ">=": a >= b,
+        "=": a == b,
+    }[op]
+    return int(compare.sum())
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "="])
+    def test_matches_numpy_pair_count(self, database, op):
+        join = NonEquiJoin(SeqScan("a"), SeqScan("b"), "a.a_val", op, "b.b_val")
+        frame = join.execute(ExecutionContext(database))
+        assert frame.num_rows == _truth_pairs(database, op)
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "="])
+    def test_every_output_pair_satisfies_the_condition(self, database, op):
+        join = NonEquiJoin(SeqScan("a"), SeqScan("b"), "a.a_val", op, "b.b_val")
+        frame = join.execute(ExecutionContext(database))
+        left = frame.column("a.a_val")
+        right = frame.column("b.b_val")
+        compare = {
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+            "=": left == right,
+        }[op]
+        assert bool(compare.all())
+
+    def test_unsupported_operator_rejected(self, database):
+        with pytest.raises(ExecutionError):
+            NonEquiJoin(SeqScan("a"), SeqScan("b"), "a.a_val", "!=", "b.b_val")
+
+    def test_label_mentions_condition(self):
+        join = NonEquiJoin(SeqScan("a"), SeqScan("b"), "a.a_val", "<", "b.b_val")
+        assert join.label() == "NonEquiJoin(a.a_val < b.b_val)"
+
+
+class TestResidual:
+    def test_residual_filters_pairs(self, database):
+        residual = col("b.b_val") <= 12
+        join = NonEquiJoin(
+            SeqScan("a"), SeqScan("b"), "a.a_val", "<", "b.b_val", residual
+        )
+        frame = join.execute(ExecutionContext(database))
+        a = database.table("a").column("a_val")[:, None]
+        b = database.table("b").column("b_val")[None, :]
+        expected = int(((a < b) & (b <= 12)).sum())
+        assert frame.num_rows == expected
+        assert "residual" in join.label()
+
+    def test_band_residual_on_both_sides(self, database):
+        """A band: a_val <= b_val AND b_val < a_val + 4."""
+        residual = col("b.b_val") < col("a.a_val") + 4
+        join = NonEquiJoin(
+            SeqScan("a"), SeqScan("b"), "a.a_val", "<=", "b.b_val", residual
+        )
+        frame = join.execute(ExecutionContext(database))
+        a = database.table("a").column("a_val")[:, None]
+        b = database.table("b").column("b_val")[None, :]
+        expected = int(((a <= b) & (b < a + 4)).sum())
+        assert frame.num_rows == expected
+
+
+class TestCountersAndOrder:
+    def test_interval_pairs_counter(self, database):
+        ctx = ExecutionContext(database)
+        join = NonEquiJoin(SeqScan("a"), SeqScan("b"), "a.a_val", "<", "b.b_val")
+        join.execute(ctx)
+        assert ctx.counters.interval_pairs == _truth_pairs(database, "<")
+
+    def test_residual_charges_cpu_per_pair(self, database):
+        ctx = ExecutionContext(database)
+        residual = col("b.b_val") <= 12
+        join = NonEquiJoin(
+            SeqScan("a"), SeqScan("b"), "a.a_val", "<", "b.b_val", residual
+        )
+        join.execute(ctx)
+        pairs = _truth_pairs(database, "<")
+        # per-left probe CPU + per-pair residual CPU + both scans
+        scanned = N_LEFT + N_RIGHT
+        assert ctx.counters.cpu_rows == scanned + N_LEFT + pairs
+
+    def test_output_order_deterministic(self, database):
+        """Left rows in input order, matches ascending by right value."""
+        join = NonEquiJoin(SeqScan("a"), SeqScan("b"), "a.a_val", "<", "b.b_val")
+        frame = join.execute(ExecutionContext(database))
+        left_ids = frame.column("a.a_id")
+        assert bool((np.diff(left_ids) >= 0).all())
+        right_vals = frame.column("b.b_val")
+        boundaries = np.flatnonzero(np.diff(left_ids) == 0)
+        assert bool((np.diff(right_vals)[boundaries] >= 0).all())
+
+    def test_two_runs_identical(self, database):
+        join = NonEquiJoin(SeqScan("a"), SeqScan("b"), "a.a_val", "<", "b.b_val")
+        one = join.execute(ExecutionContext(database))
+        two = join.execute(ExecutionContext(database))
+        assert np.array_equal(one.column("a.a_id"), two.column("a.a_id"))
+        assert np.array_equal(one.column("b.b_id"), two.column("b.b_id"))
+
+
+class TestEmptyInputs:
+    def test_empty_left(self, database):
+        empty = SeqScan("a", col("a.a_id") < -1)
+        join = NonEquiJoin(empty, SeqScan("b"), "a.a_val", "<", "b.b_val")
+        assert join.execute(ExecutionContext(database)).num_rows == 0
+
+    def test_empty_right(self, database):
+        empty = SeqScan("b", col("b.b_id") < -1)
+        join = NonEquiJoin(SeqScan("a"), empty, "a.a_val", ">=", "b.b_val")
+        assert join.execute(ExecutionContext(database)).num_rows == 0

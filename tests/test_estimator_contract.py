@@ -5,6 +5,7 @@ import inspect
 import pytest
 
 from repro.core import (
+    BayesNetCardinalityEstimator,
     CardinalityEstimator,
     ExactCardinalityEstimator,
     FixedSelectivityEstimator,
@@ -19,6 +20,7 @@ def estimator_instances(tpch_db, tpch_stats):
         "exact": ExactCardinalityEstimator(tpch_db),
         "robust": RobustCardinalityEstimator(tpch_stats, policy=0.8),
         "histogram": HistogramCardinalityEstimator(tpch_stats),
+        "bayes": BayesNetCardinalityEstimator(tpch_stats),
         "fixed": FixedSelectivityEstimator(tpch_db, default=0.05),
     }
 
@@ -41,7 +43,9 @@ CASES = [
 
 
 @pytest.mark.parametrize("case_index", range(len(CASES)))
-@pytest.mark.parametrize("name", ["exact", "robust", "histogram", "fixed"])
+@pytest.mark.parametrize(
+    "name", ["exact", "robust", "histogram", "bayes", "fixed"]
+)
 class TestEstimatorContract:
     def test_selectivity_in_unit_interval(
         self, tpch_db, tpch_stats, name, case_index
@@ -82,6 +86,7 @@ class TestEstimatorContract:
 
 
 ALL_ESTIMATORS = (
+    BayesNetCardinalityEstimator,
     CardinalityEstimator,
     ExactCardinalityEstimator,
     FixedSelectivityEstimator,
@@ -139,7 +144,9 @@ class TestProtocolParity:
 GRID = (0.05, 0.50, 0.95)
 
 
-@pytest.mark.parametrize("name", ["exact", "robust", "histogram", "fixed"])
+@pytest.mark.parametrize(
+    "name", ["exact", "robust", "histogram", "bayes", "fixed"]
+)
 class TestEstimateManyConsistency:
     """estimate_many == looping estimate with each threshold as hint."""
 

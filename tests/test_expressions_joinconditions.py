@@ -1,0 +1,205 @@
+"""Join-condition classification and range-merge robustness.
+
+Two regression suites ride here:
+
+- ``predicates_by_table`` historically lumped every multi-table
+  conjunct — including ``t1.a <op> t2.b`` join conditions — under the
+  ``""`` key, so estimators priced band joins as opaque leftovers.
+  :func:`classify_conjuncts` must surface them as structured
+  :class:`JoinCondition` objects instead.
+- ``merge_range_conditions`` raised a bare ``TypeError`` mid-planning
+  when two same-column ranges carried incomparable literal types (a
+  date string against a number); the fix routes the offending
+  condition to the caller's ``unmergeable`` list.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactCardinalityEstimator
+from repro.engine import ExecutionContext
+from repro.expressions import col
+from repro.expressions.analysis import (
+    RangeCondition,
+    as_join_condition,
+    classify_conjuncts,
+    merge_range_conditions,
+    predicates_by_table,
+)
+from repro.optimizer import Optimizer
+
+from tests.conftest import make_two_table_db
+
+MARKUP = col("sales.s_price") < col("item.i_price")
+
+
+class TestAsJoinCondition:
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "="])
+    def test_recognizes_cross_table_comparisons(self, op):
+        expr = {
+            "<": col("a.x") < col("b.y"),
+            "<=": col("a.x") <= col("b.y"),
+            ">": col("a.x") > col("b.y"),
+            ">=": col("a.x") >= col("b.y"),
+            "=": col("a.x") == col("b.y"),
+        }[op]
+        condition = as_join_condition(expr)
+        assert condition is not None
+        assert condition.op == op
+        assert condition.left == "a.x"
+        assert condition.right == "b.y"
+        assert condition.tables == frozenset({"a", "b"})
+        assert condition.is_equality == (op == "=")
+
+    def test_same_table_comparison_is_not_a_join(self):
+        assert as_join_condition(col("a.x") < col("a.y")) is None
+
+    def test_literal_comparison_is_not_a_join(self):
+        assert as_join_condition(col("a.x") < 5) is None
+
+    def test_not_equal_is_not_a_join(self):
+        assert as_join_condition(col("a.x") != col("b.y")) is None
+
+    def test_unqualified_column_is_not_a_join(self):
+        assert as_join_condition(col("x") < col("b.y")) is None
+
+
+class TestOrientedAndCrosses:
+    def test_oriented_keeps_order_when_left_matches(self):
+        condition = as_join_condition(MARKUP)
+        assert condition.oriented({"sales"}) == (
+            "sales.s_price",
+            "<",
+            "item.i_price",
+        )
+
+    @pytest.mark.parametrize(
+        "op,mirrored", [("<", ">"), ("<=", ">="), (">", "<"), (">=", "<="), ("=", "=")]
+    )
+    def test_oriented_mirrors_operator_when_swapped(self, op, mirrored):
+        expr = {
+            "<": col("a.x") < col("b.y"),
+            "<=": col("a.x") <= col("b.y"),
+            ">": col("a.x") > col("b.y"),
+            ">=": col("a.x") >= col("b.y"),
+            "=": col("a.x") == col("b.y"),
+        }[op]
+        condition = as_join_condition(expr)
+        assert condition.oriented({"b"}) == ("b.y", mirrored, "a.x")
+
+    def test_crosses_partition(self):
+        condition = as_join_condition(MARKUP)
+        assert condition.crosses({"sales"}, {"item", "brand"})
+        assert condition.crosses({"item"}, {"sales"})
+        assert not condition.crosses({"sales"}, {"brand"})
+        assert not condition.crosses({"sales", "item"}, {"brand"})
+
+
+class TestClassifyConjuncts:
+    def test_join_condition_no_longer_lumped_as_leftover(self):
+        """Regression: the ``""`` bucket must not swallow join conditions.
+
+        ``predicates_by_table`` still files the markup comparison under
+        ``""`` (documented legacy behavior); ``classify_conjuncts`` is
+        the fix — it must return the conjunct as a structured join
+        condition, with nothing left in the residual class.
+        """
+        predicate = MARKUP & (col("sales.s_discount") <= 0.05)
+
+        legacy = predicates_by_table(predicate)
+        assert "" in legacy  # the historical lumping, kept for callers
+        assert "item" not in legacy
+
+        classes = classify_conjuncts(predicate)
+        assert len(classes.join_conditions) == 1
+        assert classes.join_conditions[0].tables == frozenset({"sales", "item"})
+        assert classes.join_conditions[0].op == "<"
+        assert classes.residual == []
+        assert set(classes.per_table) == {"sales"}
+
+    def test_multi_table_non_comparison_goes_to_residual(self):
+        predicate = (col("a.x") + col("b.y")) < 10
+        classes = classify_conjuncts(predicate)
+        assert classes.join_conditions == []
+        assert len(classes.residual) == 1
+        assert classes.per_table == {}
+
+    def test_none_predicate(self):
+        classes = classify_conjuncts(None)
+        assert classes.per_table == {}
+        assert classes.join_conditions == []
+        assert classes.residual == []
+
+    def test_conjunct_order_preserved(self):
+        predicate = (
+            (col("promotion.p_lo") <= col("sales.s_price"))
+            & (col("sales.s_price") < col("promotion.p_hi"))
+        )
+        classes = classify_conjuncts(predicate)
+        assert [c.op for c in classes.join_conditions] == ["<=", "<"]
+
+
+class TestMergeRangeConditions:
+    def test_intersects_same_column_ranges(self):
+        merged = merge_range_conditions(
+            [
+                RangeCondition("t", "c", low=5),
+                RangeCondition("t", "c", high=9, high_inclusive=False),
+            ]
+        )
+        condition = merged[("t", "c")]
+        assert (condition.low, condition.high) == (5, 9)
+        assert condition.low_inclusive and not condition.high_inclusive
+
+    def test_equal_bounds_tighten_inclusivity(self):
+        merged = merge_range_conditions(
+            [
+                RangeCondition("t", "c", high=5),
+                RangeCondition("t", "c", high=5, high_inclusive=False),
+            ]
+        )
+        assert not merged[("t", "c")].high_inclusive
+
+    def test_heterogeneous_literals_do_not_raise(self):
+        """Regression: mixed-type literals crashed the merge with a
+        bare ``TypeError``; now the offending condition is handed back
+        via ``unmergeable`` and the first-seen range keeps the slot."""
+        first = RangeCondition("t", "c", low=5, high=9)
+        clashing = RangeCondition("t", "c", high="1995-01-01")
+        unmergeable: list = []
+        merged = merge_range_conditions([first, clashing], unmergeable)
+        assert merged[("t", "c")] == first
+        assert unmergeable == [clashing]
+
+    def test_heterogeneous_literals_without_sink_are_dropped_quietly(self):
+        first = RangeCondition("t", "c", low=5, high=9)
+        clashing = RangeCondition("t", "c", high="1995-01-01")
+        merged = merge_range_conditions([first, clashing])  # must not raise
+        assert merged[("t", "c")] == first
+
+
+class TestUnmergeablePlanIntegration:
+    """access_paths must route unmergeable ranges into the residual so
+    every conjunct is still honored by the executed plan."""
+
+    def test_mixed_type_ranges_still_filter(self):
+        database = make_two_table_db()
+        # Two lower bounds over the same date column, one written as a
+        # date string and one as a raw ordinal: incomparable literals.
+        predicate = (col("lineitem.l_shipdate") >= "1996-06-01") & (
+            col("lineitem.l_shipdate") >= 729_180
+        )
+        from repro.optimizer import SPJQuery
+
+        optimizer = Optimizer(database, ExactCardinalityEstimator(database))
+        planned = optimizer.optimize(SPJQuery(["lineitem"], predicate))
+        frame = planned.plan.execute(ExecutionContext(database))
+
+        values = database.table("lineitem").column("l_shipdate")
+        from repro.catalog import date_ordinal
+
+        expected = int(
+            ((values >= date_ordinal("1996-06-01")) & (values >= 729_180)).sum()
+        )
+        assert frame.num_rows == expected
+        assert np.all(frame.column("lineitem.l_shipdate") >= 729_180)

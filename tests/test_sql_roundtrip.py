@@ -106,6 +106,84 @@ class TestRenderEdgeCases:
             to_sql(col("t.s") == "don't")
 
 
+INEQUALITY_OPS = ["<", "<=", ">", ">=", "="]
+
+
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    op=st.sampled_from(INEQUALITY_OPS),
+    columns=st.sampled_from([("t.a", "t.b"), ("t.b", "t.a")]),
+)
+def test_column_comparison_roundtrip(frame, op, columns):
+    """``t.a <op> t.b`` (the non-equi join condition form) survives
+    render → parse with identical semantics."""
+    left, right = columns
+    original = parse_predicate(f"{left} {op} {right}")
+    reparsed = parse_predicate(to_sql(original))
+    assert np.array_equal(original.evaluate(frame), reparsed.evaluate(frame))
+
+
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    op=st.sampled_from(["<", "<=", ">", ">="]),
+    value=st.integers(-20, 20),
+)
+def test_reversed_operand_comparison_roundtrip(frame, op, value):
+    """``literal <op> column`` round-trips and means the mirrored
+    ``column`` comparison."""
+    reversed_form = parse_predicate(f"{value} {op} t.a")
+    reparsed = parse_predicate(to_sql(reversed_form))
+    assert np.array_equal(
+        reversed_form.evaluate(frame), reparsed.evaluate(frame)
+    )
+    mirrored = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+    canonical = parse_predicate(f"t.a {mirrored} {value}")
+    assert np.array_equal(
+        reversed_form.evaluate(frame), canonical.evaluate(frame)
+    )
+
+
+class TestReversedOperandAnalysis:
+    """The analysis layer must see through literal-first spellings."""
+
+    def test_range_condition_mirrors_operator(self):
+        from repro.expressions.analysis import as_range_condition
+
+        condition = as_range_condition(parse_predicate("5 < t.a"))
+        assert condition is not None
+        assert condition.low == 5 and not condition.low_inclusive
+        assert condition.high is None
+
+    def test_between_roundtrip_with_inequality_conjunct(self, frame):
+        sql = "(t.a BETWEEN -5 AND 10) AND (t.b < t.a)"
+        original = parse_predicate(sql)
+        reparsed = parse_predicate(to_sql(original))
+        assert np.array_equal(
+            original.evaluate(frame), reparsed.evaluate(frame)
+        )
+
+    def test_join_condition_survives_roundtrip(self):
+        from repro.expressions.analysis import as_join_condition
+
+        original = parse_predicate("sales.s_price < item.i_price")
+        reparsed = parse_predicate(to_sql(original))
+        condition = as_join_condition(reparsed)
+        assert condition is not None
+        assert condition.oriented({"sales"}) == (
+            "sales.s_price",
+            "<",
+            "item.i_price",
+        )
+
+
 class TestQueryRoundTrip:
     """query_to_sql(parse_query(sql)) parses back to an equivalent query."""
 

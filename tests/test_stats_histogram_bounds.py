@@ -1,0 +1,113 @@
+"""Open-interval semantics at bucket boundaries (histogram + IndexSeek).
+
+Regression suite: strict bounds (``<``/``>``) at a bucket-boundary
+value historically estimated and fetched the same rows as their
+inclusive twins, because the boundary point mass was counted (and the
+index range included the edge) regardless of inclusivity. Both layers
+must now distinguish ``x < boundary`` from ``x <= boundary``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import ExecutionContext, IndexSeek, SeqScan
+from repro.engine.scans import IndexCondition
+from repro.expressions import col
+from repro.stats.histogram import EquiDepthHistogram
+
+from tests.conftest import make_two_table_db
+
+
+class TestHistogramBoundaryInclusivity:
+    """Two heavy values, one per bucket: every estimate is exact."""
+
+    @pytest.fixture(scope="class")
+    def hist(self):
+        values = np.array([1.0] * 50 + [2.0] * 50)
+        return EquiDepthHistogram(values, num_buckets=2)
+
+    def test_strict_upper_excludes_boundary_mass(self, hist):
+        assert hist.selectivity_range(None, 2, high_inclusive=False) == 0.5
+        assert hist.selectivity_range(None, 2, high_inclusive=True) == 1.0
+
+    def test_strict_lower_excludes_boundary_mass(self, hist):
+        assert hist.selectivity_range(1, None, low_inclusive=False) == 0.5
+        assert hist.selectivity_range(1, None, low_inclusive=True) == 1.0
+
+    def test_empty_open_interval(self, hist):
+        assert hist.selectivity_range(1, 2, False, False) == 0.0
+
+    def test_degenerate_range_needs_both_bounds_inclusive(self, hist):
+        assert hist.selectivity_range(2, 2, True, True) == 0.5
+        assert hist.selectivity_range(2, 2, True, False) == 0.0
+        assert hist.selectivity_range(2, 2, False, True) == 0.0
+
+    def test_uniform_data_tracks_truth_at_boundaries(self):
+        values = np.arange(100, dtype=float)
+        hist = EquiDepthHistogram(values, num_buckets=4)
+        boundary = float(hist.uppers[1])  # an interior bucket edge
+        strict = hist.selectivity_range(None, boundary, high_inclusive=False)
+        inclusive = hist.selectivity_range(None, boundary, high_inclusive=True)
+        assert inclusive == pytest.approx(strict + 1 / 100)
+        truth = float((values < boundary).mean())
+        assert strict == pytest.approx(truth, abs=0.02)
+
+
+class TestIndexSeekOpenIntervals:
+    """IndexSeek must fetch exactly the rows of the (half-)open range."""
+
+    @pytest.fixture(scope="class")
+    def database(self):
+        return make_two_table_db()
+
+    @pytest.fixture(scope="class")
+    def shipdates(self, database):
+        return database.table("lineitem").column("l_shipdate")
+
+    @pytest.fixture(scope="class")
+    def edge(self, shipdates):
+        # a value that actually occurs, so inclusivity matters
+        return int(np.sort(shipdates)[len(shipdates) // 2])
+
+    def _seek_rows(self, database, condition):
+        seek = IndexSeek("lineitem", condition)
+        return seek.execute(ExecutionContext(database)).num_rows
+
+    def test_strict_vs_inclusive_upper(self, database, shipdates, edge):
+        strict = self._seek_rows(
+            database, IndexCondition("l_shipdate", None, edge, True, False)
+        )
+        inclusive = self._seek_rows(
+            database, IndexCondition("l_shipdate", None, edge, True, True)
+        )
+        assert strict == int((shipdates < edge).sum())
+        assert inclusive == int((shipdates <= edge).sum())
+        assert strict < inclusive
+
+    def test_strict_vs_inclusive_lower(self, database, shipdates, edge):
+        strict = self._seek_rows(
+            database, IndexCondition("l_shipdate", edge, None, False, True)
+        )
+        inclusive = self._seek_rows(
+            database, IndexCondition("l_shipdate", edge, None, True, True)
+        )
+        assert strict == int((shipdates > edge).sum())
+        assert inclusive == int((shipdates >= edge).sum())
+        assert strict < inclusive
+
+    def test_half_open_band(self, database, shipdates, edge):
+        high = edge + 30
+        rows = self._seek_rows(
+            database, IndexCondition("l_shipdate", edge, high, True, False)
+        )
+        assert rows == int(((shipdates >= edge) & (shipdates < high)).sum())
+
+    def test_seek_matches_seq_scan(self, database, edge):
+        """The same strict predicate through either access path."""
+        predicate = col("lineitem.l_shipdate") < edge
+        scan = SeqScan("lineitem", predicate)
+        scanned = scan.execute(ExecutionContext(database)).num_rows
+        sought = self._seek_rows(
+            database, IndexCondition("l_shipdate", None, edge, True, False)
+        )
+        assert sought == scanned

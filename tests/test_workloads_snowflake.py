@@ -1,0 +1,159 @@
+"""The snowflake workload: schema shape, marginals, templates."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactCardinalityEstimator
+from repro.engine import ExecutionContext
+from repro.errors import WorkloadError
+from repro.optimizer import Optimizer, SPJQuery
+from repro.workloads import (
+    PriceMarkupTemplate,
+    PromotionBandTemplate,
+    SnowflakeChainTemplate,
+    SnowflakeConfig,
+    build_snowflake_database,
+)
+from repro.workloads.snowflake import ATTR_DOMAIN, PROMO_WIDTHS
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        SnowflakeConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scale": 0.0},
+            {"scale": -1.0},
+            {"num_sales": 50},
+            {"num_items": 1500},  # not a multiple of the attr domain
+            {"num_categories": 7},  # does not divide the attr domain
+            {"num_brands": 130},  # not a multiple of num_categories
+            {"aligned_fraction": 1.5},
+            {"num_promotions": 13},  # not a multiple of the kind count
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            SnowflakeConfig(**kwargs)
+
+    def test_scale_multiplies_sales_only(self):
+        config = SnowflakeConfig(num_sales=10_000, scale=2.5)
+        assert config.num_sales == 25_000
+        assert config.num_items == SnowflakeConfig().num_items
+
+    def test_derived_properties(self):
+        config = SnowflakeConfig()
+        assert config.brands_per_category == 10
+        assert config.attrs_per_category == 50
+
+
+class TestSchemaShape:
+    def test_table_cardinalities(self, snowflake_db):
+        config = SnowflakeConfig(num_sales=6_000, seed=9)
+        assert snowflake_db.table("sales").num_rows == config.num_sales
+        assert snowflake_db.table("item").num_rows == config.num_items
+        assert snowflake_db.table("brand").num_rows == config.num_brands
+        assert snowflake_db.table("category").num_rows == config.num_categories
+        assert snowflake_db.table("date_dim").num_rows == config.num_dates
+        assert snowflake_db.table("promotion").num_rows == config.num_promotions
+
+    def test_item_attr_marginal_exactly_uniform(self, snowflake_db):
+        attrs = snowflake_db.table("item").column("i_attr")
+        counts = np.bincount(attrs, minlength=ATTR_DOMAIN)
+        assert set(counts.tolist()) == {len(attrs) // ATTR_DOMAIN}
+
+    def test_brands_partition_categories_evenly(self, snowflake_db):
+        classkeys = snowflake_db.table("brand").column("b_classkey")
+        config = SnowflakeConfig()
+        counts = np.bincount(classkeys, minlength=config.num_categories)
+        assert set(counts.tolist()) == {config.brands_per_category}
+
+    def test_sale_price_tracks_item_price(self, snowflake_db):
+        sales = snowflake_db.table("sales")
+        item_prices = snowflake_db.table("item").column("i_price")
+        base = item_prices[sales.column("s_itemkey")]
+        ratio = sales.column("s_price") / base
+        assert float(ratio.min()) >= 0.5 - 1e-3
+        assert float(ratio.max()) <= 1.5 + 1e-3
+
+    def test_promotion_bands_match_kind_widths(self, snowflake_db):
+        promos = snowflake_db.table("promotion")
+        widths = promos.column("p_hi") - promos.column("p_lo")
+        expected = np.asarray(PROMO_WIDTHS)[promos.column("p_kind")]
+        assert np.allclose(widths, expected, atol=0.02)
+
+    def test_deterministic_per_seed(self):
+        a = build_snowflake_database(SnowflakeConfig(num_sales=1_000, seed=4))
+        b = build_snowflake_database(SnowflakeConfig(num_sales=1_000, seed=4))
+        assert np.array_equal(
+            a.table("sales").column("s_price"), b.table("sales").column("s_price")
+        )
+
+
+class TestChainTemplate:
+    def test_queries_validate(self, snowflake_db):
+        template = SnowflakeChainTemplate()
+        low, high = template.param_range()
+        for param in (low, high):
+            template.instantiate(param).validate(snowflake_db)
+
+    def test_shift_sweeps_joint_selectivity_marginals_fixed(self, snowflake_db):
+        """The paper's recipe: the parameter moves the overlap, never
+        the per-level marginal widths."""
+        template = SnowflakeChainTemplate()
+        aligned = template.true_selectivity(snowflake_db, 0)
+        shifted = template.true_selectivity(
+            snowflake_db, template.param_range()[1]
+        )
+        assert aligned > shifted
+        assert shifted == 0.0
+
+    def test_invalid_category_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            SnowflakeChainTemplate(num_categories=7)
+
+
+class TestMarkupTemplate:
+    def test_queries_validate(self, snowflake_db):
+        template = PriceMarkupTemplate()
+        for param in template.param_range():
+            template.instantiate(param).validate(snowflake_db)
+
+    def test_selectivity_grows_with_discount_cap(self, snowflake_db):
+        template = PriceMarkupTemplate()
+        narrow = template.true_selectivity(snowflake_db, 1)
+        wide = template.true_selectivity(snowflake_db, 9)
+        assert 0.0 < narrow < wide <= 1.0
+
+
+class TestBandTemplate:
+    def test_queries_validate(self, snowflake_db):
+        template = PromotionBandTemplate()
+        for param in template.param_range():
+            template.instantiate(param).validate(snowflake_db)
+
+    def test_true_rows_matches_executed_plan(self, snowflake_db):
+        """The numpy ground-truth override must agree with the engine."""
+        template = PromotionBandTemplate()
+        for param in (0, 4):
+            query = template.instantiate(param)
+            optimizer = Optimizer(
+                snowflake_db, ExactCardinalityEstimator(snowflake_db)
+            )
+            planned = optimizer.optimize(SPJQuery(query.tables, query.predicate))
+            frame = planned.plan.execute(ExecutionContext(snowflake_db))
+            assert frame.num_rows == template.true_rows(snowflake_db, param)
+
+    def test_selectivity_anchored_to_sales(self, snowflake_db):
+        template = PromotionBandTemplate()
+        rows = template.true_rows(snowflake_db, 2)
+        sel = template.true_selectivity(snowflake_db, 2)
+        assert sel == rows / snowflake_db.table("sales").num_rows
+
+    def test_wider_bands_select_more(self, snowflake_db):
+        template = PromotionBandTemplate()
+        assert template.true_rows(snowflake_db, 4) > template.true_rows(
+            snowflake_db, 0
+        )
